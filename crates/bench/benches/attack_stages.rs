@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the attack stages on the tiny scenario:
+//! noise exhaustion, EPT spraying, magic stamping and corruption scans.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hyperhammer::exploit::{magic_of, ExploitParams, Exploiter};
+use hyperhammer::machine::Scenario;
+use hyperhammer::steering::PageSteering;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(10);
+
+    let scenario = Scenario::tiny_demo();
+
+    group.bench_function("exhaust_noise_2k_mappings", |b| {
+        b.iter_batched(
+            || {
+                let mut host = scenario.boot_host();
+                let vm = host.create_vm(scenario.vm_config()).unwrap();
+                (host, vm)
+            },
+            |(mut host, mut vm)| {
+                let steering = PageSteering::new(scenario.steering_params());
+                black_box(steering.exhaust_noise(&mut host, &mut vm).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("spray_ept_48_hugepages", |b| {
+        b.iter_batched(
+            || {
+                let mut host = scenario.boot_host();
+                let vm = host.create_vm(scenario.vm_config()).unwrap();
+                (host, vm)
+            },
+            |(mut host, mut vm)| {
+                let steering = PageSteering::new(scenario.steering_params());
+                black_box(steering.spray_ept(&mut host, &mut vm, 96 << 20).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("stamp_magic_96mib", |b| {
+        b.iter_batched(
+            || {
+                let mut host = scenario.boot_host();
+                let vm = host.create_vm(scenario.vm_config()).unwrap();
+                (host, vm)
+            },
+            |(mut host, mut vm)| {
+                let ex = Exploiter::new(ExploitParams::paper());
+                black_box(ex.stamp_magic(&mut host, &mut vm).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("scan_magic_clean", |b| {
+        let mut host = scenario.boot_host();
+        let mut vm = host.create_vm(scenario.vm_config()).unwrap();
+        let ex = Exploiter::new(ExploitParams::paper());
+        ex.stamp_magic(&mut host, &mut vm).unwrap();
+        let (base, len) = vm.usable_ranges()[0];
+        b.iter(|| black_box(vm.scan_magic(&mut host, base, len, &magic_of)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

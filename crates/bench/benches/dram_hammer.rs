@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the DRAM model: address mapping,
+//! hammer bursts, and timing-probe measurements.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hh_dram::geometry::{BankFunction, DramGeometry};
+use hh_dram::timing::{AccessTiming, TimingProbe};
+use hh_dram::{DimmProfile, DramDevice, HammerPattern};
+use hh_sim::Hpa;
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+
+    let geom = DramGeometry::new(BankFunction::core_i3_10100(), 1 << 30);
+    group.bench_function("bank_of", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x40_1040) & ((1 << 30) - 1);
+            black_box(geom.bank_of(Hpa::new(addr)))
+        })
+    });
+
+    group.bench_function("addr_in_bank_row", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(geom.addr_in((i % 32) as u32, i % 1024))
+        })
+    });
+
+    group.bench_function("hammer_burst_single_sided", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut dev = DramDevice::new(DimmProfile::test_profile(64 << 20), 99);
+                dev.fill(Hpa::new(0), 64 << 20, 0xff);
+                dev
+            },
+            |dev| {
+                let pattern = HammerPattern::single_sided_for(dev.geometry(), 3, 100);
+                black_box(dev.hammer(&pattern, 250_000))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("timing_probe_pair", |b| {
+        let probe = TimingProbe::new(geom.clone(), AccessTiming::ddr4_2666());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 0x1040;
+            black_box(probe.measure_pair(Hpa::new(0), Hpa::new(i & ((1 << 30) - 1))))
+        })
+    });
+
+    group.bench_function("store_fill_2mib", |b| {
+        b.iter_batched_ref(
+            || DramDevice::new(DimmProfile::test_profile(64 << 20), 1),
+            |dev| dev.fill(Hpa::new(0), 2 << 20, 0x55),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

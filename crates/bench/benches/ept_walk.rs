@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the EPT: translation walks, hugepage
+//! splits (the multihit countermeasure), and guest memory access.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hh_hv::{Host, HostConfig, VmConfig};
+use hh_sim::Gpa;
+use std::hint::black_box;
+
+fn setup() -> (Host, hh_hv::Vm) {
+    let mut host = Host::new(HostConfig::small_test());
+    let vm = host.create_vm(VmConfig::small_test()).unwrap();
+    (host, vm)
+}
+
+fn bench_ept(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ept");
+
+    group.bench_function("translate_huge", |b| {
+        let (host, vm) = setup();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 0x1337) % (16 << 20);
+            black_box(vm.translate_gpa(&host, Gpa::new(i)).unwrap())
+        })
+    });
+
+    group.bench_function("translate_4k_after_split", |b| {
+        let (mut host, mut vm) = setup();
+        vm.exec_gpa(&mut host, Gpa::new(0)).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 0x137) % (2 << 20);
+            black_box(vm.translate_gpa(&host, Gpa::new(i)).unwrap())
+        })
+    });
+
+    group.bench_function("multihit_split", |b| {
+        b.iter_batched(
+            setup,
+            |(mut host, mut vm)| {
+                // Split every chunk of boot memory once.
+                for i in 0..2u64 {
+                    vm.exec_gpa(&mut host, Gpa::new(i << 21)).unwrap();
+                }
+                (host, vm)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("guest_read_u64", |b| {
+        let (mut host, mut vm) = setup();
+        vm.write_u64_gpa(&mut host, Gpa::new(0x4000), 42).unwrap();
+        b.iter(|| black_box(vm.read_u64_gpa(&host, Gpa::new(0x4000)).unwrap()))
+    });
+
+    group.bench_function("vm_create_destroy", |b| {
+        b.iter_batched_ref(
+            || Host::new(HostConfig::small_test()),
+            |host| {
+                let vm = host.create_vm(VmConfig::small_test()).unwrap();
+                vm.destroy(host);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ept);
+criterion_main!(benches);

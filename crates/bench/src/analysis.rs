@@ -1,0 +1,40 @@
+//! §5.3.1 / §5.3.3: the analytical success bound and end-to-end time
+//! estimates, with Monte-Carlo validation.
+
+use hh_sim::ByteSize;
+use hyperhammer::analysis::{
+    expected_attempts, expected_end_to_end_days, monte_carlo_bound, success_probability,
+};
+
+/// Prints the full analysis section.
+pub fn print() {
+    println!("== §5.3.1 success-probability bound ==");
+    for (vm_gib, host_gib) in [(16u64, 16u64), (13, 16), (8, 16), (4, 16), (2, 16)] {
+        let vm = ByteSize::gib(vm_gib);
+        let host = ByteSize::gib(host_gib);
+        let p = success_probability(vm, host);
+        println!(
+            "  VM {vm_gib:>2} GiB / host {host_gib} GiB: p = {:.6} (1 in {:.0} attempts)",
+            p,
+            expected_attempts(vm, host)
+        );
+    }
+    println!("  limit case (VM == host): 1 in 512 — the paper's bound.");
+    println!();
+
+    println!("== Monte-Carlo validation of the bound ==");
+    for (vm_gib, trials) in [(16u64, 2_000_000u64), (13, 2_000_000), (4, 2_000_000)] {
+        let r = monte_carlo_bound(ByteSize::gib(vm_gib), ByteSize::gib(16), trials, 0xbeef);
+        println!(
+            "  VM {vm_gib:>2} GiB: empirical {:.6} vs analytical {:.6} ({} trials)",
+            r.empirical_probability, r.analytical_probability, r.trials
+        );
+    }
+    println!();
+
+    println!("== §5.3.3 expected end-to-end attack time ==");
+    let s1 = expected_end_to_end_days(72.0, 96, 12, 512.0);
+    let s2 = expected_end_to_end_days(48.0, 90, 12, 512.0);
+    println!("  S1: 12/96 x 72 h per profile, 512 attempts -> {s1:.0} days (paper: 192)");
+    println!("  S2: 12/90 x 48 h per profile, 512 attempts -> {s2:.0} days (paper: 137)");
+}

@@ -1,0 +1,57 @@
+//! §5.1 preliminaries: DRAMDig-style recovery of the DRAM address
+//! functions from the row-buffer timing side channel.
+
+use hh_dram::dramdig::{recover, RecoveredMap};
+use hh_dram::geometry::DramGeometry;
+use hh_dram::timing::{AccessTiming, TimingProbe};
+use hyperhammer::machine::Scenario;
+
+/// Recovery result for one scenario.
+#[derive(Debug, Clone)]
+pub struct BankFnResult {
+    /// Scenario name.
+    pub system: String,
+    /// The recovered map.
+    pub map: RecoveredMap,
+    /// Whether the recovered function is equivalent to the installed one.
+    pub equivalent: bool,
+    /// Whether every recovered mask uses only bits below 21 (THP-visible).
+    pub thp_computable: bool,
+}
+
+/// Runs the recovery against a scenario's DRAM geometry.
+///
+/// # Panics
+///
+/// Panics if recovery fails (it cannot on the supported geometries).
+pub fn run(scenario: &Scenario) -> BankFnResult {
+    let geometry: DramGeometry = scenario.host_config().dimm.geometry.clone();
+    let probe = TimingProbe::new(geometry.clone(), AccessTiming::ddr4_2666());
+    let map = recover(&probe).expect("paper geometries recover cleanly");
+    BankFnResult {
+        system: scenario.name.to_string(),
+        equivalent: map.bank_fn.equivalent_to(geometry.bank_fn()),
+        thp_computable: map.bank_fn.uses_only_bits_below(21),
+        map,
+    }
+}
+
+/// Prints one result.
+pub fn print(result: &BankFnResult) {
+    println!("{}: recovered bank function: {}", result.system, result.map.bank_fn);
+    println!(
+        "    equivalent to installed function: {} | {} banks | {} timing measurements",
+        result.equivalent,
+        result.map.bank_fn.bank_count(),
+        result.map.measurements
+    );
+    println!(
+        "    definite row bits: {:?}",
+        result.map.definite_row_bits
+    );
+    println!(
+        "    fully computable from hugepage offsets (bits < 21): {}",
+        result.thp_computable
+    );
+    println!();
+}

@@ -1,0 +1,5 @@
+//! Ablations of the design decisions listed in DESIGN.md §6.
+
+fn main() {
+    hh_bench::ablations::print_all();
+}

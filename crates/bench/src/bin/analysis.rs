@@ -1,0 +1,5 @@
+//! Prints the §5.3 analytical model with Monte-Carlo validation.
+
+fn main() {
+    hh_bench::analysis::print();
+}

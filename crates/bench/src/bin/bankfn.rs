@@ -1,0 +1,12 @@
+//! DRAMDig-style bank-function recovery for S1 and S2 (§5.1).
+
+use hyperhammer::machine::Scenario;
+
+fn main() {
+    for sc in [Scenario::s1(), Scenario::s2()] {
+        let result = hh_bench::bankfn::run(&sc);
+        hh_bench::bankfn::print(&result);
+    }
+    println!("Paper: S1 uses (17,21)(16,20)(15,19)(14,18)(6,13);");
+    println!("       S2 uses (17,20)(16,19)(15,18)(7,14)(8,9,12,13,18,19).");
+}

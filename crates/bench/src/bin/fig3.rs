@@ -1,0 +1,25 @@
+//! Regenerates Figure 3 (noise pages over time) on S1, S2 and S3.
+//!
+//! Pass `--csv DIR` to also write one CSV per setting for plotting.
+
+use hyperhammer::machine::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    for sc in [Scenario::s1(), Scenario::s2(), Scenario::s3()] {
+        eprintln!("exhausting noise pages on {}...", sc.name);
+        let series = hh_bench::fig3::run(&sc);
+        hh_bench::fig3::print(&series);
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/fig3_{}.csv", series.system.to_lowercase());
+            std::fs::write(&path, hh_bench::fig3::to_csv(&series))
+                .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}

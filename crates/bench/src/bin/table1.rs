@@ -1,0 +1,16 @@
+//! Regenerates Table 1 (memory profiling results) on S1 and S2.
+
+use hyperhammer::machine::Scenario;
+
+fn main() {
+    let rows: Vec<_> = [Scenario::s1(), Scenario::s2()]
+        .iter()
+        .map(|sc| {
+            eprintln!("profiling {} (full 12 GiB, two passes)...", sc.name);
+            hh_bench::table1::run(sc)
+        })
+        .collect();
+    hh_bench::table1::print(&rows);
+    println!();
+    println!("Paper reference: S1 72h/395/213/182/246/96, S2 48h/650/329/321/40/90");
+}

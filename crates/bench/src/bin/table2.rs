@@ -1,0 +1,17 @@
+//! Regenerates Table 2 (released-page reuse by EPTs) on S1, S2 and S3.
+
+use hyperhammer::machine::Scenario;
+
+fn main() {
+    let mut rows = Vec::new();
+    for sc in [Scenario::s1(), Scenario::s2(), Scenario::s3()] {
+        for (s_gib, b_blocks) in hh_bench::table2::paper_sweep() {
+            eprintln!("{}: S = {s_gib} GiB, B = {b_blocks}...", sc.name);
+            rows.push(hh_bench::table2::run(&sc, s_gib, b_blocks));
+        }
+    }
+    hh_bench::table2::print(&rows);
+    println!();
+    println!("Expected trends (paper): S up at fixed N -> R_N and R_E up;");
+    println!("N down at fixed S -> R_N up, R_E down.");
+}

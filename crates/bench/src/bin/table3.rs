@@ -1,0 +1,22 @@
+//! Regenerates Table 3 (attack cost to first success) on S1 and S2.
+//!
+//! Pass a maximum attempt budget as the first argument (default 600).
+
+use hyperhammer::machine::Scenario;
+
+fn main() {
+    let max_attempts: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let rows: Vec<_> = [Scenario::s1(), Scenario::s2()]
+        .iter()
+        .map(|sc| {
+            eprintln!("{}: profiling once, then up to {max_attempts} attempts...", sc.name);
+            hh_bench::table3::run(sc, max_attempts)
+        })
+        .collect();
+    hh_bench::table3::print(&rows);
+    println!();
+    println!("Paper reference: S1 4.0 min / 16.7 h / 250; S2 4.7 min / 33.8 h / 432");
+}

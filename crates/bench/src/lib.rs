@@ -1,0 +1,59 @@
+//! Experiment harness for the HyperHammer reproduction.
+//!
+//! One module per paper artefact; the binaries in `src/bin/` are thin
+//! wrappers that run an experiment and print the table or figure series
+//! in the paper's format. See `EXPERIMENTS.md` at the repository root
+//! for paper-vs-measured numbers.
+//!
+//! | Artefact | Module | Binary |
+//! |----------|--------|--------|
+//! | §5.1 bank functions | [`bankfn`] | `cargo run -p hh-bench --bin bankfn` |
+//! | Table 1 (profiling) | [`table1`] | `cargo run -p hh-bench --release --bin table1` |
+//! | Figure 3 (noise pages) | [`fig3`] | `cargo run -p hh-bench --release --bin fig3` |
+//! | Table 2 (page reuse) | [`table2`] | `cargo run -p hh-bench --release --bin table2` |
+//! | Table 3 (attack cost) | [`table3`] | `cargo run -p hh-bench --release --bin table3` |
+//! | §5.3 analysis | [`analysis`] | `cargo run -p hh-bench --bin analysis` |
+//! | §6 / design ablations | [`ablations`] | `cargo run -p hh-bench --release --bin ablations` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod analysis;
+pub mod bankfn;
+pub mod fig3;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Renders a row of pipe-separated cells with padded column widths.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::from("|");
+    for (cell, width) in cells.iter().zip(widths) {
+        out.push_str(&format!(" {cell:>width$} |"));
+    }
+    out
+}
+
+/// Renders a header + separator for [`row`]-formatted tables.
+pub fn header(names: &[&str], widths: &[usize]) -> String {
+    let head = row(&names.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let sep: String = std::iter::once("|".to_string())
+        .chain(widths.iter().map(|w| format!("{}|", "-".repeat(w + 2))))
+        .collect();
+    format!("{head}\n{sep}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting() {
+        let h = header(&["a", "bb"], &[4, 4]);
+        assert!(h.contains("|    a |   bb |"));
+        assert!(h.lines().nth(1).unwrap().starts_with("|------|"));
+        let r = row(&["1".into(), "2".into()], &[4, 4]);
+        assert_eq!(r, "|    1 |    2 |");
+    }
+}

@@ -1,0 +1,83 @@
+//! Table 1: results of memory profiling on S1 and S2.
+//!
+//! Paper reference (§5.1):
+//!
+//! | System | Time | Total | 1→0 | 0→1 | Stable | Expl. |
+//! |--------|------|-------|-----|-----|--------|-------|
+//! | S1     | 72 h | 395   | 213 | 182 | 246    | 96    |
+//! | S2     | 48 h | 650   | 329 | 321 | 40     | 90    |
+
+use hyperhammer::machine::Scenario;
+use hyperhammer::profile::Profiler;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Scenario name.
+    pub system: String,
+    /// Simulated profiling time in hours.
+    pub time_hours: f64,
+    /// Total vulnerable bits found.
+    pub total: usize,
+    /// 1→0 flips.
+    pub one_to_zero: usize,
+    /// 0→1 flips.
+    pub zero_to_one: usize,
+    /// Stable bits.
+    pub stable: usize,
+    /// Exploitable bits.
+    pub exploitable: usize,
+}
+
+/// Runs the full profiling campaign for one scenario.
+///
+/// # Panics
+///
+/// Panics on hypervisor errors (the harness treats them as fatal).
+pub fn run(scenario: &Scenario) -> Table1Row {
+    let mut host = scenario.boot_host();
+    let mut vm = host
+        .create_vm(scenario.vm_config())
+        .expect("host backs the attacker VM");
+    let params = scenario.profile_params();
+    let report = Profiler::new(params.clone())
+        .run(&mut host, &mut vm)
+        .expect("profiling runs to completion");
+    let exploitable = report.exploitable(params.host_mem, &vm).len();
+    Table1Row {
+        system: scenario.name.to_string(),
+        time_hours: report.duration.as_hours_f64(),
+        total: report.total(),
+        one_to_zero: report.one_to_zero(),
+        zero_to_one: report.zero_to_one(),
+        stable: report.stable(),
+        exploitable,
+    }
+}
+
+/// Prints the table for the given scenarios.
+pub fn print(rows: &[Table1Row]) {
+    let widths = [6, 7, 6, 5, 5, 6, 5];
+    println!("Table 1: Results of Memory Profiling.");
+    println!(
+        "{}",
+        crate::header(&["System", "Time", "Total", "1->0", "0->1", "Stable", "Expl."], &widths)
+    );
+    for r in rows {
+        println!(
+            "{}",
+            crate::row(
+                &[
+                    r.system.clone(),
+                    format!("{:.0} h", r.time_hours),
+                    r.total.to_string(),
+                    r.one_to_zero.to_string(),
+                    r.zero_to_one.to_string(),
+                    r.stable.to_string(),
+                    r.exploitable.to_string(),
+                ],
+                &widths,
+            )
+        );
+    }
+}

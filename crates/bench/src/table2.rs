@@ -1,0 +1,152 @@
+//! Table 2: pages released by the VM and reused by EPTs.
+//!
+//! Paper reference (§5.2): for each setting, release `B` sub-blocks
+//! (N = 512·B pages) and spray `S` of memory for EPT creation; report
+//! `E` (EPT pages), `R` (released pages reused as EPT pages),
+//! `R_N = R/N` and `R_E = R/E`. The trends to reproduce: growing `S` at
+//! fixed `N` raises both ratios; shrinking `N` at fixed `S` raises `R_N`
+//! and lowers `R_E`.
+
+use hh_sim::addr::HUGE_PAGE_SIZE;
+use hh_sim::Gpa;
+use hyperhammer::machine::Scenario;
+use hyperhammer::steering::PageSteering;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Scenario name.
+    pub setting: String,
+    /// Spray size in GiB (`S`).
+    pub s_gib: u64,
+    /// Released sub-blocks (`B`).
+    pub b_blocks: u64,
+    /// Released pages (`N = 512·B`).
+    pub n_pages: u64,
+    /// EPT pages in the system (`E`).
+    pub e_pages: u64,
+    /// Released pages reused by EPTs (`R`).
+    pub r_pages: u64,
+}
+
+impl Table2Row {
+    /// `R_N` as a percentage.
+    pub fn r_n_pct(&self) -> f64 {
+        100.0 * self.r_pages as f64 / self.n_pages as f64
+    }
+
+    /// `R_E` as a percentage.
+    pub fn r_e_pct(&self) -> f64 {
+        100.0 * self.r_pages as f64 / self.e_pages as f64
+    }
+}
+
+/// Runs one (S, B) cell of Table 2 on a fresh host.
+///
+/// The released sub-blocks are spread across the virtio-mem region (the
+/// paper releases profiled blocks, whose placement is effectively
+/// arbitrary).
+///
+/// # Panics
+///
+/// Panics on hypervisor errors.
+pub fn run(scenario: &Scenario, s_gib: u64, b_blocks: u64) -> Table2Row {
+    let mut host = scenario.boot_host();
+    let mut vm = host
+        .create_vm(scenario.vm_config())
+        .expect("host backs the attacker VM");
+    let steering = PageSteering::new(scenario.steering_params());
+
+    steering
+        .exhaust_noise(&mut host, &mut vm)
+        .expect("exhaustion succeeds");
+    host.reset_released_log();
+
+    // Spread the released blocks across the region.
+    let region = vm.virtio_mem();
+    let total_blocks = region.region_size() / HUGE_PAGE_SIZE;
+    let stride = (total_blocks / b_blocks).max(1);
+    let victims: Vec<Gpa> = (0..b_blocks)
+        .map(|i| region.region_base().add((i * stride % total_blocks) * HUGE_PAGE_SIZE))
+        .collect();
+    let released = steering
+        .release_hugepages(&mut host, &mut vm, &victims)
+        .expect("release succeeds");
+    assert_eq!(released.len() as u64, b_blocks, "victims must be distinct");
+
+    steering
+        .spray_ept(&mut host, &mut vm, s_gib << 30)
+        .expect("spray succeeds");
+
+    let reuse = PageSteering::reuse_stats(&host, &vm);
+    vm.destroy(&mut host);
+    Table2Row {
+        setting: scenario.name.to_string(),
+        s_gib,
+        b_blocks,
+        n_pages: reuse.released_pages,
+        e_pages: reuse.ept_pages,
+        r_pages: reuse.reused_pages,
+    }
+}
+
+/// The paper's (S, B) sweep: S ∈ {5, 10} GiB at B = 100, then
+/// B ∈ {70, 30, 20} at S = 10 GiB.
+pub fn paper_sweep() -> Vec<(u64, u64)> {
+    vec![(5, 100), (10, 100), (10, 70), (10, 30), (10, 20)]
+}
+
+/// Prints the table.
+pub fn print(rows: &[Table2Row]) {
+    println!("Table 2: pages released from the VM and reused by EPTs.");
+    let widths = [8, 6, 4, 6, 6, 6, 7, 7];
+    println!(
+        "{}",
+        crate::header(&["Setting", "S", "B", "N", "E", "R", "R_N", "R_E"], &widths)
+    );
+    for r in rows {
+        println!(
+            "{}",
+            crate::row(
+                &[
+                    r.setting.clone(),
+                    format!("{} GB", r.s_gib),
+                    r.b_blocks.to_string(),
+                    r.n_pages.to_string(),
+                    r.e_pages.to_string(),
+                    r.r_pages.to_string(),
+                    format!("{:.1}%", r.r_n_pct()),
+                    format!("{:.1}%", r.r_e_pct()),
+                ],
+                &widths,
+            )
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let row = Table2Row {
+            setting: "T".into(),
+            s_gib: 10,
+            b_blocks: 20,
+            n_pages: 10_240,
+            e_pages: 5_000,
+            r_pages: 2_500,
+        };
+        assert!((row.r_n_pct() - 24.414).abs() < 0.01);
+        assert!((row.r_e_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_sweep_matches_table2_cells() {
+        let sweep = paper_sweep();
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep[0], (5, 100));
+        assert!(sweep.iter().skip(1).all(|&(s, _)| s == 10));
+    }
+}

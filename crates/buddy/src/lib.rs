@@ -1,0 +1,96 @@
+//! A behavioural model of the Linux buddy page allocator.
+//!
+//! HyperHammer's *Page Steering* (§4.2 of the paper) is entirely an
+//! attack on allocator behaviour:
+//!
+//! * EPT and IOPT pages are **order-0 `MIGRATE_UNMOVABLE`** allocations;
+//! * freed virtio-mem sub-blocks enter the free lists as **order-9
+//!   blocks**;
+//! * the allocator prefers the **smallest block** that satisfies a
+//!   request, so the attacker must exhaust small-order blocks ("noise
+//!   pages") before its released order-9 blocks are split for EPT pages;
+//! * order-0 traffic flows through the **per-CPU pageset (PCP)** cache
+//!   first, which is one of the noise sources the paper's spraying step
+//!   must drown out (§4.2.3);
+//! * when a migration type's lists are exhausted the kernel **steals**
+//!   from the other type, largest block first.
+//!
+//! This crate implements those mechanics faithfully (single-zone,
+//! single-node) so the paper's reuse ratios (Table 2) and noise-page
+//! dynamics (Figure 3) *emerge* from allocator behaviour instead of being
+//! scripted.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_buddy::{BuddyAllocator, MigrateType};
+//!
+//! // 64 MiB zone.
+//! let mut buddy = BuddyAllocator::new(64 << 20 >> 12);
+//! let ept_page = buddy.alloc(0, MigrateType::Unmovable)?;
+//! let thp = buddy.alloc(9, MigrateType::Movable)?;
+//! buddy.free(ept_page, 0);
+//! buddy.free(thp, 9);
+//! assert_eq!(buddy.free_pages(), 64 << 20 >> 12);
+//! # Ok::<(), hh_buddy::AllocError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod allocator;
+mod free_list;
+mod pcp;
+mod report;
+
+pub use allocator::{AllocError, AllocStats, BuddyAllocator, FreeError, MAX_ORDER};
+pub use pcp::PcpConfig;
+pub use report::{OrderCounts, PageTypeInfo};
+
+use serde::{Deserialize, Serialize};
+
+/// Page migration types the paper's attack distinguishes (§2.4).
+///
+/// Linux has more (RECLAIMABLE, CMA, ISOLATE…); the attack only depends
+/// on the UNMOVABLE/MOVABLE split: EPT/IOPT pages are unmovable, guest
+/// RAM is movable until VFIO pins it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrateType {
+    /// `MIGRATE_UNMOVABLE`: kernel allocations that cannot relocate
+    /// (page tables, IOPTs, EPTs, pinned DMA buffers).
+    Unmovable,
+    /// `MIGRATE_MOVABLE`: regular anonymous/file memory.
+    Movable,
+}
+
+impl MigrateType {
+    /// Both migration types, in free-list index order.
+    pub const ALL: [MigrateType; 2] = [MigrateType::Unmovable, MigrateType::Movable];
+
+    /// Free-list index of the type.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        match self {
+            MigrateType::Unmovable => 0,
+            MigrateType::Movable => 1,
+        }
+    }
+
+    /// The fallback type the kernel steals from when this type's lists
+    /// are exhausted.
+    pub fn fallback(self) -> MigrateType {
+        match self {
+            MigrateType::Unmovable => MigrateType::Movable,
+            MigrateType::Movable => MigrateType::Unmovable,
+        }
+    }
+}
+
+impl std::fmt::Display for MigrateType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateType::Unmovable => write!(f, "Unmovable"),
+            MigrateType::Movable => write!(f, "Movable"),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! `/proc/pagetypeinfo`-style introspection types.
+//!
+//! The paper's Figure 3 is produced by sampling the hypervisor's
+//! `/proc/pagetypeinfo` while the attacker exhausts noise pages; these
+//! types are the model's equivalent of that file.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::allocator::MAX_ORDER;
+
+/// Free-block counts per order for one migration type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OrderCounts {
+    /// `counts[order]` = number of free blocks of that order.
+    pub counts: [u64; MAX_ORDER as usize],
+}
+
+impl OrderCounts {
+    /// Total free pages across all orders.
+    pub fn total_pages(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(order, &n)| n << order)
+            .sum()
+    }
+
+    /// Free pages in blocks below `order` — the "would be consumed before
+    /// an order-`order` block is split" population.
+    pub fn pages_below_order(&self, order: u8) -> u64 {
+        self.counts[..order as usize]
+            .iter()
+            .enumerate()
+            .map(|(o, &n)| n << o)
+            .sum()
+    }
+}
+
+/// A snapshot of the allocator's free lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PageTypeInfo {
+    /// `MIGRATE_UNMOVABLE` free blocks.
+    pub unmovable: OrderCounts,
+    /// `MIGRATE_MOVABLE` free blocks.
+    pub movable: OrderCounts,
+    /// PCP-cached pages, `[unmovable, movable]`.
+    pub pcp_pages: [u64; 2],
+}
+
+impl fmt::Display for PageTypeInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<12} {:>6}", "type\\order", "counts")?;
+        write!(f, "{:<12}", "Unmovable")?;
+        for c in self.unmovable.counts {
+            write!(f, " {c:>6}")?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<12}", "Movable")?;
+        for c in self.movable.counts {
+            write!(f, " {c:>6}")?;
+        }
+        writeln!(f)?;
+        write!(f, "pcp: unmovable={} movable={}", self.pcp_pages[0], self.pcp_pages[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut c = OrderCounts::default();
+        c.counts[0] = 3;
+        c.counts[2] = 1;
+        c.counts[9] = 2;
+        assert_eq!(c.total_pages(), 3 + 4 + 1024);
+        assert_eq!(c.pages_below_order(9), 7);
+        assert_eq!(c.pages_below_order(1), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let info = PageTypeInfo::default();
+        assert!(format!("{info}").contains("Unmovable"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Subcommand implementations.
+
+use hh_dram::dramdig::recover;
+use hh_dram::timing::{AccessTiming, TimingProbe};
+use hh_sim::addr::HUGE_PAGE_SIZE;
+use hh_sim::Gpa;
+use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
+use hyperhammer::profile::{ProfileParams, Profiler};
+use hyperhammer::steering::PageSteering;
+
+use crate::opts::{Command, Options};
+use crate::output::{self, AttackOut, ProfileOut, ReconOut, SteerOut};
+
+/// Dispatches the parsed command.
+///
+/// # Errors
+///
+/// Returns a displayable error for any failure in the underlying stack.
+pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    match &opts.command {
+        Command::Recon => recon(opts),
+        Command::Profile { stop_after } => profile(opts, *stop_after),
+        Command::Steer { blocks, spray_gib } => steer(opts, *blocks, *spray_gib),
+        Command::Attack { attempts, bits } => attack(opts, *attempts, *bits),
+        Command::Analyse => {
+            analyse(opts);
+            Ok(())
+        }
+    }
+}
+
+fn recon(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = opts.scenario.host_config().dimm.geometry.clone();
+    let probe = TimingProbe::new(geometry.clone(), AccessTiming::ddr4_2666());
+    let map = recover(&probe)?;
+    let out = ReconOut {
+        scenario: opts.scenario.name.to_string(),
+        bank_masks: map.bank_fn.masks().to_vec(),
+        banks: map.bank_fn.bank_count(),
+        equivalent: map.bank_fn.equivalent_to(geometry.bank_fn()),
+        measurements: map.measurements,
+        row_bits: map.definite_row_bits.clone(),
+    };
+    output::emit(opts.json, &out, || {
+        println!("scenario {}: bank function {}", out.scenario, map.bank_fn);
+        println!(
+            "{} banks | equivalent to ground truth: {} | {} measurements",
+            out.banks, out.equivalent, out.measurements
+        );
+        println!("row bits: {:?}", out.row_bits);
+    });
+    Ok(())
+}
+
+fn profile(opts: &Options, stop_after: Option<usize>) -> Result<(), Box<dyn std::error::Error>> {
+    let mut host = opts.scenario.boot_host();
+    let mut vm = host.create_vm(opts.scenario.vm_config())?;
+    let params = ProfileParams {
+        stop_after_exploitable: stop_after,
+        ..opts.scenario.profile_params()
+    };
+    let report = Profiler::new(params.clone()).run(&mut host, &mut vm)?;
+    let out = ProfileOut {
+        scenario: opts.scenario.name.to_string(),
+        sim_hours: report.duration.as_hours_f64(),
+        total: report.total(),
+        one_to_zero: report.one_to_zero(),
+        zero_to_one: report.zero_to_one(),
+        stable: report.stable(),
+        exploitable: report.exploitable(params.host_mem, &vm).len(),
+    };
+    output::emit(opts.json, &out, || {
+        println!(
+            "{}: {} flips in {:.1} simulated hours ({} 1->0, {} 0->1, {} stable, {} exploitable)",
+            out.scenario, out.total, out.sim_hours, out.one_to_zero, out.zero_to_one,
+            out.stable, out.exploitable
+        );
+    });
+    Ok(())
+}
+
+fn steer(opts: &Options, blocks: u64, spray_gib: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let mut host = opts.scenario.boot_host();
+    let mut vm = host.create_vm(opts.scenario.vm_config())?;
+    let steering = PageSteering::new(opts.scenario.steering_params());
+
+    let noise_before = host.noise_pages();
+    steering.exhaust_noise(&mut host, &mut vm)?;
+    let noise_after = host.noise_pages();
+    host.reset_released_log();
+
+    let region = vm.virtio_mem();
+    let total_blocks = region.region_size() / HUGE_PAGE_SIZE;
+    let victims: Vec<Gpa> = (0..blocks.min(total_blocks))
+        .map(|i| {
+            region
+                .region_base()
+                .add((i * (total_blocks / blocks.max(1)).max(1) % total_blocks) * HUGE_PAGE_SIZE)
+        })
+        .collect();
+    steering.release_hugepages(&mut host, &mut vm, &victims)?;
+    steering.spray_ept(&mut host, &mut vm, spray_gib << 30)?;
+    let reuse = PageSteering::reuse_stats(&host, &vm);
+
+    let out = SteerOut {
+        scenario: opts.scenario.name.to_string(),
+        noise_before,
+        noise_after,
+        released_pages: reuse.released_pages,
+        ept_pages: reuse.ept_pages,
+        reused_pages: reuse.reused_pages,
+        r_n: reuse.r_n(),
+        r_e: reuse.r_e(),
+    };
+    output::emit(opts.json, &out, || {
+        println!(
+            "{}: noise {} -> {} | N = {} E = {} R = {} (R_N {:.1}%, R_E {:.1}%)",
+            out.scenario,
+            out.noise_before,
+            out.noise_after,
+            out.released_pages,
+            out.ept_pages,
+            out.reused_pages,
+            100.0 * out.r_n,
+            100.0 * out.r_e
+        );
+    });
+    Ok(())
+}
+
+fn attack(opts: &Options, attempts: usize, bits: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let mut host = opts.scenario.boot_host();
+    let driver = AttackDriver::new(DriverParams {
+        bits_per_attempt: bits,
+        ..DriverParams::paper()
+    });
+    let mut vm = host.create_vm(opts.scenario.vm_config())?;
+    let catalog =
+        driver.profile_and_catalog(&mut host, &mut vm, opts.scenario.profile_params())?;
+    vm.destroy(&mut host);
+
+    let stats = driver.campaign(&opts.scenario, &mut host, &catalog, attempts)?;
+    let escape_read = stats.attempts.iter().find_map(|a| match &a.outcome {
+        AttemptOutcome::Success(proof) => Some(proof.value_read),
+        _ => None,
+    });
+    let out = AttackOut {
+        scenario: opts.scenario.name.to_string(),
+        attempts: stats.attempts.len(),
+        first_success: stats.first_success(),
+        avg_attempt_mins: stats.avg_attempt_mins(),
+        hours_to_success: stats.time_to_first_success().map(|d| d.as_hours_f64()),
+        escape_read,
+    };
+    output::emit(opts.json, &out, || {
+        match out.first_success {
+            Some(n) => println!(
+                "{}: ESCAPED on attempt {n} after {:.1} simulated hours (read {:#x})",
+                out.scenario,
+                out.hours_to_success.unwrap_or(0.0),
+                out.escape_read.unwrap_or(0)
+            ),
+            None => println!(
+                "{}: no escape in {} attempts (avg {:.1} simulated mins/attempt)",
+                out.scenario, out.attempts, out.avg_attempt_mins
+            ),
+        };
+    });
+    Ok(())
+}
+
+fn analyse(opts: &Options) {
+    let _ = opts;
+    // Reuse the bench crate's presentation? The CLI stays dependency-lean
+    // and prints the core numbers directly.
+    use hyperhammer::analysis::*;
+    use hh_sim::ByteSize;
+    println!("success bound p = VM/(512*host):");
+    for vm in [2u64, 4, 8, 13, 16] {
+        println!(
+            "  VM {vm:>2} GiB on 16 GiB host: 1 in {:.0}",
+            expected_attempts(ByteSize::gib(vm), ByteSize::gib(16))
+        );
+    }
+    println!(
+        "end-to-end: S1 {:.0} days, S2 {:.0} days (paper: 192 / 137)",
+        expected_end_to_end_days(72.0, 96, 12, 512.0),
+        expected_end_to_end_days(48.0, 90, 12, 512.0),
+    );
+}

@@ -1,0 +1,8 @@
+//! Library surface of the `hyperhammer-sim` CLI, exposed so the command
+//! implementations are unit- and integration-testable.
+
+#![forbid(unsafe_code)]
+
+pub mod commands;
+pub mod opts;
+pub mod output;

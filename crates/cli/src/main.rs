@@ -1,0 +1,35 @@
+//! `hyperhammer-sim` — command-line driver for the reproduction.
+//!
+//! ```text
+//! hyperhammer-sim <command> [--scenario s1|s2|s3|small|tiny] [--seed N]
+//!                 [--json] [command options]
+//!
+//! commands:
+//!   recon               recover the DRAM address map from timing
+//!   profile             run memory profiling (--stop-after N)
+//!   steer               run Page Steering (--blocks B --spray-gib S)
+//!   attack              run attack attempts (--attempts N --bits B)
+//!   analyse             print the §5.3 analytical model
+//! ```
+
+use std::process::ExitCode;
+
+use hyperhammer_cli::{commands, opts};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match opts::Options::parse(&args) {
+        Ok(opts) => match commands::run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}\n");
+            eprintln!("{}", opts::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Hand-rolled argument parsing (the workspace deliberately keeps its
+//! dependency set minimal; a CLI-args crate is not worth a tree of
+//! transitive dependencies for five flags).
+
+use hyperhammer::machine::Scenario;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: hyperhammer-sim <command> [options]
+
+commands:
+  recon       recover the DRAM address map from the timing side channel
+  profile     run memory profiling          (--stop-after N)
+  steer       run Page Steering             (--blocks B, --spray-gib S)
+  attack      run end-to-end attack attempts (--attempts N, --bits B)
+  analyse     print the §5.3 analytical model
+
+options:
+  --scenario s1|s2|s3|small|tiny   machine preset        [default: small]
+  --seed N                         experiment seed override
+  --json                           machine-readable output
+  --quarantine                     enable the §6 virtio-mem countermeasure";
+
+/// A parsed command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Selected subcommand.
+    pub command: Command,
+    /// Scenario preset.
+    pub scenario: Scenario,
+    /// Emit JSON instead of human-readable text.
+    pub json: bool,
+}
+
+/// Subcommands with their parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// DRAM address-map recovery.
+    Recon,
+    /// Memory profiling.
+    Profile {
+        /// Early-stop after this many exploitable bits.
+        stop_after: Option<usize>,
+    },
+    /// Page Steering.
+    Steer {
+        /// Sub-blocks to release.
+        blocks: u64,
+        /// Spray size in GiB.
+        spray_gib: u64,
+    },
+    /// End-to-end attack.
+    Attack {
+        /// Maximum attempts.
+        attempts: usize,
+        /// Vulnerable bits targeted per attempt.
+        bits: usize,
+    },
+    /// Analytical model.
+    Analyse,
+}
+
+impl Options {
+    /// Parses the argument vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut it = args.iter().peekable();
+        let command_name = it.next().ok_or("missing command")?.clone();
+
+        let mut scenario_name = "small".to_string();
+        let mut seed: Option<u64> = None;
+        let mut json = false;
+        let mut quarantine = false;
+        let mut stop_after: Option<usize> = None;
+        let mut blocks: u64 = 8;
+        let mut spray_gib: u64 = 2;
+        let mut attempts: usize = 50;
+        let mut bits: usize = 12;
+
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--scenario" => scenario_name = value("--scenario")?,
+                "--seed" => {
+                    seed = Some(
+                        value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?,
+                    )
+                }
+                "--json" => json = true,
+                "--quarantine" => quarantine = true,
+                "--stop-after" => {
+                    stop_after = Some(
+                        value("--stop-after")?
+                            .parse()
+                            .map_err(|e| format!("bad --stop-after: {e}"))?,
+                    )
+                }
+                "--blocks" => {
+                    blocks = value("--blocks")?
+                        .parse()
+                        .map_err(|e| format!("bad --blocks: {e}"))?
+                }
+                "--spray-gib" => {
+                    spray_gib = value("--spray-gib")?
+                        .parse()
+                        .map_err(|e| format!("bad --spray-gib: {e}"))?
+                }
+                "--attempts" => {
+                    attempts = value("--attempts")?
+                        .parse()
+                        .map_err(|e| format!("bad --attempts: {e}"))?
+                }
+                "--bits" => {
+                    bits = value("--bits")?
+                        .parse()
+                        .map_err(|e| format!("bad --bits: {e}"))?
+                }
+                other => return Err(format!("unknown option {other}")),
+            }
+        }
+
+        let mut scenario = match scenario_name.as_str() {
+            "s1" => Scenario::s1(),
+            "s2" => Scenario::s2(),
+            "s3" => Scenario::s3(),
+            "small" => Scenario::small_attack(),
+            "tiny" => Scenario::tiny_demo(),
+            other => return Err(format!("unknown scenario {other}")),
+        };
+        if let Some(seed) = seed {
+            scenario = scenario.with_seed(seed);
+        }
+        if quarantine {
+            scenario = scenario.with_quarantine();
+        }
+
+        let command = match command_name.as_str() {
+            "recon" => Command::Recon,
+            "profile" => Command::Profile { stop_after },
+            "steer" => Command::Steer { blocks, spray_gib },
+            "attack" => Command::Attack { attempts, bits },
+            "analyse" | "analyze" => Command::Analyse,
+            other => return Err(format!("unknown command {other}")),
+        };
+        Ok(Self {
+            command,
+            scenario,
+            json,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Options, String> {
+        Options::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_commands_and_defaults() {
+        let o = parse(&["profile"]).unwrap();
+        assert_eq!(o.command, Command::Profile { stop_after: None });
+        assert_eq!(o.scenario.name, "small");
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "attack", "--scenario", "tiny", "--seed", "99", "--json", "--attempts", "7",
+            "--bits", "3",
+        ])
+        .unwrap();
+        assert_eq!(o.command, Command::Attack { attempts: 7, bits: 3 });
+        assert_eq!(o.scenario.name, "tiny");
+        assert!(o.json);
+    }
+
+    #[test]
+    fn steer_params() {
+        let o = parse(&["steer", "--blocks", "12", "--spray-gib", "3"]).unwrap();
+        assert_eq!(o.command, Command::Steer { blocks: 12, spray_gib: 3 });
+    }
+
+    #[test]
+    fn quarantine_flag() {
+        let o = parse(&["steer", "--quarantine"]).unwrap();
+        assert_eq!(
+            o.scenario.host_config().quarantine,
+            hh_hv::QuarantinePolicy::QemuPatch
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["bogus"]).is_err());
+        assert!(parse(&["profile", "--scenario"]).is_err());
+        assert!(parse(&["profile", "--scenario", "mars"]).is_err());
+        assert!(parse(&["profile", "--wat"]).is_err());
+        assert!(parse(&["profile", "--seed", "abc"]).is_err());
+    }
+}

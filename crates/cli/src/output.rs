@@ -1,0 +1,89 @@
+//! Serializable result records for `--json` output.
+
+use serde::Serialize;
+
+/// `recon` result.
+#[derive(Debug, Serialize)]
+pub struct ReconOut {
+    /// Scenario name.
+    pub scenario: String,
+    /// Recovered XOR masks, one per bank bit.
+    pub bank_masks: Vec<u64>,
+    /// Bank count.
+    pub banks: u32,
+    /// Whether the recovered function matches the installed one.
+    pub equivalent: bool,
+    /// Timing measurements consumed.
+    pub measurements: u64,
+    /// Proven row bits.
+    pub row_bits: Vec<u32>,
+}
+
+/// `profile` result.
+#[derive(Debug, Serialize)]
+pub struct ProfileOut {
+    /// Scenario name.
+    pub scenario: String,
+    /// Simulated profiling hours.
+    pub sim_hours: f64,
+    /// Total flips found.
+    pub total: usize,
+    /// 1→0 flips.
+    pub one_to_zero: usize,
+    /// 0→1 flips.
+    pub zero_to_one: usize,
+    /// Stable flips.
+    pub stable: usize,
+    /// Exploitable flips.
+    pub exploitable: usize,
+}
+
+/// `steer` result.
+#[derive(Debug, Serialize)]
+pub struct SteerOut {
+    /// Scenario name.
+    pub scenario: String,
+    /// Noise pages before/after exhaustion.
+    pub noise_before: u64,
+    /// Noise pages after exhaustion.
+    pub noise_after: u64,
+    /// Released pages (N).
+    pub released_pages: u64,
+    /// EPT pages (E).
+    pub ept_pages: u64,
+    /// Reused pages (R).
+    pub reused_pages: u64,
+    /// R/N.
+    pub r_n: f64,
+    /// R/E.
+    pub r_e: f64,
+}
+
+/// `attack` result.
+#[derive(Debug, Serialize)]
+pub struct AttackOut {
+    /// Scenario name.
+    pub scenario: String,
+    /// Attempts executed.
+    pub attempts: usize,
+    /// 1-based index of the first success, if any.
+    pub first_success: Option<usize>,
+    /// Mean simulated minutes per attempt.
+    pub avg_attempt_mins: f64,
+    /// Simulated hours to first success.
+    pub hours_to_success: Option<f64>,
+    /// Value read from host memory by the escape, if successful.
+    pub escape_read: Option<u64>,
+}
+
+/// Prints a record as JSON or via the supplied human formatter.
+pub fn emit<T: Serialize>(json: bool, record: &T, human: impl FnOnce()) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(record).expect("records serialize")
+        );
+    } else {
+        human();
+    }
+}

@@ -1,0 +1,228 @@
+//! The §6 virtio-balloon steering variant, engineered to completion.
+//!
+//! The paper leaves a balloon-based HyperHammer to future work but
+//! observes the key differences from the virtio-mem path:
+//!
+//! * the balloon releases **individual 4 KiB pages**, so the attacker
+//!   frees exactly the vulnerable frame — no 2 MiB sub-block constraint,
+//!   no 511 sibling pages of noise;
+//! * there is no order-9 block to out-compete: the freed page enters the
+//!   front of the order-0 path (the per-CPU pageset), where the *very
+//!   next* page-table allocation pops it.
+//!
+//! That second point makes balloon steering nearly deterministic: inflate
+//! the vulnerable page, then immediately trigger one iTLB-Multihit split;
+//! the new EPT page lands on the just-freed frame via PCP LIFO. The
+//! spray shrinks from `512 × (N + 2)` pages to roughly *one split per
+//! bit* — this module implements and measures exactly that.
+//!
+//! A bonus the paper hints at: inflating a page of a THP-backed chunk
+//! forces the hypervisor to split that chunk's 2 MiB mapping first, which
+//! itself allocates an EPT page — the attacker gets multihit splits
+//! "for free" while releasing.
+
+use hh_hv::{Host, HvError, Vm};
+use hh_sim::addr::{Gpa, HUGE_PAGE_SIZE, PAGE_SIZE};
+
+use crate::driver::RelocatedBit;
+use crate::steering::IDLE_FUNCTION;
+
+/// Result of one balloon-steered placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalloonPlacement {
+    /// The vulnerable guest page that was released.
+    pub released_gpa: Gpa,
+    /// The hugepage executed to trigger the follow-up split.
+    pub sprayed_hugepage: Gpa,
+    /// Whether the new EPT page landed on the released frame (verified
+    /// against hypervisor ground truth — experiment instrumentation, not
+    /// attacker knowledge).
+    pub ept_on_released_frame: bool,
+}
+
+/// Statistics of a balloon steering run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BalloonSteeringStats {
+    /// Per-bit placements.
+    pub placements: Vec<BalloonPlacement>,
+    /// Pages released in total.
+    pub pages_released: u64,
+    /// Multihit splits triggered (including the implicit ones from
+    /// inflating THP-backed pages).
+    pub splits: u64,
+}
+
+impl BalloonSteeringStats {
+    /// Fraction of bits whose EPT page landed exactly on the released
+    /// frame.
+    pub fn placement_rate(&self) -> f64 {
+        if self.placements.is_empty() {
+            return 0.0;
+        }
+        self.placements
+            .iter()
+            .filter(|p| p.ept_on_released_frame)
+            .count() as f64
+            / self.placements.len() as f64
+    }
+}
+
+/// The balloon-based steering engine.
+#[derive(Debug, Clone, Default)]
+pub struct BalloonSteering;
+
+impl BalloonSteering {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Steers EPT pages onto the given bits' frames using per-page
+    /// balloon releases: for each bit, inflate the vulnerable page and
+    /// immediately execute a fresh hugepage so the multihit split's EPT
+    /// allocation pops the just-freed frame from the PCP.
+    ///
+    /// `spray_pool` supplies hugepages to execute; they must still be
+    /// 2 MiB-mapped. Bits whose hugepage would collide with the pool are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors (balloon protocol, allocation).
+    pub fn steer(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        bits: &[RelocatedBit],
+        spray_pool: &mut Vec<Gpa>,
+    ) -> Result<BalloonSteeringStats, HvError> {
+        let mut stats = BalloonSteeringStats::default();
+        for bit in bits {
+            let victim_page = Gpa::new(bit.gpa.align_down(PAGE_SIZE).raw());
+            let victim_frame = match vm.hypercall_gpa_to_hpa(victim_page) {
+                Ok(hpa) => hpa.pfn(),
+                Err(_) => continue, // already gone
+            };
+            // Keep the aggressors' hugepage out of the spray pool: its
+            // mapping may split (harmless) but must stay resident.
+            let aggr_hp = bit.aggressors[0].align_down(HUGE_PAGE_SIZE);
+            spray_pool.retain(|hp| *hp != victim_page.align_down(HUGE_PAGE_SIZE) && *hp != aggr_hp);
+
+            // 1. Release exactly the vulnerable frame. On THP-backed
+            //    chunks this splits the hugepage first (one implicit
+            //    EPT allocation) and then frees the frame to the PCP.
+            match vm.balloon_inflate(host, victim_page) {
+                Ok(()) => {
+                    stats.pages_released += 1;
+                    stats.splits += 1; // the implicit THP split
+                }
+                Err(HvError::AlreadyInflated(_)) => {}
+                Err(e) => return Err(e),
+            }
+
+            // 2. Immediately trigger one multihit split; its EPT page
+            //    allocation pops the freed frame (PCP LIFO).
+            let Some(hugepage) = spray_pool.pop() else {
+                break;
+            };
+            vm.write_gpa(host, hugepage, &IDLE_FUNCTION)?;
+            let split = vm.exec_gpa(host, hugepage)?;
+            if split {
+                stats.splits += 1;
+            }
+
+            // Experiment instrumentation: did it land?
+            let landed = vm.ept_leaf_pages(host).contains(&victim_frame);
+            stats.placements.push(BalloonPlacement {
+                released_gpa: victim_page,
+                sprayed_hugepage: hugepage,
+                ept_on_released_frame: landed,
+            });
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Scenario;
+    use hh_dram::FlipDirection;
+
+    fn bits_in(vm: &Vm, count: u64) -> Vec<RelocatedBit> {
+        let base = vm.virtio_mem().region_base();
+        (0..count)
+            .map(|i| RelocatedBit {
+                gpa: base.add(i * 3 * HUGE_PAGE_SIZE + 5 * PAGE_SIZE + 3),
+                bit: 2,
+                direction: FlipDirection::OneToZero,
+                aggressors: [
+                    base.add((i * 3 + 1) * HUGE_PAGE_SIZE),
+                    base.add((i * 3 + 1) * HUGE_PAGE_SIZE + 64),
+                ],
+                stable: true,
+            })
+            .collect()
+    }
+
+    fn spray_pool(vm: &Vm, skip: u64) -> Vec<Gpa> {
+        // Hugepages far away from the test bits.
+        let base = vm.virtio_mem().region_base();
+        (skip..skip + 16).map(|i| base.add(i * HUGE_PAGE_SIZE)).collect()
+    }
+
+    #[test]
+    fn balloon_steering_places_ept_pages_deterministically() {
+        let sc = Scenario::small_attack();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let bits = bits_in(&vm, 6);
+        let mut pool = spray_pool(&vm, 600);
+        let stats = BalloonSteering::new()
+            .steer(&mut host, &mut vm, &bits, &mut pool)
+            .unwrap();
+        assert_eq!(stats.pages_released, 6);
+        assert!(
+            stats.placement_rate() >= 0.99,
+            "PCP LIFO should make placement ~deterministic: {:?}",
+            stats.placement_rate()
+        );
+        // Two splits per bit: the implicit THP split + the sprayed one.
+        assert_eq!(stats.splits, 12);
+        vm.destroy(&mut host);
+    }
+
+    #[test]
+    fn spray_cost_is_one_hugepage_per_bit() {
+        // The virtio-mem path needs 512·(N+2) EPT pages; the balloon
+        // path needs N sprayed hugepages (plus the implicit splits).
+        let sc = Scenario::small_attack();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let bits = bits_in(&vm, 4);
+        let mut pool = spray_pool(&vm, 700);
+        let pool_before = pool.len();
+        let stats = BalloonSteering::new()
+            .steer(&mut host, &mut vm, &bits, &mut pool)
+            .unwrap();
+        assert_eq!(pool_before - pool.len(), stats.placements.len());
+        assert_eq!(stats.placements.len(), 4);
+        vm.destroy(&mut host);
+    }
+
+    #[test]
+    fn quarantine_does_not_stop_the_balloon_path() {
+        // The §6 point: the virtio-mem patch covers one gMD only.
+        let sc = Scenario::small_attack().with_quarantine();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let bits = bits_in(&vm, 2);
+        let mut pool = spray_pool(&vm, 650);
+        let stats = BalloonSteering::new()
+            .steer(&mut host, &mut vm, &bits, &mut pool)
+            .unwrap();
+        assert_eq!(stats.pages_released, 2);
+        assert!(stats.placement_rate() > 0.99);
+        vm.destroy(&mut host);
+    }
+}

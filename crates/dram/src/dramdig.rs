@@ -1,0 +1,282 @@
+//! DRAMDig-style reverse engineering of DRAM address functions.
+//!
+//! The paper (§5.1) uses DRAMDig [Wang et al., DAC '20] to recover each
+//! machine's XOR bank function and row bits before profiling. This module
+//! reimplements the recovery against the simulated row-buffer timing
+//! side channel ([`crate::timing`]).
+//!
+//! # Method
+//!
+//! The bank function is a linear map `f : GF(2)^n → GF(2)^k` over address
+//! bits. A timing probe answers one question: do two addresses *conflict*
+//! (same bank, different row)? By linearity, for a fixed reference address
+//! `rep` and a delta `d` whose row bits are non-zero,
+//! `conflict(rep, rep ^ d) ⇔ f(d) = 0`. Deltas without row content are
+//! first XOR-ed with a known bank-kernel row delta `r0`, which leaves
+//! `f(d)` unchanged while forcing a row difference.
+//!
+//! With kernel membership decidable, the solver learns the image of every
+//! unit address bit by a pivot construction: units whose images are
+//! linearly independent become *pivots*; every other unit's image is
+//! expressed as the XOR of a subset of pivot images (found by testing
+//! `e_i ⊕ Σ_{j∈S} p_j ∈ ker f` over the ≤ 2^k subsets). The mask for
+//! recombined output bit *j* is then the sum of all units whose
+//! coordinates include pivot *j*. This recovers `f` up to an invertible
+//! recombination of its output bits — the information-theoretic limit of
+//! the conflict side channel — and recovers the paper's mask lists
+//! *exactly* when no address bit participates in two masks (true for S1;
+//! S2's bits 18–19 overlap two masks, so S2 is recovered up to
+//! recombination). The result is validated against fresh random conflict
+//! measurements before being returned.
+
+use std::fmt;
+
+use hh_sim::addr::Hpa;
+use hh_sim::rng::SimRng;
+use rand::Rng;
+
+use crate::geometry::{BankFunction, ROW_SHIFT};
+use crate::timing::TimingProbe;
+
+/// Lowest address bit considered by the solver. Bits 0–5 address bytes
+/// within a cache line and never feed DRAM functions.
+const MIN_BIT: u32 = 6;
+
+/// Result of a successful address-map recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredMap {
+    /// The recovered bank function (equivalent to the true one up to
+    /// output-bit recombination; here recovered exactly for
+    /// non-overlapping masks).
+    pub bank_fn: BankFunction,
+    /// Address bits proven to select the DRAM row (bank-kernel bits whose
+    /// toggling causes a row-buffer conflict).
+    pub definite_row_bits: Vec<u32>,
+    /// Address bits proven to address within a row (bank-kernel bits whose
+    /// toggling keeps row-buffer hits).
+    pub column_bits: Vec<u32>,
+    /// Number of timing measurements consumed.
+    pub measurements: u64,
+}
+
+/// Errors the solver can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// No row delta in the bank kernel was found; the device is too small
+    /// to exercise row bits.
+    NoRowKernelDelta,
+    /// The recovered function failed validation against fresh
+    /// measurements, i.e. masks overlap in ways the class method cannot
+    /// express.
+    ValidationFailed {
+        /// Number of mispredicted validation pairs.
+        mispredictions: usize,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::NoRowKernelDelta => {
+                write!(f, "device too small: no bank-kernel row delta found")
+            }
+            RecoverError::ValidationFailed { mispredictions } => {
+                write!(f, "recovered function mispredicted {mispredictions} validation pairs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Recovers the DRAM address map from timing alone.
+///
+/// # Errors
+///
+/// Returns [`RecoverError::NoRowKernelDelta`] for devices smaller than two
+/// rows, and [`RecoverError::ValidationFailed`] if the class-based method
+/// cannot express the true function (overlapping masks).
+///
+/// # Examples
+///
+/// ```
+/// use hh_dram::geometry::{BankFunction, DramGeometry};
+/// use hh_dram::timing::{AccessTiming, TimingProbe};
+/// use hh_dram::dramdig::recover;
+///
+/// let geom = DramGeometry::new(BankFunction::xeon_e2124(), 1 << 30);
+/// let probe = TimingProbe::new(geom, AccessTiming::ddr4_2666());
+/// let map = recover(&probe)?;
+/// assert!(map.bank_fn.equivalent_to(&BankFunction::xeon_e2124()));
+/// # Ok::<(), hh_dram::dramdig::RecoverError>(())
+/// ```
+pub fn recover(probe: &TimingProbe) -> Result<RecoveredMap, RecoverError> {
+    let size = probe.geometry().size_bytes();
+    let max_bit = 63 - size.leading_zeros() - 1; // highest addressable bit
+    let rep = Hpa::new(0);
+
+    // 1. Find a bank-kernel delta with row content: toggling it conflicts.
+    let r0 = (ROW_SHIFT..=max_bit)
+        .map(|i| 1u64 << i)
+        .find(|&d| probe.is_conflict(rep, Hpa::new(d)))
+        .ok_or(RecoverError::NoRowKernelDelta)?;
+
+    let in_kernel = |d: u64| -> bool {
+        // Ensure the tested delta changes the row so conflicts are
+        // observable; XOR-ing r0 (kernel) keeps f(d) intact.
+        let probe_delta = if d >> ROW_SHIFT == 0 { d ^ r0 } else { d };
+        probe.is_conflict(rep, Hpa::new(probe_delta))
+    };
+
+    // 2. Classify unit bits and learn each unit's image coordinates.
+    let mut kernel_units: Vec<u32> = Vec::new();
+    let mut pivots: Vec<u32> = Vec::new();
+    // Coordinates of every non-kernel unit in the pivot-image basis,
+    // stored as a bitmask over `pivots` indices.
+    let mut coords: Vec<(u32, u32)> = Vec::new();
+    'units: for i in MIN_BIT..=max_bit {
+        let e_i = 1u64 << i;
+        if in_kernel(e_i) {
+            kernel_units.push(i);
+            continue;
+        }
+        // Find a pivot subset S with f(e_i) = Σ_{j∈S} f(p_j); subsets are
+        // tested smallest-first so minimal representations win.
+        let mut subsets: Vec<u32> = (1u32..(1 << pivots.len())).collect();
+        subsets.sort_unstable_by_key(|s| s.count_ones());
+        for subset in subsets {
+            let mut d = e_i;
+            for (j, &p) in pivots.iter().enumerate() {
+                if subset & (1 << j) != 0 {
+                    d ^= 1u64 << p;
+                }
+            }
+            if in_kernel(d) {
+                coords.push((i, subset));
+                continue 'units;
+            }
+        }
+        // Image independent of all pivots so far: new pivot.
+        coords.push((i, 1 << pivots.len()));
+        pivots.push(i);
+    }
+
+    // 3. Assemble masks: output bit j is the parity over every unit whose
+    // coordinates include pivot j.
+    let masks: Vec<u64> = (0..pivots.len())
+        .map(|j| {
+            coords
+                .iter()
+                .filter(|&&(_, c)| c & (1 << j) != 0)
+                .fold(0u64, |m, &(bit, _)| m | (1u64 << bit))
+        })
+        .collect();
+    let bank_fn = BankFunction::new(masks);
+
+    // 4. Split kernel units into row and column bits by hit/conflict.
+    let hit_threshold =
+        (probe.timing().same_bank_same_row + probe.timing().different_bank) / 2;
+    let mut definite_row_bits = Vec::new();
+    let mut column_bits = Vec::new();
+    for &i in &kernel_units {
+        let lat = probe.measure_pair(rep, Hpa::new(1u64 << i));
+        if lat > probe.timing().conflict_threshold() {
+            definite_row_bits.push(i);
+        } else if lat < hit_threshold {
+            column_bits.push(i);
+        }
+        // Latencies between the two thresholds would indicate a
+        // different-bank pair, impossible for kernel units; ignore.
+    }
+
+    // 5. Validate on fresh random deltas with guaranteed row content.
+    let mut rng = SimRng::seed_from(0xd1a6);
+    let mut mispredictions = 0usize;
+    for _ in 0..256 {
+        let d = (rng.gen::<u64>() & (size - 1) & !((1 << MIN_BIT) - 1)) | r0;
+        let predicted = bank_fn.bank_of(d) == 0;
+        if in_kernel(d) != predicted {
+            mispredictions += 1;
+        }
+    }
+    if mispredictions > 0 {
+        return Err(RecoverError::ValidationFailed { mispredictions });
+    }
+
+    Ok(RecoveredMap {
+        bank_fn,
+        definite_row_bits,
+        column_bits,
+        measurements: probe.measurement_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::DramGeometry;
+    use crate::timing::AccessTiming;
+
+    fn probe_for(f: BankFunction, size: u64) -> TimingProbe {
+        TimingProbe::new(DramGeometry::new(f, size), AccessTiming::ddr4_2666())
+    }
+
+    #[test]
+    fn recovers_s1_function_exactly() {
+        let map = recover(&probe_for(BankFunction::core_i3_10100(), 16 << 30)).unwrap();
+        let truth = BankFunction::core_i3_10100();
+        assert!(map.bank_fn.equivalent_to(&truth));
+        // Non-overlapping masks: the exact mask set is recovered, in some order.
+        let mut got = map.bank_fn.masks().to_vec();
+        let mut want = truth.masks().to_vec();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn recovers_s2_function_exactly() {
+        let map = recover(&probe_for(BankFunction::xeon_e2124(), 16 << 30)).unwrap();
+        assert!(map.bank_fn.equivalent_to(&BankFunction::xeon_e2124()));
+        assert_eq!(map.bank_fn.bank_count(), 32);
+    }
+
+    #[test]
+    fn row_and_column_bits_are_classified() {
+        let map = recover(&probe_for(BankFunction::core_i3_10100(), 16 << 30)).unwrap();
+        // Bits 22..33 are bank-kernel row bits on S1 (16 GiB → max bit 33).
+        for b in 22..=33 {
+            assert!(map.definite_row_bits.contains(&b), "bit {b} should be a row bit");
+        }
+        // Bits 7..12 are bank-kernel column bits on S1.
+        for b in 7..=12 {
+            assert!(map.column_bits.contains(&b), "bit {b} should be a column bit");
+        }
+        // No overlap.
+        assert!(map.definite_row_bits.iter().all(|b| !map.column_bits.contains(b)));
+    }
+
+    #[test]
+    fn works_on_small_devices() {
+        // 1 GiB: bits up to 29 only; the recovered function must still be
+        // equivalent on the restricted domain (all masks < 2^22 anyway).
+        let map = recover(&probe_for(BankFunction::xeon_e2124(), 1 << 30)).unwrap();
+        assert!(map.bank_fn.equivalent_to(&BankFunction::xeon_e2124()));
+    }
+
+    #[test]
+    fn measurement_budget_is_modest() {
+        let probe = probe_for(BankFunction::core_i3_10100(), 16 << 30);
+        let map = recover(&probe).unwrap();
+        // Tens of units + pairs + 256 validations: well under 2 000.
+        assert!(map.measurements < 2_000, "used {}", map.measurements);
+    }
+
+    #[test]
+    fn single_mask_function() {
+        let f = BankFunction::new(vec![BankFunction::mask_from_bits(&[14, 17])]);
+        let map = recover(&probe_for(f.clone(), 1 << 30)).unwrap();
+        assert!(map.bank_fn.equivalent_to(&f));
+        assert_eq!(map.bank_fn.bank_count(), 2);
+    }
+}

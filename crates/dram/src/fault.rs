@@ -1,0 +1,363 @@
+//! The Rowhammer vulnerability profile of a simulated DIMM.
+//!
+//! Real Rowhammer susceptibility is a manufacturing artefact: a sparse,
+//! fixed set of weak cells, each of which flips in one direction only
+//! (§4.3: "Rowhammer flips tend to be unidirectional"), some reliably
+//! ("stable" in Table 1) and some intermittently, once the disturbance
+//! from adjacent-row activations inside one refresh window crosses the
+//! cell's threshold.
+//!
+//! The simulated profile reproduces exactly those observables. Cells are
+//! sampled **lazily and deterministically**: the set of weak cells in row
+//! *r* is a pure function of `(profile_seed, r)`, so a 16 GiB DIMM costs
+//! nothing until rows are actually hammered, and repeated runs (or
+//! repeated hammering of the same row) always see the same cells.
+
+use hh_sim::addr::Hpa;
+use hh_sim::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{BankFunction, DramGeometry, ROW_SPAN};
+
+/// Direction of a unidirectional bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlipDirection {
+    /// The cell can discharge: a stored 1 reads back as 0.
+    OneToZero,
+    /// The cell can charge: a stored 0 reads back as 1.
+    ZeroToOne,
+}
+
+impl FlipDirection {
+    /// The bit value the cell must currently hold for the flip to occur.
+    pub fn source_bit(self) -> u8 {
+        match self {
+            FlipDirection::OneToZero => 1,
+            FlipDirection::ZeroToOne => 0,
+        }
+    }
+
+    /// The bit value after the flip.
+    pub fn target_bit(self) -> u8 {
+        1 - self.source_bit()
+    }
+}
+
+/// One Rowhammer-vulnerable DRAM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VulnerableCell {
+    /// Byte address of the cell.
+    pub hpa: Hpa,
+    /// Bit index within the byte (0–7).
+    pub bit: u8,
+    /// The only direction this cell flips.
+    pub direction: FlipDirection,
+    /// Effective adjacent-row activations required within one refresh
+    /// window before the cell can flip.
+    pub threshold: u64,
+    /// Probability that the cell actually flips once the threshold is
+    /// exceeded, per hammer burst. Stable cells are near 1.0.
+    pub flip_probability: f64,
+}
+
+impl VulnerableCell {
+    /// Bit index of this cell within its little-endian 64-bit word —
+    /// the position that decides whether a flip lands in the PFN field of
+    /// an EPT entry (§4.1).
+    pub fn bit_in_word(&self) -> u32 {
+        (self.hpa.raw() % 8) as u32 * 8 + u32::from(self.bit)
+    }
+}
+
+/// Tuning knobs for sampling a DIMM's vulnerability profile.
+///
+/// Densities are calibrated per machine preset so the profiling stage
+/// reproduces the order of magnitude of Table 1 (hundreds of flips across
+/// 12 GiB with single-sided hammering at 250 k rounds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultParams {
+    /// Expected number of vulnerable cells per 256 KiB row.
+    pub cells_per_row: f64,
+    /// Probability that a vulnerable cell is stable (flips ~always once
+    /// past threshold) rather than intermittent.
+    pub stable_fraction: f64,
+    /// Inclusive range of activation thresholds sampled per cell.
+    pub threshold_range: (u64, u64),
+    /// Flip probability of intermittent (non-stable) cells.
+    pub unstable_probability_range: (f64, f64),
+}
+
+impl FaultParams {
+    /// Parameters matching machine S1 (Table 1: 395 flips / 12 GiB,
+    /// 62 % stable).
+    pub fn s1_apacer_ddr4() -> Self {
+        Self {
+            cells_per_row: 0.085,
+            stable_fraction: 0.40,
+            threshold_range: (140_000, 500_000),
+            unstable_probability_range: (0.05, 0.55),
+        }
+    }
+
+    /// Parameters matching machine S2 (Table 1: 650 flips / 12 GiB,
+    /// only 6 % stable).
+    pub fn s2_apacer_ddr4() -> Self {
+        Self {
+            cells_per_row: 0.35,
+            stable_fraction: 0.015,
+            threshold_range: (140_000, 500_000),
+            unstable_probability_range: (0.03, 0.40),
+        }
+    }
+
+    /// A dense profile for fast unit tests: every row has a handful of
+    /// weak cells.
+    pub fn dense_test() -> Self {
+        Self {
+            cells_per_row: 4.0,
+            stable_fraction: 0.7,
+            threshold_range: (100_000, 300_000),
+            unstable_probability_range: (0.2, 0.6),
+        }
+    }
+}
+
+/// A complete DIMM description: geometry plus fault parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimmProfile {
+    /// Address geometry of the part.
+    pub geometry: DramGeometry,
+    /// Vulnerability sampling parameters.
+    pub fault: FaultParams,
+    /// Target-Row-Refresh mitigation, if the part implements one.
+    pub trr: Option<TrrConfig>,
+}
+
+impl DimmProfile {
+    /// The S1 configuration: Core i3-10100 addressing, Apacer DDR4-2666.
+    pub fn s1(size_bytes: u64) -> Self {
+        Self {
+            geometry: DramGeometry::new(BankFunction::core_i3_10100(), size_bytes),
+            fault: FaultParams::s1_apacer_ddr4(),
+            trr: None,
+        }
+    }
+
+    /// The S2 configuration: Xeon E-2124 addressing, Apacer DDR4-2666.
+    pub fn s2(size_bytes: u64) -> Self {
+        Self {
+            geometry: DramGeometry::new(BankFunction::xeon_e2124(), size_bytes),
+            fault: FaultParams::s2_apacer_ddr4(),
+            trr: None,
+        }
+    }
+
+    /// A small, densely vulnerable DIMM for tests and examples.
+    pub fn test_profile(size_bytes: u64) -> Self {
+        Self {
+            geometry: DramGeometry::new(BankFunction::core_i3_10100(), size_bytes),
+            fault: FaultParams::dense_test(),
+            trr: None,
+        }
+    }
+
+    /// Returns a copy with a TRR mitigation enabled.
+    pub fn with_trr(mut self, trr: TrrConfig) -> Self {
+        self.trr = Some(trr);
+        self
+    }
+}
+
+/// A simple Target-Row-Refresh model: the device tracks up to
+/// `tracker_capacity` heavily activated rows per bank per refresh window
+/// and refreshes their neighbours, suppressing their disturbance.
+///
+/// TRRespass-style many-sided patterns defeat it by hammering more
+/// distinct rows than the tracker can hold ([`crate::patterns`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrrConfig {
+    /// Number of aggressor rows the in-DRAM sampler can track per bank.
+    pub tracker_capacity: usize,
+    /// Activation count at which a row is considered for tracking.
+    pub detection_threshold: u64,
+}
+
+impl TrrConfig {
+    /// A typical production configuration able to stop 1–2 aggressors.
+    pub fn production() -> Self {
+        Self {
+            tracker_capacity: 2,
+            detection_threshold: 40_000,
+        }
+    }
+}
+
+/// Lazily samples the weak cells of one row.
+///
+/// Pure function of `(seed, row)` — the backbone of reproducibility.
+pub(crate) fn sample_row_cells(
+    seed: u64,
+    row: u64,
+    params: &FaultParams,
+    geometry: &DramGeometry,
+) -> Vec<VulnerableCell> {
+    let mut rng = SplitMix64::new(seed ^ row.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17));
+    // Burn a few outputs so adjacent rows decorrelate fully.
+    rng.next();
+    rng.next();
+
+    // Poisson(λ) via inversion; λ is small (≤ a few cells).
+    let lambda = params.cells_per_row;
+    let mut count = 0usize;
+    let mut acc = (-lambda).exp();
+    let mut cum = acc;
+    let u = uniform(&mut rng);
+    while u > cum && count < 64 {
+        count += 1;
+        acc *= lambda / count as f64;
+        cum += acc;
+    }
+
+    let row_base = geometry.row_base(row);
+    (0..count)
+        .map(|_| {
+            let offset = rng.next() % ROW_SPAN;
+            let bit = (rng.next() % 8) as u8;
+            let direction = if rng.next() & 1 == 0 {
+                FlipDirection::OneToZero
+            } else {
+                FlipDirection::ZeroToOne
+            };
+            let (lo, hi) = params.threshold_range;
+            let threshold = lo + rng.next() % (hi - lo + 1);
+            let stable = uniform(&mut rng) < params.stable_fraction;
+            let flip_probability = if stable {
+                0.98
+            } else {
+                let (plo, phi) = params.unstable_probability_range;
+                plo + uniform(&mut rng) * (phi - plo)
+            };
+            VulnerableCell {
+                hpa: row_base.add(offset),
+                bit,
+                direction,
+                threshold,
+                flip_probability,
+            }
+        })
+        .collect()
+}
+
+fn uniform(rng: &mut SplitMix64) -> f64 {
+    (rng.next() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> DramGeometry {
+        DramGeometry::new(BankFunction::core_i3_10100(), 1 << 30)
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = geom();
+        let p = FaultParams::dense_test();
+        let a = sample_row_cells(7, 42, &p, &g);
+        let b = sample_row_cells(7, 42, &p, &g);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "dense profile should have cells in most rows");
+    }
+
+    #[test]
+    fn different_rows_differ() {
+        let g = geom();
+        let p = FaultParams::dense_test();
+        let a = sample_row_cells(7, 42, &p, &g);
+        let b = sample_row_cells(7, 43, &p, &g);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = geom();
+        let p = FaultParams::dense_test();
+        let a = sample_row_cells(1, 42, &p, &g);
+        let b = sample_row_cells(2, 42, &p, &g);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cells_live_inside_their_row() {
+        let g = geom();
+        let p = FaultParams::dense_test();
+        for row in 0..64 {
+            for cell in sample_row_cells(3, row, &p, &g) {
+                assert_eq!(g.row_of(cell.hpa), row);
+                assert!(cell.bit < 8);
+                assert!(cell.threshold >= p.threshold_range.0);
+                assert!(cell.threshold <= p.threshold_range.1);
+                assert!((0.0..=1.0).contains(&cell.flip_probability));
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_density_matches_table1_order_of_magnitude() {
+        // 12 GiB = 49 152 rows; S1 expects ~0.048 cells/row ≈ 2 350 weak
+        // cells in total, of which profiling (250 k rounds × 1.5 weight =
+        // 375 k effective, ~65 % of thresholds) finds several hundred in
+        // the *border* rows it can actually attack.
+        let g = DramGeometry::new(BankFunction::core_i3_10100(), 12 << 30);
+        let p = FaultParams::s1_apacer_ddr4();
+        let total: usize = (0..g.row_count())
+            .map(|r| sample_row_cells(99, r, &p, &g).len())
+            .sum();
+        let expected = (g.row_count() as f64 * p.cells_per_row) as usize;
+        assert!(
+            (expected as f64 * 0.8..expected as f64 * 1.2).contains(&(total as f64)),
+            "sampled {total}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn bit_in_word_spans_0_to_63() {
+        let g = geom();
+        let p = FaultParams::dense_test();
+        let mut seen = [false; 64];
+        for row in 0..512 {
+            for cell in sample_row_cells(5, row, &p, &g) {
+                seen[cell.bit_in_word() as usize] = true;
+            }
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(covered > 48, "bit positions should be ~uniform, got {covered}");
+    }
+
+    #[test]
+    fn directions_are_roughly_balanced() {
+        let g = geom();
+        let p = FaultParams::dense_test();
+        let mut one_to_zero = 0;
+        let mut total = 0;
+        for row in 0..1024 {
+            for cell in sample_row_cells(11, row, &p, &g) {
+                total += 1;
+                if cell.direction == FlipDirection::OneToZero {
+                    one_to_zero += 1;
+                }
+            }
+        }
+        let frac = one_to_zero as f64 / total as f64;
+        assert!((0.4..0.6).contains(&frac), "direction fraction {frac}");
+    }
+
+    #[test]
+    fn direction_bit_values() {
+        assert_eq!(FlipDirection::OneToZero.source_bit(), 1);
+        assert_eq!(FlipDirection::OneToZero.target_bit(), 0);
+        assert_eq!(FlipDirection::ZeroToOne.source_bit(), 0);
+        assert_eq!(FlipDirection::ZeroToOne.target_bit(), 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! DRAM address geometry: bank functions and row addressing.
+//!
+//! Modern Intel memory controllers compute the DRAM bank of a physical
+//! address as a vector of XOR-parities over selected address bits, and the
+//! row as a contiguous bit field. HyperHammer's evaluation machines
+//! (§5.1 of the paper) use:
+//!
+//! * **S1, Core i3-10100**: bank bits = parities of address-bit sets
+//!   (17,21), (16,20), (15,19), (14,18), (6,13); rows in bits 18–33.
+//! * **S2, Xeon E-2124**: bank bits = (17,20), (16,19), (15,18), (7,14),
+//!   (8,9,12,13,18,19); rows in bits 18–33.
+//!
+//! Each row therefore spans 256 KiB of the physical address space, a 2 MiB
+//! hugepage contains eight rows, and with 32 banks each (row, bank) pair
+//! holds an 8 KiB slice.
+
+use std::fmt;
+
+use hh_sim::addr::{Hpa, HUGE_PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Row field location shared by both evaluated microarchitectures:
+/// bits 18–33 of the physical address.
+pub const ROW_SHIFT: u32 = 18;
+
+/// Number of row bits (rows are bits 18–33 inclusive).
+pub const ROW_BITS: u32 = 16;
+
+/// Bytes covered by one row across all banks (256 KiB).
+pub const ROW_SPAN: u64 = 1 << ROW_SHIFT;
+
+/// Rows contained in one 2 MiB hugepage (eight).
+pub const ROWS_PER_HUGE_PAGE: u64 = HUGE_PAGE_SIZE / ROW_SPAN;
+
+/// An XOR-parity bank-address function.
+///
+/// Each element of `masks` contributes one bank-index bit: bit *i* of the
+/// bank number is the parity of `addr & masks[i]`.
+///
+/// # Examples
+///
+/// ```
+/// use hh_dram::geometry::BankFunction;
+///
+/// // A two-bit function: bank = parity(a & 0b110) << 0 | parity(a & 0b01) << 1
+/// let f = BankFunction::new(vec![0b110, 0b001]);
+/// assert_eq!(f.bank_of(0b010), 0b01);
+/// assert_eq!(f.bank_of(0b011), 0b11);
+/// assert_eq!(f.bank_count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankFunction {
+    masks: Vec<u64>,
+}
+
+impl BankFunction {
+    /// Creates a bank function from per-bit XOR masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` is empty, contains a zero mask, or has more than
+    /// 16 entries (65 536 banks), which no commodity part approaches.
+    pub fn new(masks: Vec<u64>) -> Self {
+        assert!(!masks.is_empty(), "bank function needs at least one mask");
+        assert!(masks.len() <= 16, "implausible bank count");
+        assert!(masks.iter().all(|&m| m != 0), "zero mask in bank function");
+        Self { masks }
+    }
+
+    /// Builds a mask from a list of address-bit positions, matching how the
+    /// paper writes functions, e.g. `(17, 21)`.
+    pub fn mask_from_bits(bits: &[u32]) -> u64 {
+        bits.iter().fold(0u64, |m, &b| {
+            assert!(b < 64, "address bit out of range");
+            m | (1u64 << b)
+        })
+    }
+
+    /// The Core i3-10100 (machine S1) bank function from §5.1.
+    pub fn core_i3_10100() -> Self {
+        Self::new(vec![
+            Self::mask_from_bits(&[17, 21]),
+            Self::mask_from_bits(&[16, 20]),
+            Self::mask_from_bits(&[15, 19]),
+            Self::mask_from_bits(&[14, 18]),
+            Self::mask_from_bits(&[6, 13]),
+        ])
+    }
+
+    /// The Xeon E-2124 (machine S2) bank function from §5.1.
+    pub fn xeon_e2124() -> Self {
+        Self::new(vec![
+            Self::mask_from_bits(&[17, 20]),
+            Self::mask_from_bits(&[16, 19]),
+            Self::mask_from_bits(&[15, 18]),
+            Self::mask_from_bits(&[7, 14]),
+            Self::mask_from_bits(&[8, 9, 12, 13, 18, 19]),
+        ])
+    }
+
+    /// Returns the bank number of a raw physical address.
+    #[inline]
+    pub fn bank_of(&self, addr: u64) -> u32 {
+        let mut bank = 0u32;
+        for (i, &mask) in self.masks.iter().enumerate() {
+            bank |= ((addr & mask).count_ones() & 1) << i;
+        }
+        bank
+    }
+
+    /// Returns the number of banks this function addresses.
+    pub fn bank_count(&self) -> u32 {
+        1 << self.masks.len()
+    }
+
+    /// Returns the per-bit XOR masks.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Returns `true` if every mask only uses address bits strictly below
+    /// `bit` — the property that lets a THP-backed guest compute banks from
+    /// guest-physical addresses (§4.1: bits below 21 are preserved).
+    pub fn uses_only_bits_below(&self, bit: u32) -> bool {
+        let limit = if bit >= 64 { u64::MAX } else { (1u64 << bit) - 1 };
+        self.masks.iter().all(|&m| m & !limit == 0)
+    }
+
+    /// Returns `true` if `other` computes an equivalent partition of the
+    /// address space, i.e. the GF(2) row spans of the two mask sets match.
+    ///
+    /// DRAMDig-style recovery can only identify the bank function up to an
+    /// invertible linear recombination of its output bits, so equivalence
+    /// — not mask-list equality — is the meaningful comparison.
+    pub fn equivalent_to(&self, other: &BankFunction) -> bool {
+        span_basis(&self.masks) == span_basis(&other.masks)
+    }
+}
+
+impl fmt::Display for BankFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, mask) in self.masks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            let bits: Vec<String> = (0..64)
+                .filter(|b| mask & (1 << b) != 0)
+                .map(|b| b.to_string())
+                .collect();
+            write!(f, "({})", bits.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes a canonical (reduced row-echelon) basis of the GF(2) span of
+/// the given masks.
+pub(crate) fn span_basis(masks: &[u64]) -> Vec<u64> {
+    let mut basis: Vec<u64> = Vec::new();
+    for &m in masks {
+        let mut v = m;
+        for &b in &basis {
+            let pivot = 1u64 << (63 - b.leading_zeros());
+            if v & pivot != 0 {
+                v ^= b;
+            }
+        }
+        if v != 0 {
+            basis.push(v);
+        }
+    }
+    // Back-substitute so the basis is canonical.
+    basis.sort_unstable_by(|a, b| b.cmp(a));
+    for i in 0..basis.len() {
+        for j in 0..i {
+            let pivot = 1u64 << (63 - basis[i].leading_zeros());
+            if basis[j] & pivot != 0 {
+                basis[j] ^= basis[i];
+            }
+        }
+    }
+    basis.sort_unstable_by(|a, b| b.cmp(a));
+    basis
+}
+
+/// Full DRAM geometry: a bank function plus device size.
+///
+/// # Examples
+///
+/// ```
+/// use hh_dram::geometry::{BankFunction, DramGeometry};
+/// use hh_sim::Hpa;
+///
+/// let geom = DramGeometry::new(BankFunction::core_i3_10100(), 16 << 30);
+/// assert_eq!(geom.bank_count(), 32);
+/// assert_eq!(geom.row_of(Hpa::new(0x40000)), 1); // bit 18 set
+/// assert_eq!(geom.rows_per_huge_page(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramGeometry {
+    bank_fn: BankFunction,
+    size_bytes: u64,
+}
+
+impl DramGeometry {
+    /// Creates a geometry for `size_bytes` of DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is not a positive multiple of the row span.
+    pub fn new(bank_fn: BankFunction, size_bytes: u64) -> Self {
+        assert!(size_bytes > 0, "empty DRAM");
+        assert_eq!(size_bytes % ROW_SPAN, 0, "size must be row-aligned");
+        Self { bank_fn, size_bytes }
+    }
+
+    /// Returns the device size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Returns the bank function.
+    pub fn bank_fn(&self) -> &BankFunction {
+        &self.bank_fn
+    }
+
+    /// Returns the number of banks.
+    pub fn bank_count(&self) -> u32 {
+        self.bank_fn.bank_count()
+    }
+
+    /// Returns the number of rows in the device.
+    pub fn row_count(&self) -> u64 {
+        self.size_bytes / ROW_SPAN
+    }
+
+    /// Returns the number of rows a 2 MiB hugepage spans (eight).
+    pub fn rows_per_huge_page(&self) -> u64 {
+        ROWS_PER_HUGE_PAGE
+    }
+
+    /// Returns the bank of a host-physical address.
+    #[inline]
+    pub fn bank_of(&self, hpa: Hpa) -> u32 {
+        self.bank_fn.bank_of(hpa.raw())
+    }
+
+    /// Returns the row index of a host-physical address (bits 18–33).
+    #[inline]
+    pub fn row_of(&self, hpa: Hpa) -> u64 {
+        (hpa.raw() >> ROW_SHIFT) & ((1 << ROW_BITS) - 1) | (hpa.raw() >> (ROW_SHIFT + ROW_BITS) << ROW_BITS)
+    }
+
+    /// Returns the first byte address of a row.
+    #[inline]
+    pub fn row_base(&self, row: u64) -> Hpa {
+        Hpa::new(row << ROW_SHIFT)
+    }
+
+    /// Returns `true` if `hpa` is inside the device.
+    #[inline]
+    pub fn contains(&self, hpa: Hpa) -> bool {
+        hpa.raw() < self.size_bytes
+    }
+
+    /// Finds an address in row `row` that maps to `bank`, scanning the
+    /// row's 256 KiB span at cache-line (64 B) granularity.
+    ///
+    /// Returns `None` if the row is outside the device or no cache line of
+    /// the row maps to the bank (cannot happen for surjective functions,
+    /// but recovered functions may be partial).
+    pub fn addr_in(&self, bank: u32, row: u64) -> Option<Hpa> {
+        if row >= self.row_count() {
+            return None;
+        }
+        let base = self.row_base(row);
+        (0..ROW_SPAN)
+            .step_by(64)
+            .map(|off| base.add(off))
+            .find(|&a| self.bank_of(a) == bank)
+    }
+
+    /// Iterates over the cache-line addresses of `(bank, row)` — the 8 KiB
+    /// slice of the row stored in that bank.
+    pub fn slice_addrs(&self, bank: u32, row: u64) -> impl Iterator<Item = Hpa> + '_ {
+        let base = self.row_base(row);
+        (0..ROW_SPAN)
+            .step_by(64)
+            .map(move |off| base.add(off))
+            .filter(move |&a| self.bank_of(a) == bank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bank_functions_have_32_banks() {
+        assert_eq!(BankFunction::core_i3_10100().bank_count(), 32);
+        assert_eq!(BankFunction::xeon_e2124().bank_count(), 32);
+    }
+
+    #[test]
+    fn s1_bank_function_matches_paper_examples() {
+        let f = BankFunction::core_i3_10100();
+        // Bank bit 4 of S1 is parity of bits 6 and 13.
+        assert_eq!(f.bank_of(1 << 6) >> 4, 1);
+        assert_eq!(f.bank_of((1 << 6) | (1 << 13)) >> 4, 0);
+        // Bank bit 0 is parity of bits 17 and 21.
+        assert_eq!(f.bank_of(1 << 17) & 1, 1);
+        assert_eq!(f.bank_of((1 << 17) | (1 << 21)) & 1, 0);
+    }
+
+    #[test]
+    fn bank_function_is_linear() {
+        let f = BankFunction::xeon_e2124();
+        for (a, b) in [(0x1234u64, 0xabcd00u64), (0x40000, 0x193c0), (0x7, 0x70)] {
+            assert_eq!(f.bank_of(a) ^ f.bank_of(b), f.bank_of(a ^ b));
+        }
+    }
+
+    #[test]
+    fn hugepage_bit_preservation() {
+        // S1 uses bit 21, so it is NOT fully computable from hugepage
+        // offsets alone; S2 is not either (bits 18, 19 are fine but the
+        // function is still below 21 except... bits 18/19 < 21, S2 IS).
+        assert!(!BankFunction::core_i3_10100().uses_only_bits_below(21));
+        assert!(BankFunction::xeon_e2124().uses_only_bits_below(21));
+        // Both are computable once bit 21 of the frame is fixed: within a
+        // 2 MiB hugepage, bank *differences* depend only on bits < 21.
+        let f = BankFunction::core_i3_10100();
+        let base = 7u64 << 21;
+        let d = f.bank_of(base + 0x100) ^ f.bank_of(base + 0x40100);
+        let d2 = f.bank_of(0x100) ^ f.bank_of(0x40100);
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn rows_are_256k_and_8_per_hugepage() {
+        let g = DramGeometry::new(BankFunction::core_i3_10100(), 1 << 30);
+        assert_eq!(g.row_of(Hpa::new(0)), 0);
+        assert_eq!(g.row_of(Hpa::new(ROW_SPAN)), 1);
+        assert_eq!(g.row_of(Hpa::new(HUGE_PAGE_SIZE)), 8);
+        assert_eq!(g.rows_per_huge_page(), 8);
+        assert_eq!(g.row_count(), (1 << 30) / ROW_SPAN);
+    }
+
+    #[test]
+    fn addr_in_round_trips() {
+        let g = DramGeometry::new(BankFunction::xeon_e2124(), 256 << 20);
+        for bank in [0u32, 5, 17, 31] {
+            for row in [0u64, 3, 100] {
+                let a = g.addr_in(bank, row).expect("bank present in row");
+                assert_eq!(g.bank_of(a), bank);
+                assert_eq!(g.row_of(a), row);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_is_8k_per_bank() {
+        let g = DramGeometry::new(BankFunction::core_i3_10100(), 256 << 20);
+        // 256 KiB row / 32 banks = 8 KiB = 128 cache lines per bank.
+        for bank in [0u32, 31] {
+            assert_eq!(g.slice_addrs(bank, 2).count(), 128);
+        }
+    }
+
+    #[test]
+    fn span_equivalence_detects_recombination() {
+        let f = BankFunction::core_i3_10100();
+        let m = f.masks();
+        // Recombine: replace mask[0] with mask[0]^mask[1].
+        let mut rm = m.to_vec();
+        rm[0] ^= rm[1];
+        let g = BankFunction::new(rm);
+        assert!(f.equivalent_to(&g));
+        assert!(!f.equivalent_to(&BankFunction::xeon_e2124()));
+    }
+
+    #[test]
+    fn display_lists_bits() {
+        let f = BankFunction::new(vec![BankFunction::mask_from_bits(&[6, 13])]);
+        assert_eq!(f.to_string(), "(6,13)");
+    }
+
+    #[test]
+    #[should_panic(expected = "row-aligned")]
+    fn geometry_rejects_unaligned_size() {
+        DramGeometry::new(BankFunction::core_i3_10100(), 1234);
+    }
+}

@@ -1,0 +1,60 @@
+//! A behavioural DRAM model with a Rowhammer fault engine.
+//!
+//! HyperHammer (ASPLOS '25) needs three properties of real DRAM:
+//!
+//! 1. **Address geometry** — which physical-address bits select the DRAM
+//!    bank and row. The paper reverse-engineers its two test machines with
+//!    DRAMDig and reports XOR bank functions over address bits below 21
+//!    (preserved by 2 MiB hugepage mappings) and row bits 18–33.
+//!    [`geometry`] implements exactly those functions, and [`dramdig`]
+//!    re-derives them from a simulated row-buffer timing side channel.
+//! 2. **Read disturbance** — repeatedly activating aggressor rows flips
+//!    bits in physically adjacent victim rows. [`fault`] samples a
+//!    deterministic per-DIMM vulnerability profile (which cells can flip,
+//!    in which direction, how reliably, and at what activation count), and
+//!    [`device`] applies it when a hammer pattern runs.
+//! 3. **Contents** — the flips must corrupt real stored data so the layers
+//!    above (the hypervisor's EPT pages) observe genuine corruption.
+//!    [`store`] provides a sparse, pattern-compressed backing store that
+//!    scales to multi-GiB simulated DIMMs.
+//!
+//! [`patterns`] adds a TRRespass-style search for hammer patterns that
+//! defeat the optional Target-Row-Refresh mitigation model.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_dram::{DimmProfile, DramDevice, HammerPattern};
+//! use hh_sim::Hpa;
+//!
+//! // A small DIMM with a dense fault profile for demonstration.
+//! let profile = DimmProfile::test_profile(256 << 20);
+//! let mut dram = DramDevice::new(profile, 42);
+//!
+//! // Fill a victim range and hammer its neighbours.
+//! dram.fill(Hpa::new(0), 256 << 20, 0xff);
+//! let mut flips = Vec::new();
+//! for row in 1..dram.geometry().row_count() - 2 {
+//!     for bank in 0..dram.geometry().bank_count() {
+//!         let pattern = HammerPattern::single_sided_for(dram.geometry(), bank, row);
+//!         flips.extend(dram.hammer(&pattern, 400_000).flips);
+//!     }
+//! }
+//! assert!(!flips.is_empty(), "test profile is dense enough to flip");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod device;
+pub mod dramdig;
+pub mod fault;
+pub mod geometry;
+pub mod patterns;
+pub mod store;
+pub mod timing;
+
+pub use device::{DramDevice, FlipEvent, HammerPattern, HammerResult};
+pub use fault::{DimmProfile, FlipDirection, VulnerableCell};
+pub use geometry::{BankFunction, DramGeometry};
+pub use timing::{AccessTiming, TimingProbe};

@@ -1,0 +1,165 @@
+//! TRRespass-style hammer-pattern search.
+//!
+//! The paper uses TRRespass (Frigo et al., S&P '20) to "identify an
+//! effective hammer pattern for the DIMMs" (§5.1) and finds that plain
+//! single-sided hammering works on its parts. This module reproduces that
+//! step: it sweeps candidate patterns against a sacrificial victim region
+//! and reports the cheapest one that produces reproducible flips — which
+//! is single-sided on the paper's TRR-less DIMMs and an n-sided pattern
+//! on parts with the TRR mitigation enabled.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DramDevice, HammerPattern};
+use crate::geometry::ROW_SPAN;
+
+/// A pattern family the search can recommend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Two aggressors on one side of the victim (rows v+1, v+2).
+    SingleSided,
+    /// Aggressors on both sides of the victim (rows v−1, v+1).
+    DoubleSided,
+    /// `n` aggressors surrounding the victim, defeating TRR samplers.
+    NSided(u8),
+}
+
+impl PatternKind {
+    /// Materializes the pattern for a concrete victim location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim row is too close to the device edge for the
+    /// pattern's aggressor placement.
+    pub fn build(self, device: &DramDevice, bank: u32, victim_row: u64) -> HammerPattern {
+        let geometry = device.geometry();
+        match self {
+            PatternKind::SingleSided => HammerPattern::single_sided_for(geometry, bank, victim_row),
+            PatternKind::DoubleSided => HammerPattern::double_sided_for(geometry, bank, victim_row),
+            PatternKind::NSided(n) => {
+                let half = u64::from(n) / 2 + 1;
+                let rows: Vec<u64> = (victim_row.saturating_sub(half)..=victim_row + half)
+                    .filter(|&r| r != victim_row && r < geometry.row_count())
+                    .take(usize::from(n))
+                    .collect();
+                HammerPattern::n_sided_for(geometry, bank, &rows)
+            }
+        }
+    }
+
+    /// Aggressor count of the pattern (cost is proportional to it).
+    pub fn aggressor_count(self) -> u8 {
+        match self {
+            PatternKind::SingleSided | PatternKind::DoubleSided => 2,
+            PatternKind::NSided(n) => n,
+        }
+    }
+}
+
+/// Outcome of the pattern search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternSearchResult {
+    /// Cheapest effective pattern found.
+    pub pattern: PatternKind,
+    /// Flips observed while testing that pattern.
+    pub flips_observed: usize,
+    /// Total activations spent searching.
+    pub activations_spent: u64,
+}
+
+/// Sweeps pattern families against `probe_rows` victim rows and returns
+/// the cheapest one that flips at least one bit, or `None` if the DIMM
+/// resists every candidate at the given round budget.
+///
+/// The victim region is filled with `0xff` and `0x00` stripes so both
+/// flip directions are observable.
+pub fn find_effective_pattern(
+    device: &mut DramDevice,
+    rounds: u64,
+    probe_rows: u64,
+) -> Option<PatternSearchResult> {
+    let candidates = [
+        PatternKind::SingleSided,
+        PatternKind::DoubleSided,
+        PatternKind::NSided(4),
+        PatternKind::NSided(6),
+        PatternKind::NSided(9),
+        PatternKind::NSided(12),
+    ];
+    let row_count = device.geometry().row_count();
+    let bank_count = device.geometry().bank_count();
+    let mut activations_spent = 0u64;
+
+    for pattern in candidates {
+        let mut flips = 0usize;
+        for victim_row in (8..row_count.saturating_sub(8)).take(probe_rows as usize) {
+            // Arm the victim row for both directions (checkerboard halves).
+            let base = device.geometry().row_base(victim_row);
+            device.fill(base, ROW_SPAN / 2, 0xff);
+            device.fill(base.add(ROW_SPAN / 2), ROW_SPAN / 2, 0x00);
+            for bank in 0..bank_count {
+                let hp = pattern.build(device, bank, victim_row);
+                let result = device.hammer(&hp, rounds);
+                activations_spent += result.activations;
+                flips += result
+                    .flips
+                    .iter()
+                    .filter(|f| f.row == victim_row)
+                    .count();
+            }
+            if flips > 0 {
+                break;
+            }
+        }
+        if flips > 0 {
+            return Some(PatternSearchResult {
+                pattern,
+                flips_observed: flips,
+                activations_spent,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{DimmProfile, TrrConfig};
+
+    #[test]
+    fn trr_less_dimm_yields_single_sided() {
+        let mut dev = DramDevice::new(DimmProfile::test_profile(64 << 20), 42);
+        let res = find_effective_pattern(&mut dev, 400_000, 32).expect("dense profile flips");
+        assert_eq!(res.pattern, PatternKind::SingleSided);
+        assert!(res.flips_observed > 0);
+    }
+
+    #[test]
+    fn trr_dimm_needs_many_sided() {
+        let profile = DimmProfile::test_profile(64 << 20).with_trr(TrrConfig::production());
+        let mut dev = DramDevice::new(profile, 42);
+        let res = find_effective_pattern(&mut dev, 400_000, 32).expect("TRR is bypassable");
+        match res.pattern {
+            PatternKind::NSided(n) => assert!(n >= 4),
+            other => panic!("expected an n-sided pattern, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_build_shapes() {
+        let dev = DramDevice::new(DimmProfile::test_profile(64 << 20), 1);
+        let ss = PatternKind::SingleSided.build(&dev, 0, 10);
+        assert_eq!(ss.aggressors().len(), 2);
+        let ns = PatternKind::NSided(6).build(&dev, 0, 10);
+        assert_eq!(ns.aggressors().len(), 6);
+        assert_eq!(PatternKind::NSided(9).aggressor_count(), 9);
+    }
+
+    #[test]
+    fn invulnerable_rounds_budget_returns_none() {
+        let mut dev = DramDevice::new(DimmProfile::test_profile(32 << 20), 42);
+        // 10 rounds is far below every threshold.
+        assert!(find_effective_pattern(&mut dev, 10, 4).is_none());
+    }
+}

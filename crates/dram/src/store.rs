@@ -1,0 +1,494 @@
+//! Sparse, pattern-compressed byte store for multi-GiB simulated DIMMs.
+//!
+//! The reproduction simulates hosts with 16 GiB of DRAM; materializing that
+//! much memory is neither possible nor necessary. Almost all attack memory
+//! is filled with uniform test patterns (0x55/0xAA stripes, magic-value
+//! stamps), so pages are stored in one of three forms:
+//!
+//! * `Uniform(fill)` — every byte equals `fill` (1 byte of state);
+//! * `Patched { fill, diffs }` — a uniform page with a few modified bytes
+//!   (how Rowhammer flips on pattern-filled memory are stored);
+//! * `Dense` — a fully materialized 4 KiB page (EPT pages, code pages).
+//!
+//! The store also powers fast "scan for corruption" operations: finding
+//! bytes that differ from an expected fill is O(#diffs), not O(bytes) —
+//! mirroring how a real attacker's linear scan is modelled as a clock cost
+//! rather than an actual byte loop.
+
+use std::fmt;
+
+use hh_sim::addr::{Hpa, PAGE_SIZE};
+
+const DENSE_THRESHOLD: usize = 64;
+
+/// One 4 KiB page in its most compact faithful representation.
+#[derive(Clone, PartialEq, Eq)]
+enum Page {
+    Uniform(u8),
+    Patched { fill: u8, diffs: Vec<(u16, u8)> },
+    Dense(Box<[u8; PAGE_SIZE as usize]>),
+}
+
+impl Page {
+    fn read(&self, offset: u16) -> u8 {
+        match self {
+            Page::Uniform(fill) => *fill,
+            Page::Patched { fill, diffs } => diffs
+                .iter()
+                .find(|(o, _)| *o == offset)
+                .map_or(*fill, |(_, b)| *b),
+            Page::Dense(bytes) => bytes[offset as usize],
+        }
+    }
+
+    fn write(&mut self, offset: u16, value: u8) {
+        match self {
+            Page::Uniform(fill) => {
+                if *fill != value {
+                    *self = Page::Patched {
+                        fill: *fill,
+                        diffs: vec![(offset, value)],
+                    };
+                }
+            }
+            Page::Patched { fill, diffs } => {
+                if let Some(slot) = diffs.iter_mut().find(|(o, _)| *o == offset) {
+                    slot.1 = value;
+                    if value == *fill {
+                        diffs.retain(|(_, b)| *b != *fill);
+                        if diffs.is_empty() {
+                            *self = Page::Uniform(*fill);
+                        }
+                    }
+                } else if value != *fill {
+                    diffs.push((offset, value));
+                    if diffs.len() > DENSE_THRESHOLD {
+                        self.densify();
+                    }
+                }
+            }
+            Page::Dense(bytes) => bytes[offset as usize] = value,
+        }
+    }
+
+    fn densify(&mut self) {
+        let mut bytes = Box::new([0u8; PAGE_SIZE as usize]);
+        match self {
+            Page::Uniform(fill) => bytes.fill(*fill),
+            Page::Patched { fill, diffs } => {
+                bytes.fill(*fill);
+                for &(o, b) in diffs.iter() {
+                    bytes[o as usize] = b;
+                }
+            }
+            Page::Dense(_) => return,
+        }
+        *self = Page::Dense(bytes);
+    }
+
+    /// Bytes that differ from `expected`, as (offset, actual) pairs.
+    fn mismatches(&self, expected: u8) -> Vec<(u16, u8)> {
+        match self {
+            Page::Uniform(fill) => {
+                if *fill == expected {
+                    Vec::new()
+                } else {
+                    (0..PAGE_SIZE as u16).map(|o| (o, *fill)).collect()
+                }
+            }
+            Page::Patched { fill, diffs } => {
+                if *fill == expected {
+                    diffs.clone()
+                } else {
+                    (0..PAGE_SIZE as u16)
+                        .map(|o| (o, self.read(o)))
+                        .filter(|&(_, b)| b != expected)
+                        .collect()
+                }
+            }
+            Page::Dense(bytes) => bytes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b != expected)
+                .map(|(o, &b)| (o as u16, b))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Page::Uniform(fill) => write!(f, "Uniform({fill:#x})"),
+            Page::Patched { fill, diffs } =>
+
+                write!(f, "Patched(fill={fill:#x}, {} diffs)", diffs.len()),
+            Page::Dense(_) => write!(f, "Dense"),
+        }
+    }
+}
+
+/// A sparse byte-addressable memory of fixed size.
+///
+/// Unwritten memory reads as zero, matching freshly provisioned host DRAM
+/// in the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use hh_dram::store::SparseStore;
+/// use hh_sim::Hpa;
+///
+/// let mut mem = SparseStore::new(1 << 30);
+/// mem.fill(Hpa::new(0x2000), 0x1000, 0xaa);
+/// mem.write_u64(Hpa::new(0x2008), 0xdead_beef);
+/// assert_eq!(mem.read_u64(Hpa::new(0x2008)), 0xdead_beef);
+/// assert_eq!(mem.read_u8(Hpa::new(0x2000)), 0xaa);
+/// assert_eq!(mem.read_u8(Hpa::new(0x9000)), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseStore {
+    /// Dense per-frame slots: `None` is an untouched (zero) page. A flat
+    /// vector beats a hash map here because the attack stamps and scans
+    /// millions of pages sequentially — locality is everything.
+    pages: Vec<Option<Page>>,
+    resident: usize,
+    size: u64,
+}
+
+impl SparseStore {
+    /// Creates a zero-filled store of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not page-aligned.
+    pub fn new(size: u64) -> Self {
+        assert_eq!(size % PAGE_SIZE, 0, "store size must be page-aligned");
+        Self {
+            pages: vec![None; (size / PAGE_SIZE) as usize],
+            resident: 0,
+            size,
+        }
+    }
+
+    /// Returns the store size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    #[inline]
+    fn check(&self, hpa: Hpa, len: u64) {
+        assert!(
+            hpa.raw().checked_add(len).is_some_and(|end| end <= self.size),
+            "access at {hpa} (+{len}) beyond DRAM size {:#x}",
+            self.size
+        );
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the device.
+    pub fn read_u8(&self, hpa: Hpa) -> u8 {
+        self.check(hpa, 1);
+        self.pages[hpa.pfn().index() as usize]
+            .as_ref()
+            .map_or(0, |p| p.read(hpa.page_offset() as u16))
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the device.
+    pub fn write_u8(&mut self, hpa: Hpa, value: u8) {
+        self.check(hpa, 1);
+        self.slot_mut(hpa.pfn().index())
+            .write(hpa.page_offset() as u16, value);
+    }
+
+    /// Reads a little-endian `u64`. The access may straddle pages.
+    pub fn read_u64(&self, hpa: Hpa) -> u64 {
+        if hpa.page_offset() <= PAGE_SIZE - 8 {
+            // Fast path: one page lookup, eight in-page reads.
+            self.check(hpa, 8);
+            let base = hpa.page_offset() as u16;
+            return match &self.pages[hpa.pfn().index() as usize] {
+                None => 0,
+                Some(p) => {
+                    let mut bytes = [0u8; 8];
+                    for (i, b) in bytes.iter_mut().enumerate() {
+                        *b = p.read(base + i as u16);
+                    }
+                    u64::from_le_bytes(bytes)
+                }
+            };
+        }
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(hpa.add(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian `u64`. The access may straddle pages.
+    pub fn write_u64(&mut self, hpa: Hpa, value: u64) {
+        if hpa.page_offset() <= PAGE_SIZE - 8 {
+            // Fast path: one page lookup, eight in-page writes.
+            self.check(hpa, 8);
+            let base = hpa.page_offset() as u16;
+            let page = self.slot_mut(hpa.pfn().index());
+            for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+                page.write(base + i as u16, byte);
+            }
+            return;
+        }
+        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(hpa.add(i as u64), byte);
+        }
+    }
+
+    /// Fills `[hpa, hpa + len)` with `value`, resetting page
+    /// representations to the compact uniform form where whole pages are
+    /// covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range leaves the device.
+    pub fn fill(&mut self, hpa: Hpa, len: u64, value: u8) {
+        self.check(hpa, len);
+        let mut cur = hpa;
+        let end = hpa.add(len);
+        while cur < end {
+            let page_end = cur.align_down(PAGE_SIZE).add(PAGE_SIZE);
+            let chunk_end = page_end.min(end);
+            if cur.page_offset() == 0 && chunk_end == page_end {
+                self.set_slot(cur.pfn().index(), Page::Uniform(value));
+            } else {
+                for off in 0..chunk_end.offset_from(cur) {
+                    self.write_u8(cur.add(off), value);
+                }
+            }
+            cur = chunk_end;
+        }
+    }
+
+    /// Replaces one whole 4 KiB page with the given contents in a single
+    /// operation — the fast path for building page tables, which would
+    /// otherwise transit the diff representation 512 times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_base` is not page-aligned or outside the device.
+    pub fn write_page(&mut self, page_base: Hpa, bytes: Box<[u8; PAGE_SIZE as usize]>) {
+        assert!(page_base.is_aligned(PAGE_SIZE), "write_page needs page alignment");
+        self.check(page_base, PAGE_SIZE);
+        self.set_slot(page_base.pfn().index(), Page::Dense(bytes));
+    }
+
+    /// Resets one whole page to `fill` and writes a little-endian `u64`
+    /// into its first eight bytes, in a single map operation — the
+    /// magic-stamping fast path (one stamp per 4 KiB page over many GiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_base` is not page-aligned or outside the device.
+    pub fn reset_page_with_magic(&mut self, page_base: Hpa, fill: u8, magic: u64) {
+        assert!(page_base.is_aligned(PAGE_SIZE), "stamp needs page alignment");
+        self.check(page_base, PAGE_SIZE);
+        let diffs: Vec<(u16, u8)> = magic
+            .to_le_bytes()
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, b)| b != fill)
+            .map(|(i, b)| (i as u16, b))
+            .collect();
+        let page = if diffs.is_empty() {
+            Page::Uniform(fill)
+        } else {
+            Page::Patched { fill, diffs }
+        };
+        self.set_slot(page_base.pfn().index(), page);
+    }
+
+    /// Copies `bytes` into memory starting at `hpa`.
+    pub fn write_bytes(&mut self, hpa: Hpa, bytes: &[u8]) {
+        self.check(hpa, bytes.len() as u64);
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(hpa.add(i as u64), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `hpa`.
+    pub fn read_bytes(&self, hpa: Hpa, len: usize) -> Vec<u8> {
+        self.check(hpa, len as u64);
+        (0..len).map(|i| self.read_u8(hpa.add(i as u64))).collect()
+    }
+
+    /// Returns every byte in `[hpa, hpa+len)` that differs from
+    /// `expected`, as `(address, actual)` pairs.
+    ///
+    /// Cost is proportional to the number of *touched* pages and diffs,
+    /// not to `len`, which is what makes simulated multi-GiB corruption
+    /// scans tractable.
+    pub fn find_mismatches(&self, hpa: Hpa, len: u64, expected: u8) -> Vec<(Hpa, u8)> {
+        self.check(hpa, len);
+        assert!(hpa.is_aligned(PAGE_SIZE) && len.is_multiple_of(PAGE_SIZE),
+                "mismatch scan must be page-aligned");
+        let mut out = Vec::new();
+        for pfn in hpa.pfn().index()..(hpa.raw() + len) / PAGE_SIZE {
+            let base = Hpa::new(pfn * PAGE_SIZE);
+            match &self.pages[pfn as usize] {
+                None => {
+                    if expected != 0 {
+                        for o in 0..PAGE_SIZE {
+                            out.push((base.add(o), 0));
+                        }
+                    }
+                }
+                Some(p) => {
+                    for (o, b) in p.mismatches(expected) {
+                        out.push((base.add(u64::from(o)), b));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of materialized (non-zero-default) pages, for memory
+    /// accounting in tests.
+    pub fn resident_pages(&self) -> usize {
+        self.resident
+    }
+
+    /// Mutable access to a slot, materializing a zero page on first
+    /// touch.
+    fn slot_mut(&mut self, pfn: u64) -> &mut Page {
+        let slot = &mut self.pages[pfn as usize];
+        if slot.is_none() {
+            *slot = Some(Page::Uniform(0));
+            self.resident += 1;
+        }
+        slot.as_mut().expect("just materialized")
+    }
+
+    /// Replaces a slot wholesale.
+    fn set_slot(&mut self, pfn: u64, page: Page) {
+        let slot = &mut self.pages[pfn as usize];
+        if slot.is_none() {
+            self.resident += 1;
+        }
+        *slot = Some(page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_by_default() {
+        let mem = SparseStore::new(1 << 20);
+        assert_eq!(mem.read_u8(Hpa::new(0)), 0);
+        assert_eq!(mem.read_u64(Hpa::new(0xff8)), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut mem = SparseStore::new(1 << 20);
+        mem.write_u64(Hpa::new(0x100), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(Hpa::new(0x100)), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u8(Hpa::new(0x100)), 0x08); // little endian
+    }
+
+    #[test]
+    fn straddling_u64() {
+        let mut mem = SparseStore::new(1 << 20);
+        mem.write_u64(Hpa::new(0xffc), 0xaabb_ccdd_1122_3344);
+        assert_eq!(mem.read_u64(Hpa::new(0xffc)), 0xaabb_ccdd_1122_3344);
+    }
+
+    #[test]
+    fn fill_is_compact() {
+        let mut mem = SparseStore::new(1 << 30);
+        mem.fill(Hpa::new(0), 1 << 30, 0x55);
+        // 256 Ki pages, each 1 byte of fill state + map overhead: resident
+        // count equals page count but representation is Uniform.
+        assert_eq!(mem.read_u8(Hpa::new(0x3fff_ffff)), 0x55);
+        assert_eq!(mem.resident_pages(), (1 << 30) / PAGE_SIZE as usize);
+    }
+
+    #[test]
+    fn partial_fill() {
+        let mut mem = SparseStore::new(1 << 20);
+        mem.fill(Hpa::new(0x800), 0x1000, 0xaa);
+        assert_eq!(mem.read_u8(Hpa::new(0x7ff)), 0);
+        assert_eq!(mem.read_u8(Hpa::new(0x800)), 0xaa);
+        assert_eq!(mem.read_u8(Hpa::new(0x17ff)), 0xaa);
+        assert_eq!(mem.read_u8(Hpa::new(0x1800)), 0);
+    }
+
+    #[test]
+    fn mismatch_scan_finds_flips_only() {
+        let mut mem = SparseStore::new(1 << 24);
+        mem.fill(Hpa::new(0), 1 << 24, 0xff);
+        mem.write_u8(Hpa::new(0x12345), 0xfe); // one "bit flip"
+        let hits = mem.find_mismatches(Hpa::new(0), 1 << 24, 0xff);
+        assert_eq!(hits, vec![(Hpa::new(0x12345), 0xfe)]);
+    }
+
+    #[test]
+    fn mismatch_scan_on_untouched_zero_memory() {
+        let mem = SparseStore::new(1 << 16);
+        assert!(mem.find_mismatches(Hpa::new(0), 1 << 16, 0).is_empty());
+        let hits = mem.find_mismatches(Hpa::new(0), PAGE_SIZE, 0x11);
+        assert_eq!(hits.len(), PAGE_SIZE as usize);
+    }
+
+    #[test]
+    fn patched_page_densifies_under_heavy_writes() {
+        let mut mem = SparseStore::new(1 << 16);
+        mem.fill(Hpa::new(0), PAGE_SIZE, 0x00);
+        for i in 0..200 {
+            mem.write_u8(Hpa::new(i * 7 % PAGE_SIZE), (i % 251) as u8 + 1);
+        }
+        // Still readable after the representation switch.
+        assert_eq!(mem.read_u8(Hpa::new(0)), {
+            // last write to offset 0 was i=0: value 1... offset 0 hit when i*7%4096==0
+            let mut v = 0u8;
+            for i in 0..200u64 {
+                if i * 7 % PAGE_SIZE == 0 {
+                    v = (i % 251) as u8 + 1;
+                }
+            }
+            v
+        });
+    }
+
+    #[test]
+    fn rewriting_fill_value_restores_uniform() {
+        let mut mem = SparseStore::new(1 << 16);
+        mem.fill(Hpa::new(0), PAGE_SIZE, 0x55);
+        mem.write_u8(Hpa::new(0x10), 0x54);
+        assert_eq!(mem.find_mismatches(Hpa::new(0), PAGE_SIZE, 0x55).len(), 1);
+        mem.write_u8(Hpa::new(0x10), 0x55);
+        assert!(mem.find_mismatches(Hpa::new(0), PAGE_SIZE, 0x55).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond DRAM size")]
+    fn out_of_bounds_read_panics() {
+        SparseStore::new(1 << 16).read_u8(Hpa::new(1 << 16));
+    }
+
+    #[test]
+    fn write_and_read_bytes() {
+        let mut mem = SparseStore::new(1 << 16);
+        let data = [1u8, 2, 3, 4, 5];
+        mem.write_bytes(Hpa::new(0xfff), &data);
+        assert_eq!(mem.read_bytes(Hpa::new(0xfff), 5), data);
+    }
+}

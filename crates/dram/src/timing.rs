@@ -1,0 +1,204 @@
+//! Row-buffer timing side channel.
+//!
+//! DRAMDig (Wang et al., DAC '20) — the tool the paper uses in §5.1 to
+//! reverse engineer the DRAM address functions — only needs one physical
+//! observable: accessing two addresses in the *same bank but different
+//! rows* forces a row-buffer conflict (precharge + activate), which is
+//! measurably slower than a row-buffer hit or an access pair that lands
+//! in different banks. This module models that observable.
+
+use hh_sim::addr::Hpa;
+
+use crate::geometry::DramGeometry;
+
+/// Latencies (in simulated nanoseconds) of the three access-pair classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// Alternating accesses to the same bank, same row: row-buffer hits.
+    pub same_bank_same_row: u64,
+    /// Alternating accesses to different banks: pipelined, fast.
+    pub different_bank: u64,
+    /// Alternating accesses to the same bank, different rows: every access
+    /// is a row-buffer conflict.
+    pub same_bank_conflict: u64,
+}
+
+impl AccessTiming {
+    /// DDR4-2666-ish latencies; the absolute values are irrelevant, only
+    /// the conflict/no-conflict gap matters.
+    pub fn ddr4_2666() -> Self {
+        Self {
+            same_bank_same_row: 150,
+            different_bank: 250,
+            same_bank_conflict: 380,
+        }
+    }
+
+    /// A latency threshold separating conflict pairs from the rest.
+    pub fn conflict_threshold(&self) -> u64 {
+        (self.same_bank_conflict + self.different_bank) / 2
+    }
+}
+
+impl Default for AccessTiming {
+    fn default() -> Self {
+        Self::ddr4_2666()
+    }
+}
+
+/// A timing probe over a DRAM geometry: measures the average latency of
+/// alternately accessing an address pair, with a small deterministic
+/// jitter so classifiers cannot rely on exact equality.
+///
+/// # Examples
+///
+/// ```
+/// use hh_dram::geometry::{BankFunction, DramGeometry};
+/// use hh_dram::timing::{AccessTiming, TimingProbe};
+/// use hh_sim::Hpa;
+///
+/// let geom = DramGeometry::new(BankFunction::core_i3_10100(), 1 << 30);
+/// let probe = TimingProbe::new(geom, AccessTiming::ddr4_2666());
+/// let a = Hpa::new(0);
+/// let conflict = probe.find_conflict_partner(a, 4096).expect("partner exists");
+/// assert!(probe.measure_pair(a, conflict) > probe.timing().conflict_threshold());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingProbe {
+    geometry: DramGeometry,
+    timing: AccessTiming,
+    /// Count of pair measurements, for cost accounting by callers.
+    measurements: std::cell::Cell<u64>,
+}
+
+impl TimingProbe {
+    /// Creates a probe over `geometry` with the given timings.
+    pub fn new(geometry: DramGeometry, timing: AccessTiming) -> Self {
+        Self {
+            geometry,
+            timing,
+            measurements: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Returns the timing parameters.
+    pub fn timing(&self) -> &AccessTiming {
+        &self.timing
+    }
+
+    /// Returns the geometry under test (not consulted by solvers — they
+    /// must recover it from timing alone).
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Number of pair measurements taken so far.
+    pub fn measurement_count(&self) -> u64 {
+        self.measurements.get()
+    }
+
+    /// Measures the average alternating-access latency of `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either address is outside the device.
+    pub fn measure_pair(&self, a: Hpa, b: Hpa) -> u64 {
+        assert!(self.geometry.contains(a) && self.geometry.contains(b));
+        self.measurements.set(self.measurements.get() + 1);
+        let base = if self.geometry.bank_of(a) != self.geometry.bank_of(b) {
+            self.timing.different_bank
+        } else if self.geometry.row_of(a) == self.geometry.row_of(b) {
+            self.timing.same_bank_same_row
+        } else {
+            self.timing.same_bank_conflict
+        };
+        // Deterministic sub-threshold jitter derived from the addresses.
+        let jitter = (a.raw() ^ b.raw().rotate_left(13)).wrapping_mul(0x2545_f491_4f6c_dd1d) >> 59;
+        base + jitter // 0..=31 ns of noise
+    }
+
+    /// Returns `true` if the pair shows a row-buffer conflict (same bank,
+    /// different row) according to the measured latency.
+    pub fn is_conflict(&self, a: Hpa, b: Hpa) -> bool {
+        self.measure_pair(a, b) > self.timing.conflict_threshold()
+    }
+
+    /// Scans forward from `a + step` for the first address that conflicts
+    /// with `a`, up to the end of the device.
+    pub fn find_conflict_partner(&self, a: Hpa, step: u64) -> Option<Hpa> {
+        let mut cur = a.add(step);
+        while self.geometry.contains(cur) {
+            if self.is_conflict(a, cur) {
+                return Some(cur);
+            }
+            cur = cur.add(step);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BankFunction;
+
+    fn probe() -> TimingProbe {
+        TimingProbe::new(
+            DramGeometry::new(BankFunction::core_i3_10100(), 1 << 30),
+            AccessTiming::ddr4_2666(),
+        )
+    }
+
+    #[test]
+    fn classes_are_separable() {
+        let p = probe();
+        let g = p.geometry().clone();
+        let a = g.addr_in(7, 10).unwrap();
+        let same_row = g
+            .slice_addrs(7, 10)
+            .find(|&x| x != a)
+            .expect("row slice has >1 line");
+        let conflict = g.addr_in(7, 11).unwrap();
+        let other_bank = g.addr_in(8, 10).unwrap();
+
+        let t = p.timing().conflict_threshold();
+        assert!(p.measure_pair(a, same_row) < t);
+        assert!(p.measure_pair(a, other_bank) < t);
+        assert!(p.measure_pair(a, conflict) > t);
+    }
+
+    #[test]
+    fn jitter_stays_below_the_gap() {
+        let p = probe();
+        let g = p.geometry().clone();
+        // Measure many conflicting and non-conflicting pairs; none may
+        // cross the threshold.
+        for row in 0..50 {
+            let a = g.addr_in(3, row).unwrap();
+            let c = g.addr_in(3, row + 1).unwrap();
+            let o = g.addr_in((3 + row as u32) % 32, row).unwrap();
+            assert!(p.is_conflict(a, c));
+            if g.bank_of(o) != g.bank_of(a) {
+                assert!(!p.is_conflict(a, o));
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_counting() {
+        let p = probe();
+        let a = Hpa::new(0);
+        let b = Hpa::new(1 << 20);
+        p.measure_pair(a, b);
+        p.is_conflict(a, b);
+        assert_eq!(p.measurement_count(), 2);
+    }
+
+    #[test]
+    fn conflict_partner_is_found_quickly() {
+        let p = probe();
+        let a = Hpa::new(0);
+        let partner = p.find_conflict_partner(a, 4096).expect("exists");
+        assert!(p.is_conflict(a, partner));
+    }
+}

@@ -1,0 +1,90 @@
+//! virtio-balloon device state.
+//!
+//! The §6 discussion of the paper analyses virtio-balloon as an
+//! alternative release channel: unlike virtio-mem it operates on
+//! individual 4 KiB pages, so an attacker needs no sub-block alignment —
+//! but releasing a page of a THP-backed chunk first splits the hugepage
+//! (and, under the iTLB-Multihit countermeasure model, its EPT mapping).
+//! The protocol-level state lives here; the host-side mechanics are in
+//! [`crate::vm::Vm::balloon_inflate`].
+
+use std::collections::BTreeSet;
+
+use hh_sim::addr::{Gpa, PAGE_SIZE};
+
+use crate::HvError;
+
+/// Balloon state: the set of guest pages currently surrendered.
+#[derive(Debug, Clone, Default)]
+pub struct VirtioBalloon {
+    inflated: BTreeSet<u64>,
+}
+
+impl VirtioBalloon {
+    /// Creates a deflated balloon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages currently inside the balloon.
+    pub fn inflated_pages(&self) -> u64 {
+        self.inflated.len() as u64
+    }
+
+    /// Is this guest page inside the balloon?
+    pub fn is_inflated(&self, gpa: Gpa) -> bool {
+        self.inflated.contains(&(gpa.raw() / PAGE_SIZE))
+    }
+
+    /// Records a page entering the balloon.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::AlreadyInflated`] on duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpa` is not page-aligned.
+    pub fn inflate(&mut self, gpa: Gpa) -> Result<(), HvError> {
+        assert!(gpa.is_aligned(PAGE_SIZE));
+        if !self.inflated.insert(gpa.raw() / PAGE_SIZE) {
+            return Err(HvError::AlreadyInflated(gpa));
+        }
+        Ok(())
+    }
+
+    /// Records a page leaving the balloon.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::NotInflated`] if the page is not ballooned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpa` is not page-aligned.
+    pub fn deflate(&mut self, gpa: Gpa) -> Result<(), HvError> {
+        assert!(gpa.is_aligned(PAGE_SIZE));
+        if !self.inflated.remove(&(gpa.raw() / PAGE_SIZE)) {
+            return Err(HvError::NotInflated(gpa));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflate_deflate_roundtrip() {
+        let mut b = VirtioBalloon::new();
+        let p = Gpa::new(0x4000);
+        b.inflate(p).unwrap();
+        assert!(b.is_inflated(p));
+        assert_eq!(b.inflated_pages(), 1);
+        assert_eq!(b.inflate(p), Err(HvError::AlreadyInflated(p)));
+        b.deflate(p).unwrap();
+        assert_eq!(b.deflate(p), Err(HvError::NotInflated(p)));
+        assert_eq!(b.inflated_pages(), 0);
+    }
+}

@@ -1,0 +1,608 @@
+//! Four-level extended page tables with the Intel EPTE layout.
+//!
+//! The defining design decision of this module: **table pages live inside
+//! the simulated DRAM**. Every walk reads entry bytes from the
+//! [`hh_dram::store::SparseStore`], so when the attack's Rowhammer step
+//! flips a PFN bit inside an EPT page (§4.3), subsequent guest accesses
+//! really do land on the redirected host-physical page — the exploit is
+//! not scripted, it happens.
+//!
+//! Entry layout (Intel SDM Vol. 3C, table 29-7, simplified to the bits
+//! the attack interacts with):
+//!
+//! | bits   | meaning                                  |
+//! |--------|------------------------------------------|
+//! | 0      | read                                     |
+//! | 1      | write                                    |
+//! | 2      | execute — cleared on hugepages by the iTLB-Multihit countermeasure |
+//! | 7      | page size (1 = 2 MiB leaf, in the PD)    |
+//! | 12–47  | host PFN                                 |
+//!
+//! The attack targets PFN bits 21–⌈log₂ mem⌉ of leaf entries (§4.1).
+
+use hh_sim::addr::{Gpa, Hpa, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+use crate::host::Host;
+use crate::HvError;
+
+/// Number of 8-byte entries in one table page.
+pub const ENTRIES_PER_TABLE: u64 = 512;
+
+/// An extended-page-table entry.
+///
+/// # Examples
+///
+/// ```
+/// use hh_hv::ept::Epte;
+/// use hh_sim::Pfn;
+///
+/// let e = Epte::leaf(Pfn::new(0x1234), true);
+/// assert!(e.is_present() && e.is_executable());
+/// assert_eq!(e.pfn(), Pfn::new(0x1234));
+/// let nx = e.with_executable(false);
+/// assert!(!nx.is_executable());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Epte(u64);
+
+impl Epte {
+    const READ: u64 = 1 << 0;
+    const WRITE: u64 = 1 << 1;
+    const EXEC: u64 = 1 << 2;
+    const LARGE: u64 = 1 << 7;
+    const PFN_MASK: u64 = ((1u64 << 48) - 1) & !0xfff;
+
+    /// The all-zero (not-present) entry.
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// Creates an entry from its raw 64-bit encoding.
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw 64-bit encoding.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// A present RW leaf entry for a 4 KiB page.
+    pub fn leaf(pfn: Pfn, executable: bool) -> Self {
+        let mut raw = (pfn.index() << 12) & Self::PFN_MASK | Self::READ | Self::WRITE;
+        if executable {
+            raw |= Self::EXEC;
+        }
+        Self(raw)
+    }
+
+    /// A present RW leaf entry for a 2 MiB hugepage (page-size bit set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not hugepage-aligned.
+    pub fn huge_leaf(pfn: Pfn, executable: bool) -> Self {
+        assert!(pfn.is_huge_aligned(), "huge leaf needs a 2 MiB-aligned frame");
+        Self(Self::leaf(pfn, executable).0 | Self::LARGE)
+    }
+
+    /// A non-leaf entry pointing at the next-level table page.
+    pub fn table(pfn: Pfn) -> Self {
+        Self((pfn.index() << 12) & Self::PFN_MASK | Self::READ | Self::WRITE | Self::EXEC)
+    }
+
+    /// `true` if any permission bit is set (entry present).
+    pub fn is_present(self) -> bool {
+        self.0 & (Self::READ | Self::WRITE | Self::EXEC) != 0
+    }
+
+    /// `true` if the execute bit (bit 2) is set.
+    pub fn is_executable(self) -> bool {
+        self.0 & Self::EXEC != 0
+    }
+
+    /// `true` if the page-size bit (bit 7) marks this a 2 MiB leaf.
+    pub fn is_large(self) -> bool {
+        self.0 & Self::LARGE != 0
+    }
+
+    /// The referenced host frame (bits 12–47).
+    pub fn pfn(self) -> Pfn {
+        Pfn::new((self.0 & Self::PFN_MASK) >> 12)
+    }
+
+    /// Copy with the execute bit set or cleared — the iTLB-Multihit
+    /// countermeasure's lever (§4.2.3).
+    pub fn with_executable(self, executable: bool) -> Self {
+        if executable {
+            Self(self.0 | Self::EXEC)
+        } else {
+            Self(self.0 & !Self::EXEC)
+        }
+    }
+
+    /// Copy pointing at a different frame, permissions unchanged.
+    pub fn with_pfn(self, pfn: Pfn) -> Self {
+        Self(self.0 & !Self::PFN_MASK | (pfn.index() << 12) & Self::PFN_MASK)
+    }
+}
+
+/// Translation result level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingLevel {
+    /// Mapped by a 4 KiB leaf in a PT.
+    Page4K,
+    /// Mapped by a 2 MiB leaf in a PD.
+    Huge2M,
+}
+
+/// A resolved guest-physical translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Host-physical address of the byte.
+    pub hpa: Hpa,
+    /// Mapping granularity that produced it.
+    pub level: MappingLevel,
+    /// The leaf entry (post-corruption contents, read from DRAM).
+    pub entry: Epte,
+    /// Host-physical address of the leaf entry itself.
+    pub entry_hpa: Hpa,
+}
+
+/// EPT paging mode (§2.2: "There are two modes for multi-level EPTs,
+/// i.e., 4-level and 5-level EPTs"). The paper's attack targets leaf
+/// pages, which exist identically in both; the mode only changes the
+/// walk depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EptMode {
+    /// 4-level (PML4 root): 48-bit guest-physical space. The paper's
+    /// focus and the default.
+    #[default]
+    FourLevel,
+    /// 5-level (PML5 root): 57-bit guest-physical space.
+    FiveLevel,
+}
+
+impl EptMode {
+    /// Number of table levels.
+    pub fn levels(self) -> u8 {
+        match self {
+            EptMode::FourLevel => 4,
+            EptMode::FiveLevel => 5,
+        }
+    }
+}
+
+/// A 4- or 5-level EPT hierarchy rooted at a table page in host DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ept {
+    root: Pfn,
+    mode: EptMode,
+}
+
+/// Index of the entry for `gpa` at `level` (5/4 = root … 1 = PT).
+fn level_index(gpa: Gpa, level: u8) -> u64 {
+    (gpa.raw() >> (12 + 9 * (u64::from(level) - 1))) & (ENTRIES_PER_TABLE - 1)
+}
+
+impl Ept {
+    /// Allocates a fresh, zeroed root table page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::OutOfHostMemory`] if the host cannot allocate.
+    pub fn new(host: &mut Host) -> Result<Self, HvError> {
+        Self::new_with_mode(host, EptMode::FourLevel)
+    }
+
+    /// Allocates a root for the given paging mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::OutOfHostMemory`] if the host cannot allocate.
+    pub fn new_with_mode(host: &mut Host, mode: EptMode) -> Result<Self, HvError> {
+        Ok(Self {
+            root: host.alloc_ept_page()?,
+            mode,
+        })
+    }
+
+    /// Root table frame.
+    pub fn root(self) -> Pfn {
+        self.root
+    }
+
+    /// The paging mode.
+    pub fn mode(self) -> EptMode {
+        self.mode
+    }
+
+    fn read_entry(host: &Host, table: Pfn, index: u64) -> Epte {
+        Epte::from_raw(host.dram().store().read_u64(table.base_hpa().add(index * 8)))
+    }
+
+    fn write_entry(host: &mut Host, table: Pfn, index: u64, entry: Epte) {
+        host.dram_mut()
+            .store_mut()
+            .write_u64(table.base_hpa().add(index * 8), entry.raw());
+    }
+
+    /// Walks down to `target_level`, allocating intermediate tables on
+    /// demand, and returns the table page holding the entry for `gpa`.
+    fn table_for(
+        self,
+        host: &mut Host,
+        gpa: Gpa,
+        target_level: u8,
+    ) -> Result<Pfn, HvError> {
+        let mut table = self.root;
+        for level in (target_level + 1..=self.mode.levels()).rev() {
+            let index = level_index(gpa, level);
+            let entry = Self::read_entry(host, table, index);
+            let next = if entry.is_present() {
+                assert!(
+                    !entry.is_large(),
+                    "walk through a leaf at level {level}: remap over hugepage?"
+                );
+                entry.pfn()
+            } else {
+                let page = host.alloc_ept_page()?;
+                Self::write_entry(host, table, index, Epte::table(page));
+                page
+            };
+            table = next;
+        }
+        Ok(table)
+    }
+
+    /// Installs a 2 MiB leaf mapping `gpa → hpa` in the page directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates host allocation failure for intermediate tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either address is not 2 MiB-aligned.
+    pub fn map_huge(
+        self,
+        host: &mut Host,
+        gpa: Gpa,
+        hpa: Hpa,
+        executable: bool,
+    ) -> Result<(), HvError> {
+        assert!(gpa.is_aligned(HUGE_PAGE_SIZE) && hpa.is_aligned(HUGE_PAGE_SIZE));
+        let pd = self.table_for(host, gpa, 2)?;
+        Self::write_entry(
+            host,
+            pd,
+            level_index(gpa, 2),
+            Epte::huge_leaf(hpa.pfn(), executable),
+        );
+        Ok(())
+    }
+
+    /// Installs a 4 KiB leaf mapping `gpa → hpa` in a page table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates host allocation failure for intermediate tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either address is not 4 KiB-aligned.
+    pub fn map_4k(
+        self,
+        host: &mut Host,
+        gpa: Gpa,
+        hpa: Hpa,
+        executable: bool,
+    ) -> Result<(), HvError> {
+        assert!(gpa.is_aligned(PAGE_SIZE) && hpa.is_aligned(PAGE_SIZE));
+        let pt = self.table_for(host, gpa, 1)?;
+        Self::write_entry(
+            host,
+            pt,
+            level_index(gpa, 1),
+            Epte::leaf(hpa.pfn(), executable),
+        );
+        Ok(())
+    }
+
+    /// Removes the mapping covering `gpa` (2 MiB leaf or 4 KiB leaf).
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Unmapped`] if nothing maps `gpa`.
+    pub fn unmap(self, host: &mut Host, gpa: Gpa) -> Result<(), HvError> {
+        let mut table = self.root;
+        for level in (1..=self.mode.levels()).rev() {
+            let index = level_index(gpa, level);
+            let entry = Self::read_entry(host, table, index);
+            if !entry.is_present() {
+                return Err(HvError::Unmapped(gpa));
+            }
+            if level == 1 || entry.is_large() {
+                Self::write_entry(host, table, index, Epte::empty());
+                return Ok(());
+            }
+            table = entry.pfn();
+        }
+        unreachable!("walk always terminates at level 1")
+    }
+
+    /// Translates `gpa`, reading entries from simulated DRAM (honest with
+    /// respect to corruption).
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Unmapped`] if the walk hits a non-present entry.
+    pub fn translate(self, host: &Host, gpa: Gpa) -> Result<Translation, HvError> {
+        let mut table = self.root;
+        for level in (1..=self.mode.levels()).rev() {
+            let index = level_index(gpa, level);
+            let entry_hpa = table.base_hpa().add(index * 8);
+            let entry = Self::read_entry(host, table, index);
+            if !entry.is_present() {
+                return Err(HvError::Unmapped(gpa));
+            }
+            if level == 2 && entry.is_large() {
+                return Ok(Translation {
+                    hpa: entry.pfn().base_hpa().add(gpa.huge_page_offset()),
+                    level: MappingLevel::Huge2M,
+                    entry,
+                    entry_hpa,
+                });
+            }
+            if level == 1 {
+                return Ok(Translation {
+                    hpa: entry.pfn().base_hpa().add(gpa.page_offset()),
+                    level: MappingLevel::Page4K,
+                    entry,
+                    entry_hpa,
+                });
+            }
+            table = entry.pfn();
+        }
+        unreachable!("walk always terminates at level 1")
+    }
+
+    /// The iTLB-Multihit countermeasure's split (§4.2.3): demotes the
+    /// 2 MiB mapping covering `gpa` into 512 executable 4 KiB entries
+    /// stored in a **newly allocated** EPT page, and returns that page.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Unmapped`] if `gpa` is not covered by a 2 MiB leaf;
+    /// [`HvError::OutOfHostMemory`] if the PT page cannot be allocated.
+    pub fn split_huge(self, host: &mut Host, gpa: Gpa) -> Result<Pfn, HvError> {
+        self.split_huge_typed(host, gpa, hh_buddy::MigrateType::Unmovable)
+    }
+
+    /// [`Self::split_huge`] with an explicit migration type for the new
+    /// table page (the Xen-style model allocates from the
+    /// undifferentiated heap).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::split_huge`].
+    pub fn split_huge_typed(
+        self,
+        host: &mut Host,
+        gpa: Gpa,
+        mt: hh_buddy::MigrateType,
+    ) -> Result<Pfn, HvError> {
+        let pd = self.table_for(host, gpa, 2)?;
+        let index = level_index(gpa, 2);
+        let entry = Self::read_entry(host, pd, index);
+        if !entry.is_present() || !entry.is_large() {
+            return Err(HvError::Unmapped(gpa));
+        }
+        let pt = host.alloc_ept_page_typed(mt)?;
+        let base = entry.pfn();
+        // Build the whole PT page and store it in one operation.
+        let mut bytes = Box::new([0u8; PAGE_SIZE as usize]);
+        for i in 0..ENTRIES_PER_TABLE {
+            let raw = Epte::leaf(base.add(i), true).raw().to_le_bytes();
+            bytes[(i * 8) as usize..(i * 8 + 8) as usize].copy_from_slice(&raw);
+        }
+        host.dram_mut().store_mut().write_page(pt.base_hpa(), bytes);
+        Self::write_entry(host, pd, index, Epte::table(pt));
+        host.charge_hugepage_split();
+        Ok(pt)
+    }
+
+    /// Collects every table page of the hierarchy: `(frame, level)`
+    /// pairs, level 4 = root … level 1 = leaf PT pages. This is the
+    /// "dump EPT pages" debug facility the paper adds for Table 2.
+    pub fn table_pages(self, host: &Host) -> Vec<(Pfn, u8)> {
+        let mut out = Vec::new();
+        self.collect_tables(host, self.root, self.mode.levels(), &mut out);
+        out
+    }
+
+    /// Leaf (level-1) PT pages only — the population Page Steering
+    /// places on vulnerable frames.
+    pub fn leaf_table_pages(self, host: &Host) -> Vec<Pfn> {
+        self.table_pages(host)
+            .into_iter()
+            .filter(|&(_, level)| level == 1)
+            .map(|(pfn, _)| pfn)
+            .collect()
+    }
+
+    fn collect_tables(self, host: &Host, table: Pfn, level: u8, out: &mut Vec<(Pfn, u8)>) {
+        out.push((table, level));
+        if level == 1 {
+            return;
+        }
+        for i in 0..ENTRIES_PER_TABLE {
+            let entry = Self::read_entry(host, table, i);
+            if entry.is_present() && !entry.is_large() {
+                self.collect_tables(host, entry.pfn(), level - 1, out);
+            }
+        }
+    }
+
+    /// Frees every table page back to the host (VM teardown).
+    pub fn destroy(self, host: &mut Host) {
+        for (pfn, _) in self.table_pages(host) {
+            host.free_ept_page(pfn);
+        }
+    }
+
+    /// Host-physical address of the *leaf* entry covering `gpa`, without
+    /// requiring the walk to succeed past it. Experiment aid.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Unmapped`] if the walk fails before a leaf.
+    pub fn leaf_entry_hpa(self, host: &Host, gpa: Gpa) -> Result<Hpa, HvError> {
+        self.translate(host, gpa).map(|t| t.entry_hpa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostConfig;
+
+    fn host() -> Host {
+        Host::new(HostConfig::small_test())
+    }
+
+    #[test]
+    fn epte_bit_layout() {
+        let e = Epte::leaf(Pfn::new(0xabcde), false);
+        assert_eq!(e.raw() & 0x7, 0b011); // R+W, no X
+        assert_eq!(e.pfn(), Pfn::new(0xabcde));
+        assert!(!e.is_large());
+        let h = Epte::huge_leaf(Pfn::new(0x200), true);
+        assert!(h.is_large() && h.is_executable());
+        assert_eq!(h.raw() & (1 << 7), 1 << 7);
+    }
+
+    #[test]
+    fn epte_pfn_field_is_bits_12_to_47() {
+        let e = Epte::from_raw(0xffff_ffff_ffff_ffff);
+        assert_eq!(e.pfn().index(), (1 << 36) - 1);
+        let e2 = Epte::leaf(Pfn::new(0), true).with_pfn(Pfn::new(1 << 35));
+        assert_eq!(e2.pfn(), Pfn::new(1 << 35));
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn huge_leaf_requires_alignment() {
+        Epte::huge_leaf(Pfn::new(3), true);
+    }
+
+    #[test]
+    fn map_4k_translate_roundtrip() {
+        let mut h = host();
+        let ept = Ept::new(&mut h).unwrap();
+        let hpa = Hpa::new(0x7000);
+        ept.map_4k(&mut h, Gpa::new(0x40201000), hpa, false).unwrap();
+        let t = ept.translate(&h, Gpa::new(0x40201123)).unwrap();
+        assert_eq!(t.hpa, Hpa::new(0x7123));
+        assert_eq!(t.level, MappingLevel::Page4K);
+    }
+
+    #[test]
+    fn map_huge_translate_roundtrip() {
+        let mut h = host();
+        let ept = Ept::new(&mut h).unwrap();
+        ept.map_huge(&mut h, Gpa::new(0x4000_0000), Hpa::new(0x60_0000), false)
+            .unwrap();
+        let t = ept.translate(&h, Gpa::new(0x4000_0000 + 0x12_3456)).unwrap();
+        assert_eq!(t.hpa, Hpa::new(0x60_0000 + 0x12_3456));
+        assert_eq!(t.level, MappingLevel::Huge2M);
+        assert!(!t.entry.is_executable(), "hugepages are mapped NX");
+    }
+
+    #[test]
+    fn unmapped_translation_fails() {
+        let mut h = host();
+        let ept = Ept::new(&mut h).unwrap();
+        assert_eq!(
+            ept.translate(&h, Gpa::new(0x1000)),
+            Err(HvError::Unmapped(Gpa::new(0x1000)))
+        );
+    }
+
+    #[test]
+    fn split_preserves_translation_and_allocates_one_page() {
+        let mut h = host();
+        let ept = Ept::new(&mut h).unwrap();
+        ept.map_huge(&mut h, Gpa::new(0), Hpa::new(0x20_0000), false).unwrap();
+        let before = ept.table_pages(&h).len();
+        let pt = ept.split_huge(&mut h, Gpa::new(0x1000)).unwrap();
+        assert_eq!(ept.table_pages(&h).len(), before + 1);
+        assert!(ept.leaf_table_pages(&h).contains(&pt));
+        // Same byte translates to the same HPA, now via a 4 KiB leaf,
+        // executable.
+        let t = ept.translate(&h, Gpa::new(0x4321)).unwrap();
+        assert_eq!(t.hpa, Hpa::new(0x20_4321));
+        assert_eq!(t.level, MappingLevel::Page4K);
+        assert!(t.entry.is_executable());
+    }
+
+    #[test]
+    fn split_requires_a_huge_leaf() {
+        let mut h = host();
+        let ept = Ept::new(&mut h).unwrap();
+        ept.map_4k(&mut h, Gpa::new(0x1000), Hpa::new(0x5000), true).unwrap();
+        assert!(ept.split_huge(&mut h, Gpa::new(0x1000)).is_err());
+    }
+
+    #[test]
+    fn corrupting_an_entry_in_dram_redirects_translation() {
+        // The core honesty property: flips in DRAM change walks.
+        let mut h = host();
+        let ept = Ept::new(&mut h).unwrap();
+        ept.map_4k(&mut h, Gpa::new(0x2000), Hpa::new(0x8000), false).unwrap();
+        let t = ept.translate(&h, Gpa::new(0x2000)).unwrap();
+        // Flip PFN bit 21 of the leaf entry directly in DRAM.
+        let raw = h.dram().store().read_u64(t.entry_hpa);
+        h.dram_mut().store_mut().write_u64(t.entry_hpa, raw ^ (1 << 21));
+        let t2 = ept.translate(&h, Gpa::new(0x2000)).unwrap();
+        assert_eq!(t2.hpa.raw(), 0x8000u64 ^ (1 << 21));
+    }
+
+    #[test]
+    fn unmap_removes_mapping() {
+        let mut h = host();
+        let ept = Ept::new(&mut h).unwrap();
+        ept.map_huge(&mut h, Gpa::new(0x20_0000), Hpa::new(0x40_0000), false).unwrap();
+        ept.unmap(&mut h, Gpa::new(0x20_0000)).unwrap();
+        assert!(ept.translate(&h, Gpa::new(0x20_0000)).is_err());
+        assert_eq!(ept.unmap(&mut h, Gpa::new(0x20_0000)), Err(HvError::Unmapped(Gpa::new(0x20_0000))));
+    }
+
+    #[test]
+    fn destroy_returns_all_pages() {
+        let mut h = host();
+        let free_before = h.buddy().free_pages();
+        let ept = Ept::new(&mut h).unwrap();
+        for i in 0..10u64 {
+            ept.map_huge(&mut h, Gpa::new(i * HUGE_PAGE_SIZE), Hpa::new((i + 8) * HUGE_PAGE_SIZE), false)
+                .unwrap();
+        }
+        ept.split_huge(&mut h, Gpa::new(0)).unwrap();
+        ept.destroy(&mut h);
+        assert_eq!(h.buddy().free_pages(), free_before);
+    }
+
+    #[test]
+    fn table_pages_have_correct_levels() {
+        let mut h = host();
+        let ept = Ept::new(&mut h).unwrap();
+        ept.map_4k(&mut h, Gpa::new(0x1000), Hpa::new(0x3000), false).unwrap();
+        let pages = ept.table_pages(&h);
+        // PML4 + PDPT + PD + PT.
+        assert_eq!(pages.len(), 4);
+        let levels: Vec<u8> = pages.iter().map(|&(_, l)| l).collect();
+        assert_eq!(levels, vec![4, 3, 2, 1]);
+        assert_eq!(ept.leaf_table_pages(&h).len(), 1);
+    }
+}

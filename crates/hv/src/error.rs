@@ -1,0 +1,88 @@
+//! Hypervisor error type.
+
+use std::fmt;
+
+use hh_buddy::AllocError;
+use hh_sim::{Gpa, Iova};
+
+/// Errors surfaced by hypervisor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HvError {
+    /// The host ran out of memory.
+    OutOfHostMemory(AllocError),
+    /// A guest-physical address has no EPT mapping.
+    Unmapped(Gpa),
+    /// A guest-physical address is outside the VM's address space.
+    OutOfGuestRange(Gpa),
+    /// virtio-mem: the sub-block at this address is not plugged.
+    NotPlugged(Gpa),
+    /// virtio-mem: the sub-block at this address is already plugged.
+    AlreadyPlugged(Gpa),
+    /// virtio-mem: address not aligned to / inside the device region.
+    BadSubBlock(Gpa),
+    /// virtio-mem: the host rejected a guest request under the
+    /// quarantine countermeasure (the paper's QEMU patch, §6).
+    QuarantineNack {
+        /// Plugged size at the time of the rejected request, in bytes.
+        current: u64,
+        /// Host-requested target size, in bytes.
+        requested: u64,
+    },
+    /// virtio-mem: the sub-block is not backed by a full 2 MiB THP block,
+    /// so it cannot be returned to the host as an order-9 block.
+    NotHugeBacked(Gpa),
+    /// vIOMMU: per-group mapping limit (65 535) exceeded.
+    IommuMapLimit,
+    /// vIOMMU: mapping already exists for this I/O virtual address.
+    IovaAlreadyMapped(Iova),
+    /// vIOMMU: no mapping exists for this I/O virtual address.
+    IovaNotMapped(Iova),
+    /// virtio-balloon: the page is already inflated (released).
+    AlreadyInflated(Gpa),
+    /// virtio-balloon: the page is not inflated.
+    NotInflated(Gpa),
+    /// Execution attempted at an unmapped or non-executable address and
+    /// the fault could not be resolved.
+    ExecFault(Gpa),
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::OutOfHostMemory(e) => write!(f, "host allocation failed: {e}"),
+            HvError::Unmapped(gpa) => write!(f, "no EPT mapping for {gpa}"),
+            HvError::OutOfGuestRange(gpa) => write!(f, "{gpa} outside guest address space"),
+            HvError::NotPlugged(gpa) => write!(f, "sub-block at {gpa} is not plugged"),
+            HvError::AlreadyPlugged(gpa) => write!(f, "sub-block at {gpa} is already plugged"),
+            HvError::BadSubBlock(gpa) => write!(f, "{gpa} is not a valid sub-block address"),
+            HvError::QuarantineNack { current, requested } => write!(
+                f,
+                "unplug rejected by quarantine (plugged {current} <= requested {requested})"
+            ),
+            HvError::NotHugeBacked(gpa) => {
+                write!(f, "sub-block at {gpa} is not backed by a 2 MiB block")
+            }
+            HvError::IommuMapLimit => write!(f, "vIOMMU mapping limit (65535) reached"),
+            HvError::IovaAlreadyMapped(iova) => write!(f, "{iova} is already mapped"),
+            HvError::IovaNotMapped(iova) => write!(f, "{iova} is not mapped"),
+            HvError::AlreadyInflated(gpa) => write!(f, "balloon page at {gpa} already inflated"),
+            HvError::NotInflated(gpa) => write!(f, "balloon page at {gpa} not inflated"),
+            HvError::ExecFault(gpa) => write!(f, "execution fault at {gpa}"),
+        }
+    }
+}
+
+impl std::error::Error for HvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HvError::OutOfHostMemory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocError> for HvError {
+    fn from(e: AllocError) -> Self {
+        HvError::OutOfHostMemory(e)
+    }
+}

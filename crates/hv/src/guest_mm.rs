@@ -1,0 +1,281 @@
+//! Guest-side virtual memory: the attacker is a *process*.
+//!
+//! The paper's attacker runs as an ordinary program inside the HVM and
+//! works with guest-virtual addresses; its kernel maps them to
+//! guest-physical frames through the guest's own page tables, ideally as
+//! transparent hugepages. The 21-bit physical-address leak (§4.1) needs
+//! *both* layers to use 2 MiB mappings: GVA→GPA via guest THP and
+//! GPA→HPA via host THP.
+//!
+//! This module models the guest kernel's memory manager at the level the
+//! attack interacts with: an `mmap`-style anonymous allocator over the
+//! VM's guest-physical memory, with THP granted to sufficiently large,
+//! aligned requests and deniable (`GuestThp::Never`) for the ablation
+//! where the attacker loses the address leak.
+
+use std::collections::BTreeMap;
+
+use hh_sim::addr::{Gpa, Gva, HUGE_PAGE_SIZE, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+use crate::HvError;
+
+/// Guest THP policy, mirroring `/sys/kernel/mm/transparent_hugepage`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GuestThp {
+    /// Hugepage-back every eligible (2 MiB-aligned, ≥ 2 MiB) mapping.
+    #[default]
+    Always,
+    /// 4 KiB pages only — the profiling ablation.
+    Never,
+}
+
+/// One virtual mapping of the attacker process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestVma {
+    /// First guest-virtual address.
+    pub gva: Gva,
+    /// Length in bytes.
+    pub len: u64,
+    /// First backing guest-physical address.
+    pub gpa: Gpa,
+    /// Whether the mapping is hugepage-backed in the *guest* page tables.
+    pub huge: bool,
+}
+
+impl GuestVma {
+    /// Returns `true` if `gva` falls inside this mapping.
+    pub fn contains(&self, gva: Gva) -> bool {
+        gva >= self.gva && gva.offset_from(self.gva) < self.len
+    }
+}
+
+/// The guest kernel's memory manager for the attacker process.
+///
+/// Backing is carved from a caller-supplied pool of guest-physical
+/// ranges (typically [`crate::vm::Vm::usable_ranges`]); the manager hands
+/// out bump-allocated, hugepage-aligned extents so guest THP lines up
+/// with host THP.
+///
+/// # Examples
+///
+/// ```
+/// use hh_hv::guest_mm::{GuestMm, GuestThp};
+/// use hh_sim::{Gpa, Gva};
+///
+/// let mut mm = GuestMm::new(vec![(Gpa::new(0), 8 << 21)], GuestThp::Always);
+/// let buf = mm.mmap(4 << 21).unwrap();
+/// assert!(buf.huge);
+/// let gpa = mm.translate(buf.gva.add(0x123456)).unwrap();
+/// // Guest THP preserves the low 21 bits.
+/// assert_eq!(gpa.raw() & 0x1f_ffff, buf.gva.add(0x123456).raw() & 0x1f_ffff);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestMm {
+    thp: GuestThp,
+    /// Free guest-physical extents, bump-allocated.
+    free_pool: Vec<(Gpa, u64)>,
+    /// Live mappings by base GVA.
+    vmas: BTreeMap<u64, GuestVma>,
+    next_gva: u64,
+}
+
+impl GuestMm {
+    /// Base of the guest-virtual mmap area (arbitrary, away from zero so
+    /// null-ish GVAs fault).
+    const MMAP_BASE: u64 = 0x7f00_0000_0000;
+
+    /// Creates a manager over the given guest-physical pool. Adjacent
+    /// extents are coalesced so large mappings can span them (e.g. the
+    /// contiguous 2 MiB sub-blocks of [`crate::vm::Vm::usable_ranges`]).
+    pub fn new(pool: Vec<(Gpa, u64)>, thp: GuestThp) -> Self {
+        let mut sorted = pool;
+        sorted.sort_by_key(|&(base, _)| base.raw());
+        let mut merged: Vec<(Gpa, u64)> = Vec::with_capacity(sorted.len());
+        for (base, len) in sorted {
+            match merged.last_mut() {
+                Some((last_base, last_len)) if last_base.add(*last_len) == base => {
+                    *last_len += len;
+                }
+                _ => merged.push((base, len)),
+            }
+        }
+        Self {
+            thp,
+            free_pool: merged,
+            vmas: BTreeMap::new(),
+            next_gva: Self::MMAP_BASE,
+        }
+    }
+
+    /// The THP policy in force.
+    pub fn thp(&self) -> GuestThp {
+        self.thp
+    }
+
+    /// Anonymous `mmap`: allocates `len` bytes of virtual address space
+    /// with physical backing. Hugepage-aligned requests of ≥ 2 MiB get
+    /// guest THP under [`GuestThp::Always`].
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::OutOfGuestRange`] when the backing pool is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or not page-aligned.
+    pub fn mmap(&mut self, len: u64) -> Result<GuestVma, HvError> {
+        assert!(len > 0 && len.is_multiple_of(PAGE_SIZE), "bad mmap length");
+        let want_huge = self.thp == GuestThp::Always && len >= HUGE_PAGE_SIZE;
+        let align = if want_huge { HUGE_PAGE_SIZE } else { PAGE_SIZE };
+
+        // Find a pool extent with enough aligned space.
+        for slot in self.free_pool.iter_mut() {
+            let (base, avail) = *slot;
+            let aligned = base.align_up(align);
+            let waste = aligned.offset_from(base);
+            if avail < waste || avail - waste < len {
+                continue;
+            }
+            *slot = (aligned.add(len), avail - waste - len);
+            let gva = Gva::new(if want_huge {
+                // Keep GVA and GPA congruent modulo 2 MiB so the low-21-bit
+                // leak composes through both translation layers.
+                (self.next_gva + HUGE_PAGE_SIZE - 1) & !(HUGE_PAGE_SIZE - 1)
+            } else {
+                self.next_gva
+            });
+            self.next_gva = gva.raw() + len + PAGE_SIZE; // guard gap
+            let vma = GuestVma {
+                gva,
+                len,
+                gpa: aligned,
+                huge: want_huge,
+            };
+            self.vmas.insert(gva.raw(), vma);
+            return Ok(vma);
+        }
+        Err(HvError::OutOfGuestRange(Gpa::new(0)))
+    }
+
+    /// Unmaps a mapping. The physical backing returns to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::OutOfGuestRange`] if `gva` is not a mapping base.
+    pub fn munmap(&mut self, gva: Gva) -> Result<(), HvError> {
+        let vma = self
+            .vmas
+            .remove(&gva.raw())
+            .ok_or(HvError::OutOfGuestRange(Gpa::new(gva.raw())))?;
+        self.free_pool.push((vma.gpa, vma.len));
+        Ok(())
+    }
+
+    /// Translates a guest-virtual address to guest-physical, the way the
+    /// guest page tables would.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::OutOfGuestRange`] for unmapped GVAs.
+    pub fn translate(&self, gva: Gva) -> Result<Gpa, HvError> {
+        let vma = self
+            .vmas
+            .range(..=gva.raw())
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(gva))
+            .ok_or(HvError::OutOfGuestRange(Gpa::new(gva.raw())))?;
+        Ok(vma.gpa.add(gva.offset_from(vma.gva)))
+    }
+
+    /// Live mappings, in GVA order.
+    pub fn vmas(&self) -> impl Iterator<Item = &GuestVma> {
+        self.vmas.values()
+    }
+
+    /// Remaining backing capacity in bytes.
+    pub fn pool_remaining(&self) -> u64 {
+        self.free_pool.iter().map(|&(_, len)| len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_16m() -> Vec<(Gpa, u64)> {
+        vec![(Gpa::new(0), 16 << 20)]
+    }
+
+    #[test]
+    fn thp_mapping_preserves_low_21_bits() {
+        let mut mm = GuestMm::new(pool_16m(), GuestThp::Always);
+        let vma = mm.mmap(4 << 21).unwrap();
+        assert!(vma.huge);
+        for off in [0u64, 0x1234, 0x1f_ffff, 0x20_0000, 0x3e_dcba] {
+            let gva = vma.gva.add(off);
+            let gpa = mm.translate(gva).unwrap();
+            assert_eq!(gva.raw() & 0x1f_ffff, gpa.raw() & 0x1f_ffff);
+        }
+    }
+
+    #[test]
+    fn no_thp_means_no_alignment_guarantee_needed() {
+        let mut mm = GuestMm::new(vec![(Gpa::new(0x1000), 8 << 20)], GuestThp::Never);
+        let vma = mm.mmap(2 << 20).unwrap();
+        assert!(!vma.huge);
+        // Translation still exact.
+        assert_eq!(mm.translate(vma.gva).unwrap(), vma.gpa);
+    }
+
+    #[test]
+    fn small_mappings_are_never_huge() {
+        let mut mm = GuestMm::new(pool_16m(), GuestThp::Always);
+        let vma = mm.mmap(PAGE_SIZE * 3).unwrap();
+        assert!(!vma.huge);
+    }
+
+    #[test]
+    fn mappings_do_not_overlap() {
+        let mut mm = GuestMm::new(pool_16m(), GuestThp::Always);
+        let a = mm.mmap(2 << 20).unwrap();
+        let b = mm.mmap(2 << 20).unwrap();
+        assert!(a.gva.add(a.len) <= b.gva || b.gva.add(b.len) <= a.gva);
+        assert!(a.gpa.add(a.len) <= b.gpa || b.gpa.add(b.len) <= a.gpa);
+    }
+
+    #[test]
+    fn unmapped_gva_faults() {
+        let mut mm = GuestMm::new(pool_16m(), GuestThp::Always);
+        let vma = mm.mmap(2 << 20).unwrap();
+        assert!(mm.translate(Gva::new(0x1000)).is_err());
+        assert!(mm.translate(vma.gva.add(vma.len)).is_err());
+    }
+
+    #[test]
+    fn munmap_recycles_backing() {
+        let mut mm = GuestMm::new(pool_16m(), GuestThp::Always);
+        let before = mm.pool_remaining();
+        let vma = mm.mmap(4 << 20).unwrap();
+        assert!(mm.pool_remaining() < before);
+        mm.munmap(vma.gva).unwrap();
+        assert_eq!(mm.pool_remaining(), before);
+        assert!(mm.translate(vma.gva).is_err());
+        assert!(mm.munmap(vma.gva).is_err());
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_range() {
+        let mut mm = GuestMm::new(vec![(Gpa::new(0), 4 << 20)], GuestThp::Always);
+        mm.mmap(2 << 20).unwrap();
+        // Alignment waste makes a second full 2 MiB impossible.
+        assert!(mm.mmap(4 << 20).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad mmap length")]
+    fn unaligned_len_panics() {
+        GuestMm::new(pool_16m(), GuestThp::Always).mmap(123).ok();
+    }
+}

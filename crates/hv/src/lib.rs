@@ -1,0 +1,73 @@
+//! A KVM-like hypervisor model for the HyperHammer reproduction.
+//!
+//! This crate implements every hypervisor mechanism the paper's attack
+//! exploits, faithfully enough that the attack *works through the same
+//! causal chain* as on real hardware:
+//!
+//! * [`ept`] — 4-level extended page tables with the Intel EPTE bit
+//!   layout. **EPT pages are stored inside the simulated DRAM**, so a
+//!   Rowhammer flip in an EPT page genuinely redirects subsequent guest
+//!   translations.
+//! * [`host`] — the host machine: DRAM + buddy allocator + simulated
+//!   clock + boot-time allocation noise.
+//! * [`vm`] — guest VMs: THP-backed memory pinned `MIGRATE_UNMOVABLE`
+//!   (VFIO), guest physical address space, the iTLB-Multihit
+//!   countermeasure (NX hugepages split into 512 × 4 KiB on execution,
+//!   allocating a fresh EPT page — §4.2.3), and the debug hypercall the
+//!   paper uses in §5.3.2.
+//! * [`virtio_mem`] — the virtio-mem device: 2 MiB sub-blocks, resize
+//!   requests, the *unenforced* guest-initiated unplug path the attack
+//!   abuses, and the paper's proposed QEMU quarantine countermeasure
+//!   (§6).
+//! * [`viommu`] — the virtual IOMMU: IOVA mappings whose IOPT pages are
+//!   order-0 `MIGRATE_UNMOVABLE` allocations, with the 65 535
+//!   mappings-per-group limit (§4.2.1).
+//! * [`balloon`] — virtio-balloon, the §6 variant that releases memory
+//!   per 4 KiB page.
+//! * [`guest_mm`] — the guest kernel's memory manager: an `mmap`-style
+//!   allocator with guest THP, composing the 21-bit address leak through
+//!   both translation layers.
+//! * [`xen`] — a minimal Xen-style hypervisor (proactive
+//!   `XENMEM_decrease_reservation`, undifferentiated domheap) backing the
+//!   §6 claim that Page Steering is even easier there.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_hv::{Host, HostConfig, VmConfig};
+//! use hh_sim::Gpa;
+//!
+//! let mut host = Host::new(HostConfig::small_test());
+//! let mut vm = host.create_vm(VmConfig::small_test())?;
+//!
+//! // Guest memory is usable through the EPT.
+//! vm.write_gpa(&mut host, Gpa::new(0x1000), &[1, 2, 3])?;
+//! assert_eq!(vm.read_gpa(&host, Gpa::new(0x1000), 3)?, vec![1, 2, 3]);
+//!
+//! // Executing on an NX hugepage triggers the iTLB-Multihit split,
+//! // allocating a new EPT page.
+//! let ept_pages_before = vm.ept_table_pages(&host).len();
+//! vm.exec_gpa(&mut host, Gpa::new(0x1000))?;
+//! assert_eq!(vm.ept_table_pages(&host).len(), ept_pages_before + 1);
+//! # Ok::<(), hh_hv::HvError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod balloon;
+pub mod ept;
+mod error;
+pub mod guest_mm;
+pub mod host;
+pub mod viommu;
+pub mod virtio_mem;
+pub mod vm;
+pub mod xen;
+
+pub use error::HvError;
+pub use guest_mm::{GuestMm, GuestThp};
+pub use host::{Host, HostConfig, NoiseProfile};
+pub use viommu::IommuGroup;
+pub use virtio_mem::QuarantinePolicy;
+pub use vm::{Vm, VmConfig};

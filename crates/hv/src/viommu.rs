@@ -1,0 +1,253 @@
+//! The virtual IOMMU (vIOMMU) and its IOPT pages.
+//!
+//! With a PCI device assigned through VFIO and vIOMMU enabled, the guest
+//! can establish DMA mappings from its I/O virtual address space to its
+//! own pages. The hypervisor materializes each mapping in IOMMU page
+//! tables; the property the attack exploits (§4.2.1) is that every
+//! 2 MiB-aligned window of IOVA space needs its own **order-0
+//! `MIGRATE_UNMOVABLE`** leaf IOPT page (512 entries × 4 KiB), and that
+//! vIOMMU caps a group at **65 535 mappings**. Mapping one guest page at
+//! 60 000 IOVAs spaced 2 MiB apart therefore drains ~60 000 small-order
+//! unmovable pages from the host's free lists.
+
+use std::collections::HashMap;
+
+use hh_sim::addr::{Gpa, Hpa, Iova, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
+
+use crate::host::Host;
+use crate::HvError;
+
+/// Default vIOMMU mapping cap per IOMMU group.
+pub const MAX_MAPPINGS_PER_GROUP: usize = 65_535;
+
+/// One IOMMU group: the unit of isolation a passed-through device (or an
+/// SR-IOV virtual function) lives in.
+#[derive(Debug, Clone, Default)]
+pub struct IommuGroup {
+    /// IOVA page index → target HPA (resolved at map time, as VFIO pins).
+    mappings: HashMap<u64, Hpa>,
+    /// 2 MiB IOVA window index → leaf IOPT page backing it.
+    iopt_pages: HashMap<u64, Pfn>,
+}
+
+impl IommuGroup {
+    /// Creates an empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Number of leaf IOPT pages currently allocated.
+    pub fn iopt_page_count(&self) -> usize {
+        self.iopt_pages.len()
+    }
+
+    /// Maps `iova → hpa` (the caller resolves GPA→HPA first), allocating
+    /// a leaf IOPT page if this is the first mapping in its 2 MiB window.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::IommuMapLimit`] at 65 535 mappings;
+    /// [`HvError::IovaAlreadyMapped`] on duplicates; allocation errors
+    /// propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iova` or `hpa` is not page-aligned.
+    pub fn map(&mut self, host: &mut Host, iova: Iova, hpa: Hpa) -> Result<(), HvError> {
+        assert!(iova.is_aligned(PAGE_SIZE) && hpa.is_aligned(PAGE_SIZE));
+        if self.mappings.len() >= MAX_MAPPINGS_PER_GROUP {
+            return Err(HvError::IommuMapLimit);
+        }
+        let page_index = iova.raw() / PAGE_SIZE;
+        if self.mappings.contains_key(&page_index) {
+            return Err(HvError::IovaAlreadyMapped(iova));
+        }
+        let window = iova.raw() / HUGE_PAGE_SIZE;
+        if let std::collections::hash_map::Entry::Vacant(e) = self.iopt_pages.entry(window) {
+            let pt = host.alloc_iopt_page()?;
+            e.insert(pt);
+        }
+        // Write the entry into the IOPT page in DRAM for fidelity.
+        let pt = self.iopt_pages[&window];
+        let slot = (iova.raw() / PAGE_SIZE) % 512;
+        host.dram_mut()
+            .store_mut()
+            .write_u64(pt.base_hpa().add(slot * 8), hpa.raw() | 0b11);
+        self.mappings.insert(page_index, hpa);
+        host.charge_viommu_map();
+        Ok(())
+    }
+
+    /// Removes the mapping at `iova`, freeing its IOPT page when the
+    /// 2 MiB window empties.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::IovaNotMapped`] if no mapping exists.
+    pub fn unmap(&mut self, host: &mut Host, iova: Iova) -> Result<(), HvError> {
+        let page_index = iova.raw() / PAGE_SIZE;
+        if self.mappings.remove(&page_index).is_none() {
+            return Err(HvError::IovaNotMapped(iova));
+        }
+        let window = iova.raw() / HUGE_PAGE_SIZE;
+        let pt = self.iopt_pages[&window];
+        let slot = page_index % 512;
+        host.dram_mut().store_mut().write_u64(pt.base_hpa().add(slot * 8), 0);
+        let window_now_empty = !self
+            .mappings
+            .keys()
+            .any(|&p| p * PAGE_SIZE / HUGE_PAGE_SIZE == window);
+        if window_now_empty {
+            let pt = self.iopt_pages.remove(&window).expect("window had a page");
+            host.free_iopt_page(pt);
+        }
+        Ok(())
+    }
+
+    /// Translates an IOVA the way a device DMA would.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::IovaNotMapped`] if no mapping exists.
+    pub fn translate(&self, iova: Iova) -> Result<Hpa, HvError> {
+        let page_index = iova.raw() / PAGE_SIZE;
+        let base = self
+            .mappings
+            .get(&page_index)
+            .ok_or(HvError::IovaNotMapped(iova))?;
+        Ok(base.add(iova.page_offset()))
+    }
+
+    /// Releases every mapping and IOPT page (device unassignment / VM
+    /// teardown).
+    pub fn destroy(&mut self, host: &mut Host) {
+        self.mappings.clear();
+        for (_, pt) in self.iopt_pages.drain() {
+            host.free_iopt_page(pt);
+        }
+    }
+}
+
+/// Target of a vIOMMU mapping request from the guest: the guest names a
+/// GPA, the hypervisor resolves and pins it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapRequest {
+    /// I/O virtual address to map.
+    pub iova: Iova,
+    /// Guest page to make DMA-visible.
+    pub gpa: Gpa,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostConfig;
+
+    fn host() -> Host {
+        Host::new(HostConfig::small_test())
+    }
+
+    #[test]
+    fn each_2mib_window_costs_one_unmovable_page() {
+        let mut h = host();
+        let mut g = IommuGroup::new();
+        let target = Hpa::new(0x5000);
+        let before = h.noise_pages();
+        for i in 0..10u64 {
+            g.map(&mut h, Iova::new(i * HUGE_PAGE_SIZE), target).unwrap();
+        }
+        assert_eq!(g.iopt_page_count(), 10);
+        assert_eq!(g.mapping_count(), 10);
+        // Ten free small unmovable pages were consumed (PCP effects may
+        // shift the exact count; direction must hold).
+        assert!(h.noise_pages() < before);
+    }
+
+    #[test]
+    fn same_window_shares_one_iopt_page() {
+        let mut h = host();
+        let mut g = IommuGroup::new();
+        for i in 0..4u64 {
+            g.map(&mut h, Iova::new(i * PAGE_SIZE), Hpa::new(0x5000)).unwrap();
+        }
+        assert_eq!(g.iopt_page_count(), 1);
+        assert_eq!(g.mapping_count(), 4);
+    }
+
+    #[test]
+    fn translation_roundtrip() {
+        let mut h = host();
+        let mut g = IommuGroup::new();
+        g.map(&mut h, Iova::new(0x40_0000), Hpa::new(0x9000)).unwrap();
+        assert_eq!(g.translate(Iova::new(0x40_0123)).unwrap(), Hpa::new(0x9123));
+        assert!(g.translate(Iova::new(0)).is_err());
+    }
+
+    #[test]
+    fn duplicate_mapping_rejected() {
+        let mut h = host();
+        let mut g = IommuGroup::new();
+        g.map(&mut h, Iova::new(0), Hpa::new(0x1000)).unwrap();
+        assert_eq!(
+            g.map(&mut h, Iova::new(0), Hpa::new(0x2000)),
+            Err(HvError::IovaAlreadyMapped(Iova::new(0)))
+        );
+    }
+
+    #[test]
+    fn mapping_limit_enforced() {
+        // Use a tiny synthetic limit by filling to the real one would be
+        // slow; instead verify the check against a nearly full map.
+        let mut h = host();
+        let mut g = IommuGroup::new();
+        // Fill fake mappings directly (same window, distinct pages).
+        for i in 0..MAX_MAPPINGS_PER_GROUP as u64 {
+            g.mappings.insert(i, Hpa::new(0x1000));
+        }
+        assert_eq!(
+            g.map(&mut h, Iova::new(1 << 40), Hpa::new(0x1000)),
+            Err(HvError::IommuMapLimit)
+        );
+    }
+
+    #[test]
+    fn unmap_frees_iopt_page_when_window_empties() {
+        let mut h = host();
+        let mut g = IommuGroup::new();
+        g.map(&mut h, Iova::new(0), Hpa::new(0x1000)).unwrap();
+        g.map(&mut h, Iova::new(PAGE_SIZE), Hpa::new(0x1000)).unwrap();
+        g.unmap(&mut h, Iova::new(0)).unwrap();
+        assert_eq!(g.iopt_page_count(), 1, "window still has a mapping");
+        g.unmap(&mut h, Iova::new(PAGE_SIZE)).unwrap();
+        assert_eq!(g.iopt_page_count(), 0);
+    }
+
+    #[test]
+    fn destroy_returns_all_pages() {
+        let mut h = host();
+        let free_before = h.buddy().free_pages();
+        let mut g = IommuGroup::new();
+        for i in 0..32u64 {
+            g.map(&mut h, Iova::new(i * HUGE_PAGE_SIZE), Hpa::new(0x3000)).unwrap();
+        }
+        g.destroy(&mut h);
+        assert_eq!(h.buddy().free_pages(), free_before);
+        assert_eq!(g.mapping_count(), 0);
+    }
+
+    #[test]
+    fn iopt_entries_are_written_to_dram() {
+        let mut h = host();
+        let mut g = IommuGroup::new();
+        g.map(&mut h, Iova::new(0x40_1000), Hpa::new(0xabc000)).unwrap();
+        let pt = g.iopt_pages[&(0x40_1000u64 / HUGE_PAGE_SIZE)];
+        let slot = (0x40_1000u64 / PAGE_SIZE) % 512;
+        let raw = h.dram().store().read_u64(pt.base_hpa().add(slot * 8));
+        assert_eq!(raw, 0xabc000 | 0b11);
+    }
+}

@@ -1,0 +1,316 @@
+//! The virtio-mem guest-memory device (gMD).
+//!
+//! virtio-mem lets the hypervisor resize a VM's memory at runtime in
+//! 2 MiB *sub-blocks* (§4.1). The protocol is cooperative: the host sets
+//! a `requested_size`; the guest driver plugs or unplugs sub-blocks to
+//! converge on it. The paper's key observation (§4.2.2) is that QEMU/KVM
+//! **does not enforce** the direction of convergence — a malicious guest
+//! driver can unplug any sub-block it likes, whenever it likes, and
+//! suppress the automatic re-plug. That voluntary-release path is what
+//! Page Steering uses to hand vulnerable hugepages back to the host
+//! allocator.
+//!
+//! [`QuarantinePolicy::QemuPatch`] implements the countermeasure the
+//! authors submitted to QEMU (§6): reject guest requests that move
+//! *away* from the host target or overshoot it.
+
+use hh_sim::addr::{Gpa, HUGE_PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+use crate::HvError;
+
+/// Size of a virtio-mem sub-block: 2 MiB, aligned with THP and order-9
+/// buddy blocks.
+pub const SUB_BLOCK_SIZE: u64 = HUGE_PAGE_SIZE;
+
+/// Host-side policing of guest memory-change requests (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QuarantinePolicy {
+    /// Stock QEMU behaviour: guest requests are honoured unconditionally.
+    #[default]
+    Off,
+    /// The authors' QEMU patch: "prohibit unplugging when
+    /// `size <= requested`" — i.e. NACK any unplug that would take the
+    /// plugged size at or below the host-requested target, and any plug
+    /// that overshoots it.
+    QemuPatch,
+}
+
+impl QuarantinePolicy {
+    /// Does the policy admit an unplug of `delta` bytes?
+    pub fn permits_unplug(self, plugged: u64, requested: u64, delta: u64) -> bool {
+        match self {
+            QuarantinePolicy::Off => true,
+            // Unplugging is only legitimate while converging down:
+            // plugged must stay strictly above the target before the
+            // operation, and must not undershoot it after.
+            QuarantinePolicy::QemuPatch => {
+                plugged > requested && plugged - delta >= requested
+            }
+        }
+    }
+
+    /// Does the policy admit a plug of `delta` bytes?
+    pub fn permits_plug(self, plugged: u64, requested: u64, delta: u64) -> bool {
+        match self {
+            QuarantinePolicy::Off => true,
+            QuarantinePolicy::QemuPatch => plugged + delta <= requested,
+        }
+    }
+}
+
+/// Device state for one VM's virtio-mem region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtioMemDevice {
+    region_base: Gpa,
+    sub_blocks: u64,
+    plugged: Vec<bool>,
+    requested_size: u64,
+}
+
+impl VirtioMemDevice {
+    /// Creates a fully plugged device covering `size` bytes at
+    /// `region_base`, with the host target equal to the full size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if base or size are not sub-block aligned, or size is zero.
+    pub fn new(region_base: Gpa, size: u64) -> Self {
+        assert!(region_base.is_aligned(SUB_BLOCK_SIZE), "unaligned region base");
+        assert!(size > 0 && size.is_multiple_of(SUB_BLOCK_SIZE), "bad region size");
+        let sub_blocks = size / SUB_BLOCK_SIZE;
+        Self {
+            region_base,
+            sub_blocks,
+            plugged: vec![true; sub_blocks as usize],
+            requested_size: size,
+        }
+    }
+
+    /// First guest-physical address of the region.
+    pub fn region_base(&self) -> Gpa {
+        self.region_base
+    }
+
+    /// Region size in bytes.
+    pub fn region_size(&self) -> u64 {
+        self.sub_blocks * SUB_BLOCK_SIZE
+    }
+
+    /// Currently plugged bytes.
+    pub fn plugged_size(&self) -> u64 {
+        self.plugged.iter().filter(|&&p| p).count() as u64 * SUB_BLOCK_SIZE
+    }
+
+    /// The host-requested target size.
+    pub fn requested_size(&self) -> u64 {
+        self.requested_size
+    }
+
+    /// Host side: set a new target size (the legitimate resize path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not sub-block aligned or exceeds the
+    /// region.
+    pub fn set_requested_size(&mut self, bytes: u64) {
+        assert!(bytes.is_multiple_of(SUB_BLOCK_SIZE) && bytes <= self.region_size());
+        self.requested_size = bytes;
+    }
+
+    /// Sub-block index of a guest-physical address.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::BadSubBlock`] if unaligned or outside the region.
+    pub fn sub_block_of(&self, gpa: Gpa) -> Result<u64, HvError> {
+        if !gpa.is_aligned(SUB_BLOCK_SIZE)
+            || gpa < self.region_base
+            || gpa.offset_from(self.region_base) >= self.region_size()
+        {
+            return Err(HvError::BadSubBlock(gpa));
+        }
+        Ok(gpa.offset_from(self.region_base) / SUB_BLOCK_SIZE)
+    }
+
+    /// Guest-physical base address of a sub-block index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn sub_block_base(&self, index: u64) -> Gpa {
+        assert!(index < self.sub_blocks, "sub-block index out of range");
+        self.region_base.add(index * SUB_BLOCK_SIZE)
+    }
+
+    /// Is the sub-block at `gpa` plugged?
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::BadSubBlock`] for invalid addresses.
+    pub fn is_plugged(&self, gpa: Gpa) -> Result<bool, HvError> {
+        Ok(self.plugged[self.sub_block_of(gpa)? as usize])
+    }
+
+    /// Marks a sub-block unplugged after the quarantine check.
+    ///
+    /// This is the protocol-level half of an unplug; the caller
+    /// ([`crate::vm::Vm::virtio_mem_unplug`]) releases the backing.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::BadSubBlock`], [`HvError::NotPlugged`], or
+    /// [`HvError::QuarantineNack`] per the policy.
+    pub fn unplug(&mut self, gpa: Gpa, policy: QuarantinePolicy) -> Result<(), HvError> {
+        let index = self.sub_block_of(gpa)?;
+        if !self.plugged[index as usize] {
+            return Err(HvError::NotPlugged(gpa));
+        }
+        let plugged = self.plugged_size();
+        if !policy.permits_unplug(plugged, self.requested_size, SUB_BLOCK_SIZE) {
+            return Err(HvError::QuarantineNack {
+                current: plugged,
+                requested: self.requested_size,
+            });
+        }
+        self.plugged[index as usize] = false;
+        Ok(())
+    }
+
+    /// Marks a sub-block plugged after the quarantine check.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::BadSubBlock`], [`HvError::AlreadyPlugged`], or
+    /// [`HvError::QuarantineNack`] per the policy.
+    pub fn plug(&mut self, gpa: Gpa, policy: QuarantinePolicy) -> Result<(), HvError> {
+        let index = self.sub_block_of(gpa)?;
+        if self.plugged[index as usize] {
+            return Err(HvError::AlreadyPlugged(gpa));
+        }
+        let plugged = self.plugged_size();
+        if !policy.permits_plug(plugged, self.requested_size, SUB_BLOCK_SIZE) {
+            return Err(HvError::QuarantineNack {
+                current: plugged,
+                requested: self.requested_size,
+            });
+        }
+        self.plugged[index as usize] = true;
+        Ok(())
+    }
+
+    /// Iterates over the base GPAs of currently plugged sub-blocks.
+    pub fn plugged_sub_blocks(&self) -> impl Iterator<Item = Gpa> + '_ {
+        self.plugged
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p)
+            .map(move |(i, _)| self.region_base.add(i as u64 * SUB_BLOCK_SIZE))
+    }
+
+    /// First unplugged sub-block, if any (used by the cooperative driver
+    /// when converging upward).
+    pub fn first_unplugged(&self) -> Option<Gpa> {
+        self.plugged
+            .iter()
+            .position(|&p| !p)
+            .map(|i| self.region_base.add(i as u64 * SUB_BLOCK_SIZE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> VirtioMemDevice {
+        VirtioMemDevice::new(Gpa::new(1 << 30), 64 * SUB_BLOCK_SIZE)
+    }
+
+    #[test]
+    fn fresh_device_is_fully_plugged() {
+        let d = device();
+        assert_eq!(d.plugged_size(), d.region_size());
+        assert_eq!(d.plugged_sub_blocks().count(), 64);
+        assert_eq!(d.first_unplugged(), None);
+    }
+
+    #[test]
+    fn voluntary_unplug_with_policy_off() {
+        // The attack path: host target says "keep everything", guest
+        // unplugs anyway, stock QEMU accepts.
+        let mut d = device();
+        assert_eq!(d.requested_size(), d.region_size());
+        let victim = d.sub_block_base(7);
+        d.unplug(victim, QuarantinePolicy::Off).unwrap();
+        assert!(!d.is_plugged(victim).unwrap());
+        assert_eq!(d.plugged_size(), d.region_size() - SUB_BLOCK_SIZE);
+    }
+
+    #[test]
+    fn quarantine_nacks_voluntary_unplug() {
+        let mut d = device();
+        let victim = d.sub_block_base(7);
+        let err = d.unplug(victim, QuarantinePolicy::QemuPatch).unwrap_err();
+        assert!(matches!(err, HvError::QuarantineNack { .. }));
+        assert!(d.is_plugged(victim).unwrap());
+    }
+
+    #[test]
+    fn quarantine_permits_legitimate_shrink() {
+        let mut d = device();
+        // Host asks the VM to shrink by two sub-blocks.
+        d.set_requested_size(d.region_size() - 2 * SUB_BLOCK_SIZE);
+        d.unplug(d.sub_block_base(0), QuarantinePolicy::QemuPatch).unwrap();
+        d.unplug(d.sub_block_base(1), QuarantinePolicy::QemuPatch).unwrap();
+        // A third unplug would undershoot the target: NACK.
+        let err = d.unplug(d.sub_block_base(2), QuarantinePolicy::QemuPatch).unwrap_err();
+        assert!(matches!(err, HvError::QuarantineNack { .. }));
+    }
+
+    #[test]
+    fn quarantine_permits_legitimate_grow() {
+        let mut d = device();
+        d.set_requested_size(d.region_size() - SUB_BLOCK_SIZE);
+        d.unplug(d.sub_block_base(5), QuarantinePolicy::Off).unwrap();
+        d.unplug(d.sub_block_base(6), QuarantinePolicy::Off).unwrap();
+        // Now plugged = region - 2 sub-blocks < requested: plug allowed.
+        d.plug(d.sub_block_base(5), QuarantinePolicy::QemuPatch).unwrap();
+        // Another plug would overshoot: NACK.
+        let err = d.plug(d.sub_block_base(6), QuarantinePolicy::QemuPatch).unwrap_err();
+        assert!(matches!(err, HvError::QuarantineNack { .. }));
+    }
+
+    #[test]
+    fn double_unplug_rejected() {
+        let mut d = device();
+        let b = d.sub_block_base(3);
+        d.unplug(b, QuarantinePolicy::Off).unwrap();
+        assert_eq!(d.unplug(b, QuarantinePolicy::Off), Err(HvError::NotPlugged(b)));
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        let d = device();
+        assert!(matches!(
+            d.sub_block_of(Gpa::new(0)),
+            Err(HvError::BadSubBlock(_))
+        ));
+        assert!(matches!(
+            d.sub_block_of(Gpa::new((1 << 30) + 0x1000)),
+            Err(HvError::BadSubBlock(_))
+        ));
+        assert!(matches!(
+            d.sub_block_of(Gpa::new((1 << 30) + 64 * SUB_BLOCK_SIZE)),
+            Err(HvError::BadSubBlock(_))
+        ));
+    }
+
+    #[test]
+    fn first_unplugged_tracks_holes() {
+        let mut d = device();
+        d.unplug(d.sub_block_base(9), QuarantinePolicy::Off).unwrap();
+        assert_eq!(d.first_unplugged(), Some(d.sub_block_base(9)));
+        d.plug(d.sub_block_base(9), QuarantinePolicy::Off).unwrap();
+        assert_eq!(d.first_unplugged(), None);
+    }
+}

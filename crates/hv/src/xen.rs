@@ -1,0 +1,271 @@
+//! A minimal Xen-style hypervisor model for the §6 comparison.
+//!
+//! The paper's discussion argues Page Steering is *easier* on Xen than on
+//! KVM, because of two differences this module reproduces:
+//!
+//! 1. A guest can release memory **proactively** with the
+//!    `XENMEM_decrease_reservation` hypercall ([`XenDomain::decrease_reservation`]),
+//!    which frees pages to the domheap via `free_domheap_pages` — no
+//!    device negotiation, no sub-block granularity constraints.
+//! 2. Xen's heap allocator (`alloc_domheap_pages`) **does not segregate
+//!    migration types**: p2m (Xen's EPT) page allocations draw from the
+//!    same free pool the guest just released into, so there is no
+//!    `MIGRATE_UNMOVABLE` noise population to exhaust first — the entire
+//!    §4.2.1 vIOMMU step disappears.
+//!
+//! The model reuses the buddy allocator (with a single migration type)
+//! and the EPT implementation (Xen's HAP/p2m tables have the same shape),
+//! so reuse statistics are directly comparable with the KVM path.
+
+use hh_buddy::{BuddyAllocator, MigrateType};
+use hh_sim::addr::{Gpa, Pfn, HUGE_PAGE_SIZE};
+use std::collections::BTreeMap;
+
+use crate::ept::Ept;
+use crate::host::Host;
+use crate::HvError;
+
+/// A guest domain under the Xen-style model.
+///
+/// # Examples
+///
+/// ```
+/// use hh_hv::xen::XenDomain;
+/// use hh_hv::{Host, HostConfig};
+/// use hh_sim::Gpa;
+///
+/// let mut host = Host::new(HostConfig::small_test());
+/// let mut dom = XenDomain::create(&mut host, 16 << 21)?;
+/// // Proactive release — no device, no negotiation:
+/// dom.decrease_reservation(&mut host, Gpa::new(2 << 21))?;
+/// assert_eq!(host.released_log().len(), 512);
+/// # Ok::<(), hh_hv::HvError>(())
+/// ```
+#[derive(Debug)]
+pub struct XenDomain {
+    p2m: Ept,
+    /// 2 MiB chunk index → backing block.
+    backing: BTreeMap<u64, Pfn>,
+    mem_bytes: u64,
+}
+
+impl XenDomain {
+    /// Creates a domain with `mem_bytes` of 2 MiB-backed memory.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::OutOfHostMemory`] when the heap cannot back it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_bytes` is not 2 MiB-aligned or zero.
+    pub fn create(host: &mut Host, mem_bytes: u64) -> Result<Self, HvError> {
+        assert!(mem_bytes > 0 && mem_bytes.is_multiple_of(HUGE_PAGE_SIZE));
+        let p2m = Ept::new(host)?;
+        let mut dom = Self {
+            p2m,
+            backing: BTreeMap::new(),
+            mem_bytes,
+        };
+        for chunk in 0..mem_bytes / HUGE_PAGE_SIZE {
+            dom.populate_chunk(host, chunk)?;
+        }
+        Ok(dom)
+    }
+
+    fn populate_chunk(&mut self, host: &mut Host, chunk: u64) -> Result<(), HvError> {
+        // Xen does not distinguish migration types; everything is "heap".
+        let block = Self::alloc_domheap(host.buddy_mut(), 9)?;
+        self.p2m
+            .map_huge(host, Gpa::new(chunk * HUGE_PAGE_SIZE), block.base_hpa(), true)?;
+        self.backing.insert(chunk, block);
+        Ok(())
+    }
+
+    /// `alloc_domheap_pages`: one free pool, no type segregation.
+    fn alloc_domheap(buddy: &mut BuddyAllocator, order: u8) -> Result<Pfn, HvError> {
+        Ok(buddy.alloc(order, MigrateType::Movable)?)
+    }
+
+    /// Domain memory size.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// The `XENMEM_decrease_reservation` hypercall: the guest proactively
+    /// releases a 2 MiB extent; Xen frees it straight to the domheap
+    /// (`free_domheap_pages`), where the very next p2m allocation can
+    /// pick it up.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::NotPlugged`] if the extent is already gone;
+    /// [`HvError::BadSubBlock`] for unaligned addresses.
+    pub fn decrease_reservation(&mut self, host: &mut Host, gpa: Gpa) -> Result<(), HvError> {
+        if !gpa.is_aligned(HUGE_PAGE_SIZE) {
+            return Err(HvError::BadSubBlock(gpa));
+        }
+        let chunk = gpa.raw() / HUGE_PAGE_SIZE;
+        let block = self.backing.remove(&chunk).ok_or(HvError::NotPlugged(gpa))?;
+        self.p2m.unmap(host, gpa)?;
+        host.buddy_mut().free(block, 9);
+        host.log_released(block, 512);
+        host.charge_virtio_mem_unplug(); // comparable hypercall cost
+        Ok(())
+    }
+
+    /// `XENMEM_populate_physmap`: re-backs a released extent.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::AlreadyPlugged`] if still populated; allocation errors.
+    pub fn populate_physmap(&mut self, host: &mut Host, gpa: Gpa) -> Result<(), HvError> {
+        let chunk = gpa.raw() / HUGE_PAGE_SIZE;
+        if self.backing.contains_key(&chunk) {
+            return Err(HvError::AlreadyPlugged(gpa));
+        }
+        self.populate_chunk(host, chunk)
+    }
+
+    /// Forces a p2m split of the 2 MiB mapping at `gpa` — Xen demotes
+    /// superpages for the same class of reasons KVM does (page-type
+    /// changes, mem_access, the multihit-style errata), allocating a p2m
+    /// table page from the domheap in the process.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Unmapped`] if the chunk has no 2 MiB mapping.
+    pub fn demote_superpage(&mut self, host: &mut Host, gpa: Gpa) -> Result<Pfn, HvError> {
+        // p2m table pages come from the same undifferentiated heap —
+        // `alloc_domheap_pages` does not separate migration types.
+        self.p2m.split_huge_typed(host, gpa, MigrateType::Movable)
+    }
+
+    /// All p2m table pages (for reuse statistics).
+    pub fn p2m_table_pages(&self, host: &Host) -> Vec<Pfn> {
+        self.p2m
+            .table_pages(host)
+            .into_iter()
+            .map(|(pfn, _)| pfn)
+            .collect()
+    }
+
+    /// Tears the domain down.
+    pub fn destroy(mut self, host: &mut Host) {
+        for (_, block) in std::mem::take(&mut self.backing) {
+            host.buddy_mut().free(block, 9);
+        }
+        self.p2m.destroy(host);
+    }
+}
+
+/// Reuse statistics for the Xen-style steering experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XenReuse {
+    /// Pages the guest released.
+    pub released: u64,
+    /// p2m table pages in the system.
+    pub p2m_pages: u64,
+    /// Released pages now holding p2m tables.
+    pub reused: u64,
+}
+
+/// Runs the §6 Xen steering comparison: release `blocks` extents, demote
+/// `demotions` superpages, count how many p2m pages landed on released
+/// frames — with **no** exhaustion step at all.
+///
+/// # Errors
+///
+/// Propagates domain operation failures.
+pub fn steering_experiment(
+    host: &mut Host,
+    dom: &mut XenDomain,
+    blocks: u64,
+    demotions: u64,
+) -> Result<XenReuse, HvError> {
+    host.reset_released_log();
+    let total_chunks = dom.mem_bytes() / HUGE_PAGE_SIZE;
+    let stride = (total_chunks / blocks).max(1);
+    for i in 0..blocks {
+        dom.decrease_reservation(host, Gpa::new((i * stride % total_chunks) * HUGE_PAGE_SIZE))?;
+    }
+    let mut demoted = 0;
+    for chunk in 0..total_chunks {
+        if demoted >= demotions {
+            break;
+        }
+        let gpa = Gpa::new(chunk * HUGE_PAGE_SIZE);
+        if dom.demote_superpage(host, gpa).is_ok() {
+            demoted += 1;
+        }
+    }
+    let released: std::collections::HashSet<u64> =
+        host.released_log().iter().map(|p| p.index()).collect();
+    let p2m = dom.p2m_table_pages(host);
+    let reused = p2m.iter().filter(|p| released.contains(&p.index())).count() as u64;
+    Ok(XenReuse {
+        released: released.len() as u64,
+        p2m_pages: p2m.len() as u64,
+        reused,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostConfig;
+
+    fn host() -> Host {
+        Host::new(HostConfig::small_test())
+    }
+
+    #[test]
+    fn domain_lifecycle() {
+        let mut h = host();
+        let free_before = h.buddy().free_pages();
+        let dom = XenDomain::create(&mut h, 8 << 21).unwrap();
+        assert!(h.buddy().free_pages() < free_before);
+        dom.destroy(&mut h);
+        assert_eq!(h.buddy().free_pages(), free_before);
+    }
+
+    #[test]
+    fn decrease_reservation_is_unconditional() {
+        // No quarantine, no target negotiation: the hypercall always
+        // works — the §6 point about Xen.
+        let mut h = host();
+        let mut dom = XenDomain::create(&mut h, 8 << 21).unwrap();
+        for chunk in 0..4u64 {
+            dom.decrease_reservation(&mut h, Gpa::new(chunk * HUGE_PAGE_SIZE)).unwrap();
+        }
+        assert_eq!(h.released_log().len(), 4 * 512);
+        // Double release fails cleanly.
+        assert!(dom
+            .decrease_reservation(&mut h, Gpa::new(0))
+            .is_err());
+        dom.destroy(&mut h);
+    }
+
+    #[test]
+    fn populate_round_trip() {
+        let mut h = host();
+        let mut dom = XenDomain::create(&mut h, 8 << 21).unwrap();
+        dom.decrease_reservation(&mut h, Gpa::new(2 << 21)).unwrap();
+        dom.populate_physmap(&mut h, Gpa::new(2 << 21)).unwrap();
+        assert!(dom.populate_physmap(&mut h, Gpa::new(2 << 21)).is_err());
+        dom.destroy(&mut h);
+    }
+
+    #[test]
+    fn steering_needs_no_exhaustion_on_xen() {
+        let mut h = host();
+        let mut dom = XenDomain::create(&mut h, 48 << 21).unwrap();
+        let reuse = steering_experiment(&mut h, &mut dom, 4, 40).unwrap();
+        assert!(
+            reuse.reused > 0,
+            "released frames must be reused for p2m with no exhaustion step: {reuse:?}"
+        );
+        assert!(reuse.p2m_pages >= 40);
+        dom.destroy(&mut h);
+    }
+}

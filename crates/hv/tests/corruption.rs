@@ -1,0 +1,126 @@
+//! Corruption-path semantics: what exactly happens when EPT pages in
+//! DRAM change under the guest — the contract the exploit builds on.
+
+use hh_hv::ept::MappingLevel;
+use hh_hv::{Host, HostConfig, VmConfig};
+use hh_sim::addr::{Gpa, Hpa, PAGE_SIZE};
+
+fn setup_split() -> (Host, hh_hv::Vm) {
+    let mut host = Host::new(HostConfig::small_test());
+    let mut vm = host.create_vm(VmConfig::small_test()).unwrap();
+    vm.exec_gpa(&mut host, Gpa::new(0)).unwrap();
+    (host, vm)
+}
+
+fn flip_pfn_bit(host: &mut Host, entry_hpa: Hpa, bit: u32) {
+    let raw = host.dram().store().read_u64(entry_hpa);
+    host.dram_mut().store_mut().write_u64(entry_hpa, raw ^ (1u64 << bit));
+}
+
+#[test]
+fn flip_to_unbacked_frame_reads_zero_dram() {
+    // A redirected mapping that stays inside the device reads whatever
+    // is there — including untouched (zero) frames.
+    let (mut host, mut vm) = setup_split();
+    let victim = Gpa::new(0x9000);
+    vm.write_u64_gpa(&mut host, victim, 0x1111).unwrap();
+    let entry = vm.leaf_epte_hpa(&host, victim).unwrap();
+    flip_pfn_bit(&mut host, entry, 25);
+    let t = vm.translate_gpa(&host, victim).unwrap();
+    if host.dram().geometry().contains(t.hpa) {
+        // Still readable, but through a different frame.
+        let v = vm.read_u64_gpa(&host, victim).unwrap();
+        assert_ne!(v, 0x1111, "must not read the original frame");
+    } else {
+        assert!(vm.read_u64_gpa(&host, victim).is_err());
+    }
+}
+
+#[test]
+fn flip_off_device_makes_page_unreadable() {
+    let (mut host, vm) = setup_split();
+    let victim = Gpa::new(0xa000);
+    let entry = vm.leaf_epte_hpa(&host, victim).unwrap();
+    // Bit 40 of the raw entry = PFN bit 28 → way past a 256 MiB device.
+    flip_pfn_bit(&mut host, entry, 40);
+    assert!(vm.read_u64_gpa(&host, victim).is_err());
+    assert!(vm.read_gpa(&host, victim, 1).is_err());
+}
+
+#[test]
+fn guest_writes_through_corrupted_mapping_corrupt_the_target() {
+    // The escape's mechanism: once an EPTE points at another page, guest
+    // stores land there.
+    let (mut host, mut vm) = setup_split();
+    let victim = Gpa::new(0xb000);
+    let entry = vm.leaf_epte_hpa(&host, victim).unwrap();
+    let raw = host.dram().store().read_u64(entry);
+    // Redirect precisely onto a host-chosen frame.
+    let target = host
+        .buddy_mut()
+        .alloc_page(hh_buddy::MigrateType::Unmovable)
+        .unwrap();
+    let pfn_mask = ((1u64 << 48) - 1) & !0xfff;
+    host.dram_mut()
+        .store_mut()
+        .write_u64(entry, raw & !pfn_mask | (target.index() << 12));
+
+    vm.write_u64_gpa(&mut host, victim, 0xc0fe).unwrap();
+    assert_eq!(host.dram().store().read_u64(target.base_hpa()), 0xc0fe);
+}
+
+#[test]
+fn low_bit_flips_keep_the_same_frame() {
+    // §4.1: flipping PFN bits 12–20 stays inside the same 2 MiB block —
+    // and bits below 21 in the *entry* (permissions aside) don't change
+    // which 4 KiB frame a 4 KiB mapping uses beyond its block. Verify a
+    // bit-12 flip still lands in the original backing block.
+    let (mut host, vm) = setup_split();
+    let victim = Gpa::new(0xc000);
+    let before = vm.translate_gpa(&host, victim).unwrap().hpa;
+    let entry = vm.leaf_epte_hpa(&host, victim).unwrap();
+    flip_pfn_bit(&mut host, entry, 12);
+    let after = vm.translate_gpa(&host, victim).unwrap().hpa;
+    assert_ne!(before, after);
+    assert_eq!(
+        before.align_down(2 << 20),
+        after.align_down(2 << 20),
+        "bit-12 flip must stay inside the 2 MiB block"
+    );
+}
+
+#[test]
+fn corrupting_a_pd_entry_redirects_a_whole_chunk() {
+    // Flips can also land in non-leaf tables; the model walks whatever
+    // the tables say. (The attack filters these out via the EPT format
+    // check; the substrate must still behave coherently.)
+    let (mut host, vm) = setup_split();
+    // Translate through the still-huge second chunk; its PD entry is the
+    // leaf.
+    let gpa = Gpa::new(2 << 21);
+    let t = vm.translate_gpa(&host, gpa).unwrap();
+    assert_eq!(t.level, MappingLevel::Huge2M);
+    let raw = host.dram().store().read_u64(t.entry_hpa);
+    host.dram_mut()
+        .store_mut()
+        .write_u64(t.entry_hpa, raw ^ (1 << 25));
+    let t2 = vm.translate_gpa(&host, gpa).unwrap();
+    assert_eq!(t2.hpa.raw(), t.hpa.raw() ^ (1 << 25));
+    // The whole 2 MiB window moved together.
+    let t3 = vm.translate_gpa(&host, gpa.add(0x12345)).unwrap();
+    assert_eq!(t3.hpa.raw(), t.hpa.raw() ^ (1 << 25) | 0x12345);
+}
+
+#[test]
+fn stamp_region_handles_split_and_huge_chunks_alike() {
+    let (mut host, mut vm) = setup_split(); // chunk 0 split, others huge
+    let magic = |g: Gpa| 0xabcd_0000_0000_0000 | (g.raw() & 0xffff_f000);
+    let total = vm.config().total_mem().bytes();
+    vm.stamp_region(&mut host, Gpa::new(0), total, 0x11, &magic).unwrap();
+    for probe in [0u64, 0x5000, (2 << 21) + 0x3000, total - PAGE_SIZE] {
+        let gpa = Gpa::new(probe);
+        assert_eq!(vm.read_u64_gpa(&host, gpa).unwrap(), magic(gpa));
+        // Fill byte visible past the stamp.
+        assert_eq!(vm.read_gpa(&host, gpa.add(9), 1).unwrap()[0], 0x11);
+    }
+}

@@ -1,0 +1,321 @@
+//! A simulated nanosecond clock.
+//!
+//! HyperHammer's evaluation reports wall-clock costs — 72 hours of
+//! profiling, ~4 minutes per attack attempt, an expected 137–192 days
+//! end-to-end. Those times are products of *work* (hammer rounds, bytes
+//! scanned, VM reboots) and *rates* (hardware speeds). The reproduction
+//! performs the same work and charges it to this simulated clock using a
+//! calibrated [`CostModel`], so the shapes of the paper's time figures are
+//! preserved without real hardware.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing simulated clock with nanosecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use hh_sim::clock::Clock;
+///
+/// let mut clock = Clock::new();
+/// clock.advance_millis(1_500);
+/// assert_eq!(clock.now_nanos(), 1_500_000_000);
+/// assert_eq!(clock.now().to_string(), "1.500s");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Clock {
+    nanos: u64,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub const fn new() -> Self {
+        Self { nanos: 0 }
+    }
+
+    /// Returns the current simulated time.
+    pub const fn now(&self) -> SimInstant {
+        SimInstant { nanos: self.nanos }
+    }
+
+    /// Returns the current simulated time in nanoseconds.
+    pub const fn now_nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Advances the clock by `nanos` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock would overflow (≈ 584 simulated years).
+    pub fn advance_nanos(&mut self, nanos: u64) {
+        self.nanos = self.nanos.checked_add(nanos).expect("simulated clock overflow");
+    }
+
+    /// Advances the clock by `micros` microseconds.
+    pub fn advance_micros(&mut self, micros: u64) {
+        self.advance_nanos(micros.checked_mul(1_000).expect("clock overflow"));
+    }
+
+    /// Advances the clock by `millis` milliseconds.
+    pub fn advance_millis(&mut self, millis: u64) {
+        self.advance_nanos(millis.checked_mul(1_000_000).expect("clock overflow"));
+    }
+
+    /// Advances the clock by `secs` seconds.
+    pub fn advance_secs(&mut self, secs: u64) {
+        self.advance_nanos(secs.checked_mul(1_000_000_000).expect("clock overflow"));
+    }
+
+    /// Returns the time elapsed since `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is in the future of this clock.
+    pub fn elapsed_since(&self, start: SimInstant) -> SimDuration {
+        SimDuration {
+            nanos: self
+                .nanos
+                .checked_sub(start.nanos)
+                .expect("elapsed_since: start is in the future"),
+        }
+    }
+}
+
+/// A point in simulated time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant {
+    nanos: u64,
+}
+
+impl SimInstant {
+    /// Returns the instant as nanoseconds since time zero.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        SimDuration { nanos: self.nanos }.fmt(f)
+    }
+}
+
+/// A span of simulated time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration {
+    nanos: u64,
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: Self = Self { nanos: 0 };
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Self { nanos }
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self { nanos: micros * 1_000 }
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Self { nanos: millis * 1_000_000 }
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self { nanos: secs * 1_000_000_000 }
+    }
+
+    /// Returns the duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Returns the duration in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.nanos / 1_000_000_000
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Returns the duration as fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// Returns the duration as fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Returns the duration as fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.as_hours_f64() / 24.0
+    }
+
+    /// Returns the sum of two durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn checked_add(self, other: Self) -> Self {
+        Self {
+            nanos: self.nanos.checked_add(other.nanos).expect("duration overflow"),
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.nanos;
+        if n >= 86_400_000_000_000 {
+            write!(f, "{:.1}d", self.as_days_f64())
+        } else if n >= 3_600_000_000_000 {
+            write!(f, "{:.1}h", self.as_hours_f64())
+        } else if n >= 60_000_000_000 {
+            write!(f, "{:.1}min", self.as_mins_f64())
+        } else if n >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if n >= 1_000_000 {
+            write!(f, "{:.3}ms", n as f64 / 1e6)
+        } else if n >= 1_000 {
+            write!(f, "{:.3}us", n as f64 / 1e3)
+        } else {
+            write!(f, "{n}ns")
+        }
+    }
+}
+
+/// Per-operation simulated costs, in nanoseconds.
+///
+/// The defaults are calibrated so that the work the paper describes takes
+/// roughly the time the paper reports (see `EXPERIMENTS.md` for the
+/// calibration). Machine presets override individual entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of one DRAM row activation pair in a hammer loop (two reads +
+    /// flushes, uncached).
+    pub hammer_activation_nanos: u64,
+    /// Cost of scanning one byte of memory when checking for bit flips.
+    pub scan_byte_nanos: u64,
+    /// Cost of establishing one vIOMMU mapping (vmexit + IOPT update).
+    pub viommu_map_nanos: u64,
+    /// Cost of one virtio-mem unplug request round-trip.
+    pub virtio_mem_unplug_nanos: u64,
+    /// Cost of one hugepage split under the iTLB-Multihit countermeasure
+    /// (page fault, EPT allocation, 512 EPTE writes, resume).
+    pub hugepage_split_nanos: u64,
+    /// Cost of rebooting the attacker VM for a fresh attempt.
+    pub vm_reboot_nanos: u64,
+    /// Cost of writing one byte when initializing buffers (e.g. magic
+    /// values or the idling function body).
+    pub write_byte_nanos: u64,
+}
+
+impl CostModel {
+    /// Calibration such that 250 000 hammer rounds plus a 12 GiB scan per
+    /// aggressor-pair lands full-memory profiling in the tens of hours and
+    /// one attack attempt at a few simulated minutes.
+    pub fn calibrated() -> Self {
+        Self {
+            hammer_activation_nanos: 320,
+            scan_byte_nanos: 0,
+            viommu_map_nanos: 25_000,
+            virtio_mem_unplug_nanos: 150_000,
+            hugepage_split_nanos: 60_000,
+            // A full guest reboot (firmware + kernel + userspace) of a
+            // 13 GiB VM: ~3 minutes, the dominant cost of a failed
+            // attempt (§5.3.2's ~4 min/attempt).
+            vm_reboot_nanos: 180_000_000_000,
+            write_byte_nanos: 0,
+        }
+    }
+
+    /// Cost of scanning `bytes` bytes of memory.
+    ///
+    /// Scans are charged in bulk at a fixed bandwidth (~10 GiB/s) rather
+    /// than per byte, because per-byte accounting of multi-gigabyte scans
+    /// would overflow the precision budget of the per-op table.
+    pub fn scan_cost_nanos(&self, bytes: u64) -> u64 {
+        // 10 GiB/s ≈ 0.0931 ns/byte; approximate as bytes / 10.
+        bytes / 10 + self.scan_byte_nanos * (bytes % 10)
+    }
+
+    /// Cost of writing `bytes` bytes of memory (~5 GiB/s).
+    pub fn write_cost_nanos(&self, bytes: u64) -> u64 {
+        bytes / 5 + self.write_byte_nanos * (bytes % 5)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        let t0 = c.now();
+        c.advance_secs(2);
+        c.advance_millis(500);
+        assert_eq!(c.elapsed_since(t0).as_nanos(), 2_500_000_000);
+    }
+
+    #[test]
+    fn duration_display_picks_sane_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(3).to_string(), "3.000us");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "250.000ms");
+        assert_eq!(SimDuration::from_secs(59).to_string(), "59.000s");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "1.5min");
+        assert_eq!(SimDuration::from_secs(7200).to_string(), "2.0h");
+        assert_eq!(SimDuration::from_secs(172_800).to_string(), "2.0d");
+    }
+
+    #[test]
+    fn duration_unit_conversions() {
+        let d = SimDuration::from_secs(3600);
+        assert!((d.as_hours_f64() - 1.0).abs() < 1e-12);
+        assert!((d.as_mins_f64() - 60.0).abs() < 1e-9);
+        assert_eq!(d.as_secs(), 3600);
+    }
+
+    #[test]
+    fn scan_cost_is_linear_in_bytes() {
+        let m = CostModel::calibrated();
+        let one = m.scan_cost_nanos(1 << 30);
+        let two = m.scan_cost_nanos(2 << 30);
+        assert_eq!(two, one * 2);
+        // ~10 GiB/s: a 10 GiB scan takes about one simulated second.
+        let ten_gib = m.scan_cost_nanos(10 << 30);
+        assert!((0.9e9..1.2e9).contains(&(ten_gib as f64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn elapsed_since_future_panics() {
+        let mut c = Clock::new();
+        c.advance_secs(1);
+        let later = c.now();
+        Clock::new().elapsed_since(later);
+    }
+}

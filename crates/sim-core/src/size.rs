@@ -1,0 +1,149 @@
+//! Human-friendly byte sizes.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A size in bytes with binary-unit constructors and display.
+///
+/// # Examples
+///
+/// ```
+/// use hh_sim::size::ByteSize;
+///
+/// let vm_mem = ByteSize::gib(13);
+/// assert_eq!(vm_mem.bytes(), 13 * (1 << 30));
+/// assert_eq!(vm_mem.to_string(), "13 GiB");
+/// assert_eq!(ByteSize::mib(2).pages(), 512);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Creates a size from raw bytes.
+    pub const fn bytes_exact(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Creates a size of `n` KiB.
+    pub const fn kib(n: u64) -> Self {
+        Self(n << 10)
+    }
+
+    /// Creates a size of `n` MiB.
+    pub const fn mib(n: u64) -> Self {
+        Self(n << 20)
+    }
+
+    /// Creates a size of `n` GiB.
+    pub const fn gib(n: u64) -> Self {
+        Self(n << 30)
+    }
+
+    /// Returns the size in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the number of whole 4 KiB pages this size spans.
+    pub const fn pages(self) -> u64 {
+        self.0 / crate::addr::PAGE_SIZE
+    }
+
+    /// Returns the number of whole 2 MiB hugepages this size spans.
+    pub const fn huge_pages(self) -> u64 {
+        self.0 / crate::addr::HUGE_PAGE_SIZE
+    }
+
+    /// Returns ⌈log₂ bytes⌉, the paper's `⌈log₂(mem_size)⌉` used to bound
+    /// exploitable PFN bits (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is zero.
+    pub fn log2_ceil(self) -> u32 {
+        assert!(self.0 > 0, "log2 of zero size");
+        64 - (self.0 - 1).leading_zeros()
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.checked_add(rhs.0).expect("byte size overflow"))
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0.checked_sub(rhs.0).expect("byte size underflow"))
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1 << 30 && b.is_multiple_of(1 << 30) {
+            write!(f, "{} GiB", b >> 30)
+        } else if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
+            write!(f, "{} MiB", b >> 20)
+        } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
+            write!(f, "{} KiB", b >> 10)
+        } else {
+            write!(f, "{b} B")
+        }
+    }
+}
+
+impl From<ByteSize> for u64 {
+    fn from(s: ByteSize) -> u64 {
+        s.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(ByteSize::kib(1).bytes(), 1024);
+        assert_eq!(ByteSize::mib(1).bytes(), 1 << 20);
+        assert_eq!(ByteSize::gib(1).bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn page_counts() {
+        assert_eq!(ByteSize::gib(1).pages(), 262_144);
+        assert_eq!(ByteSize::gib(1).huge_pages(), 512);
+        assert_eq!(ByteSize::mib(2).huge_pages(), 1);
+    }
+
+    #[test]
+    fn log2_ceil_matches_paper() {
+        // The paper: "With 16 GB of memory, we have ⌈log₂(mem_size)⌉ = 34."
+        assert_eq!(ByteSize::gib(16).log2_ceil(), 34);
+        assert_eq!(ByteSize::gib(8).log2_ceil(), 33);
+        assert_eq!(ByteSize::bytes_exact(1).log2_ceil(), 0);
+        assert_eq!(ByteSize::bytes_exact(3).log2_ceil(), 2);
+    }
+
+    #[test]
+    fn display_uses_largest_exact_unit() {
+        assert_eq!(ByteSize::gib(2).to_string(), "2 GiB");
+        assert_eq!(ByteSize::mib(2050).to_string(), "2050 MiB");
+        assert_eq!(ByteSize::bytes_exact(100).to_string(), "100 B");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ByteSize::gib(1) + ByteSize::gib(1), ByteSize::gib(2));
+        assert_eq!(ByteSize::gib(2) - ByteSize::mib(1024), ByteSize::gib(1));
+    }
+}

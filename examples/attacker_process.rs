@@ -1,0 +1,72 @@
+//! The attack from the attacker *process's* point of view: everything
+//! addressed through guest-virtual addresses obtained from `mmap`, with
+//! the 21-bit physical-address leak composed through both translation
+//! layers (guest THP × host THP), as §4.1 requires.
+//!
+//! ```sh
+//! cargo run --release --example attacker_process
+//! ```
+
+use hh_hv::guest_mm::{GuestMm, GuestThp};
+use hh_sim::addr::HUGE_PAGE_SIZE;
+use hyperhammer::machine::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::small_attack();
+    let mut host = scenario.boot_host();
+    let vm = host.create_vm(scenario.vm_config())?;
+
+    println!("== attacker process view ==\n");
+
+    // The process mmaps a profiling buffer; the guest kernel backs it
+    // with guest THP from the VM's physical memory.
+    let mut mm = GuestMm::new(vm.usable_ranges(), GuestThp::Always);
+    let buffer = mm.mmap(64 * HUGE_PAGE_SIZE)?;
+    println!(
+        "mmap({} MiB) -> GVA {} (guest-THP: {})",
+        buffer.len >> 20,
+        buffer.gva,
+        buffer.huge
+    );
+
+    // Demonstrate the composed 21-bit leak: GVA ≡ GPA ≡ HPA (mod 2 MiB).
+    println!("\nGVA -> GPA -> HPA for a few probes (low 21 bits in hex):");
+    for probe in [0u64, 0x1234, 0x7_4321, 0x1f_ffc0] {
+        let gva = buffer.gva.add(probe);
+        let gpa = mm.translate(gva)?;
+        let hpa = vm.translate_gpa(&host, gpa)?.hpa;
+        println!(
+            "  {gva} -> {gpa} -> {hpa}   low21: {:#07x} == {:#07x} == {:#07x}",
+            gva.raw() & 0x1f_ffff,
+            gpa.raw() & 0x1f_ffff,
+            hpa.raw() & 0x1f_ffff,
+        );
+        assert_eq!(gva.raw() & 0x1f_ffff, hpa.raw() & 0x1f_ffff);
+    }
+
+    // With the leak, the process computes same-bank aggressor pairs from
+    // virtual addresses alone and hammers through plain memory accesses.
+    let masks = host.dram().geometry().bank_fn().masks().to_vec();
+    let rel_bank = |o: u64| {
+        masks.iter().enumerate().fold(0u32, |acc, (i, &m)| {
+            acc | ((((o & m & 0x1f_ffff).count_ones()) & 1) << i)
+        })
+    };
+    let o1 = 0u64; // row 0 of the hugepage
+    let o2 = (1 << 18) | (1 << 14); // row 1, bank-compensated
+    assert_eq!(rel_bank(o1), rel_bank(o2), "pair must share a bank");
+    let gva_pair = [buffer.gva.add(o1), buffer.gva.add(o2)];
+    let gpa_pair = [mm.translate(gva_pair[0])?, mm.translate(gva_pair[1])?];
+    let activations = vm.hammer_gpa(&mut host, &gpa_pair, 250_000)?;
+    println!(
+        "\nhammered the pair (GVAs {} / {}) for {} activations — all through",
+        gva_pair[0], gva_pair[1], activations
+    );
+    println!("process-legal loads; the physical row adjacency came for free");
+    println!("from the THP x THP address leak.");
+
+    // Cleanup demonstrates munmap.
+    mm.munmap(buffer.gva)?;
+    vm.destroy(&mut host);
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Page Steering, step by step, with the host's allocator state printed
+//! after each move — a guided tour of §4.2.
+//!
+//! ```sh
+//! cargo run --release --example page_steering
+//! ```
+
+use hh_sim::addr::HUGE_PAGE_SIZE;
+use hyperhammer::machine::Scenario;
+use hyperhammer::steering::PageSteering;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::small_attack();
+    let mut host = scenario.boot_host();
+    let mut vm = host.create_vm(scenario.vm_config())?;
+    let steering = PageSteering::new(scenario.steering_params());
+
+    println!("== Page Steering walkthrough ({} scenario) ==\n", scenario.name);
+    println!(
+        "initial noise pages (free small-order MIGRATE_UNMOVABLE): {}",
+        host.noise_pages()
+    );
+
+    // Step 1: vIOMMU exhaustion.
+    println!("\n[STEP 1] exhausting noise pages via vIOMMU IOPT allocations...");
+    let samples = steering.exhaust_noise(&mut host, &mut vm)?;
+    for s in samples.iter().step_by(4) {
+        println!("  after {:>6} mappings: {:>6} noise pages", s.mappings, s.noise_pages);
+    }
+    println!(
+        "  -> final: {} noise pages (threshold the spray must beat: 1024 + PCP)",
+        host.noise_pages()
+    );
+
+    // Step 2: voluntary release.
+    println!("\n[STEP 2] voluntarily unplugging 6 'vulnerable' sub-blocks...");
+    host.reset_released_log();
+    let region_base = vm.virtio_mem().region_base();
+    let victims: Vec<_> = (0..6u64).map(|i| region_base.add(i * 5 * HUGE_PAGE_SIZE)).collect();
+    let released = steering.release_hugepages(&mut host, &mut vm, &victims)?;
+    let info = host.pagetypeinfo();
+    println!(
+        "  -> released {} sub-blocks; unmovable order-9/10 free blocks now {}/{}",
+        released.len(),
+        info.unmovable.counts[9],
+        info.unmovable.counts[10]
+    );
+
+    // Step 3: EPT spray via the iTLB-Multihit countermeasure.
+    println!("\n[STEP 3] spraying EPT pages (idling function + exec per hugepage)...");
+    let budget = PageSteering::spray_budget(released.len()).min(3 << 30);
+    let spray = steering.spray_ept(&mut host, &mut vm, budget)?;
+    println!(
+        "  -> executed {} hugepages, {} multihit splits (one fresh EPT page each)",
+        spray.hugepages_executed, spray.splits
+    );
+
+    let reuse = PageSteering::reuse_stats(&host, &vm);
+    println!("\n== result ==");
+    println!("  released pages (N): {}", reuse.released_pages);
+    println!("  EPT pages (E):      {}", reuse.ept_pages);
+    println!("  reused (R):         {}", reuse.reused_pages);
+    println!("  R_N = {:.1}%   R_E = {:.1}%", 100.0 * reuse.r_n(), 100.0 * reuse.r_e());
+    println!("\nEPT pages now sit on frames the attacker chose and can hammer.");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: the whole HyperHammer pipeline on a mid-size simulated
+//! machine — profile, steer, hammer, and try to escape.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A full escape is a lottery ticket even here (the paper's §5.3.1 bound
+//! applies), so this example demonstrates each stage's *observable
+//! effects* and reports whichever outcome the dice produce.
+
+use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
+use hyperhammer::machine::Scenario;
+use hyperhammer::profile::Profiler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::small_attack();
+    println!("== HyperHammer quickstart on the '{}' scenario ==", scenario.name);
+    let mut host = scenario.boot_host();
+    let mut vm = host.create_vm(scenario.vm_config())?;
+    println!(
+        "host: {} DRAM, {} banks | attacker VM: {}",
+        hh_sim::ByteSize::bytes_exact(host.dram().geometry().size_bytes()),
+        host.dram().geometry().bank_count(),
+        vm.config().total_mem(),
+    );
+
+    // Step 1: profile the VM's memory.
+    println!("\n[1/3] profiling guest memory for Rowhammer-vulnerable bits...");
+    let profiler = Profiler::new(scenario.profile_params());
+    let report = profiler.run(&mut host, &mut vm)?;
+    let exploitable = report
+        .exploitable(scenario.profile_params().host_mem, &vm)
+        .len();
+    println!(
+        "      {} flips found ({} 1->0, {} 0->1), {} stable, {} exploitable",
+        report.total(),
+        report.one_to_zero(),
+        report.zero_to_one(),
+        report.stable(),
+        exploitable,
+    );
+    println!("      simulated profiling time: {}", report.duration);
+
+    // Catalogue for reuse across respawns (debug hypercall, §5.3.2).
+    let catalog = profiler.to_catalog(&vm, &report)?;
+    vm.destroy(&mut host);
+
+    // Steps 2+3: Page Steering and exploitation, end to end.
+    println!("\n[2/3] Page Steering + [3/3] exploitation (up to 5 attempts)...");
+    let driver = AttackDriver::new(DriverParams {
+        bits_per_attempt: 4,
+        ..DriverParams::paper()
+    });
+    let stats = driver.campaign(&scenario, &mut host, &catalog, 5)?;
+    for (i, attempt) in stats.attempts.iter().enumerate() {
+        let label = match &attempt.outcome {
+            AttemptOutcome::Success(proof) => {
+                format!("SUCCESS - read {:#x} from host memory", proof.value_read)
+            }
+            other => format!("{other:?}"),
+        };
+        println!(
+            "      attempt {}: {label} ({} bits, {} sub-blocks released, {})",
+            i + 1,
+            attempt.bits_targeted,
+            attempt.released,
+            attempt.duration,
+        );
+    }
+    match stats.first_success() {
+        Some(n) => println!("\nVM escape achieved on attempt {n} — hypervisor compromised."),
+        None => println!(
+            "\nNo escape in 5 attempts — expected: the paper needs hundreds \
+             (run `cargo run -p hh-bench --release --bin table3`)."
+        ),
+    }
+    println!("total simulated campaign time: {}", stats.total_time);
+    Ok(())
+}

@@ -1,0 +1,169 @@
+//! Failure injection: every layer must fail loudly and recoverably when
+//! resources run out or preconditions vanish.
+
+use hh_buddy::AllocError;
+use hh_dram::fault::FaultParams;
+use hh_dram::DimmProfile;
+use hh_hv::{Host, HostConfig, HvError, VmConfig};
+use hh_sim::addr::HUGE_PAGE_SIZE;
+use hh_sim::{ByteSize, Gpa, Iova};
+use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
+use hyperhammer::machine::Scenario;
+use hyperhammer::profile::{FlipCatalog, Profiler};
+use hyperhammer::steering::{PageSteering, SteeringParams};
+
+/// A host too small for the requested VM: creation fails with OOM and
+/// leaks nothing.
+#[test]
+fn vm_creation_oom_is_clean() {
+    let mut cfg = HostConfig::small_test();
+    cfg.dimm = DimmProfile::test_profile(32 << 20); // 32 MiB host
+    let mut host = Host::new(cfg);
+    let free_before = host.buddy().free_pages();
+    let result = host.create_vm(VmConfig {
+        boot_mem: ByteSize::mib(16),
+        virtio_mem: ByteSize::mib(64), // cannot fit
+        ..VmConfig::small_test()
+    });
+    match result {
+        Err(HvError::OutOfHostMemory(AllocError::OutOfMemory { .. })) => {}
+        other => panic!("expected OOM, got {other:?}"),
+    }
+    // The constructor rolls the partial VM back: nothing leaks.
+    assert_eq!(host.buddy().free_pages(), free_before);
+    let vm = host.create_vm(VmConfig {
+        boot_mem: ByteSize::mib(4),
+        virtio_mem: ByteSize::mib(8),
+        ..VmConfig::small_test()
+    });
+    assert!(vm.is_ok(), "host must remain usable after a failed creation");
+}
+
+/// A DIMM with zero vulnerable cells: profiling completes and finds
+/// nothing; the campaign reports NoUsableBits instead of diverging.
+#[test]
+fn invulnerable_dimm_yields_empty_profile_and_clean_campaign() {
+    let mut sc = Scenario::tiny_demo();
+    let mut host_cfg = sc.host_config().clone();
+    host_cfg.dimm.fault = FaultParams {
+        cells_per_row: 0.0,
+        ..FaultParams::dense_test()
+    };
+    sc = sc.with_host_config(host_cfg);
+
+    let mut host = sc.boot_host();
+    let mut vm = host.create_vm(sc.vm_config()).unwrap();
+    let profiler = Profiler::new(sc.profile_params());
+    let report = profiler.run(&mut host, &mut vm).unwrap();
+    assert_eq!(report.total(), 0, "no cells, no flips");
+    let catalog = profiler.to_catalog(&vm, &report).unwrap();
+    assert!(catalog.entries.is_empty());
+    vm.destroy(&mut host);
+
+    let driver = AttackDriver::new(DriverParams::paper());
+    let stats = driver.campaign(&sc, &mut host, &catalog, 2).unwrap();
+    assert!(stats
+        .attempts
+        .iter()
+        .all(|a| a.outcome == AttemptOutcome::NoUsableBits));
+}
+
+/// The vIOMMU mapping limit stops exhaustion gracefully mid-way.
+#[test]
+fn exhaustion_survives_the_mapping_limit() {
+    let sc = Scenario::tiny_demo();
+    let mut host = sc.boot_host();
+    let mut vm = host.create_vm(sc.vm_config()).unwrap();
+    // Pre-consume most of the budget with direct mappings.
+    let mut mapped = 0u64;
+    loop {
+        let iova = Iova::new(0x100_0000_0000 + mapped * HUGE_PAGE_SIZE);
+        match vm.iommu_map(&mut host, 0, iova, Gpa::new(0)) {
+            Ok(()) => mapped += 1,
+            Err(HvError::IommuMapLimit) => break,
+            Err(e) => panic!("unexpected {e}"),
+        }
+        if mapped >= 65_535 {
+            break;
+        }
+    }
+    // Steering's exhaustion hits the limit immediately and returns Ok.
+    let steering = PageSteering::new(SteeringParams {
+        iova_mappings: 1_000,
+        ..sc.steering_params()
+    });
+    let samples = steering.exhaust_noise(&mut host, &mut vm).unwrap();
+    assert!(!samples.is_empty());
+}
+
+/// Spraying with a zero budget is a no-op; spraying more than exists
+/// stops at the end of memory.
+#[test]
+fn spray_budget_edges() {
+    let sc = Scenario::tiny_demo();
+    let mut host = sc.boot_host();
+    let mut vm = host.create_vm(sc.vm_config()).unwrap();
+    let steering = PageSteering::new(sc.steering_params());
+    let zero = steering.spray_ept(&mut host, &mut vm, 0).unwrap();
+    assert_eq!(zero.hugepages_executed, 0);
+    let all = steering.spray_ept(&mut host, &mut vm, u64::MAX >> 1).unwrap();
+    assert_eq!(
+        all.hugepages_executed,
+        vm.config().total_mem().bytes() / HUGE_PAGE_SIZE
+    );
+}
+
+/// A catalogue from one machine applied to a different host geometry
+/// relocates nothing (frames don't exist) instead of corrupting state.
+#[test]
+fn cross_machine_catalog_is_rejected_by_relocation() {
+    let sc = Scenario::tiny_demo();
+    let mut host = sc.boot_host();
+    let vm = host.create_vm(sc.vm_config()).unwrap();
+    let alien = FlipCatalog {
+        entries: vec![hyperhammer::profile::CatalogEntry {
+            cell_hpa: hh_sim::Hpa::new(1 << 40), // beyond any tiny host
+            bit: 3,
+            direction: hh_dram::FlipDirection::OneToZero,
+            aggressor_hugepage_hpa: hh_sim::Hpa::new(1 << 41),
+            aggressor_offsets: [0, 64],
+            stable: true,
+        }],
+        host_mem: ByteSize::gib(16),
+    };
+    let driver = AttackDriver::new(DriverParams::paper());
+    assert!(driver.relocate(&vm, &alien).is_empty());
+}
+
+/// Host remains balanced after an attempt that errors mid-way (the
+/// quarantine NACK path destroys the VM and frees everything).
+#[test]
+fn failed_attempt_under_quarantine_leaks_nothing() {
+    let open = Scenario::tiny_demo();
+    let mut host = open.boot_host();
+    let mut vm = host.create_vm(open.vm_config()).unwrap();
+    let profiler = Profiler::new(open.profile_params());
+    let report = profiler.run(&mut host, &mut vm).unwrap();
+    let catalog = profiler.to_catalog(&vm, &report).unwrap();
+    vm.destroy(&mut host);
+    if catalog.entries.is_empty() {
+        return;
+    }
+
+    let hardened = Scenario::tiny_demo().with_quarantine();
+    let mut host = hardened.boot_host();
+    let free_before = host.buddy().free_pages();
+    let vm = host.create_vm(hardened.vm_config()).unwrap();
+    let driver = AttackDriver::new(DriverParams {
+        bits_per_attempt: 2,
+        ..DriverParams::paper()
+    });
+    let result = driver.run_attempt(&mut host, vm, &catalog, hh_sim::Hpa::new(0));
+    assert!(result.is_err(), "quarantine must abort the attempt");
+    // The erroring attempt destroys the VM: the host is fully balanced
+    // (modulo the IOPT pages the attempt's exhaustion step mapped, which
+    // the destroy releases too) and can host another VM immediately.
+    assert_eq!(host.buddy().free_pages(), free_before);
+    let vm2 = host.create_vm(hardened.vm_config()).expect("host is reusable");
+    vm2.destroy(&mut host);
+}
