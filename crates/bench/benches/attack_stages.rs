@@ -1,7 +1,8 @@
 //! Criterion benchmarks for the attack stages on the tiny scenario:
 //! noise exhaustion, EPT spraying, magic stamping and corruption scans.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hh_bench::harness::{BatchSize, Criterion};
+use hh_bench::{criterion_group, criterion_main};
 use hyperhammer::exploit::{magic_of, ExploitParams, Exploiter};
 use hyperhammer::machine::Scenario;
 use hyperhammer::steering::PageSteering;

@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the buddy allocator — the substrate
+//! Micro-benchmarks for the buddy allocator — the substrate
 //! whose behaviour Page Steering manipulates.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hh_bench::harness::{BatchSize, Criterion};
+use hh_bench::{criterion_group, criterion_main};
 use hh_buddy::{BuddyAllocator, MigrateType, PcpConfig};
 
 fn frames(mib: u64) -> u64 {

@@ -1,0 +1,71 @@
+//! Throughput scaling of the deterministic parallel campaign engine.
+//!
+//! Runs the same (tiny_demo × 8 seed) campaign grid on 1, 2, 4 and 8
+//! workers. Results are bit-identical across worker counts (asserted
+//! here against the serial reference), so the only thing that changes
+//! is wall-clock time — the per-worker-count sample times ARE the
+//! scaling curve.
+
+use std::num::NonZeroUsize;
+
+use hh_bench::harness::Criterion;
+use hh_bench::{criterion_group, criterion_main};
+use hyperhammer::driver::DriverParams;
+use hyperhammer::machine::Scenario;
+use hyperhammer::parallel::CampaignGrid;
+use std::hint::black_box;
+
+fn grid() -> CampaignGrid {
+    let params = DriverParams {
+        bits_per_attempt: 4,
+        ..DriverParams::paper()
+    };
+    CampaignGrid::new(vec![Scenario::tiny_demo()], params, 3).with_seed_count(0x5ca1e, 8)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let grid = grid();
+    let reference = grid.run_serial().expect("serial reference runs");
+
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let jobs = NonZeroUsize::new(workers).expect("non-zero");
+        let name = format!("tiny_demo_8cells_{workers}w");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let results = grid.run(jobs).expect("grid runs");
+                assert_eq!(results, reference, "determinism across worker counts");
+                black_box(results)
+            })
+        });
+    }
+    group.finish();
+
+    // Throughput summary: best-of-3 wall clock per worker count, as
+    // cells/second and speedup over the 1-worker run. Flat scaling on a
+    // single-CPU machine is expected — the grid's cells are pure CPU.
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    println!("\ncampaign throughput (8 cells, {cores} CPUs available):");
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8] {
+        let jobs = NonZeroUsize::new(workers).expect("non-zero");
+        let best = (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                black_box(grid.run(jobs).expect("grid runs"));
+                t0.elapsed()
+            })
+            .min()
+            .expect("three timings");
+        let cells_per_sec = grid.len() as f64 / best.as_secs_f64();
+        let speedup = base.get_or_insert(best).as_secs_f64() / best.as_secs_f64();
+        println!(
+            "  {workers} worker(s): {:>8.1} ms | {cells_per_sec:>6.1} cells/s | {speedup:.2}x",
+            best.as_secs_f64() * 1e3
+        );
+    }
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the DRAM model: address mapping,
+//! Micro-benchmarks for the DRAM model: address mapping,
 //! hammer bursts, and timing-probe measurements.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hh_bench::harness::{BatchSize, Criterion};
+use hh_bench::{criterion_group, criterion_main};
 use hh_dram::geometry::{BankFunction, DramGeometry};
 use hh_dram::timing::{AccessTiming, TimingProbe};
 use hh_dram::{DimmProfile, DramDevice, HammerPattern};

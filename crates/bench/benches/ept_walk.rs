@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the EPT: translation walks, hugepage
+//! Micro-benchmarks for the EPT: translation walks, hugepage
 //! splits (the multihit countermeasure), and guest memory access.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hh_bench::harness::{BatchSize, Criterion};
+use hh_bench::{criterion_group, criterion_main};
 use hh_hv::{Host, HostConfig, VmConfig};
 use hh_sim::Gpa;
 use std::hint::black_box;

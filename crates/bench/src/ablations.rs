@@ -13,10 +13,13 @@
 //!    EPT mappings to split (the multihit lever disappears) and the
 //!    21-bit address leak is gone: profiling loses bank targeting.
 
+use std::num::NonZeroUsize;
+
 use hh_buddy::PcpConfig;
 use hh_sim::addr::HUGE_PAGE_SIZE;
 use hh_sim::Gpa;
 use hyperhammer::machine::Scenario;
+use hyperhammer::parallel::parallel_map;
 use hyperhammer::steering::{PageSteering, ReuseStats};
 
 /// Reuse statistics with and without one mechanism.
@@ -40,7 +43,11 @@ fn steer(scenario: &Scenario, exhaust: bool, blocks: u64, spray_bytes: u64) -> R
     host.reset_released_log();
     let region = vm.virtio_mem();
     let victims: Vec<Gpa> = (0..blocks)
-        .map(|i| region.region_base().add(i * 7 % (region.region_size() / HUGE_PAGE_SIZE) * HUGE_PAGE_SIZE))
+        .map(|i| {
+            region
+                .region_base()
+                .add(i * 7 % (region.region_size() / HUGE_PAGE_SIZE) * HUGE_PAGE_SIZE)
+        })
         .collect();
     steering
         .release_hugepages(&mut host, &mut vm, &victims)
@@ -97,16 +104,105 @@ pub fn thp(scenario: &Scenario, spray_bytes: u64) -> (u64, u64) {
     (with_thp, without_thp)
 }
 
-/// Prints all three ablations for the mid-size scenario.
-pub fn print_all() {
+/// One independent ablation measurement — each boots its own host, so
+/// the set fans out over campaign-engine workers with identical results
+/// for every worker count.
+enum Task {
+    PcpBaseline,
+    PcpAblated,
+    NoiseBaseline,
+    NoiseAblated,
+    ThpOn,
+    ThpOff,
+}
+
+enum Measurement {
+    Reuse(ReuseStats),
+    Splits(u64),
+}
+
+impl Measurement {
+    fn reuse(self) -> ReuseStats {
+        match self {
+            Self::Reuse(r) => r,
+            Self::Splits(_) => unreachable!("reuse task produced splits"),
+        }
+    }
+
+    fn splits(self) -> u64 {
+        match self {
+            Self::Splits(s) => s,
+            Self::Reuse(_) => unreachable!("split task produced reuse stats"),
+        }
+    }
+}
+
+fn measure(scenario: &Scenario, blocks: u64, spray: u64, task: &Task) -> Measurement {
+    // A small spray keeps the ~512-page cache visible to the PCP
+    // ablation: every page the PCP serves is one that does NOT come from
+    // a released block.
+    let pcp_spray = 512 << 21;
+    match task {
+        Task::PcpBaseline => Measurement::Reuse(steer(scenario, true, blocks, pcp_spray)),
+        Task::PcpAblated => {
+            let mut cfg = scenario.host_config().clone();
+            cfg.pcp = PcpConfig::disabled();
+            let no_pcp = scenario.clone().with_host_config(cfg);
+            Measurement::Reuse(steer(&no_pcp, true, blocks, pcp_spray))
+        }
+        Task::NoiseBaseline => Measurement::Reuse(steer(scenario, true, blocks, spray)),
+        Task::NoiseAblated => Measurement::Reuse(steer(scenario, false, blocks, spray)),
+        Task::ThpOn | Task::ThpOff => {
+            let mut host = scenario.boot_host();
+            let mut cfg = scenario.vm_config();
+            if matches!(task, Task::ThpOff) {
+                cfg.thp = false;
+            }
+            let mut vm = host.create_vm(cfg).expect("vm");
+            let steering = PageSteering::new(scenario.steering_params());
+            Measurement::Splits(
+                steering
+                    .spray_ept(&mut host, &mut vm, 1 << 30)
+                    .expect("spray")
+                    .splits,
+            )
+        }
+    }
+}
+
+/// Prints all three ablations for the mid-size scenario, running the six
+/// independent measurements on `jobs` workers.
+pub fn print_all(jobs: NonZeroUsize) {
     let scenario = Scenario::small_attack();
     let blocks = 8;
     let spray = PageSteering::spray_budget(blocks as usize).min(3 << 30);
 
+    let tasks = vec![
+        Task::PcpBaseline,
+        Task::PcpAblated,
+        Task::NoiseBaseline,
+        Task::NoiseAblated,
+        Task::ThpOn,
+        Task::ThpOff,
+    ];
+    let mut out = parallel_map(tasks, jobs, |_, task| {
+        measure(&scenario, blocks, spray, &task)
+    })
+    .into_iter();
+    let a = AblationResult {
+        baseline: out.next().expect("pcp baseline").reuse(),
+        ablated: out.next().expect("pcp ablated").reuse(),
+    };
+    let b = AblationResult {
+        baseline: out.next().expect("noise baseline").reuse(),
+        ablated: out.next().expect("noise ablated").reuse(),
+    };
+    let (with_thp, without) = (
+        out.next().expect("thp on").splits(),
+        out.next().expect("thp off").splits(),
+    );
+
     println!("== Ablation 1: per-CPU pageset (PCP) cache ==");
-    // A small spray keeps the ~512-page cache visible: every page the
-    // PCP serves is one that does NOT come from a released block.
-    let a = pcp(&scenario, blocks, 512 << 21);
     println!(
         "  with PCP:    R = {:>5} / N = {} (R_N {:.1}%)",
         a.baseline.reused_pages,
@@ -125,7 +221,6 @@ pub fn print_all() {
     println!();
 
     println!("== Ablation 2: vIOMMU noise exhaustion ==");
-    let b = noise_exhaustion(&scenario, blocks, spray);
     println!(
         "  with exhaustion:    R = {:>5}, R_E = {:.1}%",
         b.baseline.reused_pages,
@@ -140,7 +235,6 @@ pub fn print_all() {
     println!();
 
     println!("== Ablation 3: transparent hugepages ==");
-    let (with_thp, without) = thp(&scenario, 1 << 30);
     println!("  EPT splits with THP:    {with_thp}");
     println!("  EPT splits without THP: {without}");
     println!("  (no 2 MiB mappings -> no multihit splits -> no EPT spray)");

@@ -38,17 +38,17 @@ pub fn run(scenario: &Scenario) -> BankFnResult {
 
 /// Prints one result.
 pub fn print(result: &BankFnResult) {
-    println!("{}: recovered bank function: {}", result.system, result.map.bank_fn);
+    println!(
+        "{}: recovered bank function: {}",
+        result.system, result.map.bank_fn
+    );
     println!(
         "    equivalent to installed function: {} | {} banks | {} timing measurements",
         result.equivalent,
         result.map.bank_fn.bank_count(),
         result.map.measurements
     );
-    println!(
-        "    definite row bits: {:?}",
-        result.map.definite_row_bits
-    );
+    println!("    definite row bits: {:?}", result.map.definite_row_bits);
     println!(
         "    fully computable from hugepage offsets (bits < 21): {}",
         result.thp_computable

@@ -1,5 +1,31 @@
 //! Ablations of the design decisions listed in DESIGN.md §6.
+//!
+//! ```text
+//! ablations [--jobs N]
+//! ```
+//!
+//! The six measurements are independent and fan out over `--jobs`
+//! workers (default: available parallelism) with identical results for
+//! every worker count.
+
+use hyperhammer::parallel::resolve_jobs;
 
 fn main() {
-    hh_bench::ablations::print_all();
+    let mut jobs: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--jobs" => {
+                jobs = Some(
+                    it.next()
+                        .expect("--jobs needs a value")
+                        .parse()
+                        .expect("bad --jobs"),
+                )
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+    hh_bench::ablations::print_all(resolve_jobs(jobs));
 }

@@ -1,21 +1,62 @@
 //! Regenerates Table 3 (attack cost to first success) on S1 and S2.
 //!
-//! Pass a maximum attempt budget as the first argument (default 600).
+//! ```text
+//! table3 [--attempts N] [--seeds N] [--base-seed S] [--jobs N]
+//! ```
+//!
+//! `--seeds N` widens each scenario to N experiment seeds split from
+//! `--base-seed` (default: each scenario's own paper seed, one cell per
+//! scenario). `--jobs` picks the worker count (default: available
+//! parallelism); results are identical for every value.
 
+use hh_sim::rng::SimRng;
 use hyperhammer::machine::Scenario;
+use hyperhammer::parallel::{parallel_map, resolve_jobs};
 
 fn main() {
-    let max_attempts: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(600);
-    let rows: Vec<_> = [Scenario::s1(), Scenario::s2()]
-        .iter()
-        .map(|sc| {
-            eprintln!("{}: profiling once, then up to {max_attempts} attempts...", sc.name);
-            hh_bench::table3::run(sc, max_attempts)
-        })
-        .collect();
+    let mut max_attempts: usize = 600;
+    let mut seeds: Option<usize> = None;
+    let mut base_seed: u64 = 0;
+    let mut jobs: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse()
+                .unwrap_or_else(|e| panic!("bad {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--attempts" => max_attempts = value("--attempts") as usize,
+            "--seeds" => seeds = Some(value("--seeds") as usize),
+            "--base-seed" => base_seed = value("--base-seed"),
+            "--jobs" => jobs = Some(value("--jobs") as usize),
+            // Positional attempt budget, kept for earlier revisions'
+            // `table3 600` invocation.
+            n if n.parse::<usize>().is_ok() => max_attempts = n.parse().expect("checked above"),
+            other => panic!("unknown option {other}"),
+        }
+    }
+
+    let scenarios = vec![Scenario::s1(), Scenario::s2()];
+    let jobs = resolve_jobs(jobs);
+    eprintln!("table3: up to {max_attempts} attempts per cell on {jobs} workers...");
+
+    let rows = match seeds {
+        // The paper configuration: each scenario at its own seed, which
+        // `run` reproduces exactly; scenarios fan out over the workers.
+        None => parallel_map(scenarios, jobs, |_, sc| {
+            hh_bench::table3::run(&sc, max_attempts)
+        }),
+        Some(count) => {
+            let cell_seeds: Vec<u64> = (0..count.max(1) as u64)
+                .map(|i| SimRng::split_seed(base_seed, i))
+                .collect();
+            hh_bench::table3::run_grid(scenarios, max_attempts, &cell_seeds, jobs)
+        }
+    };
     hh_bench::table3::print(&rows);
     println!();
     println!("Paper reference: S1 4.0 min / 16.7 h / 250; S2 4.7 min / 33.8 h / 432");

@@ -29,11 +29,11 @@ impl Fig3Series {
     /// quantifies the "fluctuates between zero and the threshold"
     /// claim.
     pub fn post_drop_max(&self, threshold: u64) -> Option<u64> {
-        let drop_idx = self.samples.iter().position(|s| s.noise_pages < threshold)?;
-        self.samples[drop_idx..]
+        let drop_idx = self
+            .samples
             .iter()
-            .map(|s| s.noise_pages)
-            .max()
+            .position(|s| s.noise_pages < threshold)?;
+        self.samples[drop_idx..].iter().map(|s| s.noise_pages).max()
     }
 }
 
@@ -100,7 +100,12 @@ pub fn ascii_plot(series: &Fig3Series, width: usize, height: usize) -> String {
         out.push_str(std::str::from_utf8(row).expect("ascii"));
         out.push('\n');
     }
-    out.push_str(&format!("{:>9}0{:>width$}\n", "", max_map, width = width - 1));
+    out.push_str(&format!(
+        "{:>9}0{:>width$}\n",
+        "",
+        max_map,
+        width = width - 1
+    ));
     out.push_str(&format!("{:>9} mappings ('-' = 1024-page threshold)\n", ""));
     out
 }
@@ -126,20 +131,24 @@ pub fn print(series: &Fig3Series) {
         "Figure 3: noise pages at VM runtime on {} (thresholds: 512 / 1024)",
         series.system
     );
-    let widths = [10, 10, 12];
-    println!("{}", crate::header(&["time", "mappings", "noise pages"], &widths));
-    for s in &series.samples {
-        println!(
-            "{}",
-            crate::row(
-                &[
-                    format!("{}", s.time),
-                    s.mappings.to_string(),
-                    s.noise_pages.to_string(),
-                ],
-                &widths,
-            )
-        );
+    let cells: Vec<Vec<String>> = series
+        .samples
+        .iter()
+        .map(|s| {
+            vec![
+                format!("{}", s.time),
+                s.mappings.to_string(),
+                s.noise_pages.to_string(),
+            ]
+        })
+        .collect();
+    let widths = crate::fit_widths(&[10, 10, 12], &cells);
+    println!(
+        "{}",
+        crate::header(&["time", "mappings", "noise pages"], &widths)
+    );
+    for s in &cells {
+        println!("{}", crate::row(s, &widths));
     }
     if let Some(first) = series.first_below(1024) {
         println!(

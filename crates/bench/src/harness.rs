@@ -1,0 +1,224 @@
+//! A miniature micro-benchmark harness with a criterion-shaped API.
+//!
+//! The workspace builds fully offline, so the micro-benchmarks under
+//! `benches/` run on this self-contained harness instead of an external
+//! crate. It reproduces the small criterion surface those benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`]/
+//! [`Bencher::iter_batched_ref`], and the
+//! [`criterion_group!`](crate::criterion_group)/
+//! [`criterion_main!`](crate::criterion_main) macros — with
+//! wall-clock timing from [`std::time::Instant`].
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples;
+//! the report prints min / mean / median per-iteration time. The numbers
+//! are indicative (no outlier rejection, no statistical tests) but stable
+//! enough to compare orders of magnitude and scaling behaviour.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized. Retained for criterion source
+/// compatibility; the harness runs one routine invocation per sample
+/// either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample budget.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Ends the group (criterion compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` directly, batching iterations per sample so that
+    /// sub-microsecond routines still get a measurable sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: how many iterations fit in ~1 ms?
+        let probe_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+
+        // Warm-up.
+        for _ in 0..per_sample.min(100) {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm-up.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// [`Bencher::iter_batched`] passing the input by mutable reference.
+    pub fn iter_batched_ref<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut warm = setup();
+        std::hint::black_box(routine(&mut warm));
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("  {name:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "  {name:<40} min {:>12} | mean {:>12} | median {:>12} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(median),
+            self.samples.len(),
+        );
+    }
+}
+
+/// Renders a duration with an SI unit suited to its magnitude.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("harness-self-test");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.bench_function("batched_ref", |b| {
+            b.iter_batched_ref(|| vec![1u8; 64], |v| v.pop(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -14,6 +14,9 @@
 //! | Table 3 (attack cost) | [`table3`] | `cargo run -p hh-bench --release --bin table3` |
 //! | §5.3 analysis | [`analysis`] | `cargo run -p hh-bench --bin analysis` |
 //! | §6 / design ablations | [`ablations`] | `cargo run -p hh-bench --release --bin ablations` |
+//!
+//! Micro-benchmarks live under `benches/` and run on the self-contained
+//! [`harness`] module (`cargo bench -p hh-bench`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,24 +25,64 @@ pub mod ablations;
 pub mod analysis;
 pub mod bankfn;
 pub mod fig3;
+pub mod harness;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 
+/// Grows each declared column width to fit the widest cell in that
+/// column, so [`row`]/[`header`] output stays pipe-aligned across a whole
+/// table. Extra columns in a row beyond `min_widths` get width 1.
+pub fn fit_widths(min_widths: &[usize], rows: &[Vec<String>]) -> Vec<usize> {
+    let columns = rows
+        .iter()
+        .map(Vec::len)
+        .chain(std::iter::once(min_widths.len()))
+        .max()
+        .unwrap_or(0);
+    (0..columns)
+        .map(|c| {
+            rows.iter()
+                .filter_map(|r| r.get(c))
+                .map(String::len)
+                .chain(std::iter::once(min_widths.get(c).copied().unwrap_or(1)))
+                .max()
+                .unwrap_or(1)
+        })
+        .collect()
+}
+
 /// Renders a row of pipe-separated cells with padded column widths.
+///
+/// A cell wider than its declared column grows that column for this row
+/// rather than silently breaking the pipe grid; compute shared widths
+/// with [`fit_widths`] first to keep every row of a table aligned.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     let mut out = String::from("|");
-    for (cell, width) in cells.iter().zip(widths) {
+    for (i, cell) in cells.iter().enumerate() {
+        let width = widths.get(i).copied().unwrap_or(1).max(cell.len());
         out.push_str(&format!(" {cell:>width$} |"));
     }
     out
 }
 
 /// Renders a header + separator for [`row`]-formatted tables.
+///
+/// Like [`row`], a header name wider than its declared column grows the
+/// column, and the separator mirrors the grown widths so the two lines
+/// always agree.
 pub fn header(names: &[&str], widths: &[usize]) -> String {
-    let head = row(&names.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let fitted: Vec<usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| widths.get(i).copied().unwrap_or(1).max(name.len()))
+        .collect();
+    let head = row(
+        &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &fitted,
+    );
     let sep: String = std::iter::once("|".to_string())
-        .chain(widths.iter().map(|w| format!("{}|", "-".repeat(w + 2))))
+        .chain(fitted.iter().map(|w| format!("{}|", "-".repeat(w + 2))))
         .collect();
     format!("{head}\n{sep}")
 }
@@ -55,5 +98,35 @@ mod tests {
         assert!(h.lines().nth(1).unwrap().starts_with("|------|"));
         let r = row(&["1".into(), "2".into()], &[4, 4]);
         assert_eq!(r, "|    1 |    2 |");
+    }
+
+    #[test]
+    fn oversized_cells_grow_instead_of_misaligning() {
+        // Regression: a cell wider than its declared column used to
+        // overflow the pipe grid silently.
+        let r = row(&["wide-cell".into(), "2".into()], &[4, 4]);
+        assert_eq!(r, "| wide-cell |    2 |");
+
+        let h = header(&["long-header", "b"], &[2, 2]);
+        let mut lines = h.lines();
+        let head = lines.next().unwrap();
+        let sep = lines.next().unwrap();
+        assert_eq!(head.len(), sep.len(), "separator must mirror grown widths");
+        assert!(head.contains("| long-header |"));
+    }
+
+    #[test]
+    fn fit_widths_aligns_whole_tables() {
+        let rows = vec![
+            vec!["s".to_string(), "123456".to_string()],
+            vec!["longer-name".to_string(), "1".to_string()],
+        ];
+        let widths = fit_widths(&[4, 4], &rows);
+        assert_eq!(widths, vec![11, 6]);
+        let rendered: Vec<String> = rows.iter().map(|r| row(r, &widths)).collect();
+        assert_eq!(rendered[0].len(), rendered[1].len(), "pipe-aligned");
+        for line in &rendered {
+            assert!(line.starts_with('|') && line.ends_with('|'));
+        }
     }
 }

@@ -57,27 +57,30 @@ pub fn run(scenario: &Scenario) -> Table1Row {
 
 /// Prints the table for the given scenarios.
 pub fn print(rows: &[Table1Row]) {
-    let widths = [6, 7, 6, 5, 5, 6, 5];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.clone(),
+                format!("{:.0} h", r.time_hours),
+                r.total.to_string(),
+                r.one_to_zero.to_string(),
+                r.zero_to_one.to_string(),
+                r.stable.to_string(),
+                r.exploitable.to_string(),
+            ]
+        })
+        .collect();
+    let widths = crate::fit_widths(&[6, 7, 6, 5, 5, 6, 5], &cells);
     println!("Table 1: Results of Memory Profiling.");
     println!(
         "{}",
-        crate::header(&["System", "Time", "Total", "1->0", "0->1", "Stable", "Expl."], &widths)
+        crate::header(
+            &["System", "Time", "Total", "1->0", "0->1", "Stable", "Expl."],
+            &widths
+        )
     );
-    for r in rows {
-        println!(
-            "{}",
-            crate::row(
-                &[
-                    r.system.clone(),
-                    format!("{:.0} h", r.time_hours),
-                    r.total.to_string(),
-                    r.one_to_zero.to_string(),
-                    r.zero_to_one.to_string(),
-                    r.stable.to_string(),
-                    r.exploitable.to_string(),
-                ],
-                &widths,
-            )
-        );
+    for r in &cells {
+        println!("{}", crate::row(r, &widths));
     }
 }

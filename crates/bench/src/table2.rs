@@ -67,7 +67,11 @@ pub fn run(scenario: &Scenario, s_gib: u64, b_blocks: u64) -> Table2Row {
     let total_blocks = region.region_size() / HUGE_PAGE_SIZE;
     let stride = (total_blocks / b_blocks).max(1);
     let victims: Vec<Gpa> = (0..b_blocks)
-        .map(|i| region.region_base().add((i * stride % total_blocks) * HUGE_PAGE_SIZE))
+        .map(|i| {
+            region
+                .region_base()
+                .add((i * stride % total_blocks) * HUGE_PAGE_SIZE)
+        })
         .collect();
     let released = steering
         .release_hugepages(&mut host, &mut vm, &victims)
@@ -99,28 +103,28 @@ pub fn paper_sweep() -> Vec<(u64, u64)> {
 /// Prints the table.
 pub fn print(rows: &[Table2Row]) {
     println!("Table 2: pages released from the VM and reused by EPTs.");
-    let widths = [8, 6, 4, 6, 6, 6, 7, 7];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.setting.clone(),
+                format!("{} GB", r.s_gib),
+                r.b_blocks.to_string(),
+                r.n_pages.to_string(),
+                r.e_pages.to_string(),
+                r.r_pages.to_string(),
+                format!("{:.1}%", r.r_n_pct()),
+                format!("{:.1}%", r.r_e_pct()),
+            ]
+        })
+        .collect();
+    let widths = crate::fit_widths(&[8, 6, 4, 6, 6, 6, 7, 7], &cells);
     println!(
         "{}",
         crate::header(&["Setting", "S", "B", "N", "E", "R", "R_N", "R_E"], &widths)
     );
-    for r in rows {
-        println!(
-            "{}",
-            crate::row(
-                &[
-                    r.setting.clone(),
-                    format!("{} GB", r.s_gib),
-                    r.b_blocks.to_string(),
-                    r.n_pages.to_string(),
-                    r.e_pages.to_string(),
-                    r.r_pages.to_string(),
-                    format!("{:.1}%", r.r_n_pct()),
-                    format!("{:.1}%", r.r_e_pct()),
-                ],
-                &widths,
-            )
-        );
+    for r in &cells {
+        println!("{}", crate::row(r, &widths));
     }
 }
 

@@ -9,16 +9,25 @@
 //! |---------|-------------------|---------------------|----------|
 //! | S1      | 4.0 mins          | 16.7 hrs            | 250      |
 //! | S2      | 4.7 mins          | 33.8 hrs            | 432      |
+//!
+//! The experiment runs on the deterministic campaign engine
+//! ([`hyperhammer::parallel`]): every (scenario × seed) cell is an
+//! independent campaign, so `--jobs N` changes wall-clock time only —
+//! results are bit-identical for every worker count.
 
-use hyperhammer::driver::{AttackDriver, DriverParams};
+use std::num::NonZeroUsize;
+
+use hyperhammer::driver::DriverParams;
 use hyperhammer::machine::Scenario;
-use hyperhammer::profile::ProfileParams;
+use hyperhammer::parallel::{CampaignGrid, CellResult};
 
 /// One row of Table 3.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Scenario name.
     pub setting: String,
+    /// Experiment seed of this row's campaign cell.
+    pub seed: u64,
     /// Mean simulated attempt duration, minutes.
     pub avg_attempt_mins: f64,
     /// Simulated time to the first success, hours (`None`: no success
@@ -32,84 +41,103 @@ pub struct Table3Row {
     pub catalog_bits: usize,
 }
 
-/// Runs the Table 3 experiment for one scenario.
+impl From<&CellResult> for Table3Row {
+    fn from(r: &CellResult) -> Self {
+        Self {
+            setting: r.scenario.to_string(),
+            seed: r.seed,
+            avg_attempt_mins: r.stats.avg_attempt_mins(),
+            time_to_success_hours: r.stats.time_to_first_success().map(|d| d.as_hours_f64()),
+            attempts_to_success: r.stats.first_success(),
+            attempts_run: r.stats.attempts.len(),
+            catalog_bits: r.catalog_bits,
+        }
+    }
+}
+
+/// Runs the Table 3 experiment for one scenario, at the scenario's own
+/// seed (the paper configuration).
 ///
 /// # Panics
 ///
 /// Panics on hypervisor errors.
 pub fn run(scenario: &Scenario, max_attempts: usize) -> Table3Row {
-    let mut host = scenario.boot_host();
-    let driver = AttackDriver::new(DriverParams::paper());
+    let rows = run_grid(
+        vec![scenario.clone()],
+        max_attempts,
+        // `with_seed` at the scenario's own seed is a no-op, so this is
+        // the exact serial experiment of earlier revisions.
+        &[scenario.host_config().seed],
+        NonZeroUsize::new(1).expect("1 is non-zero"),
+    );
+    rows.into_iter().next().expect("one cell in, one row out")
+}
 
-    // One-time profiling with hypercall-assisted cataloguing (§5.3.2
-    // excludes this from the attempt timing).
-    let mut vm = host
-        .create_vm(scenario.vm_config())
-        .expect("host backs the attacker VM");
-    let profile = ProfileParams {
-        // Stability screening is what the catalogue reuses; profile all.
-        ..scenario.profile_params()
-    };
-    let catalog = driver
-        .profile_and_catalog(&mut host, &mut vm, profile)
-        .expect("profiling succeeds");
-    vm.destroy(&mut host);
-    let catalog_bits = catalog.entries.len();
-
-    let t0 = std::time::Instant::now();
-    let stats = driver
-        .campaign_with_progress(scenario, &mut host, &catalog, max_attempts, |i, record| {
-            if i % 10 == 0 || record.outcome.is_success() {
-                eprintln!(
-                    "  [{}] attempt {i}: {} ({:.2}s real/attempt)",
-                    scenario.name,
-                    match &record.outcome {
-                        hyperhammer::AttemptOutcome::Success(_) => "SUCCESS",
-                        hyperhammer::AttemptOutcome::Failed(_) => "failed",
-                        hyperhammer::AttemptOutcome::NoUsableBits => "no usable bits",
-                    },
-                    t0.elapsed().as_secs_f64() / i as f64,
-                );
-            }
+/// Runs a (scenario × seed) grid of Table 3 cells on `jobs` workers.
+/// Rows come back in grid order (scenario-major) regardless of worker
+/// count; per-cell completions are logged to stderr as they happen.
+///
+/// # Panics
+///
+/// Panics on hypervisor errors.
+pub fn run_grid(
+    scenarios: Vec<Scenario>,
+    max_attempts: usize,
+    seeds: &[u64],
+    jobs: NonZeroUsize,
+) -> Vec<Table3Row> {
+    let grid = CampaignGrid::new(scenarios, DriverParams::paper(), max_attempts)
+        .with_seeds(seeds.to_vec());
+    let results = grid
+        .run_with_progress(jobs, |cell| {
+            eprintln!(
+                "  [{} seed {:#x}] {} attempts, first success: {}",
+                cell.scenario,
+                cell.seed,
+                cell.stats.attempts.len(),
+                cell.stats
+                    .first_success()
+                    .map_or("none".to_string(), |n| n.to_string()),
+            );
         })
-        .expect("campaign runs");
-
-    Table3Row {
-        setting: scenario.name.to_string(),
-        avg_attempt_mins: stats.avg_attempt_mins(),
-        time_to_success_hours: stats.time_to_first_success().map(|d| d.as_hours_f64()),
-        attempts_to_success: stats.first_success(),
-        attempts_run: stats.attempts.len(),
-        catalog_bits,
-    }
+        .expect("campaign grid runs");
+    results.iter().map(Table3Row::from).collect()
 }
 
 /// Prints the table.
 pub fn print(rows: &[Table3Row]) {
     println!("Table 3: the cost of HyperHammer tests.");
-    let widths = [8, 18, 18, 14, 10];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.setting.clone(),
+                format!("{:#x}", r.seed),
+                format!("{:.1} mins", r.avg_attempt_mins),
+                r.time_to_success_hours
+                    .map_or("none".to_string(), |h| format!("{h:.1} hrs")),
+                r.attempts_to_success
+                    .map_or(format!(">{}", r.attempts_run), |a| a.to_string()),
+                r.catalog_bits.to_string(),
+            ]
+        })
+        .collect();
+    let widths = crate::fit_widths(&[8, 6, 18, 18, 14, 10], &cells);
     println!(
         "{}",
         crate::header(
-            &["Setting", "Avg time/attempt", "Time 1st success", "Attempts", "Cat. bits"],
+            &[
+                "Setting",
+                "Seed",
+                "Avg time/attempt",
+                "Time 1st success",
+                "Attempts",
+                "Cat. bits"
+            ],
             &widths,
         )
     );
-    for r in rows {
-        println!(
-            "{}",
-            crate::row(
-                &[
-                    r.setting.clone(),
-                    format!("{:.1} mins", r.avg_attempt_mins),
-                    r.time_to_success_hours
-                        .map_or("none".to_string(), |h| format!("{h:.1} hrs")),
-                    r.attempts_to_success
-                        .map_or(format!(">{}", r.attempts_run), |a| a.to_string()),
-                    r.catalog_bits.to_string(),
-                ],
-                &widths,
-            )
-        );
+    for r in &cells {
+        println!("{}", crate::row(r, &widths));
     }
 }

@@ -4,7 +4,6 @@ use std::collections::HashMap;
 use std::fmt;
 
 use hh_sim::addr::Pfn;
-use serde::{Deserialize, Serialize};
 
 use crate::free_list::FreeList;
 use crate::pcp::{PcpCache, PcpConfig};
@@ -68,8 +67,14 @@ impl fmt::Display for FreeError {
             FreeError::NotAllocated { base } => {
                 write!(f, "freeing unallocated block at frame {base}")
             }
-            FreeError::WrongOrder { base, allocated_order } => {
-                write!(f, "block at frame {base} was allocated at order {allocated_order}")
+            FreeError::WrongOrder {
+                base,
+                allocated_order,
+            } => {
+                write!(
+                    f,
+                    "block at frame {base} was allocated at order {allocated_order}"
+                )
             }
         }
     }
@@ -78,7 +83,7 @@ impl fmt::Display for FreeError {
 impl std::error::Error for FreeError {}
 
 /// Lifetime counters, exposed for experiments and ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AllocStats {
     /// Successful allocations.
     pub allocs: u64,
@@ -266,7 +271,10 @@ impl BuddyAllocator {
             return Err(FreeError::NotAllocated { base });
         };
         if allocated_order != order {
-            return Err(FreeError::WrongOrder { base, allocated_order });
+            return Err(FreeError::WrongOrder {
+                base,
+                allocated_order,
+            });
         }
         self.allocated.remove(&base.index());
         self.stats.frees += 1;
@@ -283,7 +291,10 @@ impl BuddyAllocator {
         let Some(&(allocated_order, mt)) = self.allocated.get(&base.index()) else {
             panic!("freeing unallocated page at frame {base}");
         };
-        assert_eq!(allocated_order, 0, "free_page on an order-{allocated_order} block");
+        assert_eq!(
+            allocated_order, 0,
+            "free_page on an order-{allocated_order} block"
+        );
         self.allocated.remove(&base.index());
         self.stats.frees += 1;
         if self.pcp.enabled() {
@@ -366,7 +377,9 @@ impl BuddyAllocator {
 
     /// Returns `true` if a free block of exactly (base, order) exists.
     pub fn is_free_block(&self, base: Pfn, order: u8) -> bool {
-        self.free_index.get(&base.index()).is_some_and(|&(o, _)| o == order)
+        self.free_index
+            .get(&base.index())
+            .is_some_and(|&(o, _)| o == order)
     }
 
     /// Internal: smallest-first allocation with fallback stealing.
@@ -556,7 +569,10 @@ mod tests {
         let mut b = BuddyAllocator::new(frames(16));
         let p = b.alloc(0, MigrateType::Movable).unwrap();
         b.free(p, 0);
-        assert!(matches!(b.try_free(p, 0), Err(FreeError::NotAllocated { .. })));
+        assert!(matches!(
+            b.try_free(p, 0),
+            Err(FreeError::NotAllocated { .. })
+        ));
     }
 
     #[test]
@@ -565,7 +581,10 @@ mod tests {
         let p = b.alloc(2, MigrateType::Movable).unwrap();
         assert!(matches!(
             b.try_free(p, 3),
-            Err(FreeError::WrongOrder { allocated_order: 2, .. })
+            Err(FreeError::WrongOrder {
+                allocated_order: 2,
+                ..
+            })
         ));
         b.free(p, 2);
     }

@@ -47,14 +47,12 @@ pub use allocator::{AllocError, AllocStats, BuddyAllocator, FreeError, MAX_ORDER
 pub use pcp::PcpConfig;
 pub use report::{OrderCounts, PageTypeInfo};
 
-use serde::{Deserialize, Serialize};
-
 /// Page migration types the paper's attack distinguishes (§2.4).
 ///
 /// Linux has more (RECLAIMABLE, CMA, ISOLATE…); the attack only depends
 /// on the UNMOVABLE/MOVABLE split: EPT/IOPT pages are unmovable, guest
 /// RAM is movable until VFIO pins it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MigrateType {
     /// `MIGRATE_UNMOVABLE`: kernel allocations that cannot relocate
     /// (page tables, IOPTs, EPTs, pinned DMA buffers).

@@ -6,13 +6,11 @@
 //! before released sub-blocks are reused, so the cache is modelled
 //! explicitly (single CPU — the paper's attack pins one vCPU anyway).
 
-use serde::{Deserialize, Serialize};
-
 use crate::free_list::FreeList;
 use crate::MigrateType;
 
 /// PCP sizing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PcpConfig {
     /// High watermark: pages cached beyond this are drained to the buddy
     /// lists in `batch`-sized chunks.
@@ -24,7 +22,10 @@ pub struct PcpConfig {
 impl PcpConfig {
     /// Typical values for a desktop zone.
     pub fn standard() -> Self {
-        Self { high: 512, batch: 64 }
+        Self {
+            high: 512,
+            batch: 64,
+        }
     }
 
     /// Disables the cache entirely (ablation `ablation_pcp`).

@@ -6,12 +6,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::allocator::MAX_ORDER;
 
 /// Free-block counts per order for one migration type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OrderCounts {
     /// `counts[order]` = number of free blocks of that order.
     pub counts: [u64; MAX_ORDER as usize],
@@ -39,7 +37,7 @@ impl OrderCounts {
 }
 
 /// A snapshot of the allocator's free lists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PageTypeInfo {
     /// `MIGRATE_UNMOVABLE` free blocks.
     pub unmovable: OrderCounts,
@@ -62,7 +60,11 @@ impl fmt::Display for PageTypeInfo {
             write!(f, " {c:>6}")?;
         }
         writeln!(f)?;
-        write!(f, "pcp: unmovable={} movable={}", self.pcp_pages[0], self.pcp_pages[1])
+        write!(
+            f,
+            "pcp: unmovable={} movable={}",
+            self.pcp_pages[0], self.pcp_pages[1]
+        )
     }
 }
 

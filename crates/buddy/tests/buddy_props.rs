@@ -3,21 +3,24 @@
 
 use hh_buddy::{BuddyAllocator, MigrateType, PcpConfig};
 use hh_sim::addr::Pfn;
-use proptest::prelude::*;
+use hh_sim::check;
 
 const FRAMES: u64 = 16 << 20 >> 12; // 16 MiB zone
 
-proptest! {
-    /// The noise-page metric always equals the pagetypeinfo-derived
-    /// small-order population plus the PCP occupancy.
-    #[test]
-    fn noise_metric_matches_pagetypeinfo(
-        ops in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..200)
-    ) {
+/// The noise-page metric always equals the pagetypeinfo-derived
+/// small-order population plus the PCP occupancy.
+#[test]
+fn noise_metric_matches_pagetypeinfo() {
+    check::cases(0xb001, 64, |rng| {
+        let ops = check::vec_of(rng, 1, 200, |r| (r.gen_bool(0.5), r.gen_bool(0.5)));
         let mut buddy = BuddyAllocator::new(FRAMES);
         let mut held: Vec<Pfn> = Vec::new();
         for (alloc, unmovable) in ops {
-            let mt = if unmovable { MigrateType::Unmovable } else { MigrateType::Movable };
+            let mt = if unmovable {
+                MigrateType::Unmovable
+            } else {
+                MigrateType::Movable
+            };
             if alloc || held.is_empty() {
                 if let Ok(p) = buddy.alloc_page(mt) {
                     held.push(p);
@@ -27,23 +30,29 @@ proptest! {
             }
             let info = buddy.pagetypeinfo();
             let expected = info.unmovable.pages_below_order(9) + info.pcp_pages[0];
-            prop_assert_eq!(buddy.small_order_free_pages(MigrateType::Unmovable), expected);
+            assert_eq!(
+                buddy.small_order_free_pages(MigrateType::Unmovable),
+                expected
+            );
         }
         for p in held {
             buddy.free_page(p);
         }
-        prop_assert_eq!(buddy.free_pages(), FRAMES);
-    }
+        assert_eq!(buddy.free_pages(), FRAMES);
+    });
+}
 
-    /// Stealing happens only when the requested type cannot be served
-    /// from its own lists.
-    #[test]
-    fn steal_only_on_exhaustion(orders in proptest::collection::vec(0u8..4, 1..60)) {
+/// Stealing happens only when the requested type cannot be served
+/// from its own lists.
+#[test]
+fn steal_only_on_exhaustion() {
+    check::cases(0xb002, 64, |rng| {
+        let orders = check::vec_of(rng, 1, 60, |r| r.gen_range(0u8..4));
         let mut buddy = BuddyAllocator::with_pcp(FRAMES, PcpConfig::disabled());
         // First unmovable alloc must steal (movable-only boot state).
         let p0 = buddy.alloc(0, MigrateType::Unmovable).unwrap();
         let steals_after_first = buddy.stats().steals;
-        prop_assert_eq!(steals_after_first, 1);
+        assert_eq!(steals_after_first, 1);
         // Subsequent small unmovable allocs are served from the stolen
         // block's remainders without further stealing, until those run
         // out (they cannot here: the remainder holds >1000 pages).
@@ -52,16 +61,26 @@ proptest! {
             let p = buddy.alloc(order, MigrateType::Unmovable).unwrap();
             held.push((p, order));
         }
-        prop_assert_eq!(buddy.stats().steals, 1, "no second steal while remainders last");
+        assert_eq!(
+            buddy.stats().steals,
+            1,
+            "no second steal while remainders last"
+        );
         for (p, order) in held {
             buddy.free(p, order);
         }
-    }
+    });
+}
 
-    /// PCP high watermark bounds its occupancy.
-    #[test]
-    fn pcp_occupancy_bounded(frees in 1usize..900) {
-        let config = PcpConfig { high: 128, batch: 16 };
+/// PCP high watermark bounds its occupancy.
+#[test]
+fn pcp_occupancy_bounded() {
+    check::cases(0xb003, 32, |rng| {
+        let frees = rng.gen_range(1usize..900);
+        let config = PcpConfig {
+            high: 128,
+            batch: 16,
+        };
         let mut buddy = BuddyAllocator::with_pcp(FRAMES, config);
         let mut held = Vec::new();
         for _ in 0..frees {
@@ -70,25 +89,28 @@ proptest! {
         for p in held {
             buddy.free_page(p);
             let info = buddy.pagetypeinfo();
-            prop_assert!(
+            assert!(
                 info.pcp_pages[1] <= 128 + 1,
                 "pcp {} beyond watermark",
                 info.pcp_pages[1]
             );
         }
-        prop_assert_eq!(buddy.free_pages(), FRAMES);
-    }
+        assert_eq!(buddy.free_pages(), FRAMES);
+    });
+}
 
-    /// Re-typing an allocated block changes only which list it joins on
-    /// free, never the total.
-    #[test]
-    fn set_migrate_type_conserves(order in 0u8..10) {
+/// Re-typing an allocated block changes only which list it joins on
+/// free, never the total.
+#[test]
+fn set_migrate_type_conserves() {
+    check::cases(0xb004, 32, |rng| {
+        let order = rng.gen_range(0u8..10);
         let mut buddy = BuddyAllocator::new(FRAMES);
         let p = buddy.alloc(order, MigrateType::Movable).unwrap();
         buddy.set_migrate_type(p, order, MigrateType::Unmovable);
         buddy.free(p, order);
-        prop_assert_eq!(buddy.free_pages(), FRAMES);
+        assert_eq!(buddy.free_pages(), FRAMES);
         let info = buddy.pagetypeinfo();
-        prop_assert!(info.unmovable.total_pages() >= 1u64 << order);
-    }
+        assert!(info.unmovable.total_pages() >= 1u64 << order);
+    });
 }

@@ -5,11 +5,13 @@ use hh_dram::timing::{AccessTiming, TimingProbe};
 use hh_sim::addr::HUGE_PAGE_SIZE;
 use hh_sim::Gpa;
 use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
+use hyperhammer::machine::Scenario;
+use hyperhammer::parallel::{resolve_jobs, CampaignGrid};
 use hyperhammer::profile::{ProfileParams, Profiler};
 use hyperhammer::steering::PageSteering;
 
 use crate::opts::{Command, Options};
-use crate::output::{self, AttackOut, ProfileOut, ReconOut, SteerOut};
+use crate::output::{self, AttackOut, CampaignCellOut, ProfileOut, ReconOut, SteerOut};
 
 /// Dispatches the parsed command.
 ///
@@ -22,6 +24,14 @@ pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         Command::Profile { stop_after } => profile(opts, *stop_after),
         Command::Steer { blocks, spray_gib } => steer(opts, *blocks, *spray_gib),
         Command::Attack { attempts, bits } => attack(opts, *attempts, *bits),
+        Command::Campaign {
+            scenarios,
+            seeds,
+            base_seed,
+            attempts,
+            bits,
+            jobs,
+        } => campaign(opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs),
         Command::Analyse => {
             analyse(opts);
             Ok(())
@@ -72,8 +82,13 @@ fn profile(opts: &Options, stop_after: Option<usize>) -> Result<(), Box<dyn std:
     output::emit(opts.json, &out, || {
         println!(
             "{}: {} flips in {:.1} simulated hours ({} 1->0, {} 0->1, {} stable, {} exploitable)",
-            out.scenario, out.total, out.sim_hours, out.one_to_zero, out.zero_to_one,
-            out.stable, out.exploitable
+            out.scenario,
+            out.total,
+            out.sim_hours,
+            out.one_to_zero,
+            out.zero_to_one,
+            out.stable,
+            out.exploitable
         );
     });
     Ok(())
@@ -135,8 +150,7 @@ fn attack(opts: &Options, attempts: usize, bits: usize) -> Result<(), Box<dyn st
         ..DriverParams::paper()
     });
     let mut vm = host.create_vm(opts.scenario.vm_config())?;
-    let catalog =
-        driver.profile_and_catalog(&mut host, &mut vm, opts.scenario.profile_params())?;
+    let catalog = driver.profile_and_catalog(&mut host, &mut vm, opts.scenario.profile_params())?;
     vm.destroy(&mut host);
 
     let stats = driver.campaign(&opts.scenario, &mut host, &catalog, attempts)?;
@@ -169,12 +183,106 @@ fn attack(opts: &Options, attempts: usize, bits: usize) -> Result<(), Box<dyn st
     Ok(())
 }
 
+fn campaign(
+    opts: &Options,
+    scenarios: &[Scenario],
+    seeds: usize,
+    base_seed: u64,
+    attempts: usize,
+    bits: usize,
+    jobs: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let params = DriverParams {
+        bits_per_attempt: bits,
+        ..DriverParams::paper()
+    };
+    let grid =
+        CampaignGrid::new(scenarios.to_vec(), params, attempts).with_seed_count(base_seed, seeds);
+    let jobs = resolve_jobs(jobs);
+    if !opts.json {
+        println!(
+            "campaign: {} cells ({} scenarios x {} seeds) on {} workers",
+            grid.len(),
+            scenarios.len(),
+            seeds,
+            jobs
+        );
+    }
+    let results = grid.run(jobs)?;
+
+    let cells: Vec<CampaignCellOut> = results
+        .iter()
+        .map(|r| CampaignCellOut {
+            scenario: r.scenario.to_string(),
+            seed: r.seed,
+            attempts: r.stats.attempts.len(),
+            first_success: r.stats.first_success(),
+            avg_attempt_mins: r.stats.avg_attempt_mins(),
+            hours_to_success: r.stats.time_to_first_success().map(|d| d.as_hours_f64()),
+        })
+        .collect();
+
+    if opts.json {
+        // NDJSON: one record per cell, in grid order.
+        for cell in &cells {
+            println!("{}", output::to_json(cell));
+        }
+        return Ok(());
+    }
+
+    let header = [
+        "scenario", "seed", "attempts", "first ok", "avg mins", "hours",
+    ];
+    let rows: Vec<[String; 6]> = cells
+        .iter()
+        .map(|c| {
+            [
+                c.scenario.clone(),
+                format!("{:#x}", c.seed),
+                c.attempts.to_string(),
+                c.first_success
+                    .map_or_else(|| "-".into(), |n| n.to_string()),
+                format!("{:.1}", c.avg_attempt_mins),
+                c.hours_to_success
+                    .map_or_else(|| "-".into(), |h| format!("{h:.1}")),
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let body: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = *w))
+            .collect();
+        println!("| {} |", body.join(" | "));
+    };
+    print_row(&header.map(String::from));
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in &rows {
+        print_row(row);
+    }
+    Ok(())
+}
+
 fn analyse(opts: &Options) {
     let _ = opts;
     // Reuse the bench crate's presentation? The CLI stays dependency-lean
     // and prints the core numbers directly.
-    use hyperhammer::analysis::*;
     use hh_sim::ByteSize;
+    use hyperhammer::analysis::*;
     println!("success bound p = VM/(512*host):");
     for vm in [2u64, 4, 8, 13, 16] {
         println!(

@@ -13,13 +13,21 @@ commands:
   profile     run memory profiling          (--stop-after N)
   steer       run Page Steering             (--blocks B, --spray-gib S)
   attack      run end-to-end attack attempts (--attempts N, --bits B)
+  campaign    sweep campaigns over a (scenario x seed) grid
+              (--scenarios a,b,..., --seeds N, --base-seed S,
+               --attempts N, --bits B, --jobs N)
   analyse     print the §5.3 analytical model
 
 options:
   --scenario s1|s2|s3|small|tiny   machine preset        [default: small]
   --seed N                         experiment seed override
+  --jobs N                         campaign worker threads
+                                   [default: available parallelism]
   --json                           machine-readable output
-  --quarantine                     enable the §6 virtio-mem countermeasure";
+  --quarantine                     enable the §6 virtio-mem countermeasure
+
+campaign determinism: cell seeds are split from --base-seed by position,
+so results are identical for every --jobs value.";
 
 /// A parsed command line.
 #[derive(Debug, Clone)]
@@ -33,7 +41,11 @@ pub struct Options {
 }
 
 /// Subcommands with their parameters.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `PartialEq` is hand-written because [`Scenario`] is a config bundle
+/// without (and not worth) structural equality; grid scenarios compare
+/// by preset name.
+#[derive(Debug, Clone)]
 pub enum Command {
     /// DRAM address-map recovery.
     Recon,
@@ -56,8 +68,90 @@ pub enum Command {
         /// Vulnerable bits targeted per attempt.
         bits: usize,
     },
+    /// Parallel campaign sweep over a (scenario × seed) grid.
+    Campaign {
+        /// Scenario presets forming the grid rows.
+        scenarios: Vec<Scenario>,
+        /// Number of experiment seeds per scenario.
+        seeds: usize,
+        /// Base seed the per-cell seeds are split from.
+        base_seed: u64,
+        /// Maximum attempts per cell.
+        attempts: usize,
+        /// Vulnerable bits targeted per attempt.
+        bits: usize,
+        /// Worker threads (`None`: available parallelism).
+        jobs: Option<usize>,
+    },
     /// Analytical model.
     Analyse,
+}
+
+impl PartialEq for Command {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::Recon, Self::Recon) | (Self::Analyse, Self::Analyse) => true,
+            (Self::Profile { stop_after: a }, Self::Profile { stop_after: b }) => a == b,
+            (
+                Self::Steer {
+                    blocks: ab,
+                    spray_gib: asg,
+                },
+                Self::Steer {
+                    blocks: bb,
+                    spray_gib: bsg,
+                },
+            ) => ab == bb && asg == bsg,
+            (
+                Self::Attack {
+                    attempts: aa,
+                    bits: ab,
+                },
+                Self::Attack {
+                    attempts: ba,
+                    bits: bb,
+                },
+            ) => aa == ba && ab == bb,
+            (
+                Self::Campaign {
+                    scenarios: asc,
+                    seeds: ase,
+                    base_seed: abs,
+                    attempts: aat,
+                    bits: abi,
+                    jobs: aj,
+                },
+                Self::Campaign {
+                    scenarios: bsc,
+                    seeds: bse,
+                    base_seed: bbs,
+                    attempts: bat,
+                    bits: bbi,
+                    jobs: bj,
+                },
+            ) => {
+                asc.len() == bsc.len()
+                    && asc.iter().zip(bsc).all(|(a, b)| a.name == b.name)
+                    && ase == bse
+                    && abs == bbs
+                    && aat == bat
+                    && abi == bbi
+                    && aj == bj
+            }
+            _ => false,
+        }
+    }
+}
+
+fn scenario_by_name(name: &str) -> Result<Scenario, String> {
+    match name {
+        "s1" => Ok(Scenario::s1()),
+        "s2" => Ok(Scenario::s2()),
+        "s3" => Ok(Scenario::s3()),
+        "small" => Ok(Scenario::small_attack()),
+        "tiny" => Ok(Scenario::tiny_demo()),
+        other => Err(format!("unknown scenario {other}")),
+    }
 }
 
 impl Options {
@@ -79,6 +173,10 @@ impl Options {
         let mut spray_gib: u64 = 2;
         let mut attempts: usize = 50;
         let mut bits: usize = 12;
+        let mut scenarios: Option<Vec<String>> = None;
+        let mut grid_seeds: usize = 1;
+        let mut base_seed: u64 = 0;
+        let mut jobs: Option<usize> = None;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -124,18 +222,39 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("bad --bits: {e}"))?
                 }
+                "--scenarios" => {
+                    scenarios = Some(
+                        value("--scenarios")?
+                            .split(',')
+                            .map(str::to_string)
+                            .collect(),
+                    )
+                }
+                "--seeds" => {
+                    grid_seeds = value("--seeds")?
+                        .parse()
+                        .map_err(|e| format!("bad --seeds: {e}"))?;
+                    if grid_seeds == 0 {
+                        return Err("--seeds must be at least 1".to_string());
+                    }
+                }
+                "--base-seed" => {
+                    base_seed = value("--base-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --base-seed: {e}"))?
+                }
+                "--jobs" => {
+                    jobs = Some(
+                        value("--jobs")?
+                            .parse()
+                            .map_err(|e| format!("bad --jobs: {e}"))?,
+                    )
+                }
                 other => return Err(format!("unknown option {other}")),
             }
         }
 
-        let mut scenario = match scenario_name.as_str() {
-            "s1" => Scenario::s1(),
-            "s2" => Scenario::s2(),
-            "s3" => Scenario::s3(),
-            "small" => Scenario::small_attack(),
-            "tiny" => Scenario::tiny_demo(),
-            other => return Err(format!("unknown scenario {other}")),
-        };
+        let mut scenario = scenario_by_name(&scenario_name)?;
         if let Some(seed) = seed {
             scenario = scenario.with_seed(seed);
         }
@@ -148,6 +267,31 @@ impl Options {
             "profile" => Command::Profile { stop_after },
             "steer" => Command::Steer { blocks, spray_gib },
             "attack" => Command::Attack { attempts, bits },
+            "campaign" => {
+                // The grid defaults to the single --scenario selection;
+                // --scenarios widens it. Quarantine applies to every row.
+                let mut grid_scenarios = match &scenarios {
+                    Some(names) => names
+                        .iter()
+                        .map(|n| scenario_by_name(n))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    None => vec![scenario_by_name(&scenario_name)?],
+                };
+                if quarantine {
+                    grid_scenarios = grid_scenarios
+                        .into_iter()
+                        .map(Scenario::with_quarantine)
+                        .collect();
+                }
+                Command::Campaign {
+                    scenarios: grid_scenarios,
+                    seeds: grid_seeds,
+                    base_seed: seed.unwrap_or(base_seed),
+                    attempts,
+                    bits,
+                    jobs,
+                }
+            }
             "analyse" | "analyze" => Command::Analyse,
             other => return Err(format!("unknown command {other}")),
         };
@@ -178,11 +322,25 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let o = parse(&[
-            "attack", "--scenario", "tiny", "--seed", "99", "--json", "--attempts", "7",
-            "--bits", "3",
+            "attack",
+            "--scenario",
+            "tiny",
+            "--seed",
+            "99",
+            "--json",
+            "--attempts",
+            "7",
+            "--bits",
+            "3",
         ])
         .unwrap();
-        assert_eq!(o.command, Command::Attack { attempts: 7, bits: 3 });
+        assert_eq!(
+            o.command,
+            Command::Attack {
+                attempts: 7,
+                bits: 3
+            }
+        );
         assert_eq!(o.scenario.name, "tiny");
         assert!(o.json);
     }
@@ -190,7 +348,13 @@ mod tests {
     #[test]
     fn steer_params() {
         let o = parse(&["steer", "--blocks", "12", "--spray-gib", "3"]).unwrap();
-        assert_eq!(o.command, Command::Steer { blocks: 12, spray_gib: 3 });
+        assert_eq!(
+            o.command,
+            Command::Steer {
+                blocks: 12,
+                spray_gib: 3
+            }
+        );
     }
 
     #[test]
@@ -203,7 +367,80 @@ mod tests {
     }
 
     #[test]
+    fn campaign_defaults_and_grid_flags() {
+        let o = parse(&["campaign"]).unwrap();
+        match &o.command {
+            Command::Campaign {
+                scenarios,
+                seeds,
+                base_seed,
+                attempts,
+                bits,
+                jobs,
+            } => {
+                assert_eq!(scenarios.len(), 1);
+                assert_eq!(scenarios[0].name, "small");
+                assert_eq!(*seeds, 1);
+                assert_eq!(*base_seed, 0);
+                assert_eq!(*attempts, 50);
+                assert_eq!(*bits, 12);
+                assert_eq!(*jobs, None);
+            }
+            other => panic!("expected campaign, got {other:?}"),
+        }
+
+        let o = parse(&[
+            "campaign",
+            "--scenarios",
+            "tiny,s1",
+            "--seeds",
+            "3",
+            "--base-seed",
+            "42",
+            "--attempts",
+            "5",
+            "--bits",
+            "4",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        match &o.command {
+            Command::Campaign {
+                scenarios,
+                seeds,
+                base_seed,
+                jobs,
+                ..
+            } => {
+                assert_eq!(
+                    scenarios.iter().map(|s| s.name).collect::<Vec<_>>(),
+                    ["tiny", "S1"]
+                );
+                assert_eq!(*seeds, 3);
+                assert_eq!(*base_seed, 42);
+                assert_eq!(*jobs, Some(2));
+            }
+            other => panic!("expected campaign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn campaign_quarantine_applies_to_grid() {
+        let o = parse(&["campaign", "--scenarios", "tiny", "--quarantine"]).unwrap();
+        match &o.command {
+            Command::Campaign { scenarios, .. } => assert_eq!(
+                scenarios[0].host_config().quarantine,
+                hh_hv::QuarantinePolicy::QemuPatch
+            ),
+            other => panic!("expected campaign, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_garbage() {
+        assert!(parse(&["campaign", "--scenarios", "tiny,mars"]).is_err());
+        assert!(parse(&["campaign", "--seeds", "0"]).is_err());
         assert!(parse(&[]).is_err());
         assert!(parse(&["bogus"]).is_err());
         assert!(parse(&["profile", "--scenario"]).is_err());

@@ -1,9 +1,119 @@
-//! Serializable result records for `--json` output.
+//! Result records for `--json` output.
+//!
+//! The workspace builds offline with no external crates, so JSON is
+//! emitted through the tiny [`Json`] trait instead of a serialization
+//! framework. Records are flat (strings, numbers, bools, simple arrays),
+//! which keeps the hand-rolled encoder honest.
 
-use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A type that can render itself as a JSON object.
+pub trait Json {
+    /// Appends the fields of the record as `"key": value` pairs.
+    fn fields(&self, obj: &mut JsonObject);
+}
+
+/// Accumulates the fields of one JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    entries: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Adds a string field (escaped).
+    pub fn string(&mut self, key: &str, value: &str) {
+        self.push(key, escape(value));
+    }
+
+    /// Adds an integer-like field.
+    pub fn number(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.push(key, value.to_string());
+    }
+
+    /// Adds a float field (JSON has no NaN/Inf; they render as null).
+    pub fn float(&mut self, key: &str, value: f64) {
+        if value.is_finite() {
+            self.push(key, format!("{value}"));
+        } else {
+            self.push(key, "null".to_string());
+        }
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) {
+        self.push(key, value.to_string());
+    }
+
+    /// Adds an optional numeric field; `None` renders as `null`.
+    pub fn opt_number(&mut self, key: &str, value: Option<impl std::fmt::Display>) {
+        match value {
+            Some(v) => self.push(key, v.to_string()),
+            None => self.push(key, "null".to_string()),
+        }
+    }
+
+    /// Adds an optional float field; `None` renders as `null`.
+    pub fn opt_float(&mut self, key: &str, value: Option<f64>) {
+        match value {
+            Some(v) => self.float(key, v),
+            None => self.push(key, "null".to_string()),
+        }
+    }
+
+    /// Adds an array of numbers.
+    pub fn number_array(
+        &mut self,
+        key: &str,
+        values: impl IntoIterator<Item = impl std::fmt::Display>,
+    ) {
+        let inner: Vec<String> = values.into_iter().map(|v| v.to_string()).collect();
+        self.push(key, format!("[{}]", inner.join(", ")));
+    }
+
+    fn push(&mut self, key: &str, rendered: String) {
+        self.entries.push((key.to_string(), rendered));
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let _ = writeln!(out, "  {}: {value}{comma}", escape(key));
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a record as a pretty-printed JSON object.
+pub fn to_json(record: &impl Json) -> String {
+    let mut obj = JsonObject::default();
+    record.fields(&mut obj);
+    obj.render()
+}
 
 /// `recon` result.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ReconOut {
     /// Scenario name.
     pub scenario: String,
@@ -19,8 +129,19 @@ pub struct ReconOut {
     pub row_bits: Vec<u32>,
 }
 
+impl Json for ReconOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        obj.string("scenario", &self.scenario);
+        obj.number_array("bank_masks", self.bank_masks.iter());
+        obj.number("banks", self.banks);
+        obj.bool("equivalent", self.equivalent);
+        obj.number("measurements", self.measurements);
+        obj.number_array("row_bits", self.row_bits.iter());
+    }
+}
+
 /// `profile` result.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ProfileOut {
     /// Scenario name.
     pub scenario: String,
@@ -38,8 +159,20 @@ pub struct ProfileOut {
     pub exploitable: usize,
 }
 
+impl Json for ProfileOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        obj.string("scenario", &self.scenario);
+        obj.float("sim_hours", self.sim_hours);
+        obj.number("total", self.total);
+        obj.number("one_to_zero", self.one_to_zero);
+        obj.number("zero_to_one", self.zero_to_one);
+        obj.number("stable", self.stable);
+        obj.number("exploitable", self.exploitable);
+    }
+}
+
 /// `steer` result.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct SteerOut {
     /// Scenario name.
     pub scenario: String,
@@ -59,8 +192,21 @@ pub struct SteerOut {
     pub r_e: f64,
 }
 
+impl Json for SteerOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        obj.string("scenario", &self.scenario);
+        obj.number("noise_before", self.noise_before);
+        obj.number("noise_after", self.noise_after);
+        obj.number("released_pages", self.released_pages);
+        obj.number("ept_pages", self.ept_pages);
+        obj.number("reused_pages", self.reused_pages);
+        obj.float("r_n", self.r_n);
+        obj.float("r_e", self.r_e);
+    }
+}
+
 /// `attack` result.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct AttackOut {
     /// Scenario name.
     pub scenario: String,
@@ -76,14 +222,88 @@ pub struct AttackOut {
     pub escape_read: Option<u64>,
 }
 
+impl Json for AttackOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        obj.string("scenario", &self.scenario);
+        obj.number("attempts", self.attempts);
+        obj.opt_number("first_success", self.first_success);
+        obj.float("avg_attempt_mins", self.avg_attempt_mins);
+        obj.opt_float("hours_to_success", self.hours_to_success);
+        obj.opt_number("escape_read", self.escape_read);
+    }
+}
+
+/// `campaign` result: one line per (scenario, seed) grid cell.
+#[derive(Debug)]
+pub struct CampaignCellOut {
+    /// Scenario name.
+    pub scenario: String,
+    /// Experiment seed for this cell.
+    pub seed: u64,
+    /// Attempts executed.
+    pub attempts: usize,
+    /// 1-based index of the first success, if any.
+    pub first_success: Option<usize>,
+    /// Mean simulated minutes per attempt.
+    pub avg_attempt_mins: f64,
+    /// Simulated hours to first success.
+    pub hours_to_success: Option<f64>,
+}
+
+impl Json for CampaignCellOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        obj.string("scenario", &self.scenario);
+        obj.number("seed", self.seed);
+        obj.number("attempts", self.attempts);
+        obj.opt_number("first_success", self.first_success);
+        obj.float("avg_attempt_mins", self.avg_attempt_mins);
+        obj.opt_float("hours_to_success", self.hours_to_success);
+    }
+}
+
 /// Prints a record as JSON or via the supplied human formatter.
-pub fn emit<T: Serialize>(json: bool, record: &T, human: impl FnOnce()) {
+pub fn emit<T: Json>(json: bool, record: &T, human: impl FnOnce()) {
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(record).expect("records serialize")
-        );
+        println!("{}", to_json(record));
     } else {
         human();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_renders_options() {
+        let out = AttackOut {
+            scenario: "ti\"ny\n".to_string(),
+            attempts: 3,
+            first_success: None,
+            avg_attempt_mins: 1.5,
+            hours_to_success: None,
+            escape_read: Some(7),
+        };
+        let s = to_json(&out);
+        assert!(s.contains(r#""scenario": "ti\"ny\n","#), "{s}");
+        assert!(s.contains(r#""first_success": null,"#), "{s}");
+        assert!(s.contains(r#""escape_read": 7"#), "{s}");
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn arrays_render_comma_separated() {
+        let out = ReconOut {
+            scenario: "s1".into(),
+            bank_masks: vec![1, 2, 3],
+            banks: 8,
+            equivalent: true,
+            measurements: 42,
+            row_bits: vec![],
+        };
+        let s = to_json(&out);
+        assert!(s.contains("\"bank_masks\": [1, 2, 3],"), "{s}");
+        assert!(s.contains("\"row_bits\": []"), "{s}");
+        assert!(s.contains("\"equivalent\": true,"), "{s}");
     }
 }

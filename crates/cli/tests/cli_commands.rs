@@ -26,8 +26,27 @@ fn profile_with_early_stop() {
 
 #[test]
 fn steer_json_and_text() {
-    run(&["steer", "--scenario", "tiny", "--blocks", "3", "--spray-gib", "1"]).unwrap();
-    run(&["steer", "--scenario", "tiny", "--blocks", "2", "--spray-gib", "1", "--json"]).unwrap();
+    run(&[
+        "steer",
+        "--scenario",
+        "tiny",
+        "--blocks",
+        "3",
+        "--spray-gib",
+        "1",
+    ])
+    .unwrap();
+    run(&[
+        "steer",
+        "--scenario",
+        "tiny",
+        "--blocks",
+        "2",
+        "--spray-gib",
+        "1",
+        "--json",
+    ])
+    .unwrap();
 }
 
 #[test]
@@ -38,7 +57,16 @@ fn steer_under_quarantine_fails_gracefully() {
 
 #[test]
 fn attack_bounded_attempts() {
-    run(&["attack", "--scenario", "tiny", "--attempts", "2", "--bits", "2"]).unwrap();
+    run(&[
+        "attack",
+        "--scenario",
+        "tiny",
+        "--attempts",
+        "2",
+        "--bits",
+        "2",
+    ])
+    .unwrap();
 }
 
 #[test]
@@ -51,6 +79,24 @@ fn seed_changes_results_deterministically() {
     // Two runs with the same seed must both succeed (determinism is
     // asserted in depth by tests/determinism.rs; here we check the CLI
     // threads the seed through).
-    run(&["profile", "--scenario", "tiny", "--seed", "7", "--stop-after", "1"]).unwrap();
-    run(&["profile", "--scenario", "tiny", "--seed", "7", "--stop-after", "1"]).unwrap();
+    run(&[
+        "profile",
+        "--scenario",
+        "tiny",
+        "--seed",
+        "7",
+        "--stop-after",
+        "1",
+    ])
+    .unwrap();
+    run(&[
+        "profile",
+        "--scenario",
+        "tiny",
+        "--seed",
+        "7",
+        "--stop-after",
+        "1",
+    ])
+    .unwrap();
 }

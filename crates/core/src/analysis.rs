@@ -3,7 +3,6 @@
 
 use hh_sim::rng::SimRng;
 use hh_sim::ByteSize;
-use rand::Rng;
 
 /// The §5.3.1 bound: with Page Steering and the flip both succeeding, the
 /// probability that the rewritten mapping lands on an EPT page is roughly
@@ -143,8 +142,8 @@ mod tests {
     #[test]
     fn monte_carlo_agrees_with_the_bound() {
         let r = monte_carlo_bound(ByteSize::gib(13), ByteSize::gib(16), 2_000_000, 7);
-        let rel_err = (r.empirical_probability - r.analytical_probability).abs()
-            / r.analytical_probability;
+        let rel_err =
+            (r.empirical_probability - r.analytical_probability).abs() / r.analytical_probability;
         assert!(rel_err < 0.1, "rel err {rel_err}: {r:?}");
     }
 

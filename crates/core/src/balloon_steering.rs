@@ -168,7 +168,9 @@ mod tests {
     fn spray_pool(vm: &Vm, skip: u64) -> Vec<Gpa> {
         // Hugepages far away from the test bits.
         let base = vm.virtio_mem().region_base();
-        (skip..skip + 16).map(|i| base.add(i * HUGE_PAGE_SIZE)).collect()
+        (skip..skip + 16)
+            .map(|i| base.add(i * HUGE_PAGE_SIZE))
+            .collect()
     }
 
     #[test]

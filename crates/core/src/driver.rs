@@ -7,8 +7,8 @@
 //! irreversible, so every failed attempt tears the VM down and starts
 //! over — exactly the paper's procedure.
 
-use hh_dram::FlipDirection;
 use hh_buddy::MigrateType;
+use hh_dram::FlipDirection;
 use hh_hv::{Host, HvError, Vm};
 use hh_sim::addr::{Gpa, Hpa, HUGE_PAGE_SIZE};
 use hh_sim::clock::SimDuration;
@@ -73,7 +73,7 @@ pub struct AttemptRecord {
 }
 
 /// Aggregated campaign results — the raw material of Table 3.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignStats {
     /// Per-attempt records, in order.
     pub attempts: Vec<AttemptRecord>,
@@ -102,7 +102,10 @@ impl CampaignStats {
     /// Simulated time from campaign start to the first success.
     pub fn time_to_first_success(&self) -> Option<SimDuration> {
         let idx = self.first_success()?;
-        let nanos: u64 = self.attempts[..idx].iter().map(|a| a.duration.as_nanos()).sum();
+        let nanos: u64 = self.attempts[..idx]
+            .iter()
+            .map(|a| a.duration.as_nanos())
+            .sum();
         Some(SimDuration::from_nanos(nanos))
     }
 }
@@ -147,12 +150,22 @@ impl DriverParams {
 #[derive(Debug, Clone)]
 pub struct AttackDriver {
     params: DriverParams,
+    // Constructed once here rather than per attempt: a campaign runs
+    // hundreds of attempts and the stages themselves are stateless.
+    steering: PageSteering,
+    exploiter: Exploiter,
 }
 
 impl AttackDriver {
     /// Creates a driver.
     pub fn new(params: DriverParams) -> Self {
-        Self { params }
+        let steering = PageSteering::new(params.steering.clone());
+        let exploiter = Exploiter::new(params.exploit.clone());
+        Self {
+            params,
+            steering,
+            exploiter,
+        }
     }
 
     /// Profiles the current VM and converts the result into a reusable
@@ -277,19 +290,17 @@ impl AttackDriver {
             });
         }
 
-        let steering = PageSteering::new(self.params.steering.clone());
-        let exploiter = Exploiter::new(self.params.exploit.clone());
-
         // Exhaust noise, stamp magic while chunks are still huge-mapped,
         // release victims, spray EPT pages, then hammer and hunt.
         let result: Result<(AttemptOutcome, usize), HvError> = (|| {
-            steering.exhaust_noise(host, &mut vm)?;
-            exploiter.stamp_magic(host, &mut vm)?;
+            self.steering.exhaust_noise(host, &mut vm)?;
+            self.exploiter.stamp_magic(host, &mut vm)?;
             let victims: Vec<Gpa> = bits.iter().map(|b| b.hugepage_base()).collect();
-            let released = steering.release_hugepages(host, &mut vm, &victims)?;
-            steering.spray_ept(host, &mut vm, PageSteering::spray_budget(released.len()))?;
+            let released = self.steering.release_hugepages(host, &mut vm, &victims)?;
+            self.steering
+                .spray_ept(host, &mut vm, PageSteering::spray_budget(released.len()))?;
             // Bits whose hugepage is gone are the live targets.
-            let outcome = match exploiter.run(host, &mut vm, &bits, target_hpa)? {
+            let outcome = match self.exploiter.run(host, &mut vm, &bits, target_hpa)? {
                 Ok(proof) => AttemptOutcome::Success(proof),
                 Err(failure) => AttemptOutcome::Failed(failure),
             };
@@ -414,7 +425,10 @@ mod tests {
         // Most chunks land back in the same frames (LIFO reuse), so most
         // catalogued bits relocate.
         for bit in &relocated {
-            assert_ne!(bit.hugepage_base(), bit.aggressors[0].align_down(HUGE_PAGE_SIZE));
+            assert_ne!(
+                bit.hugepage_base(),
+                bit.aggressors[0].align_down(HUGE_PAGE_SIZE)
+            );
             // Relocated coordinates are consistent with the hypercall.
             let hpa = vm2.hypercall_gpa_to_hpa(bit.gpa).unwrap();
             assert!(catalog.entries.iter().any(|e| e.cell_hpa == hpa));

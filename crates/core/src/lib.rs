@@ -22,7 +22,9 @@
 //!    host-physical access (§4.3).
 //!
 //! [`driver`] chains the steps into repeatable end-to-end attempts
-//! (Table 3), [`analysis`] implements the paper's §5.3 success-probability
+//! (Table 3), [`parallel`] fans (scenario × seed) campaign grids out over
+//! worker threads with bit-identical results to the serial path,
+//! [`analysis`] implements the paper's §5.3 success-probability
 //! model, [`balloon_steering`] completes the §6 virtio-balloon variant the
 //! paper leaves to future work, and [`machine`] provides the S1/S2/S3
 //! evaluation presets.
@@ -52,12 +54,14 @@ pub mod balloon_steering;
 pub mod driver;
 pub mod exploit;
 pub mod machine;
+pub mod parallel;
 pub mod profile;
 pub mod steering;
 
+pub use balloon_steering::BalloonSteering;
 pub use driver::{AttackDriver, AttemptOutcome, CampaignStats};
 pub use exploit::{EscapeProof, Exploiter};
 pub use machine::Scenario;
+pub use parallel::{CampaignGrid, CellResult};
 pub use profile::{FlipCatalog, ProfileReport, Profiler};
-pub use balloon_steering::BalloonSteering;
 pub use steering::PageSteering;

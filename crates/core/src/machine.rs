@@ -179,7 +179,10 @@ impl Scenario {
 
     /// Returns a copy with the virtio-mem quarantine countermeasure on.
     pub fn with_quarantine(mut self) -> Self {
-        self.host = self.host.clone().with_quarantine(QuarantinePolicy::QemuPatch);
+        self.host = self
+            .host
+            .clone()
+            .with_quarantine(QuarantinePolicy::QemuPatch);
         self
     }
 

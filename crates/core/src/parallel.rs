@@ -1,0 +1,352 @@
+//! Deterministic parallel campaign engine.
+//!
+//! Table 3 and the §5.3.2 ablation sweeps repeat full attack campaigns —
+//! profile, steer, hammer, escape — over a grid of (scenario ×
+//! experiment-seed) cells. The cells are independent by construction:
+//! each owns a freshly-booted [`Host`](hh_hv::Host) whose every RNG
+//! stream descends from the cell's own seed, so running them on worker
+//! threads changes wall-clock time and nothing else.
+//!
+//! Two properties make the engine *deterministic*, not merely parallel:
+//!
+//! 1. **Seed splitting.** Cell seeds come from
+//!    [`SimRng::split_seed`]`(base, index)` — a pure function of the grid's
+//!    base seed and the cell's position, never of worker count or
+//!    scheduling order.
+//! 2. **Indexed results.** Workers pull cells from a shared cursor but
+//!    write results into the cell's own slot, so the output vector is
+//!    always in grid order. A 1-worker run and an 8-worker run of the
+//!    same grid return bit-identical [`CampaignStats`].
+//!
+//! The engine is two layers: [`parallel_map`], a general deterministic
+//! fan-out over `std::thread::scope` (also used by the benchmark
+//! harness's ablation sweeps), and [`CampaignGrid`], the campaign-shaped
+//! API on top.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hh_hv::HvError;
+use hh_sim::rng::SimRng;
+
+use crate::driver::{AttackDriver, CampaignStats, DriverParams};
+use crate::machine::Scenario;
+
+/// Resolves a `--jobs`-style request: `None` means "use all available
+/// parallelism", and a request is clamped to at least one worker.
+pub fn resolve_jobs(requested: Option<usize>) -> NonZeroUsize {
+    match requested {
+        Some(n) => NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"),
+        None => std::thread::available_parallelism()
+            .unwrap_or_else(|_| NonZeroUsize::new(1).expect("1 is non-zero")),
+    }
+}
+
+/// Applies `f` to every item on `jobs` scoped workers, returning results
+/// in input order.
+///
+/// Work distribution is a shared atomic cursor: workers race for the
+/// *next* index but each result lands in its item's slot, so the output
+/// is independent of scheduling. `f` must itself be deterministic per
+/// item for the full determinism guarantee to hold — the campaign engine
+/// arranges that by deriving every cell's RNG from its own seed.
+///
+/// # Panics
+///
+/// Propagates panics from `f` once all workers have stopped.
+pub fn parallel_map<T, R, F>(items: Vec<T>, jobs: NonZeroUsize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs.get().min(n);
+    if workers == 1 {
+        // Serial fast path: no threads, same order, same results.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("each task index is claimed exactly once");
+                let out = f(i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task ran to completion")
+        })
+        .collect()
+}
+
+/// One (scenario × seed) cell of a campaign grid.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Position in the grid, row-major (scenario-major, then seed).
+    pub index: usize,
+    /// The scenario, already re-seeded for this cell.
+    pub scenario: Scenario,
+    /// The experiment seed applied to the scenario.
+    pub seed: u64,
+}
+
+/// The outcome of one campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// The cell's experiment seed.
+    pub seed: u64,
+    /// Exploitable bits in the reused profiling catalogue.
+    pub catalog_bits: usize,
+    /// The campaign statistics (Table 3 raw material).
+    pub stats: CampaignStats,
+}
+
+/// A grid of (scenario × experiment-seed) campaign cells plus the attack
+/// parameters shared by every cell.
+///
+/// # Examples
+///
+/// ```
+/// use hyperhammer::machine::Scenario;
+/// use hyperhammer::driver::DriverParams;
+/// use hyperhammer::parallel::CampaignGrid;
+/// use std::num::NonZeroUsize;
+///
+/// let params = DriverParams { bits_per_attempt: 4, ..DriverParams::paper() };
+/// let grid = CampaignGrid::new(vec![Scenario::tiny_demo()], params, 2)
+///     .with_seed_count(0xbeef, 2);
+/// let serial = grid.run(NonZeroUsize::new(1).unwrap()).unwrap();
+/// let parallel = grid.run(NonZeroUsize::new(2).unwrap()).unwrap();
+/// assert_eq!(serial, parallel);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignGrid {
+    scenarios: Vec<Scenario>,
+    seeds: Vec<u64>,
+    params: DriverParams,
+    max_attempts: usize,
+}
+
+impl CampaignGrid {
+    /// Creates a grid over `scenarios` with one default cell seed (0);
+    /// widen with [`CampaignGrid::with_seeds`] or
+    /// [`CampaignGrid::with_seed_count`].
+    pub fn new(scenarios: Vec<Scenario>, params: DriverParams, max_attempts: usize) -> Self {
+        Self {
+            scenarios,
+            seeds: vec![0],
+            params,
+            max_attempts,
+        }
+    }
+
+    /// Uses these explicit experiment seeds for every scenario.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        assert!(!seeds.is_empty(), "a grid needs at least one seed");
+        self.seeds = seeds;
+        self
+    }
+
+    /// Derives `count` seeds from `base` via [`SimRng::split_seed`] —
+    /// the canonical seed-splitting scheme, reproducible from `base`
+    /// alone.
+    pub fn with_seed_count(self, base: u64, count: usize) -> Self {
+        assert!(count > 0, "a grid needs at least one seed");
+        let seeds = (0..count as u64)
+            .map(|i| SimRng::split_seed(base, i))
+            .collect();
+        self.with_seeds(seeds)
+    }
+
+    /// The grid's cells in row-major (scenario-major) order, each with
+    /// its re-seeded scenario.
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        let mut out = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
+        for scenario in &self.scenarios {
+            for &seed in &self.seeds {
+                out.push(CampaignCell {
+                    index: out.len(),
+                    scenario: scenario.clone().with_seed(seed),
+                    seed,
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.scenarios.len() * self.seeds.len()
+    }
+
+    /// `true` when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs one cell exactly as the serial path would: boot, profile,
+    /// catalogue, then campaign to first success or the attempt budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors.
+    pub fn run_cell(&self, cell: &CampaignCell) -> Result<CellResult, HvError> {
+        let driver = AttackDriver::new(self.params.clone());
+        let mut host = cell.scenario.boot_host();
+        let mut vm = host.create_vm(cell.scenario.vm_config())?;
+        let catalog =
+            driver.profile_and_catalog(&mut host, &mut vm, cell.scenario.profile_params())?;
+        vm.destroy(&mut host);
+        let stats = driver.campaign(&cell.scenario, &mut host, &catalog, self.max_attempts)?;
+        Ok(CellResult {
+            scenario: cell.scenario.name,
+            seed: cell.seed,
+            catalog_bits: catalog.entries.len(),
+            stats,
+        })
+    }
+
+    /// Runs the whole grid on `jobs` workers; results are in grid order
+    /// and identical for every `jobs` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (grid-order) hypervisor error.
+    pub fn run(&self, jobs: NonZeroUsize) -> Result<Vec<CellResult>, HvError> {
+        self.run_with_progress(jobs, |_| {})
+    }
+
+    /// [`CampaignGrid::run`] with a completion callback per cell. The
+    /// callback observes cells as workers finish them (i.e. in
+    /// scheduling order) and must therefore not influence results — use
+    /// it for liveness reporting only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (grid-order) hypervisor error.
+    pub fn run_with_progress(
+        &self,
+        jobs: NonZeroUsize,
+        progress: impl Fn(&CellResult) + Sync,
+    ) -> Result<Vec<CellResult>, HvError> {
+        let cells = self.cells();
+        let results = parallel_map(cells, jobs, |_, cell| {
+            let result = self.run_cell(&cell);
+            if let Ok(r) = &result {
+                progress(r);
+            }
+            result
+        });
+        results.into_iter().collect()
+    }
+
+    /// Runs the grid serially on the calling thread — the reference the
+    /// parallel path is tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hypervisor error.
+    pub fn run_serial(&self) -> Result<Vec<CellResult>, HvError> {
+        self.cells()
+            .iter()
+            .map(|cell| self.run_cell(cell))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid(seeds: usize) -> CampaignGrid {
+        let params = DriverParams {
+            bits_per_attempt: 4,
+            stable_bits_only: true,
+            ..DriverParams::paper()
+        };
+        CampaignGrid::new(vec![Scenario::tiny_demo()], params, 2).with_seed_count(0x717e, seeds)
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_runs_every_item() {
+        let items: Vec<u64> = (0..37).collect();
+        let jobs = NonZeroUsize::new(4).unwrap();
+        let out = parallel_map(items.clone(), jobs, |i, x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_oversubscribed() {
+        let jobs = NonZeroUsize::new(8).unwrap();
+        let empty: Vec<u8> = parallel_map(Vec::<u8>::new(), jobs, |_, x| x);
+        assert!(empty.is_empty());
+        let two = parallel_map(vec![1, 2], jobs, |_, x| x + 1);
+        assert_eq!(two, vec![2, 3]);
+    }
+
+    #[test]
+    fn grid_cells_enumerate_row_major() {
+        let grid = tiny_grid(3);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(grid.len(), 3);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.seed, SimRng::split_seed(0x717e, i as u64));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let grid = tiny_grid(2);
+        let serial = grid.run_serial().unwrap();
+        let one = grid.run(NonZeroUsize::new(1).unwrap()).unwrap();
+        let four = grid.run(NonZeroUsize::new(4).unwrap()).unwrap();
+        assert_eq!(serial, one);
+        assert_eq!(serial, four);
+        assert_eq!(serial.len(), 2);
+        for cell in &serial {
+            assert!(!cell.stats.attempts.is_empty());
+        }
+    }
+
+    #[test]
+    fn resolve_jobs_clamps_and_defaults() {
+        assert_eq!(resolve_jobs(Some(0)).get(), 1);
+        assert_eq!(resolve_jobs(Some(6)).get(), 6);
+        assert!(resolve_jobs(None).get() >= 1);
+    }
+}

@@ -316,7 +316,16 @@ impl Profiler {
                     if found.contains_key(&key) {
                         continue;
                     }
-                    let bit = self.characterize(host, vm, hp_base, &pair_table, flip.gpa, flip.bit, flip.direction, pattern)?;
+                    let bit = self.characterize(
+                        host,
+                        vm,
+                        hp_base,
+                        &pair_table,
+                        flip.gpa,
+                        flip.bit,
+                        flip.direction,
+                        pattern,
+                    )?;
                     let exploitable = bit.is_exploitable(self.params.host_mem, vm);
                     found.insert(key, bit);
                     if exploitable {
@@ -369,7 +378,11 @@ impl Profiler {
         'search: for (_side, pairs) in pair_table {
             for &(o1, o2) in pairs {
                 rearm(host, vm)?;
-                vm.hammer_gpa(host, &[hp_base.add(o1), hp_base.add(o2)], self.params.hammer_rounds)?;
+                vm.hammer_gpa(
+                    host,
+                    &[hp_base.add(o1), hp_base.add(o2)],
+                    self.params.hammer_rounds,
+                )?;
                 if flipped(host, vm)? {
                     responsible = Some([hp_base.add(o1), hp_base.add(o2)]);
                     break 'search;
@@ -416,11 +429,7 @@ impl Profiler {
     /// # Errors
     ///
     /// Propagates hypercall failures for unmapped addresses.
-    pub fn to_catalog(
-        &self,
-        vm: &Vm,
-        report: &ProfileReport,
-    ) -> Result<FlipCatalog, HvError> {
+    pub fn to_catalog(&self, vm: &Vm, report: &ProfileReport) -> Result<FlipCatalog, HvError> {
         let mut entries = Vec::new();
         for bit in &report.bits {
             if !bit.is_exploitable(self.params.host_mem, vm) {
@@ -458,7 +467,10 @@ mod tests {
     fn rel_bank_is_linear_and_bounded() {
         let masks = BankFunction::core_i3_10100().masks().to_vec();
         for (a, b) in [(0u64, 64u64), (0x40000, 0x7ffc0), (0x1fffc0, 0x100)] {
-            assert_eq!(rel_bank(&masks, a) ^ rel_bank(&masks, b), rel_bank(&masks, a ^ b));
+            assert_eq!(
+                rel_bank(&masks, a) ^ rel_bank(&masks, b),
+                rel_bank(&masks, a ^ b)
+            );
         }
         assert!(rel_bank(&masks, 0x155540) < 32);
     }
@@ -490,7 +502,9 @@ mod tests {
         let sc = Scenario::tiny_demo();
         let mut host = sc.boot_host();
         let mut vm = host.create_vm(sc.vm_config()).unwrap();
-        let report = Profiler::new(sc.profile_params()).run(&mut host, &mut vm).unwrap();
+        let report = Profiler::new(sc.profile_params())
+            .run(&mut host, &mut vm)
+            .unwrap();
         assert!(report.total() > 0, "dense DIMM must show flips");
         assert_eq!(report.total(), report.one_to_zero() + report.zero_to_one());
         assert!(report.stable() <= report.total());
@@ -510,7 +524,9 @@ mod tests {
         let mut vm = host.create_vm(sc.vm_config()).unwrap();
         let mut params = sc.profile_params();
         params.stop_after_exploitable = Some(1);
-        let report = Profiler::new(params.clone()).run(&mut host, &mut vm).unwrap();
+        let report = Profiler::new(params.clone())
+            .run(&mut host, &mut vm)
+            .unwrap();
         if report.exploitable_found >= 1 {
             // Early-stopped runs profile fewer hugepages than the region
             // holds across two passes.
@@ -527,7 +543,10 @@ mod tests {
         let profiler = Profiler::new(sc.profile_params());
         let report = profiler.run(&mut host, &mut vm).unwrap();
         let catalog = profiler.to_catalog(&vm, &report).unwrap();
-        assert_eq!(catalog.entries.len(), report.exploitable(sc.profile_params().host_mem, &vm).len());
+        assert_eq!(
+            catalog.entries.len(),
+            report.exploitable(sc.profile_params().host_mem, &vm).len()
+        );
         for e in &catalog.entries {
             assert!(e.aggressor_offsets[0] < HUGE_PAGE_SIZE);
             assert!(e.aggressor_offsets[1] < HUGE_PAGE_SIZE);

@@ -131,11 +131,7 @@ impl PageSteering {
     ///
     /// Stops early and returns `Ok` on [`HvError::IommuMapLimit`];
     /// propagates other hypervisor errors.
-    pub fn exhaust_noise(
-        &self,
-        host: &mut Host,
-        vm: &mut Vm,
-    ) -> Result<Vec<NoiseSample>, HvError> {
+    pub fn exhaust_noise(&self, host: &mut Host, vm: &mut Vm) -> Result<Vec<NoiseSample>, HvError> {
         let target_page = Gpa::new(0); // one page in the attacker's space
         let mut samples = vec![NoiseSample {
             time: host.now(),
@@ -311,11 +307,15 @@ mod tests {
         let (mut host, mut vm, steering) = setup();
         let base = vm.virtio_mem().region_base();
         let victims = [base.add(4 * HUGE_PAGE_SIZE), base.add(9 * HUGE_PAGE_SIZE)];
-        let released = steering.release_hugepages(&mut host, &mut vm, &victims).unwrap();
+        let released = steering
+            .release_hugepages(&mut host, &mut vm, &victims)
+            .unwrap();
         assert_eq!(released.len(), 2);
         assert_eq!(host.released_log().len(), 2 * 512);
         // Duplicate release is a no-op.
-        let again = steering.release_hugepages(&mut host, &mut vm, &victims).unwrap();
+        let again = steering
+            .release_hugepages(&mut host, &mut vm, &victims)
+            .unwrap();
         assert!(again.is_empty());
     }
 
@@ -323,12 +323,16 @@ mod tests {
     fn spray_splits_hugepages_and_allocates_ept_pages() {
         let (mut host, mut vm, steering) = setup();
         let leaves_before = vm.ept_leaf_pages(&host).len();
-        let stats = steering.spray_ept(&mut host, &mut vm, 10 * HUGE_PAGE_SIZE).unwrap();
+        let stats = steering
+            .spray_ept(&mut host, &mut vm, 10 * HUGE_PAGE_SIZE)
+            .unwrap();
         assert_eq!(stats.hugepages_executed, 10);
         assert_eq!(stats.splits, 10);
         assert_eq!(vm.ept_leaf_pages(&host).len(), leaves_before + 10);
         // Spraying the same region again splits nothing.
-        let stats2 = steering.spray_ept(&mut host, &mut vm, 10 * HUGE_PAGE_SIZE).unwrap();
+        let stats2 = steering
+            .spray_ept(&mut host, &mut vm, 10 * HUGE_PAGE_SIZE)
+            .unwrap();
         assert_eq!(stats2.splits, 0);
     }
 

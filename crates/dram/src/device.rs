@@ -13,7 +13,6 @@ use std::collections::HashMap;
 
 use hh_sim::addr::Hpa;
 use hh_sim::rng::SimRng;
-use rand::Rng;
 
 use crate::fault::{sample_row_cells, DimmProfile, FlipDirection, VulnerableCell};
 use crate::geometry::DramGeometry;
@@ -94,7 +93,11 @@ impl HammerPattern {
     pub fn n_sided_for(geometry: &DramGeometry, bank: u32, rows: &[u64]) -> Self {
         Self::new(
             rows.iter()
-                .map(|&r| geometry.addr_in(bank, r).expect("aggressor row out of device"))
+                .map(|&r| {
+                    geometry
+                        .addr_in(bank, r)
+                        .expect("aggressor row out of device")
+                })
                 .collect(),
         )
     }
@@ -153,7 +156,7 @@ impl DramDevice {
     /// vulnerability profile and the stochastic flip outcomes.
     pub fn new(profile: DimmProfile, seed: u64) -> Self {
         let mut root = SimRng::seed_from(seed);
-        let fault_seed = rand::RngCore::next_u64(&mut root);
+        let fault_seed = root.next_u64();
         Self {
             store: SparseStore::new(profile.geometry.size_bytes()),
             profile,
@@ -257,7 +260,10 @@ impl DramDevice {
                     continue;
                 }
                 for (dist, weight) in [(1u64, WEIGHT_DISTANCE_1), (2, WEIGHT_DISTANCE_2)] {
-                    for victim in [row.checked_sub(dist), Some(row + dist)].into_iter().flatten() {
+                    for victim in [row.checked_sub(dist), Some(row + dist)]
+                        .into_iter()
+                        .flatten()
+                    {
                         if victim >= geometry.row_count() || rows.contains(&victim) {
                             continue;
                         }
@@ -369,12 +375,23 @@ mod tests {
         let mut dev = device();
         let (bank, row, cell) = find_stable_victim(&mut dev);
         // Store the source value at the cell.
-        let source_byte = if cell.direction.source_bit() == 1 { 0xff } else { 0x00 };
-        dev.fill(dev.geometry().row_base(row), crate::geometry::ROW_SPAN, source_byte);
+        let source_byte = if cell.direction.source_bit() == 1 {
+            0xff
+        } else {
+            0x00
+        };
+        dev.fill(
+            dev.geometry().row_base(row),
+            crate::geometry::ROW_SPAN,
+            source_byte,
+        );
         let pattern = HammerPattern::single_sided_for(dev.geometry(), bank, row);
         let result = dev.hammer(&pattern, 400_000);
         assert!(
-            result.flips.iter().any(|f| f.hpa == cell.hpa && f.bit == cell.bit),
+            result
+                .flips
+                .iter()
+                .any(|f| f.hpa == cell.hpa && f.bit == cell.bit),
             "expected flip at {cell:?}, got {:?}",
             result.flips
         );
@@ -388,12 +405,23 @@ mod tests {
         let mut dev = device();
         let (bank, row, cell) = find_stable_victim(&mut dev);
         // Store the TARGET value: the cell must NOT flip.
-        let target_byte = if cell.direction.target_bit() == 1 { 0xff } else { 0x00 };
-        dev.fill(dev.geometry().row_base(row), crate::geometry::ROW_SPAN, target_byte);
+        let target_byte = if cell.direction.target_bit() == 1 {
+            0xff
+        } else {
+            0x00
+        };
+        dev.fill(
+            dev.geometry().row_base(row),
+            crate::geometry::ROW_SPAN,
+            target_byte,
+        );
         let pattern = HammerPattern::single_sided_for(dev.geometry(), bank, row);
         let result = dev.hammer(&pattern, 400_000);
         assert!(
-            !result.flips.iter().any(|f| f.hpa == cell.hpa && f.bit == cell.bit),
+            !result
+                .flips
+                .iter()
+                .any(|f| f.hpa == cell.hpa && f.bit == cell.bit),
             "cell flipped against its direction"
         );
     }
@@ -402,8 +430,16 @@ mod tests {
     fn insufficient_rounds_do_not_flip() {
         let mut dev = device();
         let (bank, row, cell) = find_stable_victim(&mut dev);
-        let source_byte = if cell.direction.source_bit() == 1 { 0xff } else { 0x00 };
-        dev.fill(dev.geometry().row_base(row), crate::geometry::ROW_SPAN, source_byte);
+        let source_byte = if cell.direction.source_bit() == 1 {
+            0xff
+        } else {
+            0x00
+        };
+        dev.fill(
+            dev.geometry().row_base(row),
+            crate::geometry::ROW_SPAN,
+            source_byte,
+        );
         let pattern = HammerPattern::single_sided_for(dev.geometry(), bank, row);
         // Far below any threshold (min 100k, single-sided weight 1.5).
         let result = dev.hammer(&pattern, 1_000);
@@ -416,28 +452,59 @@ mod tests {
         // needs T/1.5 single-sided.
         let mut dev = device();
         let (bank, row, cell) = find_stable_victim(&mut dev);
-        let source_byte = if cell.direction.source_bit() == 1 { 0xff } else { 0x00 };
+        let source_byte = if cell.direction.source_bit() == 1 {
+            0xff
+        } else {
+            0x00
+        };
         let rounds = cell.threshold / 2 + 1_000;
         // Single-sided at these rounds: effective = 1.5 × rounds < T when
         // rounds < 2T/3. Pick rounds between T/2 and 2T/3.
         assert!(rounds < cell.threshold * 2 / 3);
-        dev.fill(dev.geometry().row_base(row), crate::geometry::ROW_SPAN, source_byte);
-        let ss = dev.hammer(&HammerPattern::single_sided_for(dev.geometry(), bank, row), rounds);
-        assert!(!ss.flips.iter().any(|f| f.hpa == cell.hpa && f.bit == cell.bit));
-        let ds = dev.hammer(&HammerPattern::double_sided_for(dev.geometry(), bank, row), rounds);
-        assert!(ds.flips.iter().any(|f| f.hpa == cell.hpa && f.bit == cell.bit));
+        dev.fill(
+            dev.geometry().row_base(row),
+            crate::geometry::ROW_SPAN,
+            source_byte,
+        );
+        let ss = dev.hammer(
+            &HammerPattern::single_sided_for(dev.geometry(), bank, row),
+            rounds,
+        );
+        assert!(!ss
+            .flips
+            .iter()
+            .any(|f| f.hpa == cell.hpa && f.bit == cell.bit));
+        let ds = dev.hammer(
+            &HammerPattern::double_sided_for(dev.geometry(), bank, row),
+            rounds,
+        );
+        assert!(ds
+            .flips
+            .iter()
+            .any(|f| f.hpa == cell.hpa && f.bit == cell.bit));
     }
 
     #[test]
     fn wrong_bank_does_not_flip() {
         let mut dev = device();
         let (bank, row, cell) = find_stable_victim(&mut dev);
-        let source_byte = if cell.direction.source_bit() == 1 { 0xff } else { 0x00 };
-        dev.fill(dev.geometry().row_base(row), crate::geometry::ROW_SPAN, source_byte);
+        let source_byte = if cell.direction.source_bit() == 1 {
+            0xff
+        } else {
+            0x00
+        };
+        dev.fill(
+            dev.geometry().row_base(row),
+            crate::geometry::ROW_SPAN,
+            source_byte,
+        );
         let other_bank = (bank + 1) % dev.geometry().bank_count();
         let pattern = HammerPattern::single_sided_for(dev.geometry(), other_bank, row);
         let result = dev.hammer(&pattern, 400_000);
-        assert!(!result.flips.iter().any(|f| f.hpa == cell.hpa && f.bit == cell.bit));
+        assert!(!result
+            .flips
+            .iter()
+            .any(|f| f.hpa == cell.hpa && f.bit == cell.bit));
     }
 
     #[test]
@@ -445,25 +512,50 @@ mod tests {
         let profile = DimmProfile::test_profile(64 << 20).with_trr(TrrConfig::production());
         let mut dev = DramDevice::new(profile, 1234);
         let (bank, row, cell) = find_stable_victim(&mut dev);
-        let source_byte = if cell.direction.source_bit() == 1 { 0xff } else { 0x00 };
-        dev.fill(dev.geometry().row_base(row), crate::geometry::ROW_SPAN, source_byte);
+        let source_byte = if cell.direction.source_bit() == 1 {
+            0xff
+        } else {
+            0x00
+        };
+        dev.fill(
+            dev.geometry().row_base(row),
+            crate::geometry::ROW_SPAN,
+            source_byte,
+        );
 
-        let ds = dev.hammer(&HammerPattern::double_sided_for(dev.geometry(), bank, row), 400_000);
+        let ds = dev.hammer(
+            &HammerPattern::double_sided_for(dev.geometry(), bank, row),
+            400_000,
+        );
         assert!(ds.flips.is_empty(), "TRR should stop a 2-sided pattern");
         assert!(ds.trr_refreshes > 0);
 
         // Nine aggressors overflow the 2-entry tracker; with 9 rows and 2
         // tracked, the immediate neighbours of the victim usually survive.
-        let rows: Vec<u64> = (row.saturating_sub(5)..row + 6).filter(|&r| r != row).take(9).collect();
+        let rows: Vec<u64> = (row.saturating_sub(5)..row + 6)
+            .filter(|&r| r != row)
+            .take(9)
+            .collect();
         let mut flipped = false;
         for _ in 0..8 {
-            let ns = dev.hammer(&HammerPattern::n_sided_for(dev.geometry(), bank, &rows), 400_000);
-            if ns.flips.iter().any(|f| f.hpa == cell.hpa && f.bit == cell.bit) {
+            let ns = dev.hammer(
+                &HammerPattern::n_sided_for(dev.geometry(), bank, &rows),
+                400_000,
+            );
+            if ns
+                .flips
+                .iter()
+                .any(|f| f.hpa == cell.hpa && f.bit == cell.bit)
+            {
                 flipped = true;
                 break;
             }
             // Re-arm the victim in case some other cell flipped the byte.
-            dev.fill(dev.geometry().row_base(row), crate::geometry::ROW_SPAN, source_byte);
+            dev.fill(
+                dev.geometry().row_base(row),
+                crate::geometry::ROW_SPAN,
+                source_byte,
+            );
         }
         assert!(flipped, "many-sided pattern should eventually bypass TRR");
     }
@@ -472,8 +564,16 @@ mod tests {
     fn journal_accumulates() {
         let mut dev = device();
         let (bank, row, cell) = find_stable_victim(&mut dev);
-        let source_byte = if cell.direction.source_bit() == 1 { 0xff } else { 0x00 };
-        dev.fill(dev.geometry().row_base(row), crate::geometry::ROW_SPAN, source_byte);
+        let source_byte = if cell.direction.source_bit() == 1 {
+            0xff
+        } else {
+            0x00
+        };
+        dev.fill(
+            dev.geometry().row_base(row),
+            crate::geometry::ROW_SPAN,
+            source_byte,
+        );
         let before = dev.flip_journal().len();
         let pattern = HammerPattern::single_sided_for(dev.geometry(), bank, row);
         let res = dev.hammer(&pattern, 400_000);

@@ -33,7 +33,6 @@ use std::fmt;
 
 use hh_sim::addr::Hpa;
 use hh_sim::rng::SimRng;
-use rand::Rng;
 
 use crate::geometry::{BankFunction, ROW_SHIFT};
 use crate::timing::TimingProbe;
@@ -81,7 +80,10 @@ impl fmt::Display for RecoverError {
                 write!(f, "device too small: no bank-kernel row delta found")
             }
             RecoverError::ValidationFailed { mispredictions } => {
-                write!(f, "recovered function mispredicted {mispredictions} validation pairs")
+                write!(
+                    f,
+                    "recovered function mispredicted {mispredictions} validation pairs"
+                )
             }
         }
     }
@@ -174,8 +176,7 @@ pub fn recover(probe: &TimingProbe) -> Result<RecoveredMap, RecoverError> {
     let bank_fn = BankFunction::new(masks);
 
     // 4. Split kernel units into row and column bits by hit/conflict.
-    let hit_threshold =
-        (probe.timing().same_bank_same_row + probe.timing().different_bank) / 2;
+    let hit_threshold = (probe.timing().same_bank_same_row + probe.timing().different_bank) / 2;
     let mut definite_row_bits = Vec::new();
     let mut column_bits = Vec::new();
     for &i in &kernel_units {
@@ -193,7 +194,7 @@ pub fn recover(probe: &TimingProbe) -> Result<RecoveredMap, RecoverError> {
     let mut rng = SimRng::seed_from(0xd1a6);
     let mut mispredictions = 0usize;
     for _ in 0..256 {
-        let d = (rng.gen::<u64>() & (size - 1) & !((1 << MIN_BIT) - 1)) | r0;
+        let d = (rng.next_u64() & (size - 1) & !((1 << MIN_BIT) - 1)) | r0;
         let predicted = bank_fn.bank_of(d) == 0;
         if in_kernel(d) != predicted {
             mispredictions += 1;
@@ -246,14 +247,23 @@ mod tests {
         let map = recover(&probe_for(BankFunction::core_i3_10100(), 16 << 30)).unwrap();
         // Bits 22..33 are bank-kernel row bits on S1 (16 GiB → max bit 33).
         for b in 22..=33 {
-            assert!(map.definite_row_bits.contains(&b), "bit {b} should be a row bit");
+            assert!(
+                map.definite_row_bits.contains(&b),
+                "bit {b} should be a row bit"
+            );
         }
         // Bits 7..12 are bank-kernel column bits on S1.
         for b in 7..=12 {
-            assert!(map.column_bits.contains(&b), "bit {b} should be a column bit");
+            assert!(
+                map.column_bits.contains(&b),
+                "bit {b} should be a column bit"
+            );
         }
         // No overlap.
-        assert!(map.definite_row_bits.iter().all(|b| !map.column_bits.contains(b)));
+        assert!(map
+            .definite_row_bits
+            .iter()
+            .all(|b| !map.column_bits.contains(b)));
     }
 
     #[test]

@@ -15,12 +15,11 @@
 
 use hh_sim::addr::Hpa;
 use hh_sim::rng::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 use crate::geometry::{BankFunction, DramGeometry, ROW_SPAN};
 
 /// Direction of a unidirectional bit flip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlipDirection {
     /// The cell can discharge: a stored 1 reads back as 0.
     OneToZero,
@@ -44,7 +43,7 @@ impl FlipDirection {
 }
 
 /// One Rowhammer-vulnerable DRAM cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VulnerableCell {
     /// Byte address of the cell.
     pub hpa: Hpa,
@@ -74,7 +73,7 @@ impl VulnerableCell {
 /// Densities are calibrated per machine preset so the profiling stage
 /// reproduces the order of magnitude of Table 1 (hundreds of flips across
 /// 12 GiB with single-sided hammering at 250 k rounds).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultParams {
     /// Expected number of vulnerable cells per 256 KiB row.
     pub cells_per_row: f64,
@@ -123,7 +122,7 @@ impl FaultParams {
 }
 
 /// A complete DIMM description: geometry plus fault parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DimmProfile {
     /// Address geometry of the part.
     pub geometry: DramGeometry,
@@ -174,7 +173,7 @@ impl DimmProfile {
 ///
 /// TRRespass-style many-sided patterns defeat it by hammering more
 /// distinct rows than the tracker can hold ([`crate::patterns`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrrConfig {
     /// Number of aggressor rows the in-DRAM sampler can track per bank.
     pub tracker_capacity: usize,
@@ -267,7 +266,10 @@ mod tests {
         let a = sample_row_cells(7, 42, &p, &g);
         let b = sample_row_cells(7, 42, &p, &g);
         assert_eq!(a, b);
-        assert!(!a.is_empty(), "dense profile should have cells in most rows");
+        assert!(
+            !a.is_empty(),
+            "dense profile should have cells in most rows"
+        );
     }
 
     #[test]
@@ -332,7 +334,10 @@ mod tests {
             }
         }
         let covered = seen.iter().filter(|&&s| s).count();
-        assert!(covered > 48, "bit positions should be ~uniform, got {covered}");
+        assert!(
+            covered > 48,
+            "bit positions should be ~uniform, got {covered}"
+        );
     }
 
     #[test]

@@ -17,7 +17,6 @@
 use std::fmt;
 
 use hh_sim::addr::{Hpa, HUGE_PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// Row field location shared by both evaluated microarchitectures:
 /// bits 18–33 of the physical address.
@@ -48,7 +47,7 @@ pub const ROWS_PER_HUGE_PAGE: u64 = HUGE_PAGE_SIZE / ROW_SPAN;
 /// assert_eq!(f.bank_of(0b011), 0b11);
 /// assert_eq!(f.bank_count(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BankFunction {
     masks: Vec<u64>,
 }
@@ -122,7 +121,11 @@ impl BankFunction {
     /// `bit` — the property that lets a THP-backed guest compute banks from
     /// guest-physical addresses (§4.1: bits below 21 are preserved).
     pub fn uses_only_bits_below(&self, bit: u32) -> bool {
-        let limit = if bit >= 64 { u64::MAX } else { (1u64 << bit) - 1 };
+        let limit = if bit >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bit) - 1
+        };
         self.masks.iter().all(|&m| m & !limit == 0)
     }
 
@@ -196,7 +199,7 @@ pub(crate) fn span_basis(masks: &[u64]) -> Vec<u64> {
 /// assert_eq!(geom.row_of(Hpa::new(0x40000)), 1); // bit 18 set
 /// assert_eq!(geom.rows_per_huge_page(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramGeometry {
     bank_fn: BankFunction,
     size_bytes: u64,
@@ -211,7 +214,10 @@ impl DramGeometry {
     pub fn new(bank_fn: BankFunction, size_bytes: u64) -> Self {
         assert!(size_bytes > 0, "empty DRAM");
         assert_eq!(size_bytes % ROW_SPAN, 0, "size must be row-aligned");
-        Self { bank_fn, size_bytes }
+        Self {
+            bank_fn,
+            size_bytes,
+        }
     }
 
     /// Returns the device size in bytes.
@@ -248,7 +254,8 @@ impl DramGeometry {
     /// Returns the row index of a host-physical address (bits 18–33).
     #[inline]
     pub fn row_of(&self, hpa: Hpa) -> u64 {
-        (hpa.raw() >> ROW_SHIFT) & ((1 << ROW_BITS) - 1) | (hpa.raw() >> (ROW_SHIFT + ROW_BITS) << ROW_BITS)
+        (hpa.raw() >> ROW_SHIFT) & ((1 << ROW_BITS) - 1)
+            | (hpa.raw() >> (ROW_SHIFT + ROW_BITS) << ROW_BITS)
     }
 
     /// Returns the first byte address of a row.

@@ -8,13 +8,11 @@
 //! is single-sided on the paper's TRR-less DIMMs and an n-sided pattern
 //! on parts with the TRR mitigation enabled.
 
-use serde::{Deserialize, Serialize};
-
 use crate::device::{DramDevice, HammerPattern};
 use crate::geometry::ROW_SPAN;
 
 /// A pattern family the search can recommend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PatternKind {
     /// Two aggressors on one side of the victim (rows v+1, v+2).
     SingleSided,
@@ -101,11 +99,7 @@ pub fn find_effective_pattern(
                 let hp = pattern.build(device, bank, victim_row);
                 let result = device.hammer(&hp, rounds);
                 activations_spent += result.activations;
-                flips += result
-                    .flips
-                    .iter()
-                    .filter(|f| f.row == victim_row)
-                    .count();
+                flips += result.flips.iter().filter(|f| f.row == victim_row).count();
             }
             if flips > 0 {
                 break;

@@ -120,9 +120,9 @@ impl fmt::Debug for Page {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Page::Uniform(fill) => write!(f, "Uniform({fill:#x})"),
-            Page::Patched { fill, diffs } =>
-
-                write!(f, "Patched(fill={fill:#x}, {} diffs)", diffs.len()),
+            Page::Patched { fill, diffs } => {
+                write!(f, "Patched(fill={fill:#x}, {} diffs)", diffs.len())
+            }
             Page::Dense(_) => write!(f, "Dense"),
         }
     }
@@ -179,7 +179,9 @@ impl SparseStore {
     #[inline]
     fn check(&self, hpa: Hpa, len: u64) {
         assert!(
-            hpa.raw().checked_add(len).is_some_and(|end| end <= self.size),
+            hpa.raw()
+                .checked_add(len)
+                .is_some_and(|end| end <= self.size),
             "access at {hpa} (+{len}) beyond DRAM size {:#x}",
             self.size
         );
@@ -282,7 +284,10 @@ impl SparseStore {
     ///
     /// Panics if `page_base` is not page-aligned or outside the device.
     pub fn write_page(&mut self, page_base: Hpa, bytes: Box<[u8; PAGE_SIZE as usize]>) {
-        assert!(page_base.is_aligned(PAGE_SIZE), "write_page needs page alignment");
+        assert!(
+            page_base.is_aligned(PAGE_SIZE),
+            "write_page needs page alignment"
+        );
         self.check(page_base, PAGE_SIZE);
         self.set_slot(page_base.pfn().index(), Page::Dense(bytes));
     }
@@ -295,7 +300,10 @@ impl SparseStore {
     ///
     /// Panics if `page_base` is not page-aligned or outside the device.
     pub fn reset_page_with_magic(&mut self, page_base: Hpa, fill: u8, magic: u64) {
-        assert!(page_base.is_aligned(PAGE_SIZE), "stamp needs page alignment");
+        assert!(
+            page_base.is_aligned(PAGE_SIZE),
+            "stamp needs page alignment"
+        );
         self.check(page_base, PAGE_SIZE);
         let diffs: Vec<(u16, u8)> = magic
             .to_le_bytes()
@@ -334,8 +342,10 @@ impl SparseStore {
     /// scans tractable.
     pub fn find_mismatches(&self, hpa: Hpa, len: u64, expected: u8) -> Vec<(Hpa, u8)> {
         self.check(hpa, len);
-        assert!(hpa.is_aligned(PAGE_SIZE) && len.is_multiple_of(PAGE_SIZE),
-                "mismatch scan must be page-aligned");
+        assert!(
+            hpa.is_aligned(PAGE_SIZE) && len.is_multiple_of(PAGE_SIZE),
+            "mismatch scan must be page-aligned"
+        );
         let mut out = Vec::new();
         for pfn in hpa.pfn().index()..(hpa.raw() + len) / PAGE_SIZE {
             let base = Hpa::new(pfn * PAGE_SIZE);

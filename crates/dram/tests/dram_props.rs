@@ -1,51 +1,60 @@
-//! Property-based tests on the DRAM model's invariants.
+//! Property-based tests on the DRAM model's invariants, driven by the
+//! deterministic `hh_sim::check` harness.
 
 use hh_dram::geometry::{BankFunction, DramGeometry, ROW_SPAN};
 use hh_dram::store::SparseStore;
 use hh_dram::{DimmProfile, DramDevice, HammerPattern};
+use hh_sim::check;
 use hh_sim::Hpa;
-use proptest::prelude::*;
 
-proptest! {
-    /// (bank, row, column-within-slice) is a faithful decomposition:
-    /// distinct addresses never collide on all three coordinates.
-    #[test]
-    fn address_decomposition_is_injective(
-        a in (0u64..(32 << 20)).prop_map(|x| x & !63),
-        b in (0u64..(32 << 20)).prop_map(|x| x & !63),
-    ) {
-        prop_assume!(a != b);
+/// (bank, row, column-within-slice) is a faithful decomposition:
+/// distinct addresses never collide on all three coordinates.
+#[test]
+fn address_decomposition_is_injective() {
+    check::cases(0xd4a1, check::DEFAULT_CASES, |rng| {
+        let a = rng.gen_range(0u64..32 << 20) & !63;
+        let b = rng.gen_range(0u64..32 << 20) & !63;
+        if a == b {
+            return;
+        }
         let g = DramGeometry::new(BankFunction::xeon_e2124(), 32 << 20);
         let (ha, hb) = (Hpa::new(a), Hpa::new(b));
         let same_all = g.bank_of(ha) == g.bank_of(hb)
             && g.row_of(ha) == g.row_of(hb)
             && a % ROW_SPAN != b % ROW_SPAN; // same row+bank, different line: fine
-        // Only assert true injectivity at identical in-row offsets.
+                                             // Only assert true injectivity at identical in-row offsets.
         if g.row_of(ha) == g.row_of(hb) && a % ROW_SPAN == b % ROW_SPAN {
-            prop_assert!(false, "same row and offset implies same address");
+            panic!("same row and offset implies same address");
         }
         let _ = same_all;
-    }
+    });
+}
 
-    /// Each row slice for a bank has the same size: the row span divided
-    /// evenly by the bank count.
-    #[test]
-    fn slices_partition_rows(row in 0u64..64) {
+/// Each row slice for a bank has the same size: the row span divided
+/// evenly by the bank count.
+#[test]
+fn slices_partition_rows() {
+    check::cases(0xd4a2, 64, |rng| {
+        let row = rng.gen_range(0u64..64);
         let g = DramGeometry::new(BankFunction::core_i3_10100(), 32 << 20);
         let per_bank = (ROW_SPAN / 64) / u64::from(g.bank_count());
         let mut total = 0usize;
         for bank in 0..g.bank_count() {
             let n = g.slice_addrs(bank, row).count();
-            prop_assert_eq!(n as u64, per_bank, "bank {} row {}", bank, row);
+            assert_eq!(n as u64, per_bank, "bank {bank} row {row}");
             total += n;
         }
-        prop_assert_eq!(total as u64, ROW_SPAN / 64);
-    }
+        assert_eq!(total as u64, ROW_SPAN / 64);
+    });
+}
 
-    /// Hammering never flips a bit in the aggressor rows themselves, and
-    /// every flip lands within two rows of an aggressor, in its bank.
-    #[test]
-    fn flips_are_local_to_victim_rows(seed in 0u64..64, victim_row in 4u64..60) {
+/// Hammering never flips a bit in the aggressor rows themselves, and
+/// every flip lands within two rows of an aggressor, in its bank.
+#[test]
+fn flips_are_local_to_victim_rows() {
+    check::cases(0xd4a3, 24, |rng| {
+        let seed = rng.gen_range(0u64..64);
+        let victim_row = rng.gen_range(4u64..60);
         let mut dev = DramDevice::new(DimmProfile::test_profile(32 << 20), seed);
         dev.fill(Hpa::new(0), 32 << 20, 0xff);
         for bank in 0..4 {
@@ -57,22 +66,29 @@ proptest! {
                 .collect();
             let result = dev.hammer(&pattern, 500_000);
             for flip in &result.flips {
-                prop_assert!(!aggressor_rows.contains(&flip.row), "flip in aggressor row");
-                prop_assert!(
+                assert!(!aggressor_rows.contains(&flip.row), "flip in aggressor row");
+                assert!(
                     aggressor_rows.iter().any(|&r| flip.row.abs_diff(r) <= 2),
-                    "flip {} rows away", aggressor_rows.iter()
-                        .map(|&r| flip.row.abs_diff(r)).min().unwrap()
+                    "flip {} rows away",
+                    aggressor_rows
+                        .iter()
+                        .map(|&r| flip.row.abs_diff(r))
+                        .min()
+                        .unwrap()
                 );
-                prop_assert_eq!(flip.bank, bank);
+                assert_eq!(flip.bank, bank);
             }
         }
-    }
+    });
+}
 
-    /// The flip journal and the backing store agree: every journaled flip
-    /// is visible in memory at the recorded location with the recorded
-    /// direction (until something overwrites it).
-    #[test]
-    fn journal_matches_store(seed in 0u64..32) {
+/// The flip journal and the backing store agree: every journaled flip
+/// is visible in memory at the recorded location with the recorded
+/// direction (until something overwrites it).
+#[test]
+fn journal_matches_store() {
+    check::cases(0xd4a4, 8, |rng| {
+        let seed = rng.gen_range(0u64..32);
         let mut dev = DramDevice::new(DimmProfile::test_profile(16 << 20), seed);
         dev.fill(Hpa::new(0), 16 << 20, 0xff);
         for row in (3..40).step_by(7) {
@@ -89,17 +105,18 @@ proptest! {
                 continue; // earlier flip at same cell was overwritten
             }
             let byte = dev.store().read_u8(f.hpa);
-            prop_assert_eq!((byte >> f.bit) & 1, f.direction.target_bit());
+            assert_eq!((byte >> f.bit) & 1, f.direction.target_bit());
         }
-    }
+    });
+}
 
-    /// Store `fill` is equivalent to writing every byte.
-    #[test]
-    fn fill_equals_bytewise_writes(
-        start in 0u64..0x2000,
-        len in 1u64..0x1000,
-        value in any::<u8>(),
-    ) {
+/// Store `fill` is equivalent to writing every byte.
+#[test]
+fn fill_equals_bytewise_writes() {
+    check::cases(0xd4a5, 64, |rng| {
+        let start = rng.gen_range(0u64..0x2000);
+        let len = rng.gen_range(1u64..0x1000);
+        let value = rng.gen_range(0u64..256) as u8;
         let mut a = SparseStore::new(0x4000);
         let mut b = SparseStore::new(0x4000);
         let len = len.min(0x4000 - start);
@@ -108,20 +125,24 @@ proptest! {
             b.write_u8(Hpa::new(start + i), value);
         }
         for i in 0..0x4000u64 {
-            prop_assert_eq!(a.read_u8(Hpa::new(i)), b.read_u8(Hpa::new(i)));
+            assert_eq!(a.read_u8(Hpa::new(i)), b.read_u8(Hpa::new(i)));
         }
-    }
+    });
+}
 
-    /// u64 accessors agree with byte accessors at every alignment.
-    #[test]
-    fn u64_accessors_match_bytes(addr in 0u64..0x3ff8, value in any::<u64>()) {
+/// u64 accessors agree with byte accessors at every alignment.
+#[test]
+fn u64_accessors_match_bytes() {
+    check::cases(0xd4a6, check::DEFAULT_CASES, |rng| {
+        let addr = rng.gen_range(0u64..0x3ff8);
+        let value = rng.next_u64();
         let mut s = SparseStore::new(0x4000);
         s.write_u64(Hpa::new(addr), value);
         let mut bytes = [0u8; 8];
         for (i, b) in bytes.iter_mut().enumerate() {
             *b = s.read_u8(Hpa::new(addr + i as u64));
         }
-        prop_assert_eq!(u64::from_le_bytes(bytes), value);
-        prop_assert_eq!(s.read_u64(Hpa::new(addr)), value);
-    }
+        assert_eq!(u64::from_le_bytes(bytes), value);
+        assert_eq!(s.read_u64(Hpa::new(addr)), value);
+    });
 }

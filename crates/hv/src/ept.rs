@@ -21,7 +21,6 @@
 //! The attack targets PFN bits 21–⌈log₂ mem⌉ of leaf entries (§4.1).
 
 use hh_sim::addr::{Gpa, Hpa, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 use crate::host::Host;
 use crate::HvError;
@@ -43,7 +42,7 @@ pub const ENTRIES_PER_TABLE: u64 = 512;
 /// let nx = e.with_executable(false);
 /// assert!(!nx.is_executable());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Epte(u64);
 
 impl Epte {
@@ -83,7 +82,10 @@ impl Epte {
     ///
     /// Panics if the frame is not hugepage-aligned.
     pub fn huge_leaf(pfn: Pfn, executable: bool) -> Self {
-        assert!(pfn.is_huge_aligned(), "huge leaf needs a 2 MiB-aligned frame");
+        assert!(
+            pfn.is_huge_aligned(),
+            "huge leaf needs a 2 MiB-aligned frame"
+        );
         Self(Self::leaf(pfn, executable).0 | Self::LARGE)
     }
 
@@ -154,7 +156,7 @@ pub struct Translation {
 /// i.e., 4-level and 5-level EPTs"). The paper's attack targets leaf
 /// pages, which exist identically in both; the mode only changes the
 /// walk depth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EptMode {
     /// 4-level (PML4 root): 48-bit guest-physical space. The paper's
     /// focus and the default.
@@ -219,7 +221,11 @@ impl Ept {
     }
 
     fn read_entry(host: &Host, table: Pfn, index: u64) -> Epte {
-        Epte::from_raw(host.dram().store().read_u64(table.base_hpa().add(index * 8)))
+        Epte::from_raw(
+            host.dram()
+                .store()
+                .read_u64(table.base_hpa().add(index * 8)),
+        )
     }
 
     fn write_entry(host: &mut Host, table: Pfn, index: u64, entry: Epte) {
@@ -230,12 +236,7 @@ impl Ept {
 
     /// Walks down to `target_level`, allocating intermediate tables on
     /// demand, and returns the table page holding the entry for `gpa`.
-    fn table_for(
-        self,
-        host: &mut Host,
-        gpa: Gpa,
-        target_level: u8,
-    ) -> Result<Pfn, HvError> {
+    fn table_for(self, host: &mut Host, gpa: Gpa, target_level: u8) -> Result<Pfn, HvError> {
         let mut table = self.root;
         for level in (target_level + 1..=self.mode.levels()).rev() {
             let index = level_index(gpa, level);
@@ -502,7 +503,8 @@ mod tests {
         let mut h = host();
         let ept = Ept::new(&mut h).unwrap();
         let hpa = Hpa::new(0x7000);
-        ept.map_4k(&mut h, Gpa::new(0x40201000), hpa, false).unwrap();
+        ept.map_4k(&mut h, Gpa::new(0x40201000), hpa, false)
+            .unwrap();
         let t = ept.translate(&h, Gpa::new(0x40201123)).unwrap();
         assert_eq!(t.hpa, Hpa::new(0x7123));
         assert_eq!(t.level, MappingLevel::Page4K);
@@ -514,7 +516,9 @@ mod tests {
         let ept = Ept::new(&mut h).unwrap();
         ept.map_huge(&mut h, Gpa::new(0x4000_0000), Hpa::new(0x60_0000), false)
             .unwrap();
-        let t = ept.translate(&h, Gpa::new(0x4000_0000 + 0x12_3456)).unwrap();
+        let t = ept
+            .translate(&h, Gpa::new(0x4000_0000 + 0x12_3456))
+            .unwrap();
         assert_eq!(t.hpa, Hpa::new(0x60_0000 + 0x12_3456));
         assert_eq!(t.level, MappingLevel::Huge2M);
         assert!(!t.entry.is_executable(), "hugepages are mapped NX");
@@ -534,7 +538,8 @@ mod tests {
     fn split_preserves_translation_and_allocates_one_page() {
         let mut h = host();
         let ept = Ept::new(&mut h).unwrap();
-        ept.map_huge(&mut h, Gpa::new(0), Hpa::new(0x20_0000), false).unwrap();
+        ept.map_huge(&mut h, Gpa::new(0), Hpa::new(0x20_0000), false)
+            .unwrap();
         let before = ept.table_pages(&h).len();
         let pt = ept.split_huge(&mut h, Gpa::new(0x1000)).unwrap();
         assert_eq!(ept.table_pages(&h).len(), before + 1);
@@ -551,7 +556,8 @@ mod tests {
     fn split_requires_a_huge_leaf() {
         let mut h = host();
         let ept = Ept::new(&mut h).unwrap();
-        ept.map_4k(&mut h, Gpa::new(0x1000), Hpa::new(0x5000), true).unwrap();
+        ept.map_4k(&mut h, Gpa::new(0x1000), Hpa::new(0x5000), true)
+            .unwrap();
         assert!(ept.split_huge(&mut h, Gpa::new(0x1000)).is_err());
     }
 
@@ -560,11 +566,14 @@ mod tests {
         // The core honesty property: flips in DRAM change walks.
         let mut h = host();
         let ept = Ept::new(&mut h).unwrap();
-        ept.map_4k(&mut h, Gpa::new(0x2000), Hpa::new(0x8000), false).unwrap();
+        ept.map_4k(&mut h, Gpa::new(0x2000), Hpa::new(0x8000), false)
+            .unwrap();
         let t = ept.translate(&h, Gpa::new(0x2000)).unwrap();
         // Flip PFN bit 21 of the leaf entry directly in DRAM.
         let raw = h.dram().store().read_u64(t.entry_hpa);
-        h.dram_mut().store_mut().write_u64(t.entry_hpa, raw ^ (1 << 21));
+        h.dram_mut()
+            .store_mut()
+            .write_u64(t.entry_hpa, raw ^ (1 << 21));
         let t2 = ept.translate(&h, Gpa::new(0x2000)).unwrap();
         assert_eq!(t2.hpa.raw(), 0x8000u64 ^ (1 << 21));
     }
@@ -573,10 +582,14 @@ mod tests {
     fn unmap_removes_mapping() {
         let mut h = host();
         let ept = Ept::new(&mut h).unwrap();
-        ept.map_huge(&mut h, Gpa::new(0x20_0000), Hpa::new(0x40_0000), false).unwrap();
+        ept.map_huge(&mut h, Gpa::new(0x20_0000), Hpa::new(0x40_0000), false)
+            .unwrap();
         ept.unmap(&mut h, Gpa::new(0x20_0000)).unwrap();
         assert!(ept.translate(&h, Gpa::new(0x20_0000)).is_err());
-        assert_eq!(ept.unmap(&mut h, Gpa::new(0x20_0000)), Err(HvError::Unmapped(Gpa::new(0x20_0000))));
+        assert_eq!(
+            ept.unmap(&mut h, Gpa::new(0x20_0000)),
+            Err(HvError::Unmapped(Gpa::new(0x20_0000)))
+        );
     }
 
     #[test]
@@ -585,8 +598,13 @@ mod tests {
         let free_before = h.buddy().free_pages();
         let ept = Ept::new(&mut h).unwrap();
         for i in 0..10u64 {
-            ept.map_huge(&mut h, Gpa::new(i * HUGE_PAGE_SIZE), Hpa::new((i + 8) * HUGE_PAGE_SIZE), false)
-                .unwrap();
+            ept.map_huge(
+                &mut h,
+                Gpa::new(i * HUGE_PAGE_SIZE),
+                Hpa::new((i + 8) * HUGE_PAGE_SIZE),
+                false,
+            )
+            .unwrap();
         }
         ept.split_huge(&mut h, Gpa::new(0)).unwrap();
         ept.destroy(&mut h);
@@ -597,7 +615,8 @@ mod tests {
     fn table_pages_have_correct_levels() {
         let mut h = host();
         let ept = Ept::new(&mut h).unwrap();
-        ept.map_4k(&mut h, Gpa::new(0x1000), Hpa::new(0x3000), false).unwrap();
+        ept.map_4k(&mut h, Gpa::new(0x1000), Hpa::new(0x3000), false)
+            .unwrap();
         let pages = ept.table_pages(&h);
         // PML4 + PDPT + PD + PT.
         assert_eq!(pages.len(), 4);

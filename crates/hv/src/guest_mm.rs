@@ -16,12 +16,11 @@
 use std::collections::BTreeMap;
 
 use hh_sim::addr::{Gpa, Gva, HUGE_PAGE_SIZE, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 use crate::HvError;
 
 /// Guest THP policy, mirroring `/sys/kernel/mm/transparent_hugepage`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GuestThp {
     /// Hugepage-back every eligible (2 MiB-aligned, ≥ 2 MiB) mapping.
     #[default]

@@ -97,7 +97,9 @@ impl IommuGroup {
         let window = iova.raw() / HUGE_PAGE_SIZE;
         let pt = self.iopt_pages[&window];
         let slot = page_index % 512;
-        host.dram_mut().store_mut().write_u64(pt.base_hpa().add(slot * 8), 0);
+        host.dram_mut()
+            .store_mut()
+            .write_u64(pt.base_hpa().add(slot * 8), 0);
         let window_now_empty = !self
             .mappings
             .keys()
@@ -159,7 +161,8 @@ mod tests {
         let target = Hpa::new(0x5000);
         let before = h.noise_pages();
         for i in 0..10u64 {
-            g.map(&mut h, Iova::new(i * HUGE_PAGE_SIZE), target).unwrap();
+            g.map(&mut h, Iova::new(i * HUGE_PAGE_SIZE), target)
+                .unwrap();
         }
         assert_eq!(g.iopt_page_count(), 10);
         assert_eq!(g.mapping_count(), 10);
@@ -173,7 +176,8 @@ mod tests {
         let mut h = host();
         let mut g = IommuGroup::new();
         for i in 0..4u64 {
-            g.map(&mut h, Iova::new(i * PAGE_SIZE), Hpa::new(0x5000)).unwrap();
+            g.map(&mut h, Iova::new(i * PAGE_SIZE), Hpa::new(0x5000))
+                .unwrap();
         }
         assert_eq!(g.iopt_page_count(), 1);
         assert_eq!(g.mapping_count(), 4);
@@ -183,7 +187,8 @@ mod tests {
     fn translation_roundtrip() {
         let mut h = host();
         let mut g = IommuGroup::new();
-        g.map(&mut h, Iova::new(0x40_0000), Hpa::new(0x9000)).unwrap();
+        g.map(&mut h, Iova::new(0x40_0000), Hpa::new(0x9000))
+            .unwrap();
         assert_eq!(g.translate(Iova::new(0x40_0123)).unwrap(), Hpa::new(0x9123));
         assert!(g.translate(Iova::new(0)).is_err());
     }
@@ -220,7 +225,8 @@ mod tests {
         let mut h = host();
         let mut g = IommuGroup::new();
         g.map(&mut h, Iova::new(0), Hpa::new(0x1000)).unwrap();
-        g.map(&mut h, Iova::new(PAGE_SIZE), Hpa::new(0x1000)).unwrap();
+        g.map(&mut h, Iova::new(PAGE_SIZE), Hpa::new(0x1000))
+            .unwrap();
         g.unmap(&mut h, Iova::new(0)).unwrap();
         assert_eq!(g.iopt_page_count(), 1, "window still has a mapping");
         g.unmap(&mut h, Iova::new(PAGE_SIZE)).unwrap();
@@ -233,7 +239,8 @@ mod tests {
         let free_before = h.buddy().free_pages();
         let mut g = IommuGroup::new();
         for i in 0..32u64 {
-            g.map(&mut h, Iova::new(i * HUGE_PAGE_SIZE), Hpa::new(0x3000)).unwrap();
+            g.map(&mut h, Iova::new(i * HUGE_PAGE_SIZE), Hpa::new(0x3000))
+                .unwrap();
         }
         g.destroy(&mut h);
         assert_eq!(h.buddy().free_pages(), free_before);
@@ -244,7 +251,8 @@ mod tests {
     fn iopt_entries_are_written_to_dram() {
         let mut h = host();
         let mut g = IommuGroup::new();
-        g.map(&mut h, Iova::new(0x40_1000), Hpa::new(0xabc000)).unwrap();
+        g.map(&mut h, Iova::new(0x40_1000), Hpa::new(0xabc000))
+            .unwrap();
         let pt = g.iopt_pages[&(0x40_1000u64 / HUGE_PAGE_SIZE)];
         let slot = (0x40_1000u64 / PAGE_SIZE) % 512;
         let raw = h.dram().store().read_u64(pt.base_hpa().add(slot * 8));

@@ -15,7 +15,6 @@
 //! *away* from the host target or overshoot it.
 
 use hh_sim::addr::{Gpa, HUGE_PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 use crate::HvError;
 
@@ -24,7 +23,7 @@ use crate::HvError;
 pub const SUB_BLOCK_SIZE: u64 = HUGE_PAGE_SIZE;
 
 /// Host-side policing of guest memory-change requests (§6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QuarantinePolicy {
     /// Stock QEMU behaviour: guest requests are honoured unconditionally.
     #[default]
@@ -44,9 +43,7 @@ impl QuarantinePolicy {
             // Unplugging is only legitimate while converging down:
             // plugged must stay strictly above the target before the
             // operation, and must not undershoot it after.
-            QuarantinePolicy::QemuPatch => {
-                plugged > requested && plugged - delta >= requested
-            }
+            QuarantinePolicy::QemuPatch => plugged > requested && plugged - delta >= requested,
         }
     }
 
@@ -76,8 +73,14 @@ impl VirtioMemDevice {
     ///
     /// Panics if base or size are not sub-block aligned, or size is zero.
     pub fn new(region_base: Gpa, size: u64) -> Self {
-        assert!(region_base.is_aligned(SUB_BLOCK_SIZE), "unaligned region base");
-        assert!(size > 0 && size.is_multiple_of(SUB_BLOCK_SIZE), "bad region size");
+        assert!(
+            region_base.is_aligned(SUB_BLOCK_SIZE),
+            "unaligned region base"
+        );
+        assert!(
+            size > 0 && size.is_multiple_of(SUB_BLOCK_SIZE),
+            "bad region size"
+        );
         let sub_blocks = size / SUB_BLOCK_SIZE;
         Self {
             region_base,
@@ -260,10 +263,14 @@ mod tests {
         let mut d = device();
         // Host asks the VM to shrink by two sub-blocks.
         d.set_requested_size(d.region_size() - 2 * SUB_BLOCK_SIZE);
-        d.unplug(d.sub_block_base(0), QuarantinePolicy::QemuPatch).unwrap();
-        d.unplug(d.sub_block_base(1), QuarantinePolicy::QemuPatch).unwrap();
+        d.unplug(d.sub_block_base(0), QuarantinePolicy::QemuPatch)
+            .unwrap();
+        d.unplug(d.sub_block_base(1), QuarantinePolicy::QemuPatch)
+            .unwrap();
         // A third unplug would undershoot the target: NACK.
-        let err = d.unplug(d.sub_block_base(2), QuarantinePolicy::QemuPatch).unwrap_err();
+        let err = d
+            .unplug(d.sub_block_base(2), QuarantinePolicy::QemuPatch)
+            .unwrap_err();
         assert!(matches!(err, HvError::QuarantineNack { .. }));
     }
 
@@ -271,12 +278,17 @@ mod tests {
     fn quarantine_permits_legitimate_grow() {
         let mut d = device();
         d.set_requested_size(d.region_size() - SUB_BLOCK_SIZE);
-        d.unplug(d.sub_block_base(5), QuarantinePolicy::Off).unwrap();
-        d.unplug(d.sub_block_base(6), QuarantinePolicy::Off).unwrap();
+        d.unplug(d.sub_block_base(5), QuarantinePolicy::Off)
+            .unwrap();
+        d.unplug(d.sub_block_base(6), QuarantinePolicy::Off)
+            .unwrap();
         // Now plugged = region - 2 sub-blocks < requested: plug allowed.
-        d.plug(d.sub_block_base(5), QuarantinePolicy::QemuPatch).unwrap();
+        d.plug(d.sub_block_base(5), QuarantinePolicy::QemuPatch)
+            .unwrap();
         // Another plug would overshoot: NACK.
-        let err = d.plug(d.sub_block_base(6), QuarantinePolicy::QemuPatch).unwrap_err();
+        let err = d
+            .plug(d.sub_block_base(6), QuarantinePolicy::QemuPatch)
+            .unwrap_err();
         assert!(matches!(err, HvError::QuarantineNack { .. }));
     }
 
@@ -285,7 +297,10 @@ mod tests {
         let mut d = device();
         let b = d.sub_block_base(3);
         d.unplug(b, QuarantinePolicy::Off).unwrap();
-        assert_eq!(d.unplug(b, QuarantinePolicy::Off), Err(HvError::NotPlugged(b)));
+        assert_eq!(
+            d.unplug(b, QuarantinePolicy::Off),
+            Err(HvError::NotPlugged(b))
+        );
     }
 
     #[test]
@@ -308,7 +323,8 @@ mod tests {
     #[test]
     fn first_unplugged_tracks_holes() {
         let mut d = device();
-        d.unplug(d.sub_block_base(9), QuarantinePolicy::Off).unwrap();
+        d.unplug(d.sub_block_base(9), QuarantinePolicy::Off)
+            .unwrap();
         assert_eq!(d.first_unplugged(), Some(d.sub_block_base(9)));
         d.plug(d.sub_block_base(9), QuarantinePolicy::Off).unwrap();
         assert_eq!(d.first_unplugged(), None);

@@ -18,11 +18,10 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use hh_dram::FlipDirection;
 use hh_buddy::MigrateType;
+use hh_dram::FlipDirection;
 use hh_sim::addr::{Gpa, Hpa, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
 use hh_sim::ByteSize;
-use serde::{Deserialize, Serialize};
 
 use crate::balloon::VirtioBalloon;
 use crate::ept::{Ept, EptMode, MappingLevel, Translation};
@@ -32,7 +31,7 @@ use crate::virtio_mem::{VirtioMemDevice, SUB_BLOCK_SIZE};
 use crate::HvError;
 
 /// VM construction parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VmConfig {
     /// Boot (always-plugged) memory.
     pub boot_mem: ByteSize,
@@ -167,7 +166,9 @@ impl Host {
                 Gpa::new(config.boot_mem.bytes()),
                 config.virtio_mem.bytes(),
             ),
-            iommu_groups: (0..config.iommu_groups).map(|_| IommuGroup::new()).collect(),
+            iommu_groups: (0..config.iommu_groups)
+                .map(|_| IommuGroup::new())
+                .collect(),
             balloon: VirtioBalloon::new(),
             config,
             journal_start: 0,
@@ -216,8 +217,10 @@ impl Vm {
         if self.config.thp {
             if let Ok(block) = host.buddy_mut().alloc(9, MigrateType::Movable) {
                 // VFIO pins the guest's pages (§2.6).
-                host.buddy_mut().set_migrate_type(block, 9, MigrateType::Unmovable);
-                self.ept.map_huge(host, base, block.base_hpa(), executable)?;
+                host.buddy_mut()
+                    .set_migrate_type(block, 9, MigrateType::Unmovable);
+                self.ept
+                    .map_huge(host, base, block.base_hpa(), executable)?;
                 self.backing.insert(chunk, Backing::Huge(block));
                 self.rev_huge.insert(block.index() / 512, chunk);
                 return Ok(());
@@ -230,7 +233,8 @@ impl Vm {
         let mut fallible = || -> Result<(), HvError> {
             for i in 0..512u64 {
                 let frame = host.buddy_mut().alloc_page(MigrateType::Movable)?;
-                host.buddy_mut().set_migrate_type(frame, 0, MigrateType::Unmovable);
+                host.buddy_mut()
+                    .set_migrate_type(frame, 0, MigrateType::Unmovable);
                 self.ept
                     .map_4k(host, base.add(i * PAGE_SIZE), frame.base_hpa(), true)?;
                 self.rev_pages.insert(frame.index(), base.pfn().index() + i);
@@ -371,7 +375,13 @@ impl Vm {
     /// # Panics
     ///
     /// Panics if the range is not page-aligned.
-    pub fn fill_gpa(&mut self, host: &mut Host, gpa: Gpa, len: u64, value: u8) -> Result<(), HvError> {
+    pub fn fill_gpa(
+        &mut self,
+        host: &mut Host,
+        gpa: Gpa,
+        len: u64,
+        value: u8,
+    ) -> Result<(), HvError> {
         assert!(gpa.is_aligned(PAGE_SIZE) && len.is_multiple_of(PAGE_SIZE));
         for off in (0..len).step_by(PAGE_SIZE as usize) {
             let t = self.ept.translate(host, gpa.add(off))?;
@@ -527,8 +537,7 @@ impl Vm {
         len: u64,
     ) -> Vec<GuestFlip> {
         host.charge_scan(len);
-        let journal: Vec<hh_dram::FlipEvent> =
-            host.dram().flip_journal()[since..].to_vec();
+        let journal: Vec<hh_dram::FlipEvent> = host.dram().flip_journal()[since..].to_vec();
         journal
             .iter()
             .filter_map(|f| {
@@ -560,7 +569,9 @@ impl Vm {
     fn gpa_of_hpa(&self, hpa: Hpa) -> Option<Gpa> {
         let hpa_chunk = hpa.raw() / HUGE_PAGE_SIZE;
         if let Some(&gpa_chunk) = self.rev_huge.get(&hpa_chunk) {
-            return Some(Gpa::new(gpa_chunk * HUGE_PAGE_SIZE + hpa.huge_page_offset()));
+            return Some(Gpa::new(
+                gpa_chunk * HUGE_PAGE_SIZE + hpa.huge_page_offset(),
+            ));
         }
         let frame = hpa.pfn().index();
         self.rev_pages
@@ -695,16 +706,14 @@ impl Vm {
     pub fn virtio_mem_sync_to_target(&mut self, host: &mut Host) -> Result<u64, HvError> {
         let mut changed = 0;
         while self.virtio_mem.plugged_size() < self.virtio_mem.requested_size() {
-            let Some(hole) = self.virtio_mem.first_unplugged() else { break };
+            let Some(hole) = self.virtio_mem.first_unplugged() else {
+                break;
+            };
             self.virtio_mem_plug(host, hole)?;
             changed += 1;
         }
         while self.virtio_mem.plugged_size() > self.virtio_mem.requested_size() {
-            let Some(victim) = self
-                .virtio_mem
-                .plugged_sub_blocks()
-                .last()
-            else {
+            let Some(victim) = self.virtio_mem.plugged_sub_blocks().last() else {
                 break;
             };
             self.virtio_mem_unplug(host, victim)?;
@@ -776,7 +785,8 @@ impl Vm {
         self.balloon.deflate(gpa)?;
         let chunk = gpa.raw() / HUGE_PAGE_SIZE;
         let frame = host.buddy_mut().alloc_page(MigrateType::Movable)?;
-        host.buddy_mut().set_migrate_type(frame, 0, MigrateType::Unmovable);
+        host.buddy_mut()
+            .set_migrate_type(frame, 0, MigrateType::Unmovable);
         self.ept.map_4k(host, gpa, frame.base_hpa(), true)?;
         let Some(Backing::Pages(frames)) = self.backing.get_mut(&chunk) else {
             return Err(HvError::NotPlugged(gpa));
@@ -925,9 +935,14 @@ mod tests {
     #[test]
     fn guest_memory_read_write() {
         let (mut host, mut vm) = setup();
-        vm.write_gpa(&mut host, Gpa::new(0x12345), &[9, 8, 7]).unwrap();
-        assert_eq!(vm.read_gpa(&host, Gpa::new(0x12345), 3).unwrap(), vec![9, 8, 7]);
-        vm.write_u64_gpa(&mut host, Gpa::new(0x2000), 0xfeed).unwrap();
+        vm.write_gpa(&mut host, Gpa::new(0x12345), &[9, 8, 7])
+            .unwrap();
+        assert_eq!(
+            vm.read_gpa(&host, Gpa::new(0x12345), 3).unwrap(),
+            vec![9, 8, 7]
+        );
+        vm.write_u64_gpa(&mut host, Gpa::new(0x2000), 0xfeed)
+            .unwrap();
         assert_eq!(vm.read_u64_gpa(&host, Gpa::new(0x2000)).unwrap(), 0xfeed);
     }
 
@@ -956,8 +971,7 @@ mod tests {
         // Released block is on the unmovable order-9 list (or merged up).
         let info_after = host.pagetypeinfo();
         assert!(
-            info_after.unmovable.counts[9] > info_before
-                || info_after.unmovable.counts[10] > 0,
+            info_after.unmovable.counts[9] > info_before || info_after.unmovable.counts[10] > 0,
             "released block should be a free unmovable order-9+ block"
         );
         assert_eq!(host.released_log().len(), 512);
@@ -969,9 +983,8 @@ mod tests {
 
     #[test]
     fn quarantine_blocks_voluntary_unplug() {
-        let mut host = Host::new(
-            HostConfig::small_test().with_quarantine(QuarantinePolicy::QemuPatch),
-        );
+        let mut host =
+            Host::new(HostConfig::small_test().with_quarantine(QuarantinePolicy::QemuPatch));
         let mut vm = host.create_vm(VmConfig::small_test()).unwrap();
         let victim = vm.virtio_mem().sub_block_base(3);
         let err = vm.virtio_mem_unplug(&mut host, victim).unwrap_err();
@@ -1051,7 +1064,8 @@ mod tests {
         let free_before = host.buddy().free_pages();
         let mut vm = host.create_vm(VmConfig::small_test()).unwrap();
         vm.exec_gpa(&mut host, Gpa::new(0x1000)).unwrap();
-        vm.iommu_map(&mut host, 0, hh_sim::Iova::new(0), Gpa::new(0)).unwrap();
+        vm.iommu_map(&mut host, 0, hh_sim::Iova::new(0), Gpa::new(0))
+            .unwrap();
         let victim = vm.virtio_mem().sub_block_base(0);
         vm.virtio_mem_unplug(&mut host, victim).unwrap();
         vm.destroy(&mut host);
@@ -1066,8 +1080,13 @@ mod tests {
         // Stamp magic values on the chunk's pages.
         let magic = |gpa: Gpa| 0x4d41_0000_0000_0000 | gpa.raw();
         for i in 0..512u64 {
-            vm.stamp_page(&mut host, Gpa::new(i * PAGE_SIZE), 0, magic(Gpa::new(i * PAGE_SIZE)))
-                .unwrap();
+            vm.stamp_page(
+                &mut host,
+                Gpa::new(i * PAGE_SIZE),
+                0,
+                magic(Gpa::new(i * PAGE_SIZE)),
+            )
+            .unwrap();
         }
         assert!(vm
             .scan_magic(&mut host, Gpa::new(0), HUGE_PAGE_SIZE, &magic)
@@ -1076,7 +1095,9 @@ mod tests {
         let victim = Gpa::new(5 * PAGE_SIZE);
         let entry_hpa = vm.leaf_epte_hpa(&host, victim).unwrap();
         let raw = host.dram().store().read_u64(entry_hpa);
-        host.dram_mut().store_mut().write_u64(entry_hpa, raw ^ (1 << 21));
+        host.dram_mut()
+            .store_mut()
+            .write_u64(entry_hpa, raw ^ (1 << 21));
         // Simulate the journal entry the hammer would have produced.
         // (Direct corruption bypasses the journal, so scan via honest
         // translation instead.)
@@ -1132,18 +1153,15 @@ mod ept_mode_tests {
         let mut vm = host.create_vm(cfg).unwrap();
         // Memory access, multihit split, unplug, hypercall all behave
         // identically; the walk is just one level deeper.
-        vm.write_u64_gpa(&mut host, Gpa::new(0x2000), 0xabcd).unwrap();
+        vm.write_u64_gpa(&mut host, Gpa::new(0x2000), 0xabcd)
+            .unwrap();
         assert_eq!(vm.read_u64_gpa(&host, Gpa::new(0x2000)).unwrap(), 0xabcd);
         assert!(vm.exec_gpa(&mut host, Gpa::new(0)).unwrap());
         let t = vm.translate_gpa(&host, Gpa::new(0x2000)).unwrap();
         assert_eq!(t.level, MappingLevel::Page4K);
         // One extra table level: PML5 + PML4 + PDPT + PD (+ PT after the
         // split).
-        let levels: Vec<u8> = vm
-            .ept_table_pages(&host)
-            .iter()
-            .map(|&(_, l)| l)
-            .collect();
+        let levels: Vec<u8> = vm.ept_table_pages(&host).iter().map(|&(_, l)| l).collect();
         assert!(levels.contains(&5));
         let victim = vm.virtio_mem().sub_block_base(1);
         vm.virtio_mem_unplug(&mut host, victim).unwrap();

@@ -76,8 +76,12 @@ impl XenDomain {
     fn populate_chunk(&mut self, host: &mut Host, chunk: u64) -> Result<(), HvError> {
         // Xen does not distinguish migration types; everything is "heap".
         let block = Self::alloc_domheap(host.buddy_mut(), 9)?;
-        self.p2m
-            .map_huge(host, Gpa::new(chunk * HUGE_PAGE_SIZE), block.base_hpa(), true)?;
+        self.p2m.map_huge(
+            host,
+            Gpa::new(chunk * HUGE_PAGE_SIZE),
+            block.base_hpa(),
+            true,
+        )?;
         self.backing.insert(chunk, block);
         Ok(())
     }
@@ -106,7 +110,10 @@ impl XenDomain {
             return Err(HvError::BadSubBlock(gpa));
         }
         let chunk = gpa.raw() / HUGE_PAGE_SIZE;
-        let block = self.backing.remove(&chunk).ok_or(HvError::NotPlugged(gpa))?;
+        let block = self
+            .backing
+            .remove(&chunk)
+            .ok_or(HvError::NotPlugged(gpa))?;
         self.p2m.unmap(host, gpa)?;
         host.buddy_mut().free(block, 9);
         host.log_released(block, 512);
@@ -236,13 +243,12 @@ mod tests {
         let mut h = host();
         let mut dom = XenDomain::create(&mut h, 8 << 21).unwrap();
         for chunk in 0..4u64 {
-            dom.decrease_reservation(&mut h, Gpa::new(chunk * HUGE_PAGE_SIZE)).unwrap();
+            dom.decrease_reservation(&mut h, Gpa::new(chunk * HUGE_PAGE_SIZE))
+                .unwrap();
         }
         assert_eq!(h.released_log().len(), 4 * 512);
         // Double release fails cleanly.
-        assert!(dom
-            .decrease_reservation(&mut h, Gpa::new(0))
-            .is_err());
+        assert!(dom.decrease_reservation(&mut h, Gpa::new(0)).is_err());
         dom.destroy(&mut h);
     }
 

@@ -14,7 +14,9 @@ fn setup_split() -> (Host, hh_hv::Vm) {
 
 fn flip_pfn_bit(host: &mut Host, entry_hpa: Hpa, bit: u32) {
     let raw = host.dram().store().read_u64(entry_hpa);
-    host.dram_mut().store_mut().write_u64(entry_hpa, raw ^ (1u64 << bit));
+    host.dram_mut()
+        .store_mut()
+        .write_u64(entry_hpa, raw ^ (1u64 << bit));
 }
 
 #[test]
@@ -116,7 +118,8 @@ fn stamp_region_handles_split_and_huge_chunks_alike() {
     let (mut host, mut vm) = setup_split(); // chunk 0 split, others huge
     let magic = |g: Gpa| 0xabcd_0000_0000_0000 | (g.raw() & 0xffff_f000);
     let total = vm.config().total_mem().bytes();
-    vm.stamp_region(&mut host, Gpa::new(0), total, 0x11, &magic).unwrap();
+    vm.stamp_region(&mut host, Gpa::new(0), total, 0x11, &magic)
+        .unwrap();
     for probe in [0u64, 0x5000, (2 << 21) + 0x3000, total - PAGE_SIZE] {
         let gpa = Gpa::new(probe);
         assert_eq!(vm.read_u64_gpa(&host, gpa).unwrap(), magic(gpa));

@@ -1,9 +1,10 @@
-//! Property-based tests on hypervisor invariants.
+//! Property-based tests on hypervisor invariants, driven by the
+//! deterministic `hh_sim::check` harness.
 
 use hh_hv::ept::MappingLevel;
 use hh_hv::{Host, HostConfig, VmConfig};
 use hh_sim::addr::{Gpa, HUGE_PAGE_SIZE, PAGE_SIZE};
-use proptest::prelude::*;
+use hh_sim::check;
 
 fn small_setup() -> (Host, hh_hv::Vm) {
     let mut host = Host::new(HostConfig::small_test());
@@ -11,24 +12,31 @@ fn small_setup() -> (Host, hh_hv::Vm) {
     (host, vm)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// Translation agrees with the hypercall for every mapped address —
-    /// until corruption, the EPT walk and hypervisor bookkeeping are two
-    /// views of one truth.
-    #[test]
-    fn translate_matches_hypercall(off in 0u64..(36 << 20)) {
+/// Translation agrees with the hypercall for every mapped address —
+/// until corruption, the EPT walk and hypervisor bookkeeping are two
+/// views of one truth.
+#[test]
+fn translate_matches_hypercall() {
+    check::cases(0x4a01, CASES, |rng| {
+        let off = rng.gen_range(0u64..36 << 20);
         let (host, vm) = small_setup();
         let gpa = Gpa::new(off);
         let walked = vm.translate_gpa(&host, gpa).unwrap().hpa;
         let hypercall = vm.hypercall_gpa_to_hpa(gpa).unwrap();
-        prop_assert_eq!(walked, hypercall);
-    }
+        assert_eq!(walked, hypercall);
+    });
+}
 
-    /// Splitting a hugepage never changes any translation in its window.
-    #[test]
-    fn split_is_translation_invariant(chunk in 0u64..18, probes in proptest::collection::vec(0u64..HUGE_PAGE_SIZE, 8)) {
+/// Splitting a hugepage never changes any translation in its window.
+#[test]
+fn split_is_translation_invariant() {
+    check::cases(0x4a02, CASES, |rng| {
+        let chunk = rng.gen_range(0u64..18);
+        let probes: Vec<u64> = (0..8)
+            .map(|_| rng.gen_range(0u64..HUGE_PAGE_SIZE))
+            .collect();
         let (mut host, mut vm) = small_setup();
         let base = Gpa::new(chunk * HUGE_PAGE_SIZE);
         let before: Vec<_> = probes
@@ -38,17 +46,18 @@ proptest! {
         vm.exec_gpa(&mut host, base).unwrap();
         for (i, &p) in probes.iter().enumerate() {
             let t = vm.translate_gpa(&host, base.add(p)).unwrap();
-            prop_assert_eq!(t.hpa, before[i]);
-            prop_assert_eq!(t.level, MappingLevel::Page4K);
+            assert_eq!(t.hpa, before[i]);
+            assert_eq!(t.level, MappingLevel::Page4K);
         }
-    }
+    });
+}
 
-    /// Unplug/plug cycles conserve host free pages exactly, whatever the
-    /// order of operations.
-    #[test]
-    fn virtio_mem_cycles_conserve_memory(
-        ops in proptest::collection::vec((0u64..16, any::<bool>()), 1..40)
-    ) {
+/// Unplug/plug cycles conserve host free pages exactly, whatever the
+/// order of operations.
+#[test]
+fn virtio_mem_cycles_conserve_memory() {
+    check::cases(0x4a03, CASES, |rng| {
+        let ops = check::vec_of(rng, 1, 40, |r| (r.gen_range(0u64..16), r.gen_bool(0.5)));
         let (mut host, mut vm) = small_setup();
         let free_at_start = host.buddy().free_pages();
         let region = vm.virtio_mem().region_base();
@@ -63,55 +72,71 @@ proptest! {
         // Re-plug everything, then free pages must match the start.
         vm.virtio_mem_set_requested(vm.virtio_mem().region_size());
         vm.virtio_mem_sync_to_target(&mut host).unwrap();
-        prop_assert_eq!(host.buddy().free_pages(), free_at_start);
+        assert_eq!(host.buddy().free_pages(), free_at_start);
         vm.destroy(&mut host);
-    }
+    });
+}
 
-    /// Released sub-blocks are always logged with exactly 512 consecutive
-    /// frames starting at an order-9-aligned frame.
-    #[test]
-    fn released_blocks_are_aligned_order9(block in 0u64..16) {
+/// Released sub-blocks are always logged with exactly 512 consecutive
+/// frames starting at an order-9-aligned frame.
+#[test]
+fn released_blocks_are_aligned_order9() {
+    check::cases(0x4a04, 16, |rng| {
+        let block = rng.gen_range(0u64..16);
         let (mut host, mut vm) = small_setup();
         let gpa = vm.virtio_mem().region_base().add(block * HUGE_PAGE_SIZE);
         vm.virtio_mem_unplug(&mut host, gpa).unwrap();
         let log = host.released_log();
-        prop_assert_eq!(log.len(), 512);
-        prop_assert_eq!(log[0].index() % 512, 0);
+        assert_eq!(log.len(), 512);
+        assert_eq!(log[0].index() % 512, 0);
         for (i, pfn) in log.iter().enumerate() {
-            prop_assert_eq!(pfn.index(), log[0].index() + i as u64);
+            assert_eq!(pfn.index(), log[0].index() + i as u64);
         }
-    }
+    });
+}
 
-    /// Balloon inflate/deflate round-trips preserve both translations and
-    /// free-page accounting.
-    #[test]
-    fn balloon_roundtrip(pages in proptest::collection::btree_set(0u64..1024, 1..12)) {
+/// Balloon inflate/deflate round-trips preserve both translations and
+/// free-page accounting.
+#[test]
+fn balloon_roundtrip() {
+    check::cases(0x4a05, CASES, |rng| {
+        let mut pages = std::collections::BTreeSet::new();
+        let want = rng.gen_range(1usize..12);
+        while pages.len() < want {
+            pages.insert(rng.gen_range(0u64..1024));
+        }
         let (mut host, mut vm) = small_setup();
         let _free_at_start = host.buddy().free_pages();
         let targets: Vec<Gpa> = pages.iter().map(|&p| Gpa::new(p * PAGE_SIZE)).collect();
         for &gpa in &targets {
             vm.balloon_inflate(&mut host, gpa).unwrap();
-            prop_assert!(vm.translate_gpa(&host, gpa).is_err());
+            assert!(vm.translate_gpa(&host, gpa).is_err());
         }
         for &gpa in &targets {
             vm.balloon_deflate(&mut host, gpa).unwrap();
-            prop_assert!(vm.translate_gpa(&host, gpa).is_ok());
+            assert!(vm.translate_gpa(&host, gpa).is_ok());
         }
         // Inflation freed pages net of EPT pages allocated by splits;
         // deflation re-allocated them: the *guest-visible* state is
         // consistent and the balloon is empty.
-        prop_assert_eq!(vm.balloon().inflated_pages(), 0);
+        assert_eq!(vm.balloon().inflated_pages(), 0);
         vm.destroy(&mut host);
-        prop_assert_eq!(host.buddy().free_pages(), host.buddy().total_frames() - {
-            // Boot noise stays allocated; recompute from a fresh host.
-            let fresh = Host::new(HostConfig::small_test());
-            fresh.buddy().total_frames() - fresh.buddy().free_pages()
-        });
-    }
+        assert_eq!(
+            host.buddy().free_pages(),
+            host.buddy().total_frames() - {
+                // Boot noise stays allocated; recompute from a fresh host.
+                let fresh = Host::new(HostConfig::small_test());
+                fresh.buddy().total_frames() - fresh.buddy().free_pages()
+            }
+        );
+    });
+}
 
-    /// vIOMMU map/unmap sequences never leak IOPT pages.
-    #[test]
-    fn viommu_no_leaks(windows in proptest::collection::vec(0u64..64, 1..32)) {
+/// vIOMMU map/unmap sequences never leak IOPT pages.
+#[test]
+fn viommu_no_leaks() {
+    check::cases(0x4a06, CASES, |rng| {
+        let windows = check::vec_of(rng, 1, 32, |r| r.gen_range(0u64..64));
         let (mut host, mut vm) = small_setup();
         let free_before = host.buddy().free_pages();
         let mut mapped = Vec::new();
@@ -124,6 +149,6 @@ proptest! {
         for iova in mapped {
             vm.iommu_unmap(&mut host, 0, iova).unwrap();
         }
-        prop_assert_eq!(host.buddy().free_pages(), free_before);
-    }
+        assert_eq!(host.buddy().free_pages(), free_before);
+    });
 }

@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a base (4 KiB) page in bytes.
 pub const PAGE_SIZE: u64 = 4096;
 
@@ -31,10 +29,7 @@ pub const HUGE_PAGE_BITS: u32 = 21;
 macro_rules! address_newtype {
     ($(#[$meta:meta])* $name:ident, $tag:literal) => {
         $(#[$meta])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(u64);
 
         impl $name {
@@ -212,9 +207,7 @@ address_newtype!(
 /// assert_eq!(pfn.base_hpa(), Hpa::new(0x123000));
 /// assert_eq!(Hpa::new(0x123fff).pfn(), pfn);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pfn(u64);
 
 impl Pfn {

@@ -10,8 +10,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing simulated clock with nanosecond resolution.
 ///
 /// # Examples
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(clock.now_nanos(), 1_500_000_000);
 /// assert_eq!(clock.now().to_string(), "1.500s");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Clock {
     nanos: u64,
 }
@@ -51,7 +49,10 @@ impl Clock {
     ///
     /// Panics if the clock would overflow (≈ 584 simulated years).
     pub fn advance_nanos(&mut self, nanos: u64) {
-        self.nanos = self.nanos.checked_add(nanos).expect("simulated clock overflow");
+        self.nanos = self
+            .nanos
+            .checked_add(nanos)
+            .expect("simulated clock overflow");
     }
 
     /// Advances the clock by `micros` microseconds.
@@ -85,9 +86,7 @@ impl Clock {
 }
 
 /// A point in simulated time.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimInstant {
     nanos: u64,
 }
@@ -106,9 +105,7 @@ impl fmt::Display for SimInstant {
 }
 
 /// A span of simulated time.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration {
     nanos: u64,
 }
@@ -124,17 +121,23 @@ impl SimDuration {
 
     /// Creates a duration from microseconds.
     pub const fn from_micros(micros: u64) -> Self {
-        Self { nanos: micros * 1_000 }
+        Self {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Creates a duration from milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        Self { nanos: millis * 1_000_000 }
+        Self {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Creates a duration from seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        Self { nanos: secs * 1_000_000_000 }
+        Self {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Returns the duration in nanoseconds.
@@ -174,7 +177,10 @@ impl SimDuration {
     /// Panics on overflow.
     pub fn checked_add(self, other: Self) -> Self {
         Self {
-            nanos: self.nanos.checked_add(other.nanos).expect("duration overflow"),
+            nanos: self
+                .nanos
+                .checked_add(other.nanos)
+                .expect("duration overflow"),
         }
     }
 }
@@ -205,7 +211,7 @@ impl fmt::Display for SimDuration {
 /// The defaults are calibrated so that the work the paper describes takes
 /// roughly the time the paper reports (see `EXPERIMENTS.md` for the
 /// calibration). Machine presets override individual entries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Cost of one DRAM row activation pair in a hammer loop (two reads +
     /// flushes, uncached).

@@ -15,13 +15,14 @@
 //!   simulated time advanced by a calibrated cost model.
 //! * [`rng`] — a deterministic, splittable PRNG (xoshiro256**) so every
 //!   experiment is reproducible from a single seed.
+//! * [`check`] — a miniature deterministic property-testing harness built
+//!   on [`rng`].
 //! * [`size`] — human-friendly byte sizes.
 //!
 //! # Examples
 //!
 //! ```
 //! use hh_sim::{addr::{Hpa, PAGE_SIZE}, clock::Clock, rng::SimRng, size::ByteSize};
-//! use rand::Rng;
 //!
 //! let hpa = Hpa::new(0x4000_0000);
 //! assert_eq!(hpa.pfn().index(), 0x4_0000);
@@ -41,6 +42,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod addr;
+pub mod check;
 pub mod clock;
 pub mod rng;
 pub mod size;

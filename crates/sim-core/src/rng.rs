@@ -3,13 +3,13 @@
 //! Every stochastic element of the reproduction — which DRAM cells are
 //! vulnerable, flip stability, host background allocations — must be
 //! reproducible from a single experiment seed so that tests and benchmarks
-//! are stable. `rand`'s `StdRng` explicitly does not promise a stable
-//! stream across versions, so we implement **xoshiro256\*\*** (public
-//! domain, Blackman & Vigna) seeded through SplitMix64, and expose it via
-//! the [`rand::RngCore`] trait so the whole `rand` distribution toolbox
-//! works on top.
+//! are stable. External RNG crates either refuse to promise a stable
+//! stream across versions or cannot be vendored offline, so we implement
+//! **xoshiro256\*\*** (public domain, Blackman & Vigna) seeded through
+//! SplitMix64 and expose the handful of sampling methods the simulation
+//! needs as inherent methods — no external traits, no external crates.
 
-use rand::{CryptoRng, RngCore, SeedableRng};
+use std::ops::Range;
 
 /// A deterministic xoshiro256** generator.
 ///
@@ -17,12 +17,11 @@ use rand::{CryptoRng, RngCore, SeedableRng};
 ///
 /// ```
 /// use hh_sim::rng::SimRng;
-/// use rand::Rng;
 ///
 /// let mut a = SimRng::seed_from(7);
 /// let mut b = SimRng::seed_from(7);
-/// let xs: Vec<u32> = (0..4).map(|_| a.gen()).collect();
-/// let ys: Vec<u32> = (0..4).map(|_| b.gen()).collect();
+/// let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+/// let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
 /// assert_eq!(xs, ys);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +41,11 @@ impl SimRng {
         }
     }
 
+    /// Creates a generator from an 8-byte little-endian seed.
+    pub fn from_seed(seed: [u8; 8]) -> Self {
+        Self::seed_from(u64::from_le_bytes(seed))
+    }
+
     /// Derives an independent child generator for a named subsystem.
     ///
     /// Mixing a stream label into the seed keeps subsystems (fault model,
@@ -58,6 +62,19 @@ impl SimRng {
         Self::seed_from(self.next_u64() ^ h)
     }
 
+    /// Splits a base experiment seed into the seed for task `index`.
+    ///
+    /// This is the seed-splitting scheme the parallel campaign engine
+    /// relies on: the derived seed depends only on `(base, index)`, never
+    /// on worker count or scheduling order, so a grid cell's RNG stream —
+    /// and therefore its results — are identical however the grid is
+    /// executed.
+    pub fn split_seed(base: u64, index: u64) -> u64 {
+        let mut sm = SplitMix64::new(base);
+        let expanded = sm.next();
+        SplitMix64::new(expanded ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next()
+    }
+
     fn next(&mut self) -> u64 {
         let s = &mut self.state;
         let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -70,18 +87,19 @@ impl SimRng {
         s[3] = s[3].rotate_left(45);
         result
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
+    /// Produces the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Produces the next 32 random bits (the upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes, consuming whole 64-bit words.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -93,26 +111,80 @@ impl RngCore for SimRng {
         }
     }
 
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
+    /// Samples uniformly below `n` with Lemire's multiply-shift rejection
+    /// (unbiased; the stream is part of the determinism contract).
+    fn gen_u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling range");
+        loop {
+            let x = self.next();
+            let m = u128::from(x) * u128::from(n);
+            let lo = m as u64;
+            if lo < n {
+                let threshold = n.wrapping_neg() % n;
+                if lo < threshold {
+                    continue;
+                }
+            }
+            return (m >> 64) as u64;
+        }
+    }
+
+    /// Samples uniformly from a half-open integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hh_sim::rng::SimRng;
+    ///
+    /// let mut rng = SimRng::seed_from(5);
+    /// let v = rng.gen_range(10u64..20);
+    /// assert!((10..20).contains(&v));
+    /// ```
+    pub fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "empty sampling range {lo}..{hi}");
+        T::from_u64(lo + self.gen_u64_below(hi - lo))
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits, the same construction rand uses.
+        ((self.next() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
 }
 
-impl SeedableRng for SimRng {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        Self::seed_from(u64::from_le_bytes(seed))
-    }
+/// Integer types [`SimRng::gen_range`] can sample.
+pub trait RangeSample: Copy + PartialOrd {
+    /// Widens to the sampling domain.
+    fn to_u64(self) -> u64;
+    /// Narrows back from the sampling domain.
+    fn from_u64(v: u64) -> Self;
 }
 
-// Not cryptographically secure; deliberately NOT CryptoRng. The marker
-// trait below exists only in a doc comment to make the decision explicit.
-const _: fn() = || {
-    fn assert_not_crypto<T: CryptoRng>() {}
-    let _ = assert_not_crypto::<rand::rngs::OsRng>; // SimRng intentionally absent
-};
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize);
 
 /// SplitMix64 seed expander (Steele, Lea & Flood; public domain).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,7 +212,6 @@ impl SplitMix64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn splitmix_reference_vector() {
@@ -182,6 +253,17 @@ mod tests {
     }
 
     #[test]
+    fn split_seed_is_pure_and_decorrelated() {
+        assert_eq!(SimRng::split_seed(7, 3), SimRng::split_seed(7, 3));
+        let seeds: Vec<u64> = (0..64).map(|i| SimRng::split_seed(7, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "split seeds collide");
+        assert_ne!(SimRng::split_seed(7, 0), SimRng::split_seed(8, 0));
+    }
+
+    #[test]
     fn fill_bytes_covers_partial_words() {
         let mut rng = SimRng::seed_from(3);
         let mut buf = [0u8; 13];
@@ -202,6 +284,22 @@ mod tests {
         for _ in 0..1000 {
             let v: u64 = rng.gen_range(10..20);
             assert!((10..20).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..3);
+            assert!(v < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_over_small_domain() {
+        let mut rng = SimRng::seed_from(11);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0usize..5)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts = {counts:?}");
         }
     }
 

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A size in bytes with binary-unit constructors and display.
 ///
 /// # Examples
@@ -17,9 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(vm_mem.to_string(), "13 GiB");
 /// assert_eq!(ByteSize::mib(2).pages(), 512);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(u64);
 
 impl ByteSize {

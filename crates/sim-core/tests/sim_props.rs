@@ -1,44 +1,52 @@
-//! Property tests on the simulation primitives.
+//! Property tests on the simulation primitives, driven by the
+//! deterministic `hh_sim::check` harness.
 
 use hh_sim::addr::{Hpa, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
+use hh_sim::check;
 use hh_sim::clock::{Clock, CostModel, SimDuration};
 use hh_sim::rng::{SimRng, SplitMix64};
 use hh_sim::ByteSize;
-use proptest::prelude::*;
-use rand::RngCore;
 
-proptest! {
-    /// Alignment laws: align_down ≤ x < align_down + align, and aligned
-    /// values are fixed points.
-    #[test]
-    fn align_laws(raw in 0u64..(1 << 48), shift in 0u32..21) {
+/// Alignment laws: align_down ≤ x < align_down + align, and aligned
+/// values are fixed points.
+#[test]
+fn align_laws() {
+    check::cases(0xa11a, check::DEFAULT_CASES, |rng| {
+        let raw = rng.gen_range(0u64..1 << 48);
+        let shift = rng.gen_range(0u32..21);
         let align = 1u64 << (shift + 1);
         let a = Hpa::new(raw);
         let down = a.align_down(align);
-        prop_assert!(down <= a);
-        prop_assert!(a.raw() - down.raw() < align);
-        prop_assert!(down.is_aligned(align));
-        prop_assert_eq!(down.align_down(align), down);
+        assert!(down <= a);
+        assert!(a.raw() - down.raw() < align);
+        assert!(down.is_aligned(align));
+        assert_eq!(down.align_down(align), down);
         let up = a.align_up(align);
-        prop_assert!(up >= a);
-        prop_assert!(up.raw() - a.raw() < align);
-        prop_assert!(up.is_aligned(align));
-    }
+        assert!(up >= a);
+        assert!(up.raw() - a.raw() < align);
+        assert!(up.is_aligned(align));
+    });
+}
 
-    /// PFN/address conversions are inverse on page-aligned values.
-    #[test]
-    fn pfn_roundtrip(frame in 0u64..(1 << 36)) {
+/// PFN/address conversions are inverse on page-aligned values.
+#[test]
+fn pfn_roundtrip() {
+    check::cases(0x9f41, check::DEFAULT_CASES, |rng| {
+        let frame = rng.gen_range(0u64..1 << 36);
         let pfn = Pfn::new(frame);
-        prop_assert_eq!(pfn.base_hpa().pfn(), pfn);
-        prop_assert_eq!(pfn.base_hpa().raw() % PAGE_SIZE, 0);
-        prop_assert_eq!(pfn.huge_base().base_hpa().raw() % HUGE_PAGE_SIZE, 0);
-        prop_assert!(pfn.huge_base() <= pfn);
-        prop_assert!(pfn.index() - pfn.huge_base().index() < 512);
-    }
+        assert_eq!(pfn.base_hpa().pfn(), pfn);
+        assert_eq!(pfn.base_hpa().raw() % PAGE_SIZE, 0);
+        assert_eq!(pfn.huge_base().base_hpa().raw() % HUGE_PAGE_SIZE, 0);
+        assert!(pfn.huge_base() <= pfn);
+        assert!(pfn.index() - pfn.huge_base().index() < 512);
+    });
+}
 
-    /// The clock is an exact accumulator.
-    #[test]
-    fn clock_accumulates_exactly(steps in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+/// The clock is an exact accumulator.
+#[test]
+fn clock_accumulates_exactly() {
+    check::cases(0xc10c, check::DEFAULT_CASES, |rng| {
+        let steps = check::vec_of(rng, 1, 50, |r| r.gen_range(0u64..1_000_000));
         let mut clock = Clock::new();
         let t0 = clock.now();
         let mut total = 0u64;
@@ -46,62 +54,78 @@ proptest! {
             clock.advance_nanos(*s);
             total += s;
         }
-        prop_assert_eq!(clock.elapsed_since(t0).as_nanos(), total);
-    }
+        assert_eq!(clock.elapsed_since(t0).as_nanos(), total);
+    });
+}
 
-    /// Duration unit conversions agree.
-    #[test]
-    fn duration_units(secs in 0u64..1_000_000) {
+/// Duration unit conversions agree.
+#[test]
+fn duration_units() {
+    check::cases(0xd04a, check::DEFAULT_CASES, |rng| {
+        let secs = rng.gen_range(0u64..1_000_000);
         let d = SimDuration::from_secs(secs);
-        prop_assert_eq!(d.as_secs(), secs);
-        prop_assert!((d.as_mins_f64() * 60.0 - secs as f64).abs() < 1e-6);
-        prop_assert!((d.as_hours_f64() * 3600.0 - secs as f64).abs() < 1e-3);
-    }
+        assert_eq!(d.as_secs(), secs);
+        assert!((d.as_mins_f64() * 60.0 - secs as f64).abs() < 1e-6);
+        assert!((d.as_hours_f64() * 3600.0 - secs as f64).abs() < 1e-3);
+    });
+}
 
-    /// Scan cost is monotone and (block-)additive.
-    #[test]
-    fn scan_cost_monotone(a in 0u64..(1 << 34), b in 0u64..(1 << 34)) {
+/// Scan cost is monotone and (block-)additive.
+#[test]
+fn scan_cost_monotone() {
+    check::cases(0x5ca4, check::DEFAULT_CASES, |rng| {
+        let a = rng.gen_range(0u64..1 << 34);
+        let b = rng.gen_range(0u64..1 << 34);
         let m = CostModel::calibrated();
-        prop_assert!(m.scan_cost_nanos(a.max(b)) >= m.scan_cost_nanos(a.min(b)));
+        assert!(m.scan_cost_nanos(a.max(b)) >= m.scan_cost_nanos(a.min(b)));
         // Additivity on multiples of 10 (the bandwidth divisor).
         let a10 = a / 10 * 10;
         let b10 = b / 10 * 10;
-        prop_assert_eq!(
+        assert_eq!(
             m.scan_cost_nanos(a10) + m.scan_cost_nanos(b10),
             m.scan_cost_nanos(a10 + b10)
         );
-    }
+    });
+}
 
-    /// ByteSize::log2_ceil is the true ceiling of log2.
-    #[test]
-    fn log2_ceil_correct(bytes in 1u64..(1 << 50)) {
+/// ByteSize::log2_ceil is the true ceiling of log2.
+#[test]
+fn log2_ceil_correct() {
+    check::cases(0x1062, check::DEFAULT_CASES, |rng| {
+        let bytes = rng.gen_range(1u64..1 << 50);
         let l = ByteSize::bytes_exact(bytes).log2_ceil();
         if l > 0 {
-            prop_assert!(1u64.checked_shl(l - 1).unwrap() < bytes || bytes == 1);
+            assert!(1u64.checked_shl(l - 1).unwrap() < bytes || bytes == 1);
         }
-        prop_assert!(u128::from(bytes) <= 1u128 << l);
-    }
+        assert!(u128::from(bytes) <= 1u128 << l);
+    });
+}
 
-    /// The RNG's fill_bytes agrees with next_u64 word-for-word.
-    #[test]
-    fn fill_bytes_matches_words(seed in any::<u64>()) {
+/// The RNG's fill_bytes agrees with next_u64 word-for-word.
+#[test]
+fn fill_bytes_matches_words() {
+    check::cases(0xf111, check::DEFAULT_CASES, |rng| {
+        let seed = rng.next_u64();
         let mut a = SimRng::seed_from(seed);
         let mut b = SimRng::seed_from(seed);
         let mut buf = [0u8; 32];
         a.fill_bytes(&mut buf);
         for chunk in buf.chunks(8) {
             let expect = b.next_u64().to_le_bytes();
-            prop_assert_eq!(chunk, &expect[..]);
+            assert_eq!(chunk, &expect[..]);
         }
-    }
+    });
+}
 
-    /// SplitMix64 streams never collide for nearby seeds (sanity, not a
-    /// cryptographic claim).
-    #[test]
-    fn splitmix_seeds_decorrelate(seed in any::<u64>()) {
+/// SplitMix64 streams never collide for nearby seeds (sanity, not a
+/// cryptographic claim).
+#[test]
+fn splitmix_seeds_decorrelate() {
+    check::cases(0x5eed, check::DEFAULT_CASES, |rng| {
+        let seed = rng.next_u64();
         let mut x = SplitMix64::new(seed);
         let mut y = SplitMix64::new(seed.wrapping_add(1));
         let same = (0..16).filter(|_| x.next() == y.next()).count();
-        prop_assert_eq!(same, 0);
-    }
+        assert_eq!(same, 0);
+    });
 }

@@ -61,9 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reuse.released_pages,
         100.0 * reuse.r_n()
     );
-    println!(
-        "\nPer-page release makes every released frame a candidate EPT frame — the"
-    );
+    println!("\nPer-page release makes every released frame a candidate EPT frame — the");
     println!("paper's observation that the balloon path needs no free-list exhaustion");
     println!("of order-9 blocks, only of the small-order lists (§6).");
 
@@ -86,11 +84,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stable: true,
         })
         .collect();
-    let mut pool: Vec<Gpa> = (800..820u64).map(|i| base.add(i * HUGE_PAGE_SIZE)).collect();
+    let mut pool: Vec<Gpa> = (800..820u64)
+        .map(|i| base.add(i * HUGE_PAGE_SIZE))
+        .collect();
     let stats = BalloonSteering::new().steer(&mut host, &mut vm, &bits, &mut pool)?;
     println!(
         "placed EPT pages on {} of {} vulnerable frames ({:.0}% — one sprayed hugepage per bit,",
-        stats.placements.iter().filter(|p| p.ept_on_released_frame).count(),
+        stats
+            .placements
+            .iter()
+            .filter(|p| p.ept_on_released_frame)
+            .count(),
         stats.placements.len(),
         100.0 * stats.placement_rate()
     );

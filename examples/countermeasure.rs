@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Stock QEMU: the voluntary release sails through.
     let stock = Scenario::small_attack();
     match attack_release(&stock) {
-        Ok(n) => println!("stock host:    voluntary unplug of {n} sub-blocks ACCEPTED (attack proceeds)"),
+        Ok(n) => {
+            println!("stock host:    voluntary unplug of {n} sub-blocks ACCEPTED (attack proceeds)")
+        }
         Err(e) => println!("stock host:    unexpected rejection: {e}"),
     }
 

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== 2. Hammer-pattern search (TRRespass-style) ==");
-    for (label, trr) in [("no TRR (paper DIMMs)", None), ("with TRR", Some(TrrConfig::production()))] {
+    for (label, trr) in [
+        ("no TRR (paper DIMMs)", None),
+        ("with TRR", Some(TrrConfig::production())),
+    ] {
         let mut profile = DimmProfile::test_profile(64 << 20);
         profile.trr = trr;
         let mut device = DramDevice::new(profile, 2024);

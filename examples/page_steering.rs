@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut vm = host.create_vm(scenario.vm_config())?;
     let steering = PageSteering::new(scenario.steering_params());
 
-    println!("== Page Steering walkthrough ({} scenario) ==\n", scenario.name);
+    println!(
+        "== Page Steering walkthrough ({} scenario) ==\n",
+        scenario.name
+    );
     println!(
         "initial noise pages (free small-order MIGRATE_UNMOVABLE): {}",
         host.noise_pages()
@@ -25,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n[STEP 1] exhausting noise pages via vIOMMU IOPT allocations...");
     let samples = steering.exhaust_noise(&mut host, &mut vm)?;
     for s in samples.iter().step_by(4) {
-        println!("  after {:>6} mappings: {:>6} noise pages", s.mappings, s.noise_pages);
+        println!(
+            "  after {:>6} mappings: {:>6} noise pages",
+            s.mappings, s.noise_pages
+        );
     }
     println!(
         "  -> final: {} noise pages (threshold the spray must beat: 1024 + PCP)",
@@ -36,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n[STEP 2] voluntarily unplugging 6 'vulnerable' sub-blocks...");
     host.reset_released_log();
     let region_base = vm.virtio_mem().region_base();
-    let victims: Vec<_> = (0..6u64).map(|i| region_base.add(i * 5 * HUGE_PAGE_SIZE)).collect();
+    let victims: Vec<_> = (0..6u64)
+        .map(|i| region_base.add(i * 5 * HUGE_PAGE_SIZE))
+        .collect();
     let released = steering.release_hugepages(&mut host, &mut vm, &victims)?;
     let info = host.pagetypeinfo();
     println!(
@@ -60,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  released pages (N): {}", reuse.released_pages);
     println!("  EPT pages (E):      {}", reuse.ept_pages);
     println!("  reused (R):         {}", reuse.reused_pages);
-    println!("  R_N = {:.1}%   R_E = {:.1}%", 100.0 * reuse.r_n(), 100.0 * reuse.r_e());
+    println!(
+        "  R_N = {:.1}%   R_E = {:.1}%",
+        100.0 * reuse.r_n(),
+        100.0 * reuse.r_e()
+    );
     println!("\nEPT pages now sit on frames the attacker chose and can hammer.");
     Ok(())
 }

@@ -15,7 +15,10 @@ use hyperhammer::profile::Profiler;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::small_attack();
-    println!("== HyperHammer quickstart on the '{}' scenario ==", scenario.name);
+    println!(
+        "== HyperHammer quickstart on the '{}' scenario ==",
+        scenario.name
+    );
     let mut host = scenario.boot_host();
     let mut vm = host.create_vm(scenario.vm_config())?;
     println!(

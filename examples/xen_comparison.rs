@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let steering = PageSteering::new(scenario.steering_params());
         host.reset_released_log();
         let base = vm.virtio_mem().region_base();
-        let victims: Vec<Gpa> = (0..6u64).map(|i| base.add(i * 4 * HUGE_PAGE_SIZE)).collect();
+        let victims: Vec<Gpa> = (0..6u64)
+            .map(|i| base.add(i * 4 * HUGE_PAGE_SIZE))
+            .collect();
         steering.release_hugepages(&mut host, &mut vm, &victims)?;
         steering.spray_ept(&mut host, &mut vm, 1 << 30)?;
         let reuse = PageSteering::reuse_stats(&host, &vm);
@@ -48,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         steering.exhaust_noise(&mut host, &mut vm)?;
         host.reset_released_log();
         let base = vm.virtio_mem().region_base();
-        let victims: Vec<Gpa> = (0..6u64).map(|i| base.add(i * 4 * HUGE_PAGE_SIZE)).collect();
+        let victims: Vec<Gpa> = (0..6u64)
+            .map(|i| base.add(i * 4 * HUGE_PAGE_SIZE))
+            .collect();
         steering.release_hugepages(&mut host, &mut vm, &victims)?;
         steering.spray_ept(&mut host, &mut vm, 1 << 30)?;
         let reuse = PageSteering::reuse_stats(&host, &vm);

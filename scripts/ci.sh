@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, format check, lint.
+#
+# Everything runs with --offline — the workspace is dependency-free by
+# design (see DESIGN.md) and must keep building on machines with no
+# registry access. Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo fmt --all --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -1,26 +1,36 @@
-//! Property-based tests on cross-crate invariants (proptest).
+//! Property-based tests on cross-crate invariants, driven by the
+//! deterministic `hh_sim::check` harness.
 
 use hh_buddy::{AllocError, BuddyAllocator, MigrateType};
 use hh_dram::geometry::{BankFunction, DramGeometry};
 use hh_dram::store::SparseStore;
 use hh_hv::ept::Epte;
-use hh_sim::addr::{Gpa, Hpa, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
 use hh_hv::{Host, HostConfig, VmConfig};
-use proptest::prelude::*;
+use hh_sim::addr::{Gpa, Hpa, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
+use hh_sim::check;
 
-proptest! {
-    /// The buddy allocator conserves pages under arbitrary alloc/free
-    /// interleavings and never hands out overlapping blocks.
-    #[test]
-    fn buddy_conservation_and_disjointness(
-        ops in proptest::collection::vec((0u8..10, any::<bool>(), any::<u8>()), 1..120)
-    ) {
+/// The buddy allocator conserves pages under arbitrary alloc/free
+/// interleavings and never hands out overlapping blocks.
+#[test]
+fn buddy_conservation_and_disjointness() {
+    check::cases(0xcc01, 64, |rng| {
+        let ops = check::vec_of(rng, 1, 120, |r| {
+            (
+                r.gen_range(0u8..10),
+                r.gen_bool(0.5),
+                r.gen_range(0u64..256) as u8,
+            )
+        });
         let total = 16u64 << 20 >> 12; // 16 MiB zone
         let mut buddy = BuddyAllocator::new(total);
         let mut held: Vec<(Pfn, u8)> = Vec::new();
         for (order, unmovable, action) in ops {
             if action % 3 != 0 || held.is_empty() {
-                let mt = if unmovable { MigrateType::Unmovable } else { MigrateType::Movable };
+                let mt = if unmovable {
+                    MigrateType::Unmovable
+                } else {
+                    MigrateType::Movable
+                };
                 match buddy.alloc(order, mt) {
                     Ok(base) => {
                         // No overlap with anything currently held.
@@ -29,14 +39,16 @@ proptest! {
                         for &(other, oorder) in &held {
                             let olo = other.index();
                             let ohi = olo + (1u64 << oorder);
-                            prop_assert!(hi <= olo || ohi <= lo,
-                                "overlap: [{lo},{hi}) vs [{olo},{ohi})");
+                            assert!(
+                                hi <= olo || ohi <= lo,
+                                "overlap: [{lo},{hi}) vs [{olo},{ohi})"
+                            );
                         }
-                        prop_assert_eq!(lo % (1 << order), 0, "alignment");
+                        assert_eq!(lo % (1 << order), 0, "alignment");
                         held.push((base, order));
                     }
                     Err(AllocError::OutOfMemory { .. }) => {}
-                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    Err(e) => panic!("unexpected error {e}"),
                 }
             } else {
                 let idx = usize::from(action) % held.len();
@@ -44,41 +56,51 @@ proptest! {
                 buddy.free(base, order);
             }
             let held_pages: u64 = held.iter().map(|&(_, o)| 1u64 << o).sum();
-            prop_assert_eq!(buddy.free_pages() + held_pages, total, "conservation");
+            assert_eq!(buddy.free_pages() + held_pages, total, "conservation");
         }
         for (base, order) in held {
             buddy.free(base, order);
         }
-        prop_assert_eq!(buddy.free_pages(), total);
-    }
+        assert_eq!(buddy.free_pages(), total);
+    });
+}
 
-    /// XOR bank functions are linear and map every address to a valid
-    /// bank; the row/bank decomposition is consistent with slice
-    /// enumeration.
-    #[test]
-    fn bank_function_linearity(a in 0u64..(1 << 30), b in 0u64..(1 << 30)) {
+/// XOR bank functions are linear and map every address to a valid
+/// bank; the row/bank decomposition is consistent with slice
+/// enumeration.
+#[test]
+fn bank_function_linearity() {
+    check::cases(0xcc02, check::DEFAULT_CASES, |rng| {
+        let a = rng.gen_range(0u64..1 << 30);
+        let b = rng.gen_range(0u64..1 << 30);
         for f in [BankFunction::core_i3_10100(), BankFunction::xeon_e2124()] {
-            prop_assert!(f.bank_of(a) < f.bank_count());
-            prop_assert_eq!(f.bank_of(a) ^ f.bank_of(b), f.bank_of(a ^ b));
+            assert!(f.bank_of(a) < f.bank_count());
+            assert_eq!(f.bank_of(a) ^ f.bank_of(b), f.bank_of(a ^ b));
         }
-    }
+    });
+}
 
-    /// Every address belongs to exactly the (bank, row) slice the
-    /// geometry attributes to it.
-    #[test]
-    fn geometry_slice_membership(addr in (0u64..(64 << 20)).prop_map(|a| a & !63)) {
+/// Every address belongs to exactly the (bank, row) slice the
+/// geometry attributes to it.
+#[test]
+fn geometry_slice_membership() {
+    check::cases(0xcc03, 64, |rng| {
+        let addr = rng.gen_range(0u64..64 << 20) & !63;
         let g = DramGeometry::new(BankFunction::core_i3_10100(), 64 << 20);
         let hpa = Hpa::new(addr);
         let (bank, row) = (g.bank_of(hpa), g.row_of(hpa));
-        prop_assert!(g.slice_addrs(bank, row).any(|x| x == hpa));
-    }
+        assert!(g.slice_addrs(bank, row).any(|x| x == hpa));
+    });
+}
 
-    /// The sparse store is byte-accurate under arbitrary write sequences
-    /// against a reference model.
-    #[test]
-    fn sparse_store_matches_reference(
-        writes in proptest::collection::vec((0u64..0x4000, any::<u8>()), 1..200)
-    ) {
+/// The sparse store is byte-accurate under arbitrary write sequences
+/// against a reference model.
+#[test]
+fn sparse_store_matches_reference() {
+    check::cases(0xcc04, 64, |rng| {
+        let writes = check::vec_of(rng, 1, 200, |r| {
+            (r.gen_range(0u64..0x4000), r.gen_range(0u64..256) as u8)
+        });
         let mut store = SparseStore::new(0x4000);
         let mut reference = vec![0u8; 0x4000];
         for (addr, value) in writes {
@@ -86,31 +108,36 @@ proptest! {
             reference[addr as usize] = value;
         }
         for (i, &expected) in reference.iter().enumerate() {
-            prop_assert_eq!(store.read_u8(Hpa::new(i as u64)), expected);
+            assert_eq!(store.read_u8(Hpa::new(i as u64)), expected);
         }
-    }
+    });
+}
 
-    /// EPTE encode/decode round-trips for every PFN and permission
-    /// combination.
-    #[test]
-    fn epte_roundtrip(pfn in 0u64..(1 << 36), exec in any::<bool>()) {
+/// EPTE encode/decode round-trips for every PFN and permission
+/// combination.
+#[test]
+fn epte_roundtrip() {
+    check::cases(0xcc05, check::DEFAULT_CASES, |rng| {
+        let pfn = rng.gen_range(0u64..1 << 36);
+        let exec = rng.gen_bool(0.5);
         let e = Epte::leaf(Pfn::new(pfn), exec);
-        prop_assert_eq!(e.pfn(), Pfn::new(pfn));
-        prop_assert_eq!(e.is_executable(), exec);
-        prop_assert!(e.is_present());
-        prop_assert!(!e.is_large());
+        assert_eq!(e.pfn(), Pfn::new(pfn));
+        assert_eq!(e.is_executable(), exec);
+        assert!(e.is_present());
+        assert!(!e.is_large());
         let moved = e.with_pfn(Pfn::new(pfn ^ 0x5555));
-        prop_assert_eq!(moved.pfn(), Pfn::new(pfn ^ 0x5555));
-        prop_assert_eq!(moved.is_executable(), exec);
-    }
+        assert_eq!(moved.pfn(), Pfn::new(pfn ^ 0x5555));
+        assert_eq!(moved.is_executable(), exec);
+    });
+}
 
-    /// Guest reads always return what was last written through the same
-    /// GPA, across 4 KiB and 2 MiB mappings and after splits.
-    #[test]
-    fn guest_memory_write_read_consistency(
-        offsets in proptest::collection::vec(0u64..(4 << 20), 1..24),
-        split in any::<bool>(),
-    ) {
+/// Guest reads always return what was last written through the same
+/// GPA, across 4 KiB and 2 MiB mappings and after splits.
+#[test]
+fn guest_memory_write_read_consistency() {
+    check::cases(0xcc06, 24, |rng| {
+        let offsets = check::vec_of(rng, 1, 24, |r| r.gen_range(0u64..4 << 20));
+        let split = rng.gen_bool(0.5);
         let mut host = Host::new(HostConfig::small_test());
         let mut vm = host.create_vm(VmConfig::small_test()).unwrap();
         if split {
@@ -120,21 +147,24 @@ proptest! {
         for (i, &off) in offsets.iter().enumerate() {
             let gpa = Gpa::new(off);
             vm.write_gpa(&mut host, gpa, &[i as u8]).unwrap();
-            prop_assert_eq!(vm.read_gpa(&host, gpa, 1).unwrap()[0], i as u8);
+            assert_eq!(vm.read_gpa(&host, gpa, 1).unwrap()[0], i as u8);
         }
         vm.destroy(&mut host);
-    }
+    });
+}
 
-    /// Low-21-bit preservation holds for arbitrary probe offsets in a
-    /// THP-backed VM (the §4.1 premise).
-    #[test]
-    fn thp_bit_preservation(off in 0u64..(36 << 20)) {
+/// Low-21-bit preservation holds for arbitrary probe offsets in a
+/// THP-backed VM (the §4.1 premise).
+#[test]
+fn thp_bit_preservation() {
+    check::cases(0xcc07, 32, |rng| {
+        let off = rng.gen_range(0u64..36 << 20);
         let mut host = Host::new(HostConfig::small_test());
         let vm = host.create_vm(VmConfig::small_test()).unwrap();
         let gpa = Gpa::new(off);
         let hpa = vm.translate_gpa(&host, gpa).unwrap().hpa;
-        prop_assert_eq!(gpa.raw() & ((1 << 21) - 1), hpa.raw() & ((1 << 21) - 1));
-        prop_assert_eq!(hpa.page_offset(), gpa.page_offset());
+        assert_eq!(gpa.raw() & ((1 << 21) - 1), hpa.raw() & ((1 << 21) - 1));
+        assert_eq!(hpa.page_offset(), gpa.page_offset());
         let _ = PAGE_SIZE;
-    }
+    });
 }

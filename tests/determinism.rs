@@ -12,7 +12,9 @@ fn profiling_is_deterministic() {
         let sc = Scenario::tiny_demo().with_seed(seed);
         let mut host = sc.boot_host();
         let mut vm = host.create_vm(sc.vm_config()).unwrap();
-        let report = Profiler::new(sc.profile_params()).run(&mut host, &mut vm).unwrap();
+        let report = Profiler::new(sc.profile_params())
+            .run(&mut host, &mut vm)
+            .unwrap();
         (report.bits, report.duration)
     };
     let (bits_a, dur_a) = run(1234);
@@ -28,7 +30,10 @@ fn different_seeds_differ() {
         let sc = Scenario::tiny_demo().with_seed(seed);
         let mut host = sc.boot_host();
         let mut vm = host.create_vm(sc.vm_config()).unwrap();
-        Profiler::new(sc.profile_params()).run(&mut host, &mut vm).unwrap().bits
+        Profiler::new(sc.profile_params())
+            .run(&mut host, &mut vm)
+            .unwrap()
+            .bits
     };
     assert_ne!(run(1), run(2));
 }

@@ -105,10 +105,18 @@ fn released_frames_end_up_hosting_eptes() {
     steering.exhaust_noise(&mut host, &mut vm).unwrap();
     host.reset_released_log();
     let base = vm.virtio_mem().region_base();
-    let victims: Vec<Gpa> = (0..6u64).map(|i| base.add(i * 3 * HUGE_PAGE_SIZE)).collect();
-    let released = steering.release_hugepages(&mut host, &mut vm, &victims).unwrap();
+    let victims: Vec<Gpa> = (0..6u64)
+        .map(|i| base.add(i * 3 * HUGE_PAGE_SIZE))
+        .collect();
+    let released = steering
+        .release_hugepages(&mut host, &mut vm, &victims)
+        .unwrap();
     steering
-        .spray_ept(&mut host, &mut vm, PageSteering::spray_budget(released.len()).min(3 << 30))
+        .spray_ept(
+            &mut host,
+            &mut vm,
+            PageSteering::spray_budget(released.len()).min(3 << 30),
+        )
         .unwrap();
 
     let reuse = PageSteering::reuse_stats(&host, &vm);
@@ -154,7 +162,9 @@ fn epte_flip_redirects_exactly_one_page() {
     let victim = Gpa::new(7 * PAGE_SIZE);
     let entry_hpa = vm.leaf_epte_hpa(&host, victim).unwrap();
     let raw = host.dram().store().read_u64(entry_hpa);
-    host.dram_mut().store_mut().write_u64(entry_hpa, raw ^ (1 << 22));
+    host.dram_mut()
+        .store_mut()
+        .write_u64(entry_hpa, raw ^ (1 << 22));
 
     // Every other page in the chunk still carries its magic.
     for i in 0..512u64 {

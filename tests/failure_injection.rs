@@ -36,7 +36,10 @@ fn vm_creation_oom_is_clean() {
         virtio_mem: ByteSize::mib(8),
         ..VmConfig::small_test()
     });
-    assert!(vm.is_ok(), "host must remain usable after a failed creation");
+    assert!(
+        vm.is_ok(),
+        "host must remain usable after a failed creation"
+    );
 }
 
 /// A DIMM with zero vulnerable cells: profiling completes and finds
@@ -106,7 +109,9 @@ fn spray_budget_edges() {
     let steering = PageSteering::new(sc.steering_params());
     let zero = steering.spray_ept(&mut host, &mut vm, 0).unwrap();
     assert_eq!(zero.hugepages_executed, 0);
-    let all = steering.spray_ept(&mut host, &mut vm, u64::MAX >> 1).unwrap();
+    let all = steering
+        .spray_ept(&mut host, &mut vm, u64::MAX >> 1)
+        .unwrap();
     assert_eq!(
         all.hugepages_executed,
         vm.config().total_mem().bytes() / HUGE_PAGE_SIZE
@@ -164,6 +169,8 @@ fn failed_attempt_under_quarantine_leaks_nothing() {
     // (modulo the IOPT pages the attempt's exhaustion step mapped, which
     // the destroy releases too) and can host another VM immediately.
     assert_eq!(host.buddy().free_pages(), free_before);
-    let vm2 = host.create_vm(hardened.vm_config()).expect("host is reusable");
+    let vm2 = host
+        .create_vm(hardened.vm_config())
+        .expect("host is reusable");
     vm2.destroy(&mut host);
 }

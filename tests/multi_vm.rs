@@ -94,7 +94,9 @@ fn flip_into_other_vms_ept_is_not_exploitable() {
     let exploiter = Exploiter::new(ExploitParams::paper());
     let steering = PageSteering::new(scenario.steering_params());
     exploiter.stamp_magic(&mut host, &mut attacker).unwrap();
-    steering.spray_ept(&mut host, &mut attacker, 16 << 21).unwrap();
+    steering
+        .spray_ept(&mut host, &mut attacker, 16 << 21)
+        .unwrap();
 
     // Give the victim VM an EPT leaf page too.
     victim.exec_gpa(&mut host, Gpa::new(0)).unwrap();
@@ -130,7 +132,9 @@ fn flip_into_other_vms_ept_is_not_exploitable() {
     // the flip leaves the victim silently corrupted.
     for i in 0..8u64 {
         let gpa = Gpa::new(i * 4096);
-        let t = victim.translate_gpa(&host, gpa).expect("victim mapping intact");
+        let t = victim
+            .translate_gpa(&host, gpa)
+            .expect("victim mapping intact");
         assert_eq!(t.hpa, victim.hypercall_gpa_to_hpa(gpa).unwrap());
     }
 

@@ -17,7 +17,9 @@ fn profiling_time_scales_with_region() {
         sc = sc.with_vm_config(vm_cfg);
         let mut host = sc.boot_host();
         let mut vm = host.create_vm(sc.vm_config()).unwrap();
-        let report = Profiler::new(sc.profile_params()).run(&mut host, &mut vm).unwrap();
+        let report = Profiler::new(sc.profile_params())
+            .run(&mut host, &mut vm)
+            .unwrap();
         (report.duration.as_nanos(), report.hugepages_profiled)
     };
     let (t_small, hp_small) = time_for(32);
@@ -45,11 +47,8 @@ fn hammering_dominates_profiling_time() {
     let total = host.elapsed_since(t0).as_nanos();
     // Lower bound on pure hammering: pairs × rounds × 2 activations ×
     // cost. 64 pair-combos per hugepage per pass, 2 passes.
-    let hammer_floor = report.hugepages_profiled
-        * 64
-        * rounds
-        * 2
-        * host.cost_model().hammer_activation_nanos;
+    let hammer_floor =
+        report.hugepages_profiled * 64 * rounds * 2 * host.cost_model().hammer_activation_nanos;
     assert!(
         total >= hammer_floor,
         "total {total} below hammer floor {hammer_floor}"
@@ -76,7 +75,9 @@ fn fig3_delays_are_exact() {
     let mut host = sc.boot_host();
     let mut vm = host.create_vm(sc.vm_config()).unwrap();
     let t0 = host.now();
-    PageSteering::new(params).exhaust_noise(&mut host, &mut vm).unwrap();
+    PageSteering::new(params)
+        .exhaust_noise(&mut host, &mut vm)
+        .unwrap();
     let elapsed = host.elapsed_since(t0);
     // 10 batches × 2 s of delay, plus per-map costs (1 000 × 25 µs).
     assert!(elapsed.as_secs_f64() >= 20.0);
