@@ -15,23 +15,32 @@ use hyperhammer::machine::Scenario;
 use hyperhammer::parallel::CampaignGrid;
 use std::hint::black_box;
 
+/// `HH_BENCH_QUICK=1` shrinks the grid and sample counts to a CI smoke
+/// run: same code paths and determinism assertion, a fraction of the
+/// wall clock.
+fn quick() -> bool {
+    std::env::var_os("HH_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 fn grid() -> CampaignGrid {
     let params = DriverParams {
         bits_per_attempt: 4,
         ..DriverParams::paper()
     };
-    CampaignGrid::new(vec![Scenario::tiny_demo()], params, 3).with_seed_count(0x5ca1e, 8)
+    let seeds = if quick() { 4 } else { 8 };
+    CampaignGrid::new(vec![Scenario::tiny_demo()], params, 3).with_seed_count(0x5ca1e, seeds)
 }
 
 fn bench_scaling(c: &mut Criterion) {
     let grid = grid();
     let reference = grid.run_serial().expect("serial reference runs");
 
+    let worker_counts: &[usize] = if quick() { &[1, 4] } else { &[1, 2, 4, 8] };
     let mut group = c.benchmark_group("campaign_scaling");
-    group.sample_size(10);
-    for workers in [1usize, 2, 4, 8] {
+    group.sample_size(if quick() { 3 } else { 10 });
+    for &workers in worker_counts {
         let jobs = NonZeroUsize::new(workers).expect("non-zero");
-        let name = format!("tiny_demo_8cells_{workers}w");
+        let name = format!("tiny_demo_{}cells_{workers}w", grid.len());
         group.bench_function(&name, |b| {
             b.iter(|| {
                 let results = grid.run(jobs).expect("grid runs");
@@ -46,18 +55,20 @@ fn bench_scaling(c: &mut Criterion) {
     // cells/second and speedup over the 1-worker run. Flat scaling on a
     // single-CPU machine is expected — the grid's cells are pure CPU.
     let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
-    println!("\ncampaign throughput (8 cells, {cores} CPUs available):");
+    let cells = grid.len();
+    println!("\ncampaign throughput ({cells} cells, {cores} CPUs available):");
+    let timings = if quick() { 1 } else { 3 };
     let mut base = None;
-    for workers in [1usize, 2, 4, 8] {
+    for &workers in worker_counts {
         let jobs = NonZeroUsize::new(workers).expect("non-zero");
-        let best = (0..3)
+        let best = (0..timings)
             .map(|_| {
                 let t0 = std::time::Instant::now();
                 black_box(grid.run(jobs).expect("grid runs"));
                 t0.elapsed()
             })
             .min()
-            .expect("three timings");
+            .expect("at least one timing");
         let cells_per_sec = grid.len() as f64 / best.as_secs_f64();
         let speedup = base.get_or_insert(best).as_secs_f64() / best.as_secs_f64();
         println!(

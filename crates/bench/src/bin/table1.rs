@@ -1,16 +1,43 @@
 //! Regenerates Table 1 (memory profiling results) on S1 and S2.
+//!
+//! ```text
+//! table1 [--scenario NAME]...
+//! ```
+//!
+//! `--scenario` (repeatable) narrows the run to the named scenarios —
+//! `table1 --scenario tiny` is the CI smoke configuration. Without it
+//! the paper's S1 and S2 are profiled in full.
 
 use hyperhammer::machine::Scenario;
 
 fn main() {
-    let rows: Vec<_> = [Scenario::s1(), Scenario::s2()]
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scenario" => {
+                let name = it.next().expect("--scenario needs a value");
+                scenarios.push(Scenario::by_name(name).unwrap_or_else(|e| panic!("{e}")));
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+    let paper_set = scenarios.is_empty();
+    if paper_set {
+        scenarios = vec![Scenario::s1(), Scenario::s2()];
+    }
+
+    let rows: Vec<_> = scenarios
         .iter()
         .map(|sc| {
-            eprintln!("profiling {} (full 12 GiB, two passes)...", sc.name);
+            eprintln!("profiling {}...", sc.name);
             hh_bench::table1::run(sc)
         })
         .collect();
     hh_bench::table1::print(&rows);
-    println!();
-    println!("Paper reference: S1 72h/395/213/182/246/96, S2 48h/650/329/321/40/90");
+    if paper_set {
+        println!();
+        println!("Paper reference: S1 72h/395/213/182/246/96, S2 48h/650/329/321/40/90");
+    }
 }

@@ -1,13 +1,17 @@
 //! Regenerates Table 3 (attack cost to first success) on S1 and S2.
 //!
 //! ```text
-//! table3 [--attempts N] [--seeds N] [--base-seed S] [--jobs N]
+//! table3 [--scenario NAME]... [--attempts N] [--seeds N]
+//!        [--base-seed S] [--jobs N]
 //! ```
 //!
-//! `--seeds N` widens each scenario to N experiment seeds split from
-//! `--base-seed` (default: each scenario's own paper seed, one cell per
-//! scenario). `--jobs` picks the worker count (default: available
-//! parallelism); results are identical for every value.
+//! `--scenario` (repeatable) narrows the run to the named scenarios
+//! (default: the paper's S1 and S2); `table3 --scenario tiny` is the CI
+//! smoke configuration. `--seeds N` widens each scenario to N
+//! experiment seeds split from `--base-seed` (default: each scenario's
+//! own paper seed, one cell per scenario). `--jobs` picks the worker
+//! count (default: available parallelism); results are identical for
+//! every value.
 
 use hh_sim::rng::SimRng;
 use hyperhammer::machine::Scenario;
@@ -18,6 +22,7 @@ fn main() {
     let mut seeds: Option<usize> = None;
     let mut base_seed: u64 = 0;
     let mut jobs: Option<usize> = None;
+    let mut scenarios: Vec<Scenario> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -33,6 +38,10 @@ fn main() {
             "--seeds" => seeds = Some(value("--seeds") as usize),
             "--base-seed" => base_seed = value("--base-seed"),
             "--jobs" => jobs = Some(value("--jobs") as usize),
+            "--scenario" => {
+                let name = it.next().expect("--scenario needs a value");
+                scenarios.push(Scenario::by_name(name).unwrap_or_else(|e| panic!("{e}")));
+            }
             // Positional attempt budget, kept for earlier revisions'
             // `table3 600` invocation.
             n if n.parse::<usize>().is_ok() => max_attempts = n.parse().expect("checked above"),
@@ -40,7 +49,10 @@ fn main() {
         }
     }
 
-    let scenarios = vec![Scenario::s1(), Scenario::s2()];
+    let paper_set = scenarios.is_empty();
+    if paper_set {
+        scenarios = vec![Scenario::s1(), Scenario::s2()];
+    }
     let jobs = resolve_jobs(jobs);
     eprintln!("table3: up to {max_attempts} attempts per cell on {jobs} workers...");
 
@@ -58,6 +70,8 @@ fn main() {
         }
     };
     hh_bench::table3::print(&rows);
-    println!();
-    println!("Paper reference: S1 4.0 min / 16.7 h / 250; S2 4.7 min / 33.8 h / 432");
+    if paper_set {
+        println!();
+        println!("Paper reference: S1 4.0 min / 16.7 h / 250; S2 4.7 min / 33.8 h / 432");
+    }
 }

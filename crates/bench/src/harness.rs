@@ -17,6 +17,11 @@
 
 use std::time::{Duration, Instant};
 
+// Table formatting lives at the crate root (the Table 1/3 binaries use
+// it too); re-exported here so harness users get the full presentation
+// toolkit from one module.
+pub use crate::{fit_widths, header, row};
+
 /// How batched inputs are sized. Retained for criterion source
 /// compatibility; the harness runs one routine invocation per sample
 /// either way.

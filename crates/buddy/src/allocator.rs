@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use hh_sim::addr::Pfn;
+use hh_trace::Tracer;
 
 use crate::free_list::FreeList;
 use crate::pcp::{PcpCache, PcpConfig};
@@ -119,6 +120,7 @@ pub struct BuddyAllocator {
     allocated: HashMap<u64, (u8, MigrateType)>,
     pcp: PcpCache,
     stats: AllocStats,
+    tracer: Tracer,
 }
 
 impl BuddyAllocator {
@@ -147,6 +149,7 @@ impl BuddyAllocator {
             allocated: HashMap::new(),
             pcp: PcpCache::new(pcp),
             stats: AllocStats::default(),
+            tracer: Tracer::off(),
         };
         // Seed the free lists with maximal aligned blocks.
         let mut base = 0u64;
@@ -163,6 +166,13 @@ impl BuddyAllocator {
             base += 1u64 << order;
         }
         this
+    }
+
+    /// Attaches an instrumentation handle; allocations, frees, splits,
+    /// merges and exhaustions are reported to it from now on. Clones of
+    /// a traced allocator share the same sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Total frames managed.
@@ -203,6 +213,7 @@ impl BuddyAllocator {
         let base = self.rmqueue(order, mt)?;
         self.allocated.insert(base, (order, mt));
         self.stats.allocs += 1;
+        self.tracer.buddy_alloc(order);
         Ok(Pfn::new(base))
     }
 
@@ -217,6 +228,7 @@ impl BuddyAllocator {
             self.stats.pcp_hits += 1;
             self.allocated.insert(base, (0, mt));
             self.stats.allocs += 1;
+            self.tracer.buddy_alloc(0);
             return Ok(Pfn::new(base));
         }
         // Refill a batch, then retry once.
@@ -239,6 +251,7 @@ impl BuddyAllocator {
                 self.stats.pcp_hits += 1;
                 self.allocated.insert(base, (0, mt));
                 self.stats.allocs += 1;
+                self.tracer.buddy_alloc(0);
                 return Ok(Pfn::new(base));
             }
         }
@@ -278,6 +291,7 @@ impl BuddyAllocator {
         }
         self.allocated.remove(&base.index());
         self.stats.frees += 1;
+        self.tracer.buddy_free(order);
         self.coalesce_and_insert(base.index(), order, mt);
         Ok(())
     }
@@ -297,6 +311,7 @@ impl BuddyAllocator {
         );
         self.allocated.remove(&base.index());
         self.stats.frees += 1;
+        self.tracer.buddy_free(0);
         if self.pcp.enabled() {
             self.pcp.push_free(mt, base.index());
             // Drain overflow back into the buddy lists.
@@ -402,6 +417,7 @@ impl BuddyAllocator {
                 return Ok(base);
             }
         }
+        self.tracer.buddy_exhausted(order);
         Err(AllocError::OutOfMemory { order })
     }
 
@@ -420,6 +436,7 @@ impl BuddyAllocator {
         while order > to_order {
             order -= 1;
             self.stats.splits += 1;
+            self.tracer.buddy_split(order + 1);
             let upper = base + (1u64 << order);
             self.insert_free(upper, order, mt);
         }
@@ -441,6 +458,7 @@ impl BuddyAllocator {
             self.free_index.remove(&buddy);
             self.free[buddy_mt.index()][order as usize].remove(buddy);
             self.stats.merges += 1;
+            self.tracer.buddy_merge(order + 1);
             base &= !(1u64 << order);
             order += 1;
         }
@@ -639,6 +657,33 @@ mod tests {
         // Freshly freed order-9 block: no *small-order* unmovable pages
         // (merging may promote it to order 10; either way ≥ 9).
         assert_eq!(b.small_order_free_pages(MigrateType::Unmovable), 0);
+    }
+
+    #[test]
+    fn allocator_reports_to_an_attached_tracer() {
+        use hh_trace::{Counter, TraceMode, Tracer};
+        let mut b = BuddyAllocator::new(frames(16));
+        let tracer = Tracer::new(TraceMode::Metrics);
+        b.set_tracer(tracer.clone());
+        // Order-0 alloc from a fresh order-10 block: ten splits.
+        let p = b.alloc(0, MigrateType::Movable).unwrap();
+        b.free(p, 0);
+        tracer.inspect(|sink| {
+            let m = sink.metrics();
+            assert_eq!(m.get(Counter::BuddyAllocs), 1);
+            assert_eq!(m.get(Counter::BuddyFrees), 1);
+            assert_eq!(m.get(Counter::BuddySplits), 10);
+            assert_eq!(m.get(Counter::BuddyMerges), 10);
+            assert_eq!(m.get(Counter::BuddyExhaustions), 0);
+        });
+        // Exhaustion is reported when no list can satisfy the order.
+        for _ in 0..4 {
+            b.alloc(10, MigrateType::Movable).unwrap();
+        }
+        assert!(b.alloc(10, MigrateType::Movable).is_err());
+        tracer.inspect(|sink| {
+            assert_eq!(sink.metrics().get(Counter::BuddyExhaustions), 1);
+        });
     }
 
     #[test]

@@ -1,17 +1,25 @@
 //! Subcommand implementations.
 
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
 use hh_dram::dramdig::recover;
 use hh_dram::timing::{AccessTiming, TimingProbe};
 use hh_sim::addr::HUGE_PAGE_SIZE;
+use hh_sim::clock::SimDuration;
 use hh_sim::Gpa;
+use hh_trace::{Counter, Metrics, Stage, TraceMode};
 use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
 use hyperhammer::machine::Scenario;
-use hyperhammer::parallel::{resolve_jobs, CampaignGrid};
+use hyperhammer::parallel::{resolve_jobs, CampaignGrid, CellResult};
 use hyperhammer::profile::{ProfileParams, Profiler};
 use hyperhammer::steering::PageSteering;
 
 use crate::opts::{Command, Options};
-use crate::output::{self, AttackOut, CampaignCellOut, ProfileOut, ReconOut, SteerOut};
+use crate::output::{
+    self, AttackOut, CampaignCellOut, ProfileOut, ReconOut, SteerOut, TraceCountersOut,
+    TraceEventOut, TraceStageOut,
+};
 
 /// Dispatches the parsed command.
 ///
@@ -32,6 +40,14 @@ pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             bits,
             jobs,
         } => campaign(opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs),
+        Command::Trace {
+            scenarios,
+            seeds,
+            base_seed,
+            attempts,
+            bits,
+            jobs,
+        } => trace(opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs),
         Command::Analyse => {
             analyse(opts);
             Ok(())
@@ -196,8 +212,16 @@ fn campaign(
         bits_per_attempt: bits,
         ..DriverParams::paper()
     };
-    let grid =
-        CampaignGrid::new(scenarios.to_vec(), params, attempts).with_seed_count(base_seed, seeds);
+    // --trace turns on full event recording for every cell; otherwise the
+    // campaign runs untraced (the fast path the benchmarks measure).
+    let mode = if opts.trace.is_some() {
+        TraceMode::Full
+    } else {
+        TraceMode::Off
+    };
+    let grid = CampaignGrid::new(scenarios.to_vec(), params, attempts)
+        .with_seed_count(base_seed, seeds)
+        .with_trace(mode);
     let jobs = resolve_jobs(jobs);
     if !opts.json {
         println!(
@@ -209,6 +233,12 @@ fn campaign(
         );
     }
     let results = grid.run(jobs)?;
+    if let Some(path) = &opts.trace {
+        let events = write_trace_ndjson(path, &results)?;
+        if !opts.json {
+            println!("trace: wrote {events} events to {path}");
+        }
+    }
 
     let cells: Vec<CampaignCellOut> = results
         .iter()
@@ -273,6 +303,135 @@ fn campaign(
     );
     for row in &rows {
         print_row(row);
+    }
+    Ok(())
+}
+
+/// Writes the merged NDJSON event stream for a campaign run.
+///
+/// Cells are visited in grid order and each cell's events are already in
+/// simulated chronological order, so the output is byte-identical for
+/// every `--jobs` value. Returns the number of event lines written.
+fn write_trace_ndjson(
+    path: &str,
+    results: &[CellResult],
+) -> Result<usize, Box<dyn std::error::Error>> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut lines = 0usize;
+    for result in results {
+        let Some(sink) = &result.trace else { continue };
+        for event in sink.events() {
+            let record = TraceEventOut {
+                cell: sink.cell(),
+                event: *event,
+            };
+            writeln!(w, "{}", output::to_json_line(&record))?;
+            lines += 1;
+        }
+    }
+    w.flush()?;
+    Ok(lines)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn trace(
+    opts: &Options,
+    scenarios: &[Scenario],
+    seeds: usize,
+    base_seed: u64,
+    attempts: usize,
+    bits: usize,
+    jobs: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let params = DriverParams {
+        bits_per_attempt: bits,
+        ..DriverParams::paper()
+    };
+    // Metrics stay cheap; the full event stream is only recorded when the
+    // caller asked for an NDJSON file to put it in.
+    let mode = if opts.trace.is_some() {
+        TraceMode::Full
+    } else {
+        TraceMode::Metrics
+    };
+    let grid = CampaignGrid::new(scenarios.to_vec(), params, attempts)
+        .with_seed_count(base_seed, seeds)
+        .with_trace(mode);
+    let jobs = resolve_jobs(jobs);
+    if !opts.json {
+        println!(
+            "trace: {} cells ({} scenarios x {} seeds) on {} workers",
+            grid.len(),
+            scenarios.len(),
+            seeds,
+            jobs
+        );
+    }
+    let results = grid.run(jobs)?;
+    if let Some(path) = &opts.trace {
+        let events = write_trace_ndjson(path, &results)?;
+        if !opts.json {
+            println!("trace: wrote {events} events to {path}");
+        }
+    }
+
+    // Merge per-cell metrics in grid order (element-wise, so the totals
+    // are identical for every --jobs value).
+    let mut merged = Metrics::default();
+    for result in &results {
+        if let Some(sink) = &result.trace {
+            merged.merge(sink.metrics());
+        }
+    }
+
+    let stages: Vec<TraceStageOut> = Stage::ALL
+        .iter()
+        .map(|&stage| TraceStageOut {
+            stage: stage.name().to_string(),
+            entries: merged.stage_entries(stage),
+            sim_secs: merged.stage_nanos(stage) as f64 / 1e9,
+            activations: merged.stage_activations(stage),
+        })
+        .collect();
+    let counters = TraceCountersOut {
+        counters: Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), merged.get(c)))
+            .collect(),
+    };
+
+    if opts.json {
+        // NDJSON: one record per stage, then the counter totals.
+        for stage in &stages {
+            println!("{}", output::to_json_line(stage));
+        }
+        println!("{}", output::to_json_line(&counters));
+        return Ok(());
+    }
+
+    use hh_bench::harness::{fit_widths, header, row};
+    let names = ["stage", "entries", "sim time", "activations"];
+    let rows: Vec<Vec<String>> = Stage::ALL
+        .iter()
+        .map(|&stage| {
+            vec![
+                stage.name().to_string(),
+                merged.stage_entries(stage).to_string(),
+                SimDuration::from_nanos(merged.stage_nanos(stage)).to_string(),
+                merged.stage_activations(stage).to_string(),
+            ]
+        })
+        .collect();
+    let min_widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+    let widths = fit_widths(&min_widths, &rows);
+    println!("{}", header(&names, &widths));
+    for cells in &rows {
+        println!("{}", row(cells, &widths));
+    }
+    println!();
+    println!("counters:");
+    for (name, value) in &counters.counters {
+        println!("  {name:<24} {value}");
     }
     Ok(())
 }

@@ -9,6 +9,10 @@
 //!   profile             run memory profiling (--stop-after N)
 //!   steer               run Page Steering (--blocks B --spray-gib S)
 //!   attack              run attack attempts (--attempts N --bits B)
+//!   campaign            sweep a (scenario x seed) grid (--trace PATH
+//!                       records a merged NDJSON event stream)
+//!   trace               campaign grid with tracing on; prints the
+//!                       per-stage time/activation breakdown
 //!   analyse             print the §5.3 analytical model
 //! ```
 

@@ -16,6 +16,8 @@ commands:
   campaign    sweep campaigns over a (scenario x seed) grid
               (--scenarios a,b,..., --seeds N, --base-seed S,
                --attempts N, --bits B, --jobs N)
+  trace       run a campaign grid with tracing on and print a per-stage
+              time/activation breakdown (same grid flags as campaign)
   analyse     print the §5.3 analytical model
 
 options:
@@ -23,11 +25,16 @@ options:
   --seed N                         experiment seed override
   --jobs N                         campaign worker threads
                                    [default: available parallelism]
+  --trace PATH                     (campaign/trace) record every cell and
+                                   write one merged NDJSON event stream;
+                                   each line carries its cell index and
+                                   cells appear in grid order, so output
+                                   is byte-identical for every --jobs
   --json                           machine-readable output
   --quarantine                     enable the §6 virtio-mem countermeasure
 
 campaign determinism: cell seeds are split from --base-seed by position,
-so results are identical for every --jobs value.";
+so results (and --trace streams) are identical for every --jobs value.";
 
 /// A parsed command line.
 #[derive(Debug, Clone)]
@@ -38,6 +45,8 @@ pub struct Options {
     pub scenario: Scenario,
     /// Emit JSON instead of human-readable text.
     pub json: bool,
+    /// Write an NDJSON trace-event stream to this path (campaign/trace).
+    pub trace: Option<String>,
 }
 
 /// Subcommands with their parameters.
@@ -70,6 +79,21 @@ pub enum Command {
     },
     /// Parallel campaign sweep over a (scenario × seed) grid.
     Campaign {
+        /// Scenario presets forming the grid rows.
+        scenarios: Vec<Scenario>,
+        /// Number of experiment seeds per scenario.
+        seeds: usize,
+        /// Base seed the per-cell seeds are split from.
+        base_seed: u64,
+        /// Maximum attempts per cell.
+        attempts: usize,
+        /// Vulnerable bits targeted per attempt.
+        bits: usize,
+        /// Worker threads (`None`: available parallelism).
+        jobs: Option<usize>,
+    },
+    /// Campaign grid with tracing on; prints the per-stage breakdown.
+    Trace {
         /// Scenario presets forming the grid rows.
         scenarios: Vec<Scenario>,
         /// Number of experiment seeds per scenario.
@@ -129,6 +153,24 @@ impl PartialEq for Command {
                     bits: bbi,
                     jobs: bj,
                 },
+            )
+            | (
+                Self::Trace {
+                    scenarios: asc,
+                    seeds: ase,
+                    base_seed: abs,
+                    attempts: aat,
+                    bits: abi,
+                    jobs: aj,
+                },
+                Self::Trace {
+                    scenarios: bsc,
+                    seeds: bse,
+                    base_seed: bbs,
+                    attempts: bat,
+                    bits: bbi,
+                    jobs: bj,
+                },
             ) => {
                 asc.len() == bsc.len()
                     && asc.iter().zip(bsc).all(|(a, b)| a.name == b.name)
@@ -144,14 +186,7 @@ impl PartialEq for Command {
 }
 
 fn scenario_by_name(name: &str) -> Result<Scenario, String> {
-    match name {
-        "s1" => Ok(Scenario::s1()),
-        "s2" => Ok(Scenario::s2()),
-        "s3" => Ok(Scenario::s3()),
-        "small" => Ok(Scenario::small_attack()),
-        "tiny" => Ok(Scenario::tiny_demo()),
-        other => Err(format!("unknown scenario {other}")),
-    }
+    Scenario::by_name(name)
 }
 
 impl Options {
@@ -177,6 +212,7 @@ impl Options {
         let mut grid_seeds: usize = 1;
         let mut base_seed: u64 = 0;
         let mut jobs: Option<usize> = None;
+        let mut trace: Option<String> = None;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -250,6 +286,7 @@ impl Options {
                             .map_err(|e| format!("bad --jobs: {e}"))?,
                     )
                 }
+                "--trace" => trace = Some(value("--trace")?),
                 other => return Err(format!("unknown option {other}")),
             }
         }
@@ -267,7 +304,7 @@ impl Options {
             "profile" => Command::Profile { stop_after },
             "steer" => Command::Steer { blocks, spray_gib },
             "attack" => Command::Attack { attempts, bits },
-            "campaign" => {
+            "campaign" | "trace" => {
                 // The grid defaults to the single --scenario selection;
                 // --scenarios widens it. Quarantine applies to every row.
                 let mut grid_scenarios = match &scenarios {
@@ -283,13 +320,25 @@ impl Options {
                         .map(Scenario::with_quarantine)
                         .collect();
                 }
-                Command::Campaign {
-                    scenarios: grid_scenarios,
-                    seeds: grid_seeds,
-                    base_seed: seed.unwrap_or(base_seed),
-                    attempts,
-                    bits,
-                    jobs,
+                let base_seed = seed.unwrap_or(base_seed);
+                if command_name == "campaign" {
+                    Command::Campaign {
+                        scenarios: grid_scenarios,
+                        seeds: grid_seeds,
+                        base_seed,
+                        attempts,
+                        bits,
+                        jobs,
+                    }
+                } else {
+                    Command::Trace {
+                        scenarios: grid_scenarios,
+                        seeds: grid_seeds,
+                        base_seed,
+                        attempts,
+                        bits,
+                        jobs,
+                    }
                 }
             }
             "analyse" | "analyze" => Command::Analyse,
@@ -299,6 +348,7 @@ impl Options {
             command,
             scenario,
             json,
+            trace,
         })
     }
 }
@@ -423,6 +473,58 @@ mod tests {
             }
             other => panic!("expected campaign, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_flag_and_trace_command() {
+        // `campaign --trace` records the grid and names the NDJSON file.
+        let o = parse(&[
+            "campaign",
+            "--scenarios",
+            "tiny",
+            "--trace",
+            "events.ndjson",
+        ])
+        .unwrap();
+        assert_eq!(o.trace.as_deref(), Some("events.ndjson"));
+        assert!(matches!(o.command, Command::Campaign { .. }));
+        // Plain commands default to no tracing.
+        let o = parse(&["campaign"]).unwrap();
+        assert_eq!(o.trace, None);
+        // `trace` reuses the campaign grid flags.
+        let o = parse(&[
+            "trace",
+            "--scenario",
+            "tiny",
+            "--seeds",
+            "2",
+            "--base-seed",
+            "7",
+            "--attempts",
+            "3",
+            "--bits",
+            "4",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        match &o.command {
+            Command::Trace {
+                scenarios,
+                seeds,
+                base_seed,
+                attempts,
+                bits,
+                jobs,
+            } => {
+                assert_eq!(scenarios[0].name, "tiny");
+                assert_eq!((*seeds, *base_seed), (2, 7));
+                assert_eq!((*attempts, *bits, *jobs), (3, 4, Some(2)));
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+        // --trace needs a path.
+        assert!(parse(&["campaign", "--trace"]).is_err());
     }
 
     #[test]

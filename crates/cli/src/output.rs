@@ -83,6 +83,15 @@ impl JsonObject {
         out.push('}');
         out
     }
+
+    fn render_line(&self) -> String {
+        let body: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(key, value)| format!("{}: {value}", escape(key)))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
 }
 
 fn escape(s: &str) -> String {
@@ -110,6 +119,14 @@ pub fn to_json(record: &impl Json) -> String {
     let mut obj = JsonObject::default();
     record.fields(&mut obj);
     obj.render()
+}
+
+/// Renders a record as a single-line JSON object — the NDJSON form used
+/// by `--trace` event streams, where one event is one line.
+pub fn to_json_line(record: &impl Json) -> String {
+    let mut obj = JsonObject::default();
+    record.fields(&mut obj);
+    obj.render_line()
 }
 
 /// `recon` result.
@@ -261,6 +278,101 @@ impl Json for CampaignCellOut {
     }
 }
 
+/// One `--trace` NDJSON line: a time-stamped event plus the campaign
+/// cell it came from. Field order is fixed (`cell`, `t_ns`, `event`,
+/// payload…) so merged streams are byte-stable.
+#[derive(Debug)]
+pub struct TraceEventOut {
+    /// Campaign-grid cell index (0 outside grids).
+    pub cell: usize,
+    /// The time-stamped observation.
+    pub event: hh_trace::TimedEvent,
+}
+
+impl Json for TraceEventOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        use hh_trace::Event;
+        obj.number("cell", self.cell);
+        obj.number("t_ns", self.event.nanos);
+        obj.string("event", self.event.event.kind());
+        match self.event.event {
+            Event::Hammer {
+                activations,
+                trr_refreshes,
+                flips,
+            } => {
+                obj.number("activations", activations);
+                obj.number("trr_refreshes", trr_refreshes);
+                obj.number("flips", flips);
+            }
+            Event::BitFlip {
+                hpa,
+                bit,
+                one_to_zero,
+            } => {
+                obj.number("hpa", hpa);
+                obj.number("bit", bit);
+                obj.bool("one_to_zero", one_to_zero);
+            }
+            Event::BuddyAlloc { order }
+            | Event::BuddyFree { order }
+            | Event::BuddySplit { order }
+            | Event::BuddyMerge { order }
+            | Event::BuddyExhausted { order } => obj.number("order", order),
+            Event::EptSplit { gpa } | Event::VirtioMemUnplug { gpa } => obj.number("gpa", gpa),
+            Event::EptSpray { hugepages, splits } => {
+                obj.number("hugepages", hugepages);
+                obj.number("splits", splits);
+            }
+            Event::ViommuMap { iova } => obj.number("iova", iova),
+            Event::VmReboot => {}
+            Event::StageStart { stage } => obj.string("stage", stage.name()),
+            Event::StageEnd { stage, nanos } => {
+                obj.string("stage", stage.name());
+                obj.number("nanos", nanos);
+            }
+        }
+    }
+}
+
+/// One row of the `trace` summary (`--json` NDJSON form).
+#[derive(Debug)]
+pub struct TraceStageOut {
+    /// Stage name.
+    pub stage: String,
+    /// Times the stage was entered.
+    pub entries: u64,
+    /// Simulated seconds spent in the stage.
+    pub sim_secs: f64,
+    /// DRAM activations issued while the stage was current.
+    pub activations: u64,
+}
+
+impl Json for TraceStageOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        obj.string("stage", &self.stage);
+        obj.number("entries", self.entries);
+        obj.float("sim_secs", self.sim_secs);
+        obj.number("activations", self.activations);
+    }
+}
+
+/// The `trace` summary's aggregate counters (`--json` form): one field
+/// per [`hh_trace::Counter`], in declaration order.
+#[derive(Debug)]
+pub struct TraceCountersOut {
+    /// `(counter name, merged total)` pairs.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl Json for TraceCountersOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        for (name, value) in &self.counters {
+            obj.number(name, value);
+        }
+    }
+}
+
 /// Prints a record as JSON or via the supplied human formatter.
 pub fn emit<T: Json>(json: bool, record: &T, human: impl FnOnce()) {
     if json {
@@ -289,6 +401,40 @@ mod tests {
         assert!(s.contains(r#""first_success": null,"#), "{s}");
         assert!(s.contains(r#""escape_read": 7"#), "{s}");
         assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn trace_events_render_as_single_lines() {
+        use hh_trace::{Event, Stage, TimedEvent};
+        let line = to_json_line(&TraceEventOut {
+            cell: 2,
+            event: TimedEvent {
+                nanos: 1_500,
+                event: Event::BitFlip {
+                    hpa: 0x1000,
+                    bit: 3,
+                    one_to_zero: true,
+                },
+            },
+        });
+        assert_eq!(
+            line,
+            r#"{"cell": 2, "t_ns": 1500, "event": "bit_flip", "hpa": 4096, "bit": 3, "one_to_zero": true}"#
+        );
+        assert!(!line.contains('\n'));
+        let stage = to_json_line(&TraceEventOut {
+            cell: 0,
+            event: TimedEvent {
+                nanos: 0,
+                event: Event::StageStart {
+                    stage: Stage::Profile,
+                },
+            },
+        });
+        assert!(
+            stage.ends_with(r#""event": "stage_start", "stage": "profile"}"#),
+            "{stage}"
+        );
     }
 
     #[test]

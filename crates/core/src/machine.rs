@@ -1,6 +1,6 @@
 //! Evaluation-machine presets (§5 of the paper) and scaled-down variants.
 
-use hh_dram::fault::FaultParams;
+use hh_dram::fault::{FaultParams, TrrConfig};
 use hh_dram::DimmProfile;
 use hh_hv::{Host, HostConfig, QuarantinePolicy, VmConfig};
 use hh_sim::clock::CostModel;
@@ -73,17 +73,26 @@ impl Scenario {
     /// 96 MiB attacker VM, densely vulnerable DIMM.
     pub fn tiny_demo() -> Self {
         let host = HostConfig {
+            // A one-slot TRR sampler: weak enough that the profiler's
+            // double-sided pairs still flip bits through it, present so
+            // traces of the tiny scenario show refresh activity.
             dimm: DimmProfile {
                 fault: FaultParams::dense_test(),
                 ..DimmProfile::s1(ByteSize::mib(512).bytes())
-            },
+            }
+            .with_trr(TrrConfig::undersized()),
             noise: hh_hv::NoiseProfile::quiet(),
             quarantine: QuarantinePolicy::Off,
             ..HostConfig::small_test()
         };
+        // The paper's attack VM is 13 GiB of a 16 GiB host (~81 %); keep
+        // the same majority share here so a respawned VM necessarily
+        // overlaps the profiled frames and catalogued bits can relocate
+        // (with a minority share the buddy hands every respawn a disjoint
+        // region and campaigns never get past NoUsableBits).
         let vm = VmConfig {
-            boot_mem: ByteSize::mib(16),
-            virtio_mem: ByteSize::mib(80),
+            boot_mem: ByteSize::mib(32),
+            virtio_mem: ByteSize::mib(288),
             vcpus: 1,
             iommu_groups: 1,
             thp: true,
@@ -155,6 +164,23 @@ impl Scenario {
                 mapping_batch: 500,
                 batch_delay_secs: 0,
             },
+        }
+    }
+
+    /// Looks a scenario up by its CLI name (`s1`, `s2`, `s3`, `small`,
+    /// `tiny`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name back to the caller for error reporting.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name {
+            "s1" => Ok(Self::s1()),
+            "s2" => Ok(Self::s2()),
+            "s3" => Ok(Self::s3()),
+            "small" => Ok(Self::small_attack()),
+            "tiny" => Ok(Self::tiny_demo()),
+            other => Err(format!("unknown scenario {other}")),
         }
     }
 
@@ -238,7 +264,7 @@ mod tests {
         let sc = Scenario::tiny_demo();
         let mut host = sc.boot_host();
         let vm = host.create_vm(sc.vm_config()).unwrap();
-        assert_eq!(vm.config().total_mem(), ByteSize::mib(96));
+        assert_eq!(vm.config().total_mem(), ByteSize::mib(320));
         vm.destroy(&mut host);
     }
 

@@ -29,6 +29,7 @@ use std::sync::Mutex;
 
 use hh_hv::HvError;
 use hh_sim::rng::SimRng;
+use hh_trace::{TraceMode, TraceSink, Tracer};
 
 use crate::driver::{AttackDriver, CampaignStats, DriverParams};
 use crate::machine::Scenario;
@@ -129,6 +130,10 @@ pub struct CellResult {
     pub catalog_bits: usize,
     /// The campaign statistics (Table 3 raw material).
     pub stats: CampaignStats,
+    /// The cell's trace recording, when the grid runs with
+    /// [`CampaignGrid::with_trace`]. Cells are independent, so merging
+    /// the sinks in grid order is deterministic regardless of `--jobs`.
+    pub trace: Option<TraceSink>,
 }
 
 /// A grid of (scenario × experiment-seed) campaign cells plus the attack
@@ -155,6 +160,7 @@ pub struct CampaignGrid {
     seeds: Vec<u64>,
     params: DriverParams,
     max_attempts: usize,
+    trace: TraceMode,
 }
 
 impl CampaignGrid {
@@ -167,7 +173,15 @@ impl CampaignGrid {
             seeds: vec![0],
             params,
             max_attempts,
+            trace: TraceMode::Off,
         }
+    }
+
+    /// Records per-cell traces at the given level; each [`CellResult`]
+    /// then carries its cell's [`TraceSink`].
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Uses these explicit experiment seeds for every scenario.
@@ -223,6 +237,10 @@ impl CampaignGrid {
     pub fn run_cell(&self, cell: &CampaignCell) -> Result<CellResult, HvError> {
         let driver = AttackDriver::new(self.params.clone());
         let mut host = cell.scenario.boot_host();
+        // Attach after boot: boot-time noise is outside the campaign.
+        let tracer = Tracer::new(self.trace);
+        tracer.set_cell(cell.index);
+        host.attach_tracer(tracer.clone());
         let mut vm = host.create_vm(cell.scenario.vm_config())?;
         let catalog =
             driver.profile_and_catalog(&mut host, &mut vm, cell.scenario.profile_params())?;
@@ -233,6 +251,7 @@ impl CampaignGrid {
             seed: cell.seed,
             catalog_bits: catalog.entries.len(),
             stats,
+            trace: tracer.take_sink(),
         })
     }
 

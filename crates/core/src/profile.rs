@@ -253,6 +253,13 @@ impl Profiler {
     ///
     /// Propagates hypervisor errors from memory operations.
     pub fn run(&self, host: &mut Host, vm: &mut Vm) -> Result<ProfileReport, HvError> {
+        host.tracer().stage_start(hh_trace::Stage::Profile);
+        let result = self.run_inner(host, vm);
+        host.tracer().stage_end(hh_trace::Stage::Profile);
+        result
+    }
+
+    fn run_inner(&self, host: &mut Host, vm: &mut Vm) -> Result<ProfileReport, HvError> {
         let start = host.now();
         let region_base = vm.virtio_mem().region_base();
         let region_size = vm.virtio_mem().region_size();

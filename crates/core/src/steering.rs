@@ -20,6 +20,7 @@
 use hh_hv::{Host, HvError, Vm};
 use hh_sim::addr::{Gpa, Iova, HUGE_PAGE_SIZE};
 use hh_sim::clock::SimInstant;
+use hh_trace::Stage;
 
 /// Machine code of the paper's Listing 1 — an idling function
 /// (`push %rbp; mov %rsp,%rbp; nop…; pop %rbp; ret`). The attack only
@@ -132,6 +133,17 @@ impl PageSteering {
     /// Stops early and returns `Ok` on [`HvError::IommuMapLimit`];
     /// propagates other hypervisor errors.
     pub fn exhaust_noise(&self, host: &mut Host, vm: &mut Vm) -> Result<Vec<NoiseSample>, HvError> {
+        host.tracer().stage_start(Stage::ExhaustNoise);
+        let result = self.exhaust_noise_inner(host, vm);
+        host.tracer().stage_end(Stage::ExhaustNoise);
+        result
+    }
+
+    fn exhaust_noise_inner(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+    ) -> Result<Vec<NoiseSample>, HvError> {
         let target_page = Gpa::new(0); // one page in the attacker's space
         let mut samples = vec![NoiseSample {
             time: host.now(),
@@ -143,6 +155,10 @@ impl PageSteering {
             match vm.iommu_map(host, 0, iova, target_page) {
                 Ok(()) => {}
                 Err(HvError::IommuMapLimit) => break,
+                // Draining the host's free pool is this stage's success
+                // condition (§4.2.1), not a failure: on small hosts the
+                // pool empties before the vIOMMU map limit is reached.
+                Err(HvError::OutOfHostMemory(_)) => break,
                 Err(e) => return Err(e),
             }
             if (i + 1) % self.params.mapping_batch == 0 {
@@ -177,6 +193,18 @@ impl PageSteering {
         vm: &mut Vm,
         hugepages: &[Gpa],
     ) -> Result<Vec<Gpa>, HvError> {
+        host.tracer().stage_start(Stage::ReleaseHugepages);
+        let result = self.release_hugepages_inner(host, vm, hugepages);
+        host.tracer().stage_end(Stage::ReleaseHugepages);
+        result
+    }
+
+    fn release_hugepages_inner(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        hugepages: &[Gpa],
+    ) -> Result<Vec<Gpa>, HvError> {
         let mut released = Vec::new();
         let mut targets: Vec<Gpa> = hugepages
             .iter()
@@ -206,6 +234,22 @@ impl PageSteering {
     /// Propagates hypervisor errors (allocation failures abort the
     /// spray).
     pub fn spray_ept(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        spray_bytes: u64,
+    ) -> Result<SprayStats, HvError> {
+        host.tracer().stage_start(Stage::SprayEpt);
+        let result = self.spray_ept_inner(host, vm, spray_bytes);
+        if let Ok(stats) = &result {
+            host.tracer()
+                .ept_spray(stats.hugepages_executed, stats.splits);
+        }
+        host.tracer().stage_end(Stage::SprayEpt);
+        result
+    }
+
+    fn spray_ept_inner(
         &self,
         host: &mut Host,
         vm: &mut Vm,

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use hh_sim::addr::Hpa;
 use hh_sim::rng::SimRng;
+use hh_trace::Tracer;
 
 use crate::fault::{sample_row_cells, DimmProfile, FlipDirection, VulnerableCell};
 use crate::geometry::DramGeometry;
@@ -149,6 +150,7 @@ pub struct DramDevice {
     /// Cache of sampled row fault profiles.
     row_cache: HashMap<u64, Vec<VulnerableCell>>,
     total_activations: u64,
+    tracer: Tracer,
 }
 
 impl DramDevice {
@@ -165,7 +167,14 @@ impl DramDevice {
             journal: Vec::new(),
             row_cache: HashMap::new(),
             total_activations: 0,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches an instrumentation handle; hammer bursts and bit flips
+    /// are reported to it from now on.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Returns the address geometry.
@@ -225,6 +234,32 @@ impl DramDevice {
     ///
     /// Panics if any aggressor address is outside the device.
     pub fn hammer(&mut self, pattern: &HammerPattern, rounds: u64) -> HammerResult {
+        let result = self.hammer_untraced(pattern, rounds);
+        self.trace_burst(&result);
+        result
+    }
+
+    /// Reports one finished burst to the attached tracer (flips first,
+    /// then the burst summary, all at the same simulated instant).
+    fn trace_burst(&self, result: &HammerResult) {
+        if !self.tracer.is_on() {
+            return;
+        }
+        for f in &result.flips {
+            self.tracer.bit_flip(
+                f.hpa.raw(),
+                f.bit,
+                f.direction == crate::fault::FlipDirection::OneToZero,
+            );
+        }
+        self.tracer.hammer(
+            result.activations,
+            result.trr_refreshes,
+            result.flips.len() as u64,
+        );
+    }
+
+    fn hammer_untraced(&mut self, pattern: &HammerPattern, rounds: u64) -> HammerResult {
         let geometry = self.profile.geometry.clone();
         for &a in pattern.aggressors() {
             assert!(geometry.contains(a), "aggressor {a} outside device");
@@ -590,6 +625,38 @@ mod tests {
     }
 
     #[test]
+    fn hammer_reports_to_an_attached_tracer() {
+        use hh_trace::{Counter, TraceMode, Tracer};
+        let mut dev = device();
+        let (bank, row, cell) = find_stable_victim(&mut dev);
+        let source_byte = if cell.direction.source_bit() == 1 {
+            0xff
+        } else {
+            0x00
+        };
+        dev.fill(
+            dev.geometry().row_base(row),
+            crate::geometry::ROW_SPAN,
+            source_byte,
+        );
+        let tracer = Tracer::new(TraceMode::Full);
+        dev.set_tracer(tracer.clone());
+        let pattern = HammerPattern::single_sided_for(dev.geometry(), bank, row);
+        let result = dev.hammer(&pattern, 400_000);
+        let sink = tracer.take_sink().expect("tracer attached");
+        let m = sink.metrics();
+        assert_eq!(m.get(Counter::DramHammerCalls), 1);
+        assert_eq!(m.get(Counter::DramActivations), result.activations);
+        assert_eq!(m.get(Counter::DramBitFlips), result.flips.len() as u64);
+        // One bit_flip event per flip plus the burst summary.
+        assert_eq!(sink.events().len(), result.flips.len() + 1);
+        assert_eq!(
+            sink.events().last().expect("summary event").event.kind(),
+            "hammer"
+        );
+    }
+
+    #[test]
     fn same_seed_same_flips() {
         let run = || {
             let mut dev = DramDevice::new(DimmProfile::test_profile(64 << 20), 777);
@@ -625,11 +692,12 @@ impl DramDevice {
     ) -> HammerResult {
         assert!(open_amplification >= 1, "amplification must be >= 1");
         let amp = open_amplification.min(128);
-        let mut result = self.hammer(pattern, rounds.saturating_mul(amp));
+        let mut result = self.hammer_untraced(pattern, rounds.saturating_mul(amp));
         // Physical activations issued are the *un*amplified count; the
         // amplification came from time, not from extra ACT commands.
         result.activations = rounds * pattern.aggressors().len() as u64;
         self.total_activations -= rounds * (amp - 1) * pattern.aggressors().len() as u64;
+        self.trace_burst(&result);
         result
     }
 }

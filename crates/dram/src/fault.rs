@@ -189,6 +189,18 @@ impl TrrConfig {
             detection_threshold: 40_000,
         }
     }
+
+    /// An undersized sampler that tracks a single aggressor per bank, so
+    /// even a plain double-sided pair half-defeats it: one aggressor is
+    /// refreshed away per window while the other hammers through. Used by
+    /// the `tiny` demo scenario to exercise TRR accounting without
+    /// neutralizing the attack.
+    pub fn undersized() -> Self {
+        Self {
+            tracker_capacity: 1,
+            detection_threshold: 40_000,
+        }
+    }
 }
 
 /// Lazily samples the weak cells of one row.

@@ -411,6 +411,7 @@ impl Ept {
         host.dram_mut().store_mut().write_page(pt.base_hpa(), bytes);
         Self::write_entry(host, pd, index, Epte::table(pt));
         host.charge_hugepage_split();
+        host.tracer().ept_split(gpa.raw());
         Ok(pt)
     }
 

@@ -6,6 +6,7 @@ use hh_sim::addr::{Pfn, PAGE_SIZE};
 use hh_sim::clock::{Clock, CostModel, SimDuration, SimInstant};
 use hh_sim::rng::SimRng;
 use hh_sim::ByteSize;
+use hh_trace::Tracer;
 
 use crate::virtio_mem::QuarantinePolicy;
 use crate::HvError;
@@ -155,6 +156,7 @@ pub struct Host {
     released_log: Vec<Pfn>,
     ept_pages_allocated: u64,
     next_vm_id: u32,
+    tracer: Tracer,
 }
 
 impl Host {
@@ -180,6 +182,7 @@ impl Host {
             released_log: Vec::new(),
             ept_pages_allocated: 0,
             next_vm_id: 1,
+            tracer: Tracer::off(),
         };
         host.apply_boot_noise(config.noise);
         host
@@ -211,6 +214,23 @@ impl Host {
         for p in to_free {
             self.buddy.free(p, 0);
         }
+    }
+
+    /// Attaches an instrumentation handle to the host and propagates it
+    /// to the DRAM device and the page allocator, so hammer bursts, bit
+    /// flips and buddy churn report into the same sink. The sink's clock
+    /// is synchronised with the host clock on attach and after every
+    /// simulated-time charge.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.tracer.set_now(self.clock.now_nanos());
+        self.dram.set_tracer(self.tracer.clone());
+        self.buddy.set_tracer(self.tracer.clone());
+    }
+
+    /// The attached instrumentation handle (detached no-op by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The DRAM device.
@@ -258,45 +278,51 @@ impl Host {
         &mut self.rng
     }
 
+    /// Advances the clock and keeps the trace sink's timestamp in step.
+    fn advance(&mut self, nanos: u64) {
+        self.clock.advance_nanos(nanos);
+        self.tracer.set_now(self.clock.now_nanos());
+    }
+
     /// Advances the simulated clock by `nanos`.
     pub fn charge_nanos(&mut self, nanos: u64) {
-        self.clock.advance_nanos(nanos);
+        self.advance(nanos);
     }
 
     /// Charges a linear memory scan of `bytes`.
     pub fn charge_scan(&mut self, bytes: u64) {
-        self.clock.advance_nanos(self.cost.scan_cost_nanos(bytes));
+        self.advance(self.cost.scan_cost_nanos(bytes));
     }
 
     /// Charges a bulk memory write of `bytes`.
     pub fn charge_write(&mut self, bytes: u64) {
-        self.clock.advance_nanos(self.cost.write_cost_nanos(bytes));
+        self.advance(self.cost.write_cost_nanos(bytes));
     }
 
     /// Charges `activations` hammer activations.
     pub fn charge_hammer(&mut self, activations: u64) {
-        self.clock
-            .advance_nanos(activations.saturating_mul(self.cost.hammer_activation_nanos));
+        self.advance(activations.saturating_mul(self.cost.hammer_activation_nanos));
     }
 
     /// Charges one iTLB-Multihit hugepage split.
     pub fn charge_hugepage_split(&mut self) {
-        self.clock.advance_nanos(self.cost.hugepage_split_nanos);
+        self.advance(self.cost.hugepage_split_nanos);
     }
 
     /// Charges one vIOMMU map operation.
     pub fn charge_viommu_map(&mut self) {
-        self.clock.advance_nanos(self.cost.viommu_map_nanos);
+        self.advance(self.cost.viommu_map_nanos);
     }
 
     /// Charges one virtio-mem unplug round-trip.
     pub fn charge_virtio_mem_unplug(&mut self) {
-        self.clock.advance_nanos(self.cost.virtio_mem_unplug_nanos);
+        self.advance(self.cost.virtio_mem_unplug_nanos);
     }
 
     /// Charges a VM reboot.
     pub fn charge_vm_reboot(&mut self) {
-        self.clock.advance_nanos(self.cost.vm_reboot_nanos);
+        self.tracer.vm_reboot();
+        self.advance(self.cost.vm_reboot_nanos);
     }
 
     /// Allocates a zeroed order-0 `MIGRATE_UNMOVABLE` page for an EPT

@@ -80,6 +80,7 @@ impl IommuGroup {
             .write_u64(pt.base_hpa().add(slot * 8), hpa.raw() | 0b11);
         self.mappings.insert(page_index, hpa);
         host.charge_viommu_map();
+        host.tracer().viommu_map(iova.raw());
         Ok(())
     }
 
@@ -129,7 +130,13 @@ impl IommuGroup {
     /// teardown).
     pub fn destroy(&mut self, host: &mut Host) {
         self.mappings.clear();
-        for (_, pt) in self.iopt_pages.drain() {
+        // Free in IOVA-window order: HashMap drain order varies run to
+        // run, the buddy free lists are LIFO, and campaign determinism
+        // requires teardown to leave the allocator in a reproducible
+        // state.
+        let mut pages: Vec<(u64, Pfn)> = self.iopt_pages.drain().collect();
+        pages.sort_unstable_by_key(|&(window, _)| window);
+        for (_, pt) in pages {
             host.free_iopt_page(pt);
         }
     }

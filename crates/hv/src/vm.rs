@@ -668,6 +668,7 @@ impl Vm {
         host.buddy_mut().free(block, 9);
         host.log_released(block, 512);
         host.charge_virtio_mem_unplug();
+        host.tracer().virtio_mem_unplug(gpa.raw());
         Ok(())
     }
 
@@ -769,6 +770,7 @@ impl Vm {
         host.buddy_mut().free_page(frame);
         host.log_released(frame, 1);
         host.charge_virtio_mem_unplug();
+        host.tracer().virtio_mem_unplug(gpa.raw());
         Ok(())
     }
 
@@ -959,6 +961,34 @@ mod tests {
         let t = vm.translate_gpa(&host, Gpa::new(0x1000)).unwrap();
         assert_eq!(t.level, MappingLevel::Page4K);
         assert!(t.entry.is_executable());
+    }
+
+    #[test]
+    fn hypervisor_operations_report_to_an_attached_tracer() {
+        use hh_trace::{Counter, TraceMode, Tracer};
+        let mut host = Host::new(HostConfig::small_test());
+        let tracer = Tracer::new(TraceMode::Full);
+        host.attach_tracer(tracer.clone());
+        let mut vm = host.create_vm(VmConfig::small_test()).unwrap();
+        vm.exec_gpa(&mut host, Gpa::new(0x1000)).unwrap();
+        let victim = vm.virtio_mem().sub_block_base(3);
+        vm.virtio_mem_unplug(&mut host, victim).unwrap();
+        tracer.inspect(|sink| {
+            let m = sink.metrics();
+            assert_eq!(m.get(Counter::VmReboots), 1);
+            assert_eq!(m.get(Counter::EptSplits), 1);
+            assert_eq!(m.get(Counter::VirtioMemUnplugs), 1);
+            assert!(m.get(Counter::BuddyAllocs) > 0, "EPT tables hit buddy");
+            // Events are stamped with nondecreasing simulated time, and
+            // the sink clock tracks the host clock.
+            let events = sink.events();
+            assert!(events.windows(2).all(|w| w[0].nanos <= w[1].nanos));
+            assert_eq!(sink.now(), host.now().as_nanos());
+            assert!(events.iter().any(
+                |e| matches!(e.event, hh_trace::Event::VirtioMemUnplug { gpa }
+                    if gpa == victim.raw())
+            ));
+        });
     }
 
     #[test]

@@ -170,17 +170,19 @@ impl SimDuration {
         self.as_hours_f64() / 24.0
     }
 
-    /// Returns the sum of two durations.
-    ///
-    /// # Panics
-    ///
-    /// Panics on overflow.
-    pub fn checked_add(self, other: Self) -> Self {
+    /// Returns the sum of two durations, or `None` on overflow.
+    pub const fn checked_add(self, other: Self) -> Option<Self> {
+        match self.nanos.checked_add(other.nanos) {
+            Some(nanos) => Some(Self { nanos }),
+            None => None,
+        }
+    }
+
+    /// Returns the sum of two durations, clamping at the representable
+    /// maximum (≈ 584 simulated years) instead of overflowing.
+    pub const fn saturating_add(self, other: Self) -> Self {
         Self {
-            nanos: self
-                .nanos
-                .checked_add(other.nanos)
-                .expect("duration overflow"),
+            nanos: self.nanos.saturating_add(other.nanos),
         }
     }
 }
@@ -314,6 +316,30 @@ mod tests {
         // ~10 GiB/s: a 10 GiB scan takes about one simulated second.
         let ten_gib = m.scan_cost_nanos(10 << 30);
         assert!((0.9e9..1.2e9).contains(&(ten_gib as f64)));
+    }
+
+    #[test]
+    fn checked_add_returns_none_on_overflow() {
+        // Regression: this used to be named "checked" but panicked.
+        let a = SimDuration::from_nanos(u64::MAX - 1);
+        assert_eq!(
+            a.checked_add(SimDuration::from_nanos(1)),
+            Some(SimDuration::from_nanos(u64::MAX))
+        );
+        assert_eq!(a.checked_add(SimDuration::from_nanos(2)), None);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        let a = SimDuration::from_nanos(u64::MAX - 1);
+        assert_eq!(
+            a.saturating_add(SimDuration::from_secs(5)),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_add(SimDuration::from_secs(2)),
+            SimDuration::from_secs(3)
+        );
     }
 
     #[test]

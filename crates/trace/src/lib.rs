@@ -1,0 +1,940 @@
+//! Deterministic structured tracing and aggregate metrics for the
+//! HyperHammer reproduction.
+//!
+//! The simulated attack stack (DRAM device, buddy allocator, hypervisor,
+//! attack driver) emits typed [`Event`]s stamped with the **simulated**
+//! clock — never wall-clock time — into a per-campaign-cell
+//! [`TraceSink`]. Because every timestamp and every event payload is a
+//! pure function of the experiment seed, traces inherit the engine's
+//! determinism guarantee: a 4-worker campaign merges (in grid order) to
+//! the byte-identical stream of the serial run.
+//!
+//! Two recording levels keep the cost model honest:
+//!
+//! * **Metrics** ([`TraceMode::Metrics`]) — monotonic [`Counter`]s,
+//!   fixed-bucket log₂ [`Histogram`]s and per-[`Stage`] time/activation
+//!   totals. Cheap enough to leave on for whole campaigns.
+//! * **Full** ([`TraceMode::Full`]) — metrics plus the ordered event
+//!   stream, for NDJSON export and replay-grade debugging.
+//!
+//! Instrumented code holds a [`Tracer`]: a cloneable handle that is a
+//! no-op (one `Option` test) when tracing is off, so production paths
+//! pay nothing when untraced.
+//!
+//! # Examples
+//!
+//! ```
+//! use hh_trace::{Counter, Event, TraceMode, Tracer};
+//!
+//! let tracer = Tracer::new(TraceMode::Full);
+//! tracer.set_now(1_000);
+//! tracer.hammer(64, 2, 1);
+//! let sink = tracer.take_sink().expect("tracing is on");
+//! assert_eq!(sink.metrics().get(Counter::DramActivations), 64);
+//! assert_eq!(sink.events()[0].nanos, 1_000);
+//! assert!(matches!(sink.events()[0].event, Event::Hammer { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Attack-pipeline stages whose simulated time and DRAM activity the
+/// sink attributes separately (the `trace` CLI table's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// §4.1 memory profiling (hammer + scan the whole guest).
+    Profile,
+    /// §4.2.1 vIOMMU noise-page exhaustion.
+    ExhaustNoise,
+    /// §4.3 magic-value stamping of guest memory.
+    StampMagic,
+    /// §4.2.2 voluntary virtio-mem hugepage release.
+    ReleaseHugepages,
+    /// §4.2.3 EPT-page spray via iTLB-Multihit splits.
+    SprayEpt,
+    /// §4.3 hammer, detect mapping changes, validate, escape.
+    Exploit,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 6;
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Profile,
+        Stage::ExhaustNoise,
+        Stage::StampMagic,
+        Stage::ReleaseHugepages,
+        Stage::SprayEpt,
+        Stage::Exploit,
+    ];
+
+    /// Stable lower-snake name (used in NDJSON output and tables).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Profile => "profile",
+            Stage::ExhaustNoise => "exhaust_noise",
+            Stage::StampMagic => "stamp_magic",
+            Stage::ReleaseHugepages => "release_hugepages",
+            Stage::SprayEpt => "spray_ept",
+            Stage::Exploit => "exploit",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Stage::Profile => 0,
+            Stage::ExhaustNoise => 1,
+            Stage::StampMagic => 2,
+            Stage::ReleaseHugepages => 3,
+            Stage::SprayEpt => 4,
+            Stage::Exploit => 5,
+        }
+    }
+}
+
+/// Monotonic counters that stay on in every non-[`Off`](TraceMode::Off)
+/// mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// DRAM row-activation pairs issued by hammer loops.
+    DramActivations,
+    /// In-DIMM TRR refreshes triggered by hammering.
+    DramTrrRefreshes,
+    /// Rowhammer bit flips journaled by the DRAM device.
+    DramBitFlips,
+    /// Calls into [`hammer`](Tracer::hammer) (hammer-loop invocations).
+    DramHammerCalls,
+    /// Buddy allocations served (any order, direct or per-CPU).
+    BuddyAllocs,
+    /// Buddy frees (any order).
+    BuddyFrees,
+    /// Free-block halvings while expanding a higher order.
+    BuddySplits,
+    /// Buddy coalesces while freeing.
+    BuddyMerges,
+    /// Allocation failures (free lists exhausted at every order).
+    BuddyExhaustions,
+    /// iTLB-Multihit hugepage splits (fresh EPT page each).
+    EptSplits,
+    /// Hugepages executed by the EPT spray.
+    EptSprayedHugepages,
+    /// vIOMMU mappings established.
+    ViommuMaps,
+    /// virtio-mem sub-block unplugs (and balloon page releases).
+    VirtioMemUnplugs,
+    /// Attacker-VM (re)boots.
+    VmReboots,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 14;
+
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::DramActivations,
+        Counter::DramTrrRefreshes,
+        Counter::DramBitFlips,
+        Counter::DramHammerCalls,
+        Counter::BuddyAllocs,
+        Counter::BuddyFrees,
+        Counter::BuddySplits,
+        Counter::BuddyMerges,
+        Counter::BuddyExhaustions,
+        Counter::EptSplits,
+        Counter::EptSprayedHugepages,
+        Counter::ViommuMaps,
+        Counter::VirtioMemUnplugs,
+        Counter::VmReboots,
+    ];
+
+    /// Stable lower-snake name (used in NDJSON output and tables).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::DramActivations => "dram_activations",
+            Counter::DramTrrRefreshes => "dram_trr_refreshes",
+            Counter::DramBitFlips => "dram_bit_flips",
+            Counter::DramHammerCalls => "dram_hammer_calls",
+            Counter::BuddyAllocs => "buddy_allocs",
+            Counter::BuddyFrees => "buddy_frees",
+            Counter::BuddySplits => "buddy_splits",
+            Counter::BuddyMerges => "buddy_merges",
+            Counter::BuddyExhaustions => "buddy_exhaustions",
+            Counter::EptSplits => "ept_splits",
+            Counter::EptSprayedHugepages => "ept_sprayed_hugepages",
+            Counter::ViommuMaps => "viommu_maps",
+            Counter::VirtioMemUnplugs => "virtio_mem_unplugs",
+            Counter::VmReboots => "vm_reboots",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Counter::DramActivations => 0,
+            Counter::DramTrrRefreshes => 1,
+            Counter::DramBitFlips => 2,
+            Counter::DramHammerCalls => 3,
+            Counter::BuddyAllocs => 4,
+            Counter::BuddyFrees => 5,
+            Counter::BuddySplits => 6,
+            Counter::BuddyMerges => 7,
+            Counter::BuddyExhaustions => 8,
+            Counter::EptSplits => 9,
+            Counter::EptSprayedHugepages => 10,
+            Counter::ViommuMaps => 11,
+            Counter::VirtioMemUnplugs => 12,
+            Counter::VmReboots => 13,
+        }
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`]: bucket 0 holds zeros,
+/// bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`, the last bucket
+/// additionally absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 33;
+
+/// A fixed-bucket log₂ histogram of `u64` samples (sizes or latencies).
+///
+/// Deterministic and mergeable: bucket boundaries are fixed powers of
+/// two, so merging two histograms is element-wise addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((value.ilog2() as usize) + 1).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+    }
+
+    /// Number of samples recorded.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub const fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket sample counts.
+    pub const fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+    }
+}
+
+/// Aggregate metrics: always on while a [`Tracer`] is attached, even
+/// when full event recording is off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    counters: [u64; Counter::COUNT],
+    /// Activations per hammer-loop invocation.
+    pub hammer_activations: Histogram,
+    /// Order of each buddy allocation served.
+    pub alloc_order: Histogram,
+    /// Simulated nanoseconds of each completed stage entry.
+    pub stage_latency: Histogram,
+    stage_nanos: [u64; Stage::COUNT],
+    stage_entries: [u64; Stage::COUNT],
+    stage_activations: [u64; Stage::COUNT],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            counters: [0; Counter::COUNT],
+            hammer_activations: Histogram::default(),
+            alloc_order: Histogram::default(),
+            stage_latency: Histogram::default(),
+            stage_nanos: [0; Stage::COUNT],
+            stage_entries: [0; Stage::COUNT],
+            stage_activations: [0; Stage::COUNT],
+        }
+    }
+}
+
+impl Metrics {
+    /// Current value of a counter.
+    pub const fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    fn bump(&mut self, counter: Counter, by: u64) {
+        self.counters[counter.index()] += by;
+    }
+
+    /// Total simulated nanoseconds spent in a stage.
+    pub const fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stage_nanos[stage.index()]
+    }
+
+    /// Times a stage was entered.
+    pub const fn stage_entries(&self, stage: Stage) -> u64 {
+        self.stage_entries[stage.index()]
+    }
+
+    /// DRAM activations issued while a stage was current.
+    pub const fn stage_activations(&self, stage: Stage) -> u64 {
+        self.stage_activations[stage.index()]
+    }
+
+    /// Adds another cell's metrics into this one (element-wise; used to
+    /// merge campaign cells in grid order).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *mine += theirs;
+        }
+        self.hammer_activations.merge(&other.hammer_activations);
+        self.alloc_order.merge(&other.alloc_order);
+        self.stage_latency.merge(&other.stage_latency);
+        for (mine, theirs) in self.stage_nanos.iter_mut().zip(other.stage_nanos.iter()) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self
+            .stage_entries
+            .iter_mut()
+            .zip(other.stage_entries.iter())
+        {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self
+            .stage_activations
+            .iter_mut()
+            .zip(other.stage_activations.iter())
+        {
+            *mine += theirs;
+        }
+    }
+}
+
+/// A typed observation from the simulated stack.
+///
+/// Address payloads are raw `u64`s (HPA/GPA/IOVA as labelled) so the
+/// crate stays dependency-free and events stay `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// One hammer-loop invocation completed on the DRAM device.
+    Hammer {
+        /// Row-activation pairs issued.
+        activations: u64,
+        /// TRR refreshes the loop triggered.
+        trr_refreshes: u64,
+        /// Bit flips the loop produced.
+        flips: u64,
+    },
+    /// One Rowhammer bit flip committed to DRAM.
+    BitFlip {
+        /// Host-physical byte address of the corrupted cell.
+        hpa: u64,
+        /// Bit index within the byte.
+        bit: u8,
+        /// `true` for a 1→0 flip, `false` for 0→1.
+        one_to_zero: bool,
+    },
+    /// The buddy allocator served an allocation.
+    BuddyAlloc {
+        /// Allocation order.
+        order: u8,
+    },
+    /// The buddy allocator accepted a free.
+    BuddyFree {
+        /// Freed block order.
+        order: u8,
+    },
+    /// A free block of `order` was halved to satisfy a smaller request.
+    BuddySplit {
+        /// Order being split (the larger one).
+        order: u8,
+    },
+    /// Two buddies coalesced into a block of `order`.
+    BuddyMerge {
+        /// Resulting (larger) order.
+        order: u8,
+    },
+    /// An allocation failed with every eligible free list empty.
+    BuddyExhausted {
+        /// Requested order.
+        order: u8,
+    },
+    /// The iTLB-Multihit countermeasure split a 2 MiB EPT mapping.
+    EptSplit {
+        /// Guest-physical address whose execution faulted.
+        gpa: u64,
+    },
+    /// An EPT-page spray pass finished.
+    EptSpray {
+        /// Hugepages executed.
+        hugepages: u64,
+        /// Splits (fresh EPT pages) actually triggered.
+        splits: u64,
+    },
+    /// A vIOMMU DMA mapping was established.
+    ViommuMap {
+        /// I/O virtual address mapped.
+        iova: u64,
+    },
+    /// A virtio-mem sub-block (or balloon page) was released to the host.
+    VirtioMemUnplug {
+        /// Guest-physical base of the released range.
+        gpa: u64,
+    },
+    /// The attacker VM was (re)booted.
+    VmReboot,
+    /// An attack-pipeline stage began.
+    StageStart {
+        /// Stage that began.
+        stage: Stage,
+    },
+    /// An attack-pipeline stage completed.
+    StageEnd {
+        /// Stage that ended.
+        stage: Stage,
+        /// Simulated nanoseconds it took.
+        nanos: u64,
+    },
+}
+
+impl Event {
+    /// Stable lower-snake discriminant name (the NDJSON `event` field).
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Event::Hammer { .. } => "hammer",
+            Event::BitFlip { .. } => "bit_flip",
+            Event::BuddyAlloc { .. } => "buddy_alloc",
+            Event::BuddyFree { .. } => "buddy_free",
+            Event::BuddySplit { .. } => "buddy_split",
+            Event::BuddyMerge { .. } => "buddy_merge",
+            Event::BuddyExhausted { .. } => "buddy_exhausted",
+            Event::EptSplit { .. } => "ept_split",
+            Event::EptSpray { .. } => "ept_spray",
+            Event::ViommuMap { .. } => "viommu_map",
+            Event::VirtioMemUnplug { .. } => "virtio_mem_unplug",
+            Event::VmReboot => "vm_reboot",
+            Event::StageStart { .. } => "stage_start",
+            Event::StageEnd { .. } => "stage_end",
+        }
+    }
+}
+
+/// An [`Event`] stamped with the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Simulated time of the observation, nanoseconds since host boot.
+    pub nanos: u64,
+    /// The observation.
+    pub event: Event,
+}
+
+/// What a [`Tracer`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracer attached; instrumentation is a no-op.
+    #[default]
+    Off,
+    /// Aggregate [`Metrics`] only — no event stream.
+    Metrics,
+    /// Metrics plus the full ordered [`Event`] stream.
+    Full,
+}
+
+impl TraceMode {
+    /// Parses a mode name (`off` / `metrics` / `full`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "off" => Some(TraceMode::Off),
+            "metrics" => Some(TraceMode::Metrics),
+            "full" => Some(TraceMode::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Per-campaign-cell recorder: the ordered event stream plus aggregate
+/// metrics, all stamped with simulated time.
+///
+/// Sinks from a parallel campaign merge deterministically: cells are
+/// visited in grid order, each cell's events are already in simulated
+/// chronological order, and [`Metrics::merge`] is element-wise addition
+/// — so the merged output of `--jobs N` is byte-identical to serial.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSink {
+    cell: usize,
+    now: u64,
+    record_events: bool,
+    events: Vec<TimedEvent>,
+    metrics: Metrics,
+    current_stage: Option<(Stage, u64)>,
+}
+
+impl TraceSink {
+    /// Creates a sink for a (non-`Off`) mode.
+    pub fn new(mode: TraceMode) -> Self {
+        Self {
+            record_events: mode == TraceMode::Full,
+            ..Self::default()
+        }
+    }
+
+    /// Campaign-grid cell index this sink belongs to (0 outside grids).
+    pub const fn cell(&self) -> usize {
+        self.cell
+    }
+
+    /// Assigns the campaign-grid cell index.
+    pub fn set_cell(&mut self, cell: usize) {
+        self.cell = cell;
+    }
+
+    /// Whether full event recording is on.
+    pub const fn events_enabled(&self) -> bool {
+        self.record_events
+    }
+
+    /// The recorded event stream, in simulated chronological order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// The aggregate metrics.
+    pub const fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Latest simulated time reported to this sink.
+    pub const fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn record(&mut self, event: Event) {
+        if self.record_events {
+            self.events.push(TimedEvent {
+                nanos: self.now,
+                event,
+            });
+        }
+    }
+
+    fn hammer(&mut self, activations: u64, trr_refreshes: u64, flips: u64) {
+        self.metrics.bump(Counter::DramHammerCalls, 1);
+        self.metrics.bump(Counter::DramActivations, activations);
+        self.metrics.bump(Counter::DramTrrRefreshes, trr_refreshes);
+        self.metrics.bump(Counter::DramBitFlips, flips);
+        self.metrics.hammer_activations.record(activations);
+        if let Some((stage, _)) = self.current_stage {
+            self.metrics.stage_activations[stage.index()] += activations;
+        }
+        self.record(Event::Hammer {
+            activations,
+            trr_refreshes,
+            flips,
+        });
+    }
+
+    fn stage_start(&mut self, stage: Stage) {
+        self.metrics.stage_entries[stage.index()] += 1;
+        self.current_stage = Some((stage, self.now));
+        self.record(Event::StageStart { stage });
+    }
+
+    fn stage_end(&mut self, stage: Stage) {
+        let start = match self.current_stage.take() {
+            Some((s, start)) if s == stage => start,
+            // Mismatched or missing start: charge from now (zero span)
+            // rather than corrupting another stage's total.
+            _ => self.now,
+        };
+        let nanos = self.now.saturating_sub(start);
+        self.metrics.stage_nanos[stage.index()] += nanos;
+        self.metrics.stage_latency.record(nanos);
+        self.record(Event::StageEnd { stage, nanos });
+    }
+}
+
+/// Cloneable instrumentation handle threaded through the stack.
+///
+/// A detached tracer (the default) makes every call a no-op costing one
+/// `Option` test. Attached tracers share one [`TraceSink`] per clone
+/// family via `Rc<RefCell<…>>` — the simulation is single-threaded
+/// within a campaign cell, and each cell builds its own tracer, so no
+/// cross-thread sharing ever occurs.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<TraceSink>>>,
+}
+
+impl Tracer {
+    /// A detached (no-op) tracer.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tracer for `mode` (detached for [`TraceMode::Off`]).
+    pub fn new(mode: TraceMode) -> Self {
+        match mode {
+            TraceMode::Off => Self::default(),
+            mode => Self {
+                sink: Some(Rc::new(RefCell::new(TraceSink::new(mode)))),
+            },
+        }
+    }
+
+    /// Whether a sink is attached.
+    pub const fn is_on(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Updates the sink's notion of simulated time; every subsequent
+    /// event is stamped with it. Called by the host after each clock
+    /// advance.
+    pub fn set_now(&self, nanos: u64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().now = nanos;
+        }
+    }
+
+    /// Assigns the campaign-grid cell index to the sink.
+    pub fn set_cell(&self, cell: usize) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().set_cell(cell);
+        }
+    }
+
+    /// Extracts the sink, leaving a default (empty) one behind. Returns
+    /// `None` for a detached tracer.
+    pub fn take_sink(&self) -> Option<TraceSink> {
+        self.sink
+            .as_ref()
+            .map(|sink| std::mem::take(&mut *sink.borrow_mut()))
+    }
+
+    /// Runs `f` against the live sink, if attached.
+    pub fn inspect<R>(&self, f: impl FnOnce(&TraceSink) -> R) -> Option<R> {
+        self.sink.as_ref().map(|sink| f(&sink.borrow()))
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut TraceSink) -> R) {
+        if let Some(sink) = &self.sink {
+            f(&mut sink.borrow_mut());
+        }
+    }
+
+    /// Records a completed hammer-loop invocation.
+    pub fn hammer(&self, activations: u64, trr_refreshes: u64, flips: u64) {
+        self.with(|s| s.hammer(activations, trr_refreshes, flips));
+    }
+
+    /// Records one committed bit flip.
+    pub fn bit_flip(&self, hpa: u64, bit: u8, one_to_zero: bool) {
+        self.with(|s| {
+            s.record(Event::BitFlip {
+                hpa,
+                bit,
+                one_to_zero,
+            })
+        });
+    }
+
+    /// Records a served buddy allocation.
+    pub fn buddy_alloc(&self, order: u8) {
+        self.with(|s| {
+            s.metrics.bump(Counter::BuddyAllocs, 1);
+            s.metrics.alloc_order.record(u64::from(order));
+            s.record(Event::BuddyAlloc { order });
+        });
+    }
+
+    /// Records a buddy free.
+    pub fn buddy_free(&self, order: u8) {
+        self.with(|s| {
+            s.metrics.bump(Counter::BuddyFrees, 1);
+            s.record(Event::BuddyFree { order });
+        });
+    }
+
+    /// Records a free-block halving.
+    pub fn buddy_split(&self, order: u8) {
+        self.with(|s| {
+            s.metrics.bump(Counter::BuddySplits, 1);
+            s.record(Event::BuddySplit { order });
+        });
+    }
+
+    /// Records a buddy coalesce into `order`.
+    pub fn buddy_merge(&self, order: u8) {
+        self.with(|s| {
+            s.metrics.bump(Counter::BuddyMerges, 1);
+            s.record(Event::BuddyMerge { order });
+        });
+    }
+
+    /// Records an out-of-memory allocation failure.
+    pub fn buddy_exhausted(&self, order: u8) {
+        self.with(|s| {
+            s.metrics.bump(Counter::BuddyExhaustions, 1);
+            s.record(Event::BuddyExhausted { order });
+        });
+    }
+
+    /// Records an iTLB-Multihit hugepage split.
+    pub fn ept_split(&self, gpa: u64) {
+        self.with(|s| {
+            s.metrics.bump(Counter::EptSplits, 1);
+            s.record(Event::EptSplit { gpa });
+        });
+    }
+
+    /// Records a finished EPT spray pass.
+    pub fn ept_spray(&self, hugepages: u64, splits: u64) {
+        self.with(|s| {
+            s.metrics.bump(Counter::EptSprayedHugepages, hugepages);
+            s.record(Event::EptSpray { hugepages, splits });
+        });
+    }
+
+    /// Records an established vIOMMU mapping.
+    pub fn viommu_map(&self, iova: u64) {
+        self.with(|s| {
+            s.metrics.bump(Counter::ViommuMaps, 1);
+            s.record(Event::ViommuMap { iova });
+        });
+    }
+
+    /// Records a virtio-mem sub-block (or balloon page) release.
+    pub fn virtio_mem_unplug(&self, gpa: u64) {
+        self.with(|s| {
+            s.metrics.bump(Counter::VirtioMemUnplugs, 1);
+            s.record(Event::VirtioMemUnplug { gpa });
+        });
+    }
+
+    /// Records an attacker-VM (re)boot.
+    pub fn vm_reboot(&self) {
+        self.with(|s| {
+            s.metrics.bump(Counter::VmReboots, 1);
+            s.record(Event::VmReboot);
+        });
+    }
+
+    /// Marks a stage's begin; DRAM activations until the matching
+    /// [`stage_end`](Self::stage_end) are attributed to it.
+    pub fn stage_start(&self, stage: Stage) {
+        self.with(|s| s.stage_start(stage));
+    }
+
+    /// Marks a stage's end, charging the elapsed simulated time to it.
+    pub fn stage_end(&self, stage: Stage) {
+        self.with(|s| s.stage_end(stage));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_tracer_is_a_noop() {
+        let t = Tracer::off();
+        assert!(!t.is_on());
+        t.set_now(5);
+        t.hammer(10, 1, 1);
+        t.stage_start(Stage::Profile);
+        t.stage_end(Stage::Profile);
+        assert!(t.take_sink().is_none());
+    }
+
+    #[test]
+    fn metrics_mode_counts_without_recording_events() {
+        let t = Tracer::new(TraceMode::Metrics);
+        t.set_now(100);
+        t.hammer(64, 2, 3);
+        t.buddy_alloc(9);
+        t.buddy_split(4);
+        t.ept_split(0x20_0000);
+        let sink = t.take_sink().expect("attached");
+        assert!(!sink.events_enabled());
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.metrics().get(Counter::DramActivations), 64);
+        assert_eq!(sink.metrics().get(Counter::DramTrrRefreshes), 2);
+        assert_eq!(sink.metrics().get(Counter::DramBitFlips), 3);
+        assert_eq!(sink.metrics().get(Counter::BuddyAllocs), 1);
+        assert_eq!(sink.metrics().get(Counter::BuddySplits), 1);
+        assert_eq!(sink.metrics().get(Counter::EptSplits), 1);
+    }
+
+    #[test]
+    fn full_mode_records_time_stamped_events_in_order() {
+        let t = Tracer::new(TraceMode::Full);
+        t.set_now(10);
+        t.viommu_map(0x1_0000_0000);
+        t.set_now(20);
+        t.virtio_mem_unplug(0x40_0000);
+        t.vm_reboot();
+        let sink = t.take_sink().expect("attached");
+        let kinds: Vec<&str> = sink.events().iter().map(|e| e.event.kind()).collect();
+        assert_eq!(kinds, ["viommu_map", "virtio_mem_unplug", "vm_reboot"]);
+        assert_eq!(sink.events()[0].nanos, 10);
+        assert_eq!(sink.events()[1].nanos, 20);
+        assert_eq!(sink.metrics().get(Counter::ViommuMaps), 1);
+        assert_eq!(sink.metrics().get(Counter::VmReboots), 1);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Tracer::new(TraceMode::Metrics);
+        let u = t.clone();
+        t.buddy_alloc(0);
+        u.buddy_alloc(3);
+        let sink = t.take_sink().expect("attached");
+        assert_eq!(sink.metrics().get(Counter::BuddyAllocs), 2);
+        // The clone now sees the emptied (taken) sink.
+        let leftover = u.take_sink().expect("still attached");
+        assert_eq!(leftover.metrics().get(Counter::BuddyAllocs), 0);
+    }
+
+    #[test]
+    fn stages_attribute_time_and_activations() {
+        let t = Tracer::new(TraceMode::Full);
+        t.set_now(1_000);
+        t.stage_start(Stage::Exploit);
+        t.hammer(500, 0, 0);
+        t.set_now(4_000);
+        t.stage_end(Stage::Exploit);
+        t.hammer(7, 0, 0); // outside any stage: unattributed
+        let sink = t.take_sink().expect("attached");
+        let m = sink.metrics();
+        assert_eq!(m.stage_entries(Stage::Exploit), 1);
+        assert_eq!(m.stage_nanos(Stage::Exploit), 3_000);
+        assert_eq!(m.stage_activations(Stage::Exploit), 500);
+        assert_eq!(m.get(Counter::DramActivations), 507);
+        assert_eq!(m.stage_latency.count(), 1);
+        assert!(matches!(
+            sink.events().last().expect("events recorded").event,
+            Event::Hammer { activations: 7, .. }
+        ));
+        assert!(sink.events().iter().any(|e| matches!(
+            e.event,
+            Event::StageEnd {
+                stage: Stage::Exploit,
+                nanos: 3_000
+            }
+        )));
+    }
+
+    #[test]
+    fn mismatched_stage_end_charges_zero() {
+        let t = Tracer::new(TraceMode::Metrics);
+        t.set_now(9_000);
+        t.stage_end(Stage::SprayEpt);
+        let sink = t.take_sink().expect("attached");
+        assert_eq!(sink.metrics().stage_nanos(Stage::SprayEpt), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total(), 6);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[2], 2);
+    }
+
+    #[test]
+    fn merge_is_elementwise_addition() {
+        let a = Tracer::new(TraceMode::Metrics);
+        a.hammer(10, 1, 0);
+        a.stage_start(Stage::Profile);
+        a.set_now(50);
+        a.stage_end(Stage::Profile);
+        let b = Tracer::new(TraceMode::Metrics);
+        b.hammer(32, 0, 2);
+        b.buddy_exhausted(0);
+
+        let mut merged = a.take_sink().expect("attached").metrics().clone();
+        merged.merge(b.take_sink().expect("attached").metrics());
+        assert_eq!(merged.get(Counter::DramActivations), 42);
+        assert_eq!(merged.get(Counter::DramHammerCalls), 2);
+        assert_eq!(merged.get(Counter::DramBitFlips), 2);
+        assert_eq!(merged.get(Counter::BuddyExhaustions), 1);
+        assert_eq!(merged.stage_nanos(Stage::Profile), 50);
+        assert_eq!(merged.hammer_activations.count(), 2);
+        assert_eq!(merged.hammer_activations.total(), 42);
+    }
+
+    #[test]
+    fn trace_mode_parses() {
+        assert_eq!(TraceMode::parse("off"), Some(TraceMode::Off));
+        assert_eq!(TraceMode::parse("metrics"), Some(TraceMode::Metrics));
+        assert_eq!(TraceMode::parse("full"), Some(TraceMode::Full));
+        assert_eq!(TraceMode::parse("verbose"), None);
+    }
+
+    #[test]
+    fn take_sink_resets_shared_state() {
+        let t = Tracer::new(TraceMode::Full);
+        t.vm_reboot();
+        let first = t.take_sink().expect("attached");
+        assert_eq!(first.metrics().get(Counter::VmReboots), 1);
+        t.vm_reboot();
+        let second = t.take_sink().expect("attached");
+        assert_eq!(second.metrics().get(Counter::VmReboots), 1);
+        // The replacement sink is a default: metrics-only recording.
+        assert!(second.events().is_empty());
+    }
+}

@@ -18,4 +18,12 @@ run cargo test -q --offline --workspace
 run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Bench smoke: exercise the reporting binaries and the scaling bench on
+# the tiny scenario so regressions in the bench crate surface here, not
+# on the next full paper run. HH_BENCH_QUICK shrinks campaign_scaling
+# to a few seconds while keeping its determinism assertion.
+run cargo run --release --offline -p hh-bench --bin table1 -- --scenario tiny
+run cargo run --release --offline -p hh-bench --bin table3 -- --scenario tiny --attempts 5
+run env HH_BENCH_QUICK=1 cargo bench --offline -p hh-bench --bench campaign_scaling
+
 echo "ci: all green"

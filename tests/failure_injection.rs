@@ -5,7 +5,7 @@ use hh_buddy::AllocError;
 use hh_dram::fault::FaultParams;
 use hh_dram::DimmProfile;
 use hh_hv::{Host, HostConfig, HvError, VmConfig};
-use hh_sim::addr::HUGE_PAGE_SIZE;
+use hh_sim::addr::{HUGE_PAGE_SIZE, PAGE_SIZE};
 use hh_sim::{ByteSize, Gpa, Iova};
 use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
 use hyperhammer::machine::Scenario;
@@ -77,10 +77,12 @@ fn exhaustion_survives_the_mapping_limit() {
     let sc = Scenario::tiny_demo();
     let mut host = sc.boot_host();
     let mut vm = host.create_vm(sc.vm_config()).unwrap();
-    // Pre-consume most of the budget with direct mappings.
+    // Pre-consume the whole mapping budget with direct mappings. Pack
+    // them 4 KiB apart so the cap is reached with only ~128 IOPT pages
+    // (one per 2 MiB window) instead of draining the tiny host's pool.
     let mut mapped = 0u64;
     loop {
-        let iova = Iova::new(0x100_0000_0000 + mapped * HUGE_PAGE_SIZE);
+        let iova = Iova::new(0x100_0000_0000 + mapped * PAGE_SIZE);
         match vm.iommu_map(&mut host, 0, iova, Gpa::new(0)) {
             Ok(()) => mapped += 1,
             Err(HvError::IommuMapLimit) => break,
