@@ -11,7 +11,11 @@ use std::hint::black_box;
 fn bench_stages(c: &mut Criterion) {
     let mut group = c.benchmark_group("attack");
     group.sample_size(10);
+    group.meta("tiny_demo", 0);
 
+    // Every stage hammers through the device's plan cache: repeated
+    // patterns (noise exhaustion probes, stability re-hammers) compile
+    // once per device and hit thereafter.
     let scenario = Scenario::tiny_demo();
 
     group.bench_function("exhaust_noise_2k_mappings", |b| {

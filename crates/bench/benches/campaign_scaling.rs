@@ -8,19 +8,12 @@
 
 use std::num::NonZeroUsize;
 
-use hh_bench::harness::Criterion;
+use hh_bench::harness::{quick, Criterion};
 use hh_bench::{criterion_group, criterion_main};
 use hyperhammer::driver::DriverParams;
 use hyperhammer::machine::Scenario;
 use hyperhammer::parallel::CampaignGrid;
 use std::hint::black_box;
-
-/// `HH_BENCH_QUICK=1` shrinks the grid and sample counts to a CI smoke
-/// run: same code paths and determinism assertion, a fraction of the
-/// wall clock.
-fn quick() -> bool {
-    std::env::var_os("HH_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
-}
 
 fn grid() -> CampaignGrid {
     let params = DriverParams {
@@ -38,6 +31,7 @@ fn bench_scaling(c: &mut Criterion) {
     let worker_counts: &[usize] = if quick() { &[1, 4] } else { &[1, 2, 4, 8] };
     let mut group = c.benchmark_group("campaign_scaling");
     group.sample_size(if quick() { 3 } else { 10 });
+    group.meta("tiny_demo", 0x5ca1e);
     for &workers in worker_counts {
         let jobs = NonZeroUsize::new(workers).expect("non-zero");
         let name = format!("tiny_demo_{}cells_{workers}w", grid.len());

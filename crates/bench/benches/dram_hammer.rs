@@ -1,5 +1,6 @@
-//! Micro-benchmarks for the DRAM model: address mapping,
-//! hammer bursts, and timing-probe measurements.
+//! Micro-benchmarks for the DRAM model: address mapping, hammer-plan
+//! compilation, hammer bursts (cold and cached plans), and timing-probe
+//! measurements.
 
 use hh_bench::harness::{BatchSize, Criterion};
 use hh_bench::{criterion_group, criterion_main};
@@ -9,8 +10,35 @@ use hh_dram::{DimmProfile, DramDevice, HammerPattern};
 use hh_sim::Hpa;
 use std::hint::black_box;
 
+const DIMM: u64 = 64 << 20;
+const SEED: u64 = 99;
+const ROUNDS: u64 = 250_000;
+
+fn device() -> DramDevice {
+    let mut dev = DramDevice::new(DimmProfile::test_profile(DIMM), SEED);
+    dev.fill(Hpa::new(0), DIMM, 0xff);
+    dev
+}
+
+fn pattern(dev: &DramDevice) -> HammerPattern {
+    // Bank 3 / row 80 deterministically flips cells at this seed, so the
+    // burst benches exercise the full path (TRR, thresholds, RNG draws,
+    // store writes) and the JSON report gets a non-zero flips/sec.
+    HammerPattern::single_sided_for(dev.geometry(), 3, 80)
+}
+
+/// Deterministic flips of the first burst on a fresh device — every
+/// batched sample below starts from this exact state.
+fn flips_per_burst() -> usize {
+    let mut dev = device();
+    let p = pattern(&dev);
+    dev.hammer(&p, ROUNDS).flips.len()
+}
+
 fn bench_dram(c: &mut Criterion) {
     let mut group = c.benchmark_group("dram");
+    group.meta("test_profile_64mib", SEED);
+    let flips = flips_per_burst();
 
     let geom = DramGeometry::new(BankFunction::core_i3_10100(), 1 << 30);
     group.bench_function("bank_of", |b| {
@@ -29,19 +57,56 @@ fn bench_dram(c: &mut Criterion) {
         })
     });
 
+    group.bench_function("plan_compile_single_sided", |b| {
+        b.iter_batched_ref(
+            || {
+                let dev = device();
+                let p = pattern(&dev);
+                (dev, p)
+            },
+            |(dev, p)| black_box(dev.compile_plan(p)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The headline burst bench: plan warmed in setup, so the routine
+    // measures a cache-hit burst — the steady state of every profiling /
+    // steering / exploit loop.
     group.bench_function("hammer_burst_single_sided", |b| {
         b.iter_batched_ref(
             || {
-                let mut dev = DramDevice::new(DimmProfile::test_profile(64 << 20), 99);
-                dev.fill(Hpa::new(0), 64 << 20, 0xff);
-                dev
+                let mut dev = device();
+                let p = pattern(&dev);
+                dev.warm_plan(&p);
+                (dev, p)
             },
-            |dev| {
-                let pattern = HammerPattern::single_sided_for(dev.geometry(), 3, 100);
-                black_box(dev.hammer(&pattern, 250_000))
-            },
+            |(dev, p)| black_box(dev.hammer(p, ROUNDS)),
             BatchSize::SmallInput,
-        )
+        );
+        b.flips_per_iter(flips as f64);
+    });
+
+    // Worst case: cold cache, the burst pays for its own compile.
+    group.bench_function("hammer_burst_cold_plan", |b| {
+        b.iter_batched_ref(
+            || {
+                let dev = device();
+                let p = pattern(&dev);
+                (dev, p)
+            },
+            |(dev, p)| black_box(dev.hammer(p, ROUNDS)),
+            BatchSize::SmallInput,
+        );
+        b.flips_per_iter(flips as f64);
+    });
+
+    // Steady-state plan reuse on one long-lived device, the way the
+    // profiler's stability loop re-hammers: no per-burst setup at all.
+    group.bench_function("hammer_planned_steady_state", |b| {
+        let mut dev = device();
+        let p = pattern(&dev);
+        let plan = dev.plan_for(&p);
+        b.iter(|| black_box(dev.hammer_planned(&plan, ROUNDS)))
     });
 
     group.bench_function("timing_probe_pair", |b| {
@@ -55,7 +120,7 @@ fn bench_dram(c: &mut Criterion) {
 
     group.bench_function("store_fill_2mib", |b| {
         b.iter_batched_ref(
-            || DramDevice::new(DimmProfile::test_profile(64 << 20), 1),
+            || DramDevice::new(DimmProfile::test_profile(DIMM), 1),
             |dev| dev.fill(Hpa::new(0), 2 << 20, 0x55),
             BatchSize::SmallInput,
         )

@@ -1,0 +1,674 @@
+//! Machine-readable bench results and baseline comparison.
+//!
+//! The micro-bench [`harness`](crate::harness) can emit its results as a
+//! JSON report (`HH_BENCH_JSON=<path> cargo bench …`); this module owns
+//! that schema, a reader for it, and the tolerance-based diff that
+//! `scripts/bench_diff.sh` and the `bench-diff` CLI subcommand use to
+//! fail CI on perf regressions.
+//!
+//! The workspace builds offline with no external crates, so the format
+//! is written and parsed here by hand. The schema is deliberately flat —
+//! see `EXPERIMENTS.md` ("Test and bench artefacts") for the field
+//! reference and the re-baselining policy.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Schema tag emitted in every report; bumped on breaking changes.
+pub const SCHEMA: &str = "hyperhammer-bench-v1";
+
+/// Relative slowdown tolerated before a comparison fails, when the
+/// caller does not override it.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Fully qualified name, `group/bench`.
+    pub name: String,
+    /// Total routine iterations timed across all samples.
+    pub iters: u64,
+    /// Median per-iteration wall time in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Bit flips produced per second, for hammer-shaped benches that
+    /// report their flip count; `None` elsewhere.
+    pub flips_per_sec: Option<f64>,
+    /// Scenario the bench ran on (`"default"` when not scenario-bound).
+    pub scenario: String,
+    /// Deterministic seed the bench ran with (0 when seedless).
+    pub seed: u64,
+}
+
+/// A full bench report: every record one `cargo bench` invocation
+/// produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Whether the run used the `HH_BENCH_QUICK=1` smoke configuration.
+    /// Quick and full runs use different workloads, so diffs across the
+    /// two are refused.
+    pub quick: bool,
+    /// Measured benches, in execution order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Serializes the report (pretty-printed, stable field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let flips = match r.flips_per_sec {
+                Some(f) => format_f64(f),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"iters\": {}, \"ns_per_iter\": {}, \
+                 \"flips_per_sec\": {}, \"scenario\": {}, \"seed\": {}}}{comma}",
+                quote(&r.name),
+                r.iters,
+                format_f64(r.ns_per_iter),
+                flips,
+                quote(&r.scenario),
+                r.seed,
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+
+    /// Parses a report produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = JsonParser::new(text).parse()?;
+        let obj = value.as_obj().ok_or("top level must be an object")?;
+        let schema = get(obj, "schema")?
+            .as_str()
+            .ok_or("schema must be a string")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let quick = get(obj, "quick")?.as_bool().ok_or("quick must be a bool")?;
+        let records = get(obj, "records")?
+            .as_arr()
+            .ok_or("records must be an array")?
+            .iter()
+            .map(|v| {
+                let r = v.as_obj().ok_or("record must be an object")?;
+                Ok(BenchRecord {
+                    name: get(r, "name")?
+                        .as_str()
+                        .ok_or("name must be a string")?
+                        .to_string(),
+                    iters: get(r, "iters")?
+                        .as_u64()
+                        .ok_or("iters must be an integer")?,
+                    ns_per_iter: get(r, "ns_per_iter")?
+                        .as_f64()
+                        .ok_or("ns_per_iter must be a number")?,
+                    flips_per_sec: match get(r, "flips_per_sec")? {
+                        Json::Null => None,
+                        v => Some(v.as_f64().ok_or("flips_per_sec must be a number")?),
+                    },
+                    scenario: get(r, "scenario")?
+                        .as_str()
+                        .ok_or("scenario must be a string")?
+                        .to_string(),
+                    seed: get(r, "seed")?.as_u64().ok_or("seed must be an integer")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self { quick, records })
+    }
+
+    /// Reads and parses a report file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and parse errors, with the path in the message.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+/// Outcome of comparing one bench against its baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Slower than baseline by more than the tolerance — a CI failure.
+    Regression,
+    /// Faster than baseline by more than the tolerance; not a failure,
+    /// but the baseline understates current performance (re-baseline).
+    Improved,
+    /// Present in the baseline but missing from the current run — a CI
+    /// failure (a silently dropped bench would mask regressions).
+    Missing,
+    /// Present only in the current run (a newly added bench).
+    New,
+}
+
+/// One row of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Bench name.
+    pub name: String,
+    /// Baseline ns/iter, when present.
+    pub baseline_ns: Option<f64>,
+    /// Current ns/iter, when present.
+    pub current_ns: Option<f64>,
+    /// `current / baseline` when both sides exist.
+    pub ratio: Option<f64>,
+    /// Verdict for this bench.
+    pub status: DiffStatus,
+}
+
+/// A complete baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Tolerance the comparison used (relative, e.g. 0.15 = ±15%).
+    pub tolerance: f64,
+    /// Per-bench rows, baseline order first, then new benches.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// Whether any entry fails CI (regression or missing bench).
+    pub fn has_failures(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| matches!(e.status, DiffStatus::Regression | DiffStatus::Missing))
+    }
+
+    /// Count of entries with the given status.
+    pub fn count(&self, status: DiffStatus) -> usize {
+        self.entries.iter().filter(|e| e.status == status).count()
+    }
+}
+
+/// Compares `current` against `baseline` with a relative `tolerance`.
+///
+/// # Errors
+///
+/// Refuses to compare a quick run against a full baseline (or vice
+/// versa): the workloads differ, so the numbers are incomparable.
+pub fn diff(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Result<DiffReport, String> {
+    if baseline.quick != current.quick {
+        return Err(format!(
+            "cannot compare quick={} baseline against quick={} run",
+            baseline.quick, current.quick
+        ));
+    }
+    let mut entries = Vec::new();
+    for base in &baseline.records {
+        let cur = current.records.iter().find(|r| r.name == base.name);
+        match cur {
+            None => entries.push(DiffEntry {
+                name: base.name.clone(),
+                baseline_ns: Some(base.ns_per_iter),
+                current_ns: None,
+                ratio: None,
+                status: DiffStatus::Missing,
+            }),
+            Some(cur) => {
+                let ratio = cur.ns_per_iter / base.ns_per_iter;
+                let status = if ratio > 1.0 + tolerance {
+                    DiffStatus::Regression
+                } else if ratio < 1.0 - tolerance {
+                    DiffStatus::Improved
+                } else {
+                    DiffStatus::Ok
+                };
+                entries.push(DiffEntry {
+                    name: base.name.clone(),
+                    baseline_ns: Some(base.ns_per_iter),
+                    current_ns: Some(cur.ns_per_iter),
+                    ratio: Some(ratio),
+                    status,
+                });
+            }
+        }
+    }
+    for cur in &current.records {
+        if !baseline.records.iter().any(|r| r.name == cur.name) {
+            entries.push(DiffEntry {
+                name: cur.name.clone(),
+                baseline_ns: None,
+                current_ns: Some(cur.ns_per_iter),
+                ratio: None,
+                status: DiffStatus::New,
+            });
+        }
+    }
+    Ok(DiffReport { tolerance, entries })
+}
+
+/// Formats an f64 compactly but round-trippably (integers lose the
+/// trailing `.0`; everything else keeps full precision).
+fn format_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for the parser below.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// A small recursive-descent JSON parser — enough for the bench schema
+/// (no surrogate-pair escapes; `\uXXXX` below the BMP only).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing data at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}', got {:?} at byte {}",
+                        other as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']', got {:?} at byte {}",
+                        other as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| "non-ascii \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or("surrogate \\u escape unsupported")?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("unknown escape \\{}", other as char));
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the whole sequence through.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number bytes")?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            iters: 1000,
+            ns_per_iter: ns,
+            flips_per_sec: Some(42.5),
+            scenario: "default".to_string(),
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            quick: true,
+            records: vec![
+                record("dram/hammer_burst", 55_012.75),
+                BenchRecord {
+                    flips_per_sec: None,
+                    seed: 0,
+                    ..record("dram/bank_of", 5.0)
+                },
+            ],
+        };
+        let parsed = BenchReport::parse(&report.to_json()).expect("round trip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse("not json").is_err());
+        let wrong = r#"{"schema": "other-v9", "quick": false, "records": []}"#;
+        assert!(BenchReport::parse(wrong).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_tolerance() {
+        let base = BenchReport {
+            quick: true,
+            records: vec![record("a", 100.0), record("b", 100.0), record("c", 100.0)],
+        };
+        let cur = BenchReport {
+            quick: true,
+            records: vec![
+                record("a", 110.0), // +10%: within ±15%
+                record("b", 130.0), // +30%: regression
+                record("c", 60.0),  // -40%: improvement, not a failure
+            ],
+        };
+        let d = diff(&base, &cur, DEFAULT_TOLERANCE).expect("comparable");
+        assert_eq!(d.entries[0].status, DiffStatus::Ok);
+        assert_eq!(d.entries[1].status, DiffStatus::Regression);
+        assert_eq!(d.entries[2].status, DiffStatus::Improved);
+        assert!(d.has_failures());
+        assert_eq!(d.count(DiffStatus::Regression), 1);
+    }
+
+    #[test]
+    fn diff_fails_on_dropped_benches_but_allows_new_ones() {
+        let base = BenchReport {
+            quick: false,
+            records: vec![record("kept", 10.0), record("dropped", 10.0)],
+        };
+        let cur = BenchReport {
+            quick: false,
+            records: vec![record("kept", 10.0), record("added", 10.0)],
+        };
+        let d = diff(&base, &cur, DEFAULT_TOLERANCE).expect("comparable");
+        assert!(d.has_failures(), "missing bench must fail");
+        assert_eq!(d.count(DiffStatus::Missing), 1);
+        assert_eq!(d.count(DiffStatus::New), 1);
+    }
+
+    #[test]
+    fn diff_refuses_quick_vs_full() {
+        let quick = BenchReport {
+            quick: true,
+            records: vec![],
+        };
+        let full = BenchReport {
+            quick: false,
+            records: vec![],
+        };
+        assert!(diff(&quick, &full, DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let text = r#"{"a": [1, -2.5, 1e3], "b": {"q\"x": "yA\n"}, "c": null}"#;
+        let v = JsonParser::new(text).parse().expect("parses");
+        let obj = v.as_obj().unwrap();
+        assert_eq!(get(obj, "a").unwrap().as_arr().unwrap().len(), 3);
+        let b = get(obj, "b").unwrap().as_obj().unwrap();
+        assert_eq!(get(b, "q\"x").unwrap().as_str().unwrap(), "yA\n");
+        assert_eq!(get(obj, "c").unwrap(), &Json::Null);
+    }
+}

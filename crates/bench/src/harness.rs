@@ -15,12 +15,53 @@
 //! are indicative (no outlier rejection, no statistical tests) but stable
 //! enough to compare orders of magnitude and scaling behaviour.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::baseline::{BenchRecord, BenchReport};
 
 // Table formatting lives at the crate root (the Table 1/3 binaries use
 // it too); re-exported here so harness users get the full presentation
 // toolkit from one module.
 pub use crate::{fit_widths, header, row};
+
+/// Results of every bench run so far in this process, drained by
+/// [`finish`] into the `HH_BENCH_JSON` report.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Whether this process runs the CI smoke configuration
+/// (`HH_BENCH_QUICK=1`): smaller workloads, fewer samples. Quick and
+/// full runs are never comparable, so the flag is stamped into the JSON
+/// report too.
+pub fn quick() -> bool {
+    std::env::var_os("HH_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Writes the collected bench records to the path in `HH_BENCH_JSON`, if
+/// set. Called by [`criterion_main!`](crate::criterion_main) after all
+/// groups ran; a no-op without the env var, and on a second call.
+pub fn finish() {
+    let records = std::mem::take(&mut *RECORDS.lock().expect("bench registry poisoned"));
+    let Some(path) = std::env::var_os("HH_BENCH_JSON") else {
+        return;
+    };
+    let report = BenchReport {
+        quick: quick(),
+        records,
+    };
+    let path = std::path::PathBuf::from(path);
+    match report.save(&path) {
+        Ok(()) => println!(
+            "bench report: {} record(s) written to {}",
+            report.records.len(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("bench report: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
 
 /// How batched inputs are sized. Retained for criterion source
 /// compatibility; the harness runs one routine invocation per sample
@@ -45,7 +86,10 @@ impl Criterion {
         println!("benchmark group: {name}");
         BenchmarkGroup {
             _parent: self,
+            name: name.to_string(),
             sample_size: 20,
+            scenario: "default".to_string(),
+            seed: 0,
         }
     }
 }
@@ -54,7 +98,10 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
+    name: String,
     sample_size: usize,
+    scenario: String,
+    seed: u64,
 }
 
 impl BenchmarkGroup<'_> {
@@ -64,15 +111,25 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Tags every subsequent bench in this group with the scenario and
+    /// seed it runs on; stamped into the JSON report.
+    pub fn meta(&mut self, scenario: &str, seed: u64) -> &mut Self {
+        self.scenario = scenario.to_string();
+        self.seed = seed;
+        self
+    }
+
     /// Runs one benchmark.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         let mut f = f;
         let mut bencher = Bencher {
             sample_size: self.sample_size,
             samples: Vec::new(),
+            iters: 0,
+            flips_per_iter: None,
         };
         f(&mut bencher);
-        bencher.report(name);
+        bencher.report(&self.name, name, &self.scenario, self.seed);
         self
     }
 
@@ -85,6 +142,8 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     sample_size: usize,
     samples: Vec<Duration>,
+    iters: u64,
+    flips_per_iter: Option<f64>,
 }
 
 impl Bencher {
@@ -108,6 +167,7 @@ impl Bencher {
                 std::hint::black_box(routine());
             }
             self.samples.push(start.elapsed() / per_sample);
+            self.iters += u64::from(per_sample);
         }
     }
 
@@ -126,6 +186,7 @@ impl Bencher {
             let start = Instant::now();
             std::hint::black_box(routine(input));
             self.samples.push(start.elapsed());
+            self.iters += 1;
         }
     }
 
@@ -143,10 +204,18 @@ impl Bencher {
             let start = Instant::now();
             std::hint::black_box(routine(&mut input));
             self.samples.push(start.elapsed());
+            self.iters += 1;
         }
     }
 
-    fn report(&mut self, name: &str) {
+    /// Tags this bench with the number of bit flips one iteration
+    /// produces, so the JSON report can derive flips/sec. Call after the
+    /// `iter` call, from the routine's known deterministic output.
+    pub fn flips_per_iter(&mut self, flips: f64) {
+        self.flips_per_iter = Some(flips);
+    }
+
+    fn report(&mut self, group: &str, name: &str, scenario: &str, seed: u64) {
         if self.samples.is_empty() {
             println!("  {name:<40} (no samples)");
             return;
@@ -162,6 +231,18 @@ impl Bencher {
             fmt_duration(median),
             self.samples.len(),
         );
+        let ns = median.as_nanos() as f64;
+        RECORDS
+            .lock()
+            .expect("bench registry poisoned")
+            .push(BenchRecord {
+                name: format!("{group}/{name}"),
+                iters: self.iters,
+                ns_per_iter: ns,
+                flips_per_sec: self.flips_per_iter.map(|f| f * 1e9 / ns.max(1.0)),
+                scenario: scenario.to_string(),
+                seed,
+            });
     }
 }
 
@@ -190,12 +271,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark `main`, criterion-style.
+/// Declares the benchmark `main`, criterion-style. After every group
+/// ran, flushes the collected records to the `HH_BENCH_JSON` report (see
+/// [`harness::finish`](crate::harness::finish)).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::harness::finish();
         }
     };
 }

@@ -24,6 +24,7 @@
 pub mod ablations;
 pub mod analysis;
 pub mod bankfn;
+pub mod baseline;
 pub mod fig3;
 pub mod harness;
 pub mod table1;

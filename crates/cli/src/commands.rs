@@ -17,8 +17,8 @@ use hyperhammer::steering::PageSteering;
 
 use crate::opts::{Command, Options};
 use crate::output::{
-    self, AttackOut, CampaignCellOut, ProfileOut, ReconOut, SteerOut, TraceCountersOut,
-    TraceEventOut, TraceStageOut,
+    self, AttackOut, BenchDiffOut, CampaignCellOut, ProfileOut, ReconOut, SteerOut,
+    TraceCountersOut, TraceEventOut, TraceStageOut,
 };
 
 /// Dispatches the parsed command.
@@ -52,7 +52,103 @@ pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             analyse(opts);
             Ok(())
         }
+        Command::BenchDiff {
+            baseline,
+            current,
+            tolerance,
+        } => bench_diff(opts, baseline, current, *tolerance),
     }
+}
+
+fn bench_diff(
+    opts: &Options,
+    baseline: &str,
+    current: &str,
+    tolerance: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use hh_bench::baseline::{diff, BenchReport, DiffStatus};
+
+    let base = BenchReport::load(std::path::Path::new(baseline))?;
+    let cur = BenchReport::load(std::path::Path::new(current))?;
+    let report = diff(&base, &cur, tolerance)?;
+
+    let status_name = |s: DiffStatus| match s {
+        DiffStatus::Ok => "ok",
+        DiffStatus::Regression => "regression",
+        DiffStatus::Improved => "improved",
+        DiffStatus::Missing => "missing",
+        DiffStatus::New => "new",
+    };
+    let rows: Vec<BenchDiffOut> = report
+        .entries
+        .iter()
+        .map(|e| BenchDiffOut {
+            name: e.name.clone(),
+            baseline_ns: e.baseline_ns,
+            current_ns: e.current_ns,
+            ratio: e.ratio,
+            status: status_name(e.status),
+        })
+        .collect();
+
+    if opts.json {
+        for row in &rows {
+            println!("{}", output::to_json_line(row));
+        }
+    } else {
+        let fmt_ns = |ns: Option<f64>| {
+            ns.map_or_else(
+                || "-".to_string(),
+                |ns| hh_bench::harness::fmt_duration(std::time::Duration::from_nanos(ns as u64)),
+            )
+        };
+        let name_w = rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(std::iter::once("bench".len()))
+            .max()
+            .unwrap_or(5);
+        println!(
+            "{:<name_w$}  {:>10}  {:>10}  {:>7}  status",
+            "bench", "baseline", "current", "ratio"
+        );
+        for r in &rows {
+            println!(
+                "{:<name_w$}  {:>10}  {:>10}  {:>7}  {}",
+                r.name,
+                fmt_ns(r.baseline_ns),
+                fmt_ns(r.current_ns),
+                r.ratio
+                    .map_or_else(|| "-".to_string(), |x| format!("{x:.2}x")),
+                r.status
+            );
+        }
+        println!(
+            "tolerance ±{:.0}%: {} ok, {} improved, {} new, {} regression(s), {} missing",
+            tolerance * 100.0,
+            report.count(DiffStatus::Ok),
+            report.count(DiffStatus::Improved),
+            report.count(DiffStatus::New),
+            report.count(DiffStatus::Regression),
+            report.count(DiffStatus::Missing),
+        );
+        if report.count(DiffStatus::Improved) > 0 {
+            println!(
+                "note: improvements beyond tolerance understate the baseline — \
+                 consider re-baselining (scripts/bench_diff.sh --update)"
+            );
+        }
+    }
+
+    if report.has_failures() {
+        return Err(format!(
+            "bench regression: {} regression(s), {} missing bench(es) vs {baseline}",
+            report.count(DiffStatus::Regression),
+            report.count(DiffStatus::Missing)
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn recon(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
@@ -94,6 +190,8 @@ fn profile(opts: &Options, stop_after: Option<usize>) -> Result<(), Box<dyn std:
         zero_to_one: report.zero_to_one(),
         stable: report.stable(),
         exploitable: report.exploitable(params.host_mem, &vm).len(),
+        plan_hits: report.plan_hits,
+        plan_misses: report.plan_misses,
     };
     output::emit(opts.json, &out, || {
         println!(
@@ -105,6 +203,10 @@ fn profile(opts: &Options, stop_after: Option<usize>) -> Result<(), Box<dyn std:
             out.zero_to_one,
             out.stable,
             out.exploitable
+        );
+        println!(
+            "plan cache: {} hits / {} compiles",
+            out.plan_hits, out.plan_misses
         );
     });
     Ok(())

@@ -14,6 +14,9 @@
 //!   trace               campaign grid with tracing on; prints the
 //!                       per-stage time/activation breakdown
 //!   analyse             print the §5.3 analytical model
+//!   bench-diff          compare bench JSON reports (--baseline PATH
+//!                       --current PATH [--tolerance F]); non-zero
+//!                       exit on regression
 //! ```
 
 use std::process::ExitCode;

@@ -19,6 +19,10 @@ commands:
   trace       run a campaign grid with tracing on and print a per-stage
               time/activation breakdown (same grid flags as campaign)
   analyse     print the §5.3 analytical model
+  bench-diff  compare a bench JSON report against a committed baseline
+              (--baseline PATH --current PATH [--tolerance F]); exits
+              non-zero on a regression beyond tolerance or a missing
+              bench (see scripts/bench_diff.sh)
 
 options:
   --scenario s1|s2|s3|small|tiny   machine preset        [default: small]
@@ -109,12 +113,33 @@ pub enum Command {
     },
     /// Analytical model.
     Analyse,
+    /// Baseline comparison of bench JSON reports.
+    BenchDiff {
+        /// Committed baseline report path.
+        baseline: String,
+        /// Freshly produced report path.
+        current: String,
+        /// Relative tolerance (e.g. 0.15 = ±15%).
+        tolerance: f64,
+    },
 }
 
 impl PartialEq for Command {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Self::Recon, Self::Recon) | (Self::Analyse, Self::Analyse) => true,
+            (
+                Self::BenchDiff {
+                    baseline: ab,
+                    current: ac,
+                    tolerance: at,
+                },
+                Self::BenchDiff {
+                    baseline: bb,
+                    current: bc,
+                    tolerance: bt,
+                },
+            ) => ab == bb && ac == bc && at == bt,
             (Self::Profile { stop_after: a }, Self::Profile { stop_after: b }) => a == b,
             (
                 Self::Steer {
@@ -213,6 +238,9 @@ impl Options {
         let mut base_seed: u64 = 0;
         let mut jobs: Option<usize> = None;
         let mut trace: Option<String> = None;
+        let mut baseline: Option<String> = None;
+        let mut current: Option<String> = None;
+        let mut tolerance: f64 = hh_bench::baseline::DEFAULT_TOLERANCE;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -287,6 +315,16 @@ impl Options {
                     )
                 }
                 "--trace" => trace = Some(value("--trace")?),
+                "--baseline" => baseline = Some(value("--baseline")?),
+                "--current" => current = Some(value("--current")?),
+                "--tolerance" => {
+                    tolerance = value("--tolerance")?
+                        .parse()
+                        .map_err(|e| format!("bad --tolerance: {e}"))?;
+                    if !(tolerance.is_finite() && tolerance >= 0.0) {
+                        return Err("--tolerance must be a non-negative number".to_string());
+                    }
+                }
                 other => return Err(format!("unknown option {other}")),
             }
         }
@@ -342,6 +380,11 @@ impl Options {
                 }
             }
             "analyse" | "analyze" => Command::Analyse,
+            "bench-diff" => Command::BenchDiff {
+                baseline: baseline.ok_or("bench-diff needs --baseline PATH")?,
+                current: current.ok_or("bench-diff needs --current PATH")?,
+                tolerance,
+            },
             other => return Err(format!("unknown command {other}")),
         };
         Ok(Self {
@@ -537,6 +580,59 @@ mod tests {
             ),
             other => panic!("expected campaign, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bench_diff_flags() {
+        let o = parse(&[
+            "bench-diff",
+            "--baseline",
+            "BENCH_dram.json",
+            "--current",
+            "/tmp/new.json",
+            "--tolerance",
+            "0.5",
+        ])
+        .unwrap();
+        assert_eq!(
+            o.command,
+            Command::BenchDiff {
+                baseline: "BENCH_dram.json".to_string(),
+                current: "/tmp/new.json".to_string(),
+                tolerance: 0.5,
+            }
+        );
+        // Tolerance defaults to the library constant.
+        let o = parse(&["bench-diff", "--baseline", "a", "--current", "b"]).unwrap();
+        match o.command {
+            Command::BenchDiff { tolerance, .. } => {
+                assert_eq!(tolerance, hh_bench::baseline::DEFAULT_TOLERANCE)
+            }
+            other => panic!("expected bench-diff, got {other:?}"),
+        }
+        // Both paths are mandatory; tolerance must be a sane number.
+        assert!(parse(&["bench-diff", "--current", "b"]).is_err());
+        assert!(parse(&["bench-diff", "--baseline", "a"]).is_err());
+        assert!(parse(&[
+            "bench-diff",
+            "--baseline",
+            "a",
+            "--current",
+            "b",
+            "--tolerance",
+            "-1"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "bench-diff",
+            "--baseline",
+            "a",
+            "--current",
+            "b",
+            "--tolerance",
+            "x"
+        ])
+        .is_err());
     }
 
     #[test]

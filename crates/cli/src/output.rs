@@ -174,6 +174,10 @@ pub struct ProfileOut {
     pub stable: usize,
     /// Exploitable flips.
     pub exploitable: usize,
+    /// Hammer-plan cache hits during the campaign.
+    pub plan_hits: u64,
+    /// Hammer-plan compiles during the campaign.
+    pub plan_misses: u64,
 }
 
 impl Json for ProfileOut {
@@ -185,6 +189,8 @@ impl Json for ProfileOut {
         obj.number("zero_to_one", self.zero_to_one);
         obj.number("stable", self.stable);
         obj.number("exploitable", self.exploitable);
+        obj.number("plan_hits", self.plan_hits);
+        obj.number("plan_misses", self.plan_misses);
     }
 }
 
@@ -370,6 +376,31 @@ impl Json for TraceCountersOut {
         for (name, value) in &self.counters {
             obj.number(name, value);
         }
+    }
+}
+
+/// One row of a `bench-diff` comparison (`--json` NDJSON form).
+#[derive(Debug)]
+pub struct BenchDiffOut {
+    /// Bench name (`group/bench`).
+    pub name: String,
+    /// Baseline ns/iter, if the bench exists in the baseline.
+    pub baseline_ns: Option<f64>,
+    /// Current ns/iter, if the bench ran.
+    pub current_ns: Option<f64>,
+    /// current / baseline.
+    pub ratio: Option<f64>,
+    /// Verdict: `ok`, `regression`, `improved`, `missing` or `new`.
+    pub status: &'static str,
+}
+
+impl Json for BenchDiffOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        obj.string("name", &self.name);
+        obj.opt_float("baseline_ns", self.baseline_ns);
+        obj.opt_float("current_ns", self.current_ns);
+        obj.opt_float("ratio", self.ratio);
+        obj.string("status", self.status);
     }
 }
 

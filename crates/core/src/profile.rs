@@ -135,6 +135,12 @@ pub struct ProfileReport {
     /// Exploitable-bit count at the stop point (see
     /// [`ProfileParams::stop_after_exploitable`]).
     pub exploitable_found: usize,
+    /// Hammer-plan cache hits during this campaign. Profiling replays the
+    /// same per-hugepage offset pairs everywhere, so nearly every burst
+    /// after the first sweep of a hugepage should hit.
+    pub plan_hits: u64,
+    /// Hammer-plan compiles during this campaign.
+    pub plan_misses: u64,
 }
 
 impl ProfileReport {
@@ -261,6 +267,7 @@ impl Profiler {
 
     fn run_inner(&self, host: &mut Host, vm: &mut Vm) -> Result<ProfileReport, HvError> {
         let start = host.now();
+        let plan_stats_before = host.dram().plan_stats();
         let region_base = vm.virtio_mem().region_base();
         let region_size = vm.virtio_mem().region_size();
         // §5.1: the attacker first reverse engineers the DRAM address
@@ -350,11 +357,14 @@ impl Profiler {
 
         let mut bits: Vec<ProfiledBit> = found.into_values().collect();
         bits.sort_unstable_by_key(|b| (b.gpa.raw(), b.bit));
+        let plan_stats = host.dram().plan_stats();
         Ok(ProfileReport {
             bits,
             duration: host.elapsed_since(start),
             hugepages_profiled,
             exploitable_found,
+            plan_hits: plan_stats.hits - plan_stats_before.hits,
+            plan_misses: plan_stats.misses - plan_stats_before.misses,
         })
     }
 
@@ -522,6 +532,10 @@ mod tests {
         if let Some(bit) = stable_bit {
             assert_ne!(bit.aggressors[0], bit.aggressors[1]);
         }
+        // Characterize/stability re-hammers replay patterns the sweep
+        // just compiled, so the plan cache must see real reuse.
+        assert!(report.plan_misses > 0, "sweep compiles plans");
+        assert!(report.plan_hits > 0, "re-hammers reuse cached plans");
     }
 
     #[test]

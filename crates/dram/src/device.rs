@@ -9,7 +9,8 @@
 //! disturbance threshold and flips them **in the backing store**, so
 //! corruption propagates to every layer reading that memory.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use hh_sim::addr::Hpa;
 use hh_sim::rng::SimRng;
@@ -17,6 +18,7 @@ use hh_trace::Tracer;
 
 use crate::fault::{sample_row_cells, DimmProfile, FlipDirection, VulnerableCell};
 use crate::geometry::DramGeometry;
+use crate::plan::{BankPlan, HammerPlan, PlanCache, PlanCacheStats, VictimPlan};
 use crate::store::SparseStore;
 
 /// Disturbance weight of an aggressor at row distance 1 (immediate
@@ -149,6 +151,8 @@ pub struct DramDevice {
     journal: Vec<FlipEvent>,
     /// Cache of sampled row fault profiles.
     row_cache: HashMap<u64, Vec<VulnerableCell>>,
+    /// LRU cache of compiled hammer plans, keyed by aggressor list.
+    plan_cache: PlanCache,
     total_activations: u64,
     tracer: Tracer,
 }
@@ -166,6 +170,7 @@ impl DramDevice {
             rng: root,
             journal: Vec::new(),
             row_cache: HashMap::new(),
+            plan_cache: PlanCache::default(),
             total_activations: 0,
             tracer: Tracer::off(),
         }
@@ -260,16 +265,69 @@ impl DramDevice {
     }
 
     fn hammer_untraced(&mut self, pattern: &HammerPattern, rounds: u64) -> HammerResult {
+        let plan = self.plan_for(pattern);
+        self.execute_plan(&plan, rounds)
+    }
+
+    /// Executes a precompiled plan and reports to the tracer, exactly
+    /// like [`hammer`](Self::hammer) but skipping the plan-cache lookup.
+    /// Useful when the caller holds the plan across many bursts (the
+    /// bench harness and the profiler's characterize loop do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different device (seed or
+    /// geometry mismatch).
+    pub fn hammer_planned(&mut self, plan: &HammerPlan, rounds: u64) -> HammerResult {
+        let result = self.execute_plan(plan, rounds);
+        self.trace_burst(&result);
+        result
+    }
+
+    /// Returns the cached plan for `pattern`, compiling and caching it on
+    /// a miss. Cache traffic is reported to the tracer as counters only,
+    /// so event streams are identical whether a burst hit or missed.
+    pub fn plan_for(&mut self, pattern: &HammerPattern) -> Arc<HammerPlan> {
+        if let Some(plan) = self.plan_cache.get(pattern.aggressors()) {
+            self.tracer.plan_lookup(true);
+            return plan;
+        }
+        let plan = Arc::new(self.compile_plan(pattern));
+        self.plan_cache.insert(Arc::clone(&plan));
+        self.tracer.plan_lookup(false);
+        plan
+    }
+
+    /// Precompiles `pattern` into the plan cache without hammering, so a
+    /// later [`hammer`](Self::hammer) is a guaranteed cache hit. Compiling
+    /// draws no randomness, which makes warmed and cold bursts
+    /// bit-identical (see `tests/plan_props.rs`).
+    pub fn warm_plan(&mut self, pattern: &HammerPattern) {
+        let _ = self.plan_for(pattern);
+    }
+
+    /// Compiles `pattern` into a fresh [`HammerPlan`] against this
+    /// device's geometry and fault profile, bypassing the cache.
+    ///
+    /// Everything about a burst that does not depend on `rounds` or the
+    /// RNG is resolved here: aggressors grouped per bank into sorted
+    /// unique row lists, victim rows within distance 2 collected with
+    /// their distance weights, and each victim's bank-local vulnerable
+    /// cells embedded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any aggressor address is outside the device.
+    pub fn compile_plan(&mut self, pattern: &HammerPattern) -> HammerPlan {
         let geometry = self.profile.geometry.clone();
         for &a in pattern.aggressors() {
             assert!(geometry.contains(a), "aggressor {a} outside device");
         }
-        let activations = rounds * pattern.aggressors().len() as u64;
-        self.total_activations += activations;
 
         // Group aggressors by (bank, row); multiple addresses in the same
-        // row of a bank are one aggressor.
-        let mut per_bank_rows: HashMap<u32, Vec<u64>> = HashMap::new();
+        // row of a bank are one aggressor. Banks in ascending order so
+        // execution (and therefore RNG consumption) is deterministic.
+        let mut per_bank_rows: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         for &a in pattern.aggressors() {
             let rows = per_bank_rows.entry(geometry.bank_of(a)).or_default();
             let row = geometry.row_of(a);
@@ -278,22 +336,15 @@ impl DramDevice {
             }
         }
 
-        let mut result = HammerResult {
-            activations,
-            ..HammerResult::default()
-        };
-
+        let mut banks = Vec::with_capacity(per_bank_rows.len());
         for (bank, mut rows) in per_bank_rows {
             rows.sort_unstable();
-            let suppressed = self.trr_suppressed(&rows, rounds);
-            result.trr_refreshes += suppressed.iter().filter(|&&s| s).count() as u64;
 
-            // Collect victim rows within distance 2 of any live aggressor.
-            let mut disturbance: HashMap<u64, f64> = HashMap::new();
+            // Victim rows within distance 2 of any aggressor, ascending,
+            // each with its (aggressor index, weight) contributions. The
+            // TRR verdict gates contributions at execution time.
+            let mut disturbance: BTreeMap<u64, Vec<(u32, f64)>> = BTreeMap::new();
             for (i, &row) in rows.iter().enumerate() {
-                if suppressed[i] {
-                    continue;
-                }
                 for (dist, weight) in [(1u64, WEIGHT_DISTANCE_1), (2, WEIGHT_DISTANCE_2)] {
                     for victim in [row.checked_sub(dist), Some(row + dist)]
                         .into_iter()
@@ -302,15 +353,98 @@ impl DramDevice {
                         if victim >= geometry.row_count() || rows.contains(&victim) {
                             continue;
                         }
-                        *disturbance.entry(victim).or_default() += rounds as f64 * weight;
+                        disturbance
+                            .entry(victim)
+                            .or_default()
+                            .push((i as u32, weight));
                     }
                 }
             }
 
-            let mut victims: Vec<_> = disturbance.into_iter().collect();
-            victims.sort_unstable_by_key(|&(row, _)| row);
-            for (victim, effective) in victims {
-                self.disturb_row(bank, victim, effective, &mut result);
+            let victims = disturbance
+                .into_iter()
+                .map(|(row, contribs)| {
+                    let cells: Vec<VulnerableCell> = self
+                        .row_cells(row)
+                        .iter()
+                        .copied()
+                        .filter(|c| geometry.bank_of(c.hpa) == bank)
+                        .collect();
+                    VictimPlan::new(row, contribs, cells)
+                })
+                .collect();
+            banks.push(BankPlan::new(bank, rows, victims));
+        }
+
+        HammerPlan::new(pattern.aggressors().to_vec(), self.device_token(), banks)
+    }
+
+    /// Identifies the (seed, geometry) a plan is valid for.
+    fn device_token(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let g = &self.profile.geometry;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [
+            self.fault_seed,
+            g.size_bytes(),
+            g.row_count(),
+            u64::from(g.bank_count()),
+        ] {
+            h = (h ^ word).wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// Plan-cache counters (hits, misses, occupancy).
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Replaces the plan cache with an empty one holding `capacity`
+    /// plans. Existing plans are dropped; stats reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plan_cache = PlanCache::with_capacity(capacity);
+    }
+
+    /// Runs one burst from a compiled plan. The stochastic parts (TRR
+    /// sampler overflow, per-cell flip draws) happen here against the
+    /// device RNG, in the same order the uncompiled path used, so plan
+    /// reuse never changes outcomes.
+    fn execute_plan(&mut self, plan: &HammerPlan, rounds: u64) -> HammerResult {
+        assert_eq!(
+            plan.device_token(),
+            self.device_token(),
+            "hammer plan was compiled for a different device"
+        );
+        let activations = rounds * plan.aggressors().len() as u64;
+        self.total_activations += activations;
+
+        let mut result = HammerResult {
+            activations,
+            ..HammerResult::default()
+        };
+
+        for bank_plan in plan.banks() {
+            let suppressed = self.trr_suppressed(bank_plan.rows(), rounds);
+            result.trr_refreshes += suppressed.iter().filter(|&&s| s).count() as u64;
+
+            for victim in bank_plan.victims() {
+                let mut effective = 0.0;
+                for &(idx, weight) in victim.contribs() {
+                    if !suppressed[idx as usize] {
+                        effective += rounds as f64 * weight;
+                    }
+                }
+                // All contributing aggressors refreshed away: the old
+                // path never visited this victim, so no RNG draws.
+                if effective == 0.0 {
+                    continue;
+                }
+                self.disturb_cells(bank_plan.bank(), victim, effective, &mut result);
             }
         }
 
@@ -346,15 +480,15 @@ impl DramDevice {
         }
     }
 
-    fn disturb_row(&mut self, bank: u32, row: u64, effective: f64, result: &mut HammerResult) {
-        let geometry = self.profile.geometry.clone();
-        let cells: Vec<VulnerableCell> = self
-            .row_cells(row)
-            .iter()
-            .copied()
-            .filter(|c| geometry.bank_of(c.hpa) == bank)
-            .collect();
-        for cell in cells {
+    fn disturb_cells(
+        &mut self,
+        bank: u32,
+        victim: &VictimPlan,
+        effective: f64,
+        result: &mut HammerResult,
+    ) {
+        let row = victim.row();
+        for cell in victim.cells() {
             if (effective as u64) < cell.threshold {
                 continue;
             }
@@ -654,6 +788,59 @@ mod tests {
             sink.events().last().expect("summary event").event.kind(),
             "hammer"
         );
+    }
+
+    #[test]
+    fn repeated_bursts_hit_the_plan_cache() {
+        let mut dev = device();
+        let pattern = HammerPattern::single_sided_for(dev.geometry(), 2, 30);
+        dev.hammer(&pattern, 1_000);
+        dev.hammer(&pattern, 2_000);
+        dev.hammer(&pattern, 3_000);
+        let stats = dev.plan_stats();
+        assert_eq!(stats.misses, 1, "one compile for three bursts");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn plan_cache_traffic_is_traced_as_counters() {
+        use hh_trace::{Counter, TraceMode, Tracer};
+        let mut dev = device();
+        let tracer = Tracer::new(TraceMode::Metrics);
+        dev.set_tracer(tracer.clone());
+        let pattern = HammerPattern::single_sided_for(dev.geometry(), 2, 30);
+        dev.hammer(&pattern, 1_000);
+        dev.hammer(&pattern, 1_000);
+        let sink = tracer.take_sink().expect("tracer attached");
+        assert_eq!(sink.metrics().get(Counter::DramPlanCompiles), 1);
+        assert_eq!(sink.metrics().get(Counter::DramPlanHits), 1);
+    }
+
+    #[test]
+    fn hammer_planned_matches_hammer() {
+        let mk = || {
+            let mut dev = device();
+            dev.fill(Hpa::new(0), 64 << 20, 0xff);
+            dev
+        };
+        let mut via_pattern = mk();
+        let mut via_plan = mk();
+        let pattern = HammerPattern::double_sided_for(via_pattern.geometry(), 1, 40);
+        let plan = via_plan.compile_plan(&pattern);
+        let a = via_pattern.hammer(&pattern, 400_000);
+        let b = via_plan.hammer_planned(&plan, 400_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different device")]
+    fn plans_do_not_transfer_across_devices() {
+        let mut dev_a = DramDevice::new(DimmProfile::test_profile(64 << 20), 1);
+        let mut dev_b = DramDevice::new(DimmProfile::test_profile(64 << 20), 2);
+        let pattern = HammerPattern::single_sided_for(dev_a.geometry(), 0, 10);
+        let plan = dev_a.compile_plan(&pattern);
+        dev_b.hammer_planned(&plan, 1_000);
     }
 
     #[test]

@@ -51,10 +51,12 @@ pub mod dramdig;
 pub mod fault;
 pub mod geometry;
 pub mod patterns;
+pub mod plan;
 pub mod store;
 pub mod timing;
 
 pub use device::{DramDevice, FlipEvent, HammerPattern, HammerResult};
 pub use fault::{DimmProfile, FlipDirection, VulnerableCell};
 pub use geometry::{BankFunction, DramGeometry};
+pub use plan::{HammerPlan, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use timing::{AccessTiming, TimingProbe};

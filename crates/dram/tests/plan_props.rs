@@ -1,0 +1,153 @@
+//! Plan-cache determinism properties.
+//!
+//! The compiled-plan layer is only allowed to make bursts *faster*, never
+//! *different*: a burst executed from a cached plan, a warmed plan or a
+//! caller-held plan must be bit-identical to one whose plan was compiled
+//! cold inside the call — flips, journal, trace events and all. These
+//! properties run over randomized patterns (including multi-bank ones),
+//! geometries and TRR configurations via the workspace's deterministic
+//! `check::cases` harness.
+
+use hh_dram::device::{DramDevice, HammerPattern};
+use hh_dram::fault::{DimmProfile, TrrConfig};
+use hh_sim::check;
+use hh_sim::rng::SimRng;
+use hh_sim::Hpa;
+use hh_trace::{Counter, TraceMode, Tracer};
+
+/// Draws a random device profile: one of a few DIMM sizes, TRR on or off.
+fn random_profile(rng: &mut SimRng) -> DimmProfile {
+    let size = [32u64 << 20, 64 << 20, 128 << 20][rng.gen_range(0u64..3) as usize];
+    let profile = DimmProfile::test_profile(size);
+    if rng.gen_bool(0.5) {
+        profile.with_trr(TrrConfig::production())
+    } else {
+        profile
+    }
+}
+
+/// Draws a random pattern: 1–8 aggressors spread over 1–3 banks, rows
+/// close enough together that victims overlap sometimes.
+fn random_pattern(rng: &mut SimRng, dev: &DramDevice) -> HammerPattern {
+    let geometry = dev.geometry();
+    let n = rng.gen_range(1u64..9) as usize;
+    let bank_count = u64::from(geometry.bank_count());
+    let base_bank = rng.gen_range(0..bank_count) as u32;
+    let bank_spread = rng.gen_range(1u64..4) as u32;
+    let base_row = rng.gen_range(1..geometry.row_count() - 16);
+    let aggressors: Vec<Hpa> = (0..n)
+        .map(|_| {
+            let bank = (base_bank + rng.gen_range(0..u64::from(bank_spread)) as u32)
+                % geometry.bank_count();
+            let row = base_row + rng.gen_range(0u64..12);
+            geometry.addr_in(bank, row).expect("row in range")
+        })
+        .collect();
+    HammerPattern::new(aggressors)
+}
+
+fn traced_device(profile: DimmProfile, seed: u64) -> (DramDevice, Tracer) {
+    let mut dev = DramDevice::new(profile, seed);
+    dev.fill(Hpa::new(0), dev.geometry().size_bytes(), 0xff);
+    let tracer = Tracer::new(TraceMode::Full);
+    dev.set_tracer(tracer.clone());
+    (dev, tracer)
+}
+
+/// Cold compile inside `hammer` vs a pre-warmed cache: identical results,
+/// journals and trace event streams.
+#[test]
+fn warmed_plan_bursts_are_bit_identical_to_cold_bursts() {
+    check::cases(0x9a57_0001, 48, |rng| {
+        let profile = random_profile(rng);
+        let seed = rng.next_u64();
+        let rounds = rng.gen_range(1_000..450_000);
+
+        let (mut cold, cold_tracer) = traced_device(profile.clone(), seed);
+        let (mut warm, warm_tracer) = traced_device(profile, seed);
+        let pattern = random_pattern(rng, &cold);
+
+        warm.warm_plan(&pattern);
+        assert_eq!(warm.plan_stats().misses, 1);
+
+        let cold_result = cold.hammer(&pattern, rounds);
+        let warm_result = warm.hammer(&pattern, rounds);
+        assert_eq!(warm.plan_stats().hits, 1, "warmed burst must hit");
+
+        assert_eq!(cold_result, warm_result);
+        assert_eq!(cold.flip_journal(), warm.flip_journal());
+
+        let cold_sink = cold_tracer.take_sink().expect("tracer attached");
+        let warm_sink = warm_tracer.take_sink().expect("tracer attached");
+        assert_eq!(
+            format!("{:?}", cold_sink.events()),
+            format!("{:?}", warm_sink.events()),
+            "event streams must not reveal cache state"
+        );
+        for c in [
+            Counter::DramHammerCalls,
+            Counter::DramActivations,
+            Counter::DramBitFlips,
+            Counter::DramTrrRefreshes,
+        ] {
+            assert_eq!(cold_sink.metrics().get(c), warm_sink.metrics().get(c));
+        }
+        // Only the plan counters may differ: one compile either way, but
+        // the warmed device served the burst from cache.
+        assert_eq!(cold_sink.metrics().get(Counter::DramPlanCompiles), 1);
+        assert_eq!(warm_sink.metrics().get(Counter::DramPlanCompiles), 1);
+        assert_eq!(cold_sink.metrics().get(Counter::DramPlanHits), 0);
+        assert_eq!(warm_sink.metrics().get(Counter::DramPlanHits), 1);
+    });
+}
+
+/// A caller-held plan driven through `hammer_planned` behaves exactly
+/// like re-presenting the pattern, burst after burst.
+#[test]
+fn caller_held_plans_match_pattern_resubmission() {
+    check::cases(0x9a57_0002, 32, |rng| {
+        let profile = random_profile(rng);
+        let seed = rng.next_u64();
+        let rounds = rng.gen_range(1_000..450_000);
+
+        let (mut by_pattern, _) = traced_device(profile.clone(), seed);
+        let (mut by_plan, _) = traced_device(profile, seed);
+        let pattern = random_pattern(rng, &by_pattern);
+        let plan = by_plan.plan_for(&pattern);
+
+        for _ in 0..3 {
+            let a = by_pattern.hammer(&pattern, rounds);
+            let b = by_plan.hammer_planned(&plan, rounds);
+            assert_eq!(a, b);
+        }
+        assert_eq!(by_pattern.flip_journal(), by_plan.flip_journal());
+        assert_eq!(by_pattern.total_activations(), by_plan.total_activations());
+    });
+}
+
+/// Cache evictions only cost a recompile — results are unchanged even
+/// when the working set overflows a tiny cache.
+#[test]
+fn eviction_churn_does_not_change_outcomes() {
+    check::cases(0x9a57_0003, 16, |rng| {
+        let profile = random_profile(rng);
+        let seed = rng.next_u64();
+        let rounds = rng.gen_range(1_000..300_000);
+
+        let (mut big, _) = traced_device(profile.clone(), seed);
+        let (mut tiny, _) = traced_device(profile, seed);
+        tiny.set_plan_cache_capacity(2);
+
+        let patterns: Vec<HammerPattern> = (0..6).map(|_| random_pattern(rng, &big)).collect();
+        // Two sweeps: the second is all hits for `big`, mostly misses
+        // for `tiny` (working set 6 > capacity 2).
+        for _ in 0..2 {
+            for p in &patterns {
+                assert_eq!(big.hammer(p, rounds), tiny.hammer(p, rounds));
+            }
+        }
+        assert_eq!(big.flip_journal(), tiny.flip_journal());
+        assert!(tiny.plan_stats().misses > big.plan_stats().misses);
+        assert_eq!(tiny.plan_stats().len, 2);
+    });
+}

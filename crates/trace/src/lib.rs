@@ -129,11 +129,15 @@ pub enum Counter {
     VirtioMemUnplugs,
     /// Attacker-VM (re)boots.
     VmReboots,
+    /// Hammer plans compiled from scratch (plan-cache misses).
+    DramPlanCompiles,
+    /// Hammer bursts served from the compiled-plan cache.
+    DramPlanHits,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -151,6 +155,8 @@ impl Counter {
         Counter::ViommuMaps,
         Counter::VirtioMemUnplugs,
         Counter::VmReboots,
+        Counter::DramPlanCompiles,
+        Counter::DramPlanHits,
     ];
 
     /// Stable lower-snake name (used in NDJSON output and tables).
@@ -170,6 +176,8 @@ impl Counter {
             Counter::ViommuMaps => "viommu_maps",
             Counter::VirtioMemUnplugs => "virtio_mem_unplugs",
             Counter::VmReboots => "vm_reboots",
+            Counter::DramPlanCompiles => "dram_plan_compiles",
+            Counter::DramPlanHits => "dram_plan_hits",
         }
     }
 
@@ -189,6 +197,8 @@ impl Counter {
             Counter::ViommuMaps => 11,
             Counter::VirtioMemUnplugs => 12,
             Counter::VmReboots => 13,
+            Counter::DramPlanCompiles => 14,
+            Counter::DramPlanHits => 15,
         }
     }
 }
@@ -670,6 +680,22 @@ impl Tracer {
         self.with(|s| s.hammer(activations, trr_refreshes, flips));
     }
 
+    /// Records a hammer-plan compile or cache hit. Counter-only (no
+    /// event), so full streams stay identical whether a burst ran from a
+    /// cold or a cached plan.
+    pub fn plan_lookup(&self, cache_hit: bool) {
+        self.with(|s| {
+            s.metrics.bump(
+                if cache_hit {
+                    Counter::DramPlanHits
+                } else {
+                    Counter::DramPlanCompiles
+                },
+                1,
+            );
+        });
+    }
+
     /// Records one committed bit flip.
     pub fn bit_flip(&self, hpa: u64, bit: u8, one_to_zero: bool) {
         self.with(|s| {
@@ -915,6 +941,21 @@ mod tests {
         assert_eq!(merged.stage_nanos(Stage::Profile), 50);
         assert_eq!(merged.hammer_activations.count(), 2);
         assert_eq!(merged.hammer_activations.total(), 42);
+    }
+
+    #[test]
+    fn plan_lookups_count_but_emit_no_events() {
+        let t = Tracer::new(TraceMode::Full);
+        t.plan_lookup(false);
+        t.plan_lookup(true);
+        t.plan_lookup(true);
+        let sink = t.take_sink().expect("attached");
+        assert_eq!(sink.metrics().get(Counter::DramPlanCompiles), 1);
+        assert_eq!(sink.metrics().get(Counter::DramPlanHits), 2);
+        assert!(
+            sink.events().is_empty(),
+            "plan-cache bookkeeping must not perturb the event stream"
+        );
     }
 
     #[test]

@@ -1,29 +1,115 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, format check, lint.
+# Local CI gate — the same stages .github/workflows/ci.yml runs as jobs.
 #
-# Everything runs with --offline — the workspace is dependency-free by
-# design (see DESIGN.md) and must keep building on machines with no
-# registry access. Run from anywhere inside the repository.
+# Everything runs with --offline --locked: the workspace is
+# dependency-free by design (see DESIGN.md) and must keep building on
+# machines with no registry access. Run from anywhere in the repository.
+#
+# usage: scripts/ci.sh [stage...]
+#   With no arguments every stage runs in order; otherwise only the
+#   named stages run. Stages: build test fmt clippy bench-smoke
+#   determinism bench-diff.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+CURRENT_STAGE="(startup)"
+trap 'echo "ci: FAILED in stage ${CURRENT_STAGE}" >&2' ERR
+
+stage() {
+    CURRENT_STAGE="$1"
+    echo
+    echo "=== stage: $1 ==="
+}
 
 run() {
     echo "==> $*"
     "$@"
 }
 
-run cargo build --release --offline --workspace
-run cargo test -q --offline --workspace
-run cargo fmt --all --check
-run cargo clippy --offline --workspace --all-targets -- -D warnings
+stage_build() {
+    stage build
+    run cargo build --release --offline --locked --workspace
+}
 
-# Bench smoke: exercise the reporting binaries and the scaling bench on
-# the tiny scenario so regressions in the bench crate surface here, not
-# on the next full paper run. HH_BENCH_QUICK shrinks campaign_scaling
-# to a few seconds while keeping its determinism assertion.
-run cargo run --release --offline -p hh-bench --bin table1 -- --scenario tiny
-run cargo run --release --offline -p hh-bench --bin table3 -- --scenario tiny --attempts 5
-run env HH_BENCH_QUICK=1 cargo bench --offline -p hh-bench --bench campaign_scaling
+stage_test() {
+    stage test
+    run cargo test -q --offline --locked --workspace
+}
 
-echo "ci: all green"
+stage_fmt() {
+    stage fmt
+    run cargo fmt --all --check
+}
+
+stage_clippy() {
+    stage clippy
+    run cargo clippy --offline --locked --workspace --all-targets -- -D warnings
+}
+
+stage_bench_smoke() {
+    stage bench-smoke
+    # Exercise the reporting binaries on the tiny scenario so regressions
+    # in the bench crate surface here, not on the next full paper run.
+    run cargo run --release --offline --locked -p hh-bench --bin table1 -- \
+        --scenario tiny
+    run cargo run --release --offline --locked -p hh-bench --bin table3 -- \
+        --scenario tiny --attempts 5
+}
+
+stage_determinism() {
+    stage determinism
+    # The campaign engine must produce byte-identical --trace NDJSON for
+    # every worker count (see crates/core/src/parallel.rs). Run the tiny
+    # grid at 1, 2 and 8 workers and diff the merged event streams.
+    local tmpdir jobs
+    tmpdir="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
+    trap "rm -rf '$tmpdir'" RETURN
+    for jobs in 1 2 8; do
+        echo "==> campaign --jobs $jobs (tiny grid, traced)"
+        # tail -n +3 drops the "N cells on M workers" banner and the
+        # "trace: wrote ... to PATH" line — the only lines allowed to
+        # mention the worker count or the per-run trace path.
+        cargo run --release --offline --locked -q -p hyperhammer-cli -- \
+            campaign --scenarios tiny --seeds 3 --attempts 2 --bits 4 \
+            --jobs "$jobs" --trace "$tmpdir/trace_${jobs}.ndjson" \
+            | tail -n +3 >"$tmpdir/stdout_${jobs}.txt"
+    done
+    run cmp "$tmpdir/trace_1.ndjson" "$tmpdir/trace_2.ndjson"
+    run cmp "$tmpdir/trace_1.ndjson" "$tmpdir/trace_8.ndjson"
+    run cmp "$tmpdir/stdout_1.txt" "$tmpdir/stdout_8.txt"
+    echo "determinism: --jobs 1/2/8 campaign outputs are byte-identical"
+}
+
+stage_bench_diff() {
+    stage bench-diff
+    run scripts/bench_diff.sh
+}
+
+ALL_STAGES=(build test fmt clippy bench-smoke determinism bench-diff)
+if [ "$#" -gt 0 ]; then
+    STAGES=("$@")
+else
+    STAGES=("${ALL_STAGES[@]}")
+fi
+
+for name in "${STAGES[@]}"; do
+    case "$name" in
+        build) stage_build ;;
+        test) stage_test ;;
+        fmt) stage_fmt ;;
+        clippy) stage_clippy ;;
+        bench-smoke) stage_bench_smoke ;;
+        determinism) stage_determinism ;;
+        bench-diff) stage_bench_diff ;;
+        *)
+            CURRENT_STAGE="$name"
+            echo "ci: unknown stage '$name' (stages: ${ALL_STAGES[*]})" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo
+echo "ci: all green (${STAGES[*]})"
