@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! table3 [--scenario NAME]... [--attempts N] [--seeds N]
-//!        [--base-seed S] [--jobs N]
+//!        [--base-seed S] [--jobs N] [--faults R] [--fault-seed S]
+//!        [--max-retries N] [--backoff MS]
 //! ```
 //!
 //! `--scenario` (repeatable) narrows the run to the named scenarios
@@ -11,17 +12,25 @@
 //! experiment seeds split from `--base-seed` (default: each scenario's
 //! own paper seed, one cell per scenario). `--jobs` picks the worker
 //! count (default: available parallelism); results are identical for
-//! every value.
+//! every value. `--faults R` injects transient hostile-host faults at
+//! rate R per choke-point operation (seeded by `--fault-seed`);
+//! `--max-retries` and `--backoff` tune the driver's recovery policy.
 
+use hh_hv::FaultConfig;
+use hh_sim::clock::SimDuration;
 use hh_sim::rng::SimRng;
 use hyperhammer::machine::Scenario;
 use hyperhammer::parallel::{parallel_map, resolve_jobs};
+use hyperhammer::steering::RetryPolicy;
 
 fn main() {
     let mut max_attempts: usize = 600;
     let mut seeds: Option<usize> = None;
     let mut base_seed: u64 = 0;
     let mut jobs: Option<usize> = None;
+    let mut faults_rate: f64 = 0.0;
+    let mut fault_seed: u64 = 0;
+    let mut retry = RetryPolicy::standard();
     let mut scenarios: Vec<Scenario> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +47,18 @@ fn main() {
             "--seeds" => seeds = Some(value("--seeds") as usize),
             "--base-seed" => base_seed = value("--base-seed"),
             "--jobs" => jobs = Some(value("--jobs") as usize),
+            "--fault-seed" => fault_seed = value("--fault-seed"),
+            "--max-retries" => retry.max_retries = value("--max-retries") as u32,
+            "--backoff" => retry.backoff = SimDuration::from_millis(value("--backoff")),
+            "--faults" => {
+                // Parsed apart from `value`: the rate is the one f64 flag.
+                let raw = it.next().expect("--faults needs a value");
+                faults_rate = raw.parse().unwrap_or_else(|e| panic!("bad --faults: {e}"));
+                assert!(
+                    faults_rate.is_finite() && (0.0..=1.0).contains(&faults_rate),
+                    "--faults must be a rate in 0..=1"
+                );
+            }
             "--scenario" => {
                 let name = it.next().expect("--scenario needs a value");
                 scenarios.push(Scenario::by_name(name).unwrap_or_else(|e| panic!("{e}")));
@@ -53,6 +74,14 @@ fn main() {
     if paper_set {
         scenarios = vec![Scenario::s1(), Scenario::s2()];
     }
+    let fault_config = FaultConfig::uniform(faults_rate).with_seed(fault_seed);
+    if fault_config.is_active() {
+        scenarios = scenarios
+            .into_iter()
+            .map(|sc| sc.with_faults(fault_config))
+            .collect();
+        eprintln!("table3: injecting transient faults at rate {faults_rate} (seed {fault_seed})");
+    }
     let jobs = resolve_jobs(jobs);
     eprintln!("table3: up to {max_attempts} attempts per cell on {jobs} workers...");
 
@@ -60,13 +89,13 @@ fn main() {
         // The paper configuration: each scenario at its own seed, which
         // `run` reproduces exactly; scenarios fan out over the workers.
         None => parallel_map(scenarios, jobs, |_, sc| {
-            hh_bench::table3::run(&sc, max_attempts)
+            hh_bench::table3::run(&sc, max_attempts, retry)
         }),
         Some(count) => {
             let cell_seeds: Vec<u64> = (0..count.max(1) as u64)
                 .map(|i| SimRng::split_seed(base_seed, i))
                 .collect();
-            hh_bench::table3::run_grid(scenarios, max_attempts, &cell_seeds, jobs)
+            hh_bench::table3::run_grid(scenarios, max_attempts, &cell_seeds, jobs, retry)
         }
     };
     hh_bench::table3::print(&rows);

@@ -20,6 +20,7 @@ use std::num::NonZeroUsize;
 use hyperhammer::driver::DriverParams;
 use hyperhammer::machine::Scenario;
 use hyperhammer::parallel::{CampaignGrid, CellResult};
+use hyperhammer::steering::RetryPolicy;
 
 /// One row of Table 3.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,12 +57,16 @@ impl From<&CellResult> for Table3Row {
 }
 
 /// Runs the Table 3 experiment for one scenario, at the scenario's own
-/// seed (the paper configuration).
+/// seed (the paper configuration). Any fault plan rides in the
+/// scenario's host configuration ([`Scenario::with_faults`]); `retry`
+/// sets the driver's transient-fault recovery —
+/// [`RetryPolicy::standard`] reproduces earlier fault-free revisions
+/// exactly, since with faults off the policy is dead code.
 ///
 /// # Panics
 ///
 /// Panics on hypervisor errors.
-pub fn run(scenario: &Scenario, max_attempts: usize) -> Table3Row {
+pub fn run(scenario: &Scenario, max_attempts: usize, retry: RetryPolicy) -> Table3Row {
     let rows = run_grid(
         vec![scenario.clone()],
         max_attempts,
@@ -69,6 +74,7 @@ pub fn run(scenario: &Scenario, max_attempts: usize) -> Table3Row {
         // the exact serial experiment of earlier revisions.
         &[scenario.host_config().seed],
         NonZeroUsize::new(1).expect("1 is non-zero"),
+        retry,
     );
     rows.into_iter().next().expect("one cell in, one row out")
 }
@@ -85,9 +91,13 @@ pub fn run_grid(
     max_attempts: usize,
     seeds: &[u64],
     jobs: NonZeroUsize,
+    retry: RetryPolicy,
 ) -> Vec<Table3Row> {
-    let grid = CampaignGrid::new(scenarios, DriverParams::paper(), max_attempts)
-        .with_seeds(seeds.to_vec());
+    let params = DriverParams {
+        retry,
+        ..DriverParams::paper()
+    };
+    let grid = CampaignGrid::new(scenarios, params, max_attempts).with_seeds(seeds.to_vec());
     let results = grid
         .run_with_progress(jobs, |cell| {
             eprintln!(

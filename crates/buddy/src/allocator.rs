@@ -28,6 +28,9 @@ pub enum AllocError {
         /// The requested order.
         order: u8,
     },
+    /// A transient failure injected by [`AllocJitter`]. The allocator
+    /// state is untouched; the caller may simply retry.
+    Transient,
 }
 
 impl fmt::Display for AllocError {
@@ -39,7 +42,56 @@ impl fmt::Display for AllocError {
             AllocError::OrderTooLarge { order } => {
                 write!(f, "order {order} exceeds MAX_ORDER ({MAX_ORDER})")
             }
+            AllocError::Transient => write!(f, "transient allocation jitter"),
         }
+    }
+}
+
+/// Deterministic allocation jitter: fails a configurable fraction of
+/// [`BuddyAllocator::alloc_page`] calls with [`AllocError::Transient`]
+/// before any allocator state changes.
+///
+/// The decision for call `n` is a pure function of `(seed, n)`, so a
+/// jittered allocator remains bit-reproducible: the same seed and the
+/// same call sequence always fail the same calls, independent of worker
+/// count or wall-clock time.
+#[derive(Debug, Clone)]
+pub struct AllocJitter {
+    seed: u64,
+    rate: f64,
+    calls: u64,
+}
+
+impl AllocJitter {
+    /// Creates a jitter source failing ~`rate` of page allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "jitter rate {rate} out of range"
+        );
+        Self {
+            seed,
+            rate,
+            calls: 0,
+        }
+    }
+
+    /// Draws the next decision: `true` means this call fails.
+    fn trips(&mut self) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        self.calls += 1;
+        let x = hh_sim::rng::SplitMix64::new(
+            self.seed ^ self.calls.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        )
+        .next();
+        // 53 uniform mantissa bits, the same construction SimRng uses.
+        ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < self.rate
     }
 }
 
@@ -121,6 +173,7 @@ pub struct BuddyAllocator {
     pcp: PcpCache,
     stats: AllocStats,
     tracer: Tracer,
+    jitter: Option<AllocJitter>,
 }
 
 impl BuddyAllocator {
@@ -150,6 +203,7 @@ impl BuddyAllocator {
             pcp: PcpCache::new(pcp),
             stats: AllocStats::default(),
             tracer: Tracer::off(),
+            jitter: None,
         };
         // Seed the free lists with maximal aligned blocks.
         let mut base = 0u64;
@@ -173,6 +227,15 @@ impl BuddyAllocator {
     /// a traced allocator share the same sink.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs (or clears) deterministic allocation jitter on the
+    /// [`alloc_page`](Self::alloc_page) path — the page-table/EPT/IOPT
+    /// allocations the paper's steering stages lean on. Bulk block
+    /// allocations (`alloc`) are never jittered, so VM provisioning
+    /// stays reliable.
+    pub fn set_alloc_jitter(&mut self, jitter: Option<AllocJitter>) {
+        self.jitter = jitter;
     }
 
     /// Total frames managed.
@@ -224,6 +287,13 @@ impl BuddyAllocator {
     ///
     /// [`AllocError::OutOfMemory`] when the cache cannot be refilled.
     pub fn alloc_page(&mut self, mt: MigrateType) -> Result<Pfn, AllocError> {
+        if let Some(jitter) = &mut self.jitter {
+            if jitter.trips() {
+                self.tracer
+                    .fault_injected("buddy_alloc", "allocation jitter");
+                return Err(AllocError::Transient);
+            }
+        }
         if let Some(base) = self.pcp.pop(mt) {
             self.stats.pcp_hits += 1;
             self.allocated.insert(base, (0, mt));

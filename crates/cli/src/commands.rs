@@ -15,7 +15,7 @@ use hyperhammer::parallel::{resolve_jobs, CampaignGrid, CellResult};
 use hyperhammer::profile::{ProfileParams, Profiler};
 use hyperhammer::steering::PageSteering;
 
-use crate::opts::{Command, Options};
+use crate::opts::{Command, FaultOpts, Options};
 use crate::output::{
     self, AttackOut, BenchDiffOut, CampaignCellOut, ProfileOut, ReconOut, SteerOut,
     TraceCountersOut, TraceEventOut, TraceStageOut,
@@ -39,7 +39,10 @@ pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             attempts,
             bits,
             jobs,
-        } => campaign(opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs),
+            faults,
+        } => campaign(
+            opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs, *faults,
+        ),
         Command::Trace {
             scenarios,
             seeds,
@@ -47,7 +50,10 @@ pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             attempts,
             bits,
             jobs,
-        } => trace(opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs),
+            faults,
+        } => trace(
+            opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs, *faults,
+        ),
         Command::Analyse => {
             analyse(opts);
             Ok(())
@@ -301,6 +307,7 @@ fn attack(opts: &Options, attempts: usize, bits: usize) -> Result<(), Box<dyn st
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn campaign(
     opts: &Options,
     scenarios: &[Scenario],
@@ -309,9 +316,11 @@ fn campaign(
     attempts: usize,
     bits: usize,
     jobs: Option<usize>,
+    faults: FaultOpts,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let params = DriverParams {
         bits_per_attempt: bits,
+        retry: faults.retry_policy(),
         ..DriverParams::paper()
     };
     // --trace turns on full event recording for every cell; otherwise the
@@ -322,6 +331,7 @@ fn campaign(
         TraceMode::Off
     };
     let grid = CampaignGrid::new(scenarios.to_vec(), params, attempts)
+        .with_faults(faults.fault_config())
         .with_seed_count(base_seed, seeds)
         .with_trace(mode);
     let jobs = resolve_jobs(jobs);
@@ -444,9 +454,11 @@ fn trace(
     attempts: usize,
     bits: usize,
     jobs: Option<usize>,
+    faults: FaultOpts,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let params = DriverParams {
         bits_per_attempt: bits,
+        retry: faults.retry_policy(),
         ..DriverParams::paper()
     };
     // Metrics stay cheap; the full event stream is only recorded when the
@@ -457,6 +469,7 @@ fn trace(
         TraceMode::Metrics
     };
     let grid = CampaignGrid::new(scenarios.to_vec(), params, attempts)
+        .with_faults(faults.fault_config())
         .with_seed_count(base_seed, seeds)
         .with_trace(mode);
     let jobs = resolve_jobs(jobs);

@@ -2,7 +2,10 @@
 //! dependency set minimal; a CLI-args crate is not worth a tree of
 //! transitive dependencies for five flags).
 
+use hh_hv::FaultConfig;
+use hh_sim::clock::SimDuration;
 use hyperhammer::machine::Scenario;
+use hyperhammer::steering::RetryPolicy;
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -36,6 +39,18 @@ options:
                                    is byte-identical for every --jobs
   --json                           machine-readable output
   --quarantine                     enable the §6 virtio-mem countermeasure
+  --faults R                       (campaign/trace) hostile-host fault
+                                   injection: each choke-point operation
+                                   (vIOMMU map/unmap, virtio-mem unplug,
+                                   EPT split, page alloc) fails
+                                   transiently with probability R
+                                   [default: 0 = off]
+  --fault-seed N                   fault-stream seed, mixed with each
+                                   cell's host seed        [default: 0]
+  --max-retries N                  retries per faulted operation before
+                                   the attempt aborts      [default: 4]
+  --backoff MS                     simulated backoff per retry, in
+                                   milliseconds            [default: 10]
 
 campaign determinism: cell seeds are split from --base-seed by position,
 so results (and --trace streams) are identical for every --jobs value.";
@@ -51,6 +66,46 @@ pub struct Options {
     pub json: bool,
     /// Write an NDJSON trace-event stream to this path (campaign/trace).
     pub trace: Option<String>,
+}
+
+/// Fault-injection and recovery knobs shared by `campaign` and `trace`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultOpts {
+    /// Uniform injection rate per choke-point operation (0 disables).
+    pub rate: f64,
+    /// Fault-stream seed (`--fault-seed`).
+    pub seed: u64,
+    /// Retries per faulted operation (`--max-retries`).
+    pub max_retries: u32,
+    /// Simulated backoff per retry in milliseconds (`--backoff`).
+    pub backoff_ms: u64,
+}
+
+impl Default for FaultOpts {
+    fn default() -> Self {
+        Self {
+            rate: 0.0,
+            seed: 0,
+            max_retries: 4,
+            backoff_ms: 10,
+        }
+    }
+}
+
+impl FaultOpts {
+    /// The host-side fault plan these options describe.
+    pub fn fault_config(&self) -> FaultConfig {
+        FaultConfig::uniform(self.rate).with_seed(self.seed)
+    }
+
+    /// The driver-side recovery policy these options describe.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: self.max_retries,
+            backoff: SimDuration::from_millis(self.backoff_ms),
+            degrade: true,
+        }
+    }
 }
 
 /// Subcommands with their parameters.
@@ -95,6 +150,8 @@ pub enum Command {
         bits: usize,
         /// Worker threads (`None`: available parallelism).
         jobs: Option<usize>,
+        /// Fault-injection and recovery knobs.
+        faults: FaultOpts,
     },
     /// Campaign grid with tracing on; prints the per-stage breakdown.
     Trace {
@@ -110,6 +167,8 @@ pub enum Command {
         bits: usize,
         /// Worker threads (`None`: available parallelism).
         jobs: Option<usize>,
+        /// Fault-injection and recovery knobs.
+        faults: FaultOpts,
     },
     /// Analytical model.
     Analyse,
@@ -169,6 +228,7 @@ impl PartialEq for Command {
                     attempts: aat,
                     bits: abi,
                     jobs: aj,
+                    faults: af,
                 },
                 Self::Campaign {
                     scenarios: bsc,
@@ -177,6 +237,7 @@ impl PartialEq for Command {
                     attempts: bat,
                     bits: bbi,
                     jobs: bj,
+                    faults: bf,
                 },
             )
             | (
@@ -187,6 +248,7 @@ impl PartialEq for Command {
                     attempts: aat,
                     bits: abi,
                     jobs: aj,
+                    faults: af,
                 },
                 Self::Trace {
                     scenarios: bsc,
@@ -195,6 +257,7 @@ impl PartialEq for Command {
                     attempts: bat,
                     bits: bbi,
                     jobs: bj,
+                    faults: bf,
                 },
             ) => {
                 asc.len() == bsc.len()
@@ -204,6 +267,7 @@ impl PartialEq for Command {
                     && aat == bat
                     && abi == bbi
                     && aj == bj
+                    && af == bf
             }
             _ => false,
         }
@@ -237,6 +301,7 @@ impl Options {
         let mut grid_seeds: usize = 1;
         let mut base_seed: u64 = 0;
         let mut jobs: Option<usize> = None;
+        let mut fault_opts = FaultOpts::default();
         let mut trace: Option<String> = None;
         let mut baseline: Option<String> = None;
         let mut current: Option<String> = None;
@@ -314,6 +379,29 @@ impl Options {
                             .map_err(|e| format!("bad --jobs: {e}"))?,
                     )
                 }
+                "--faults" => {
+                    fault_opts.rate = value("--faults")?
+                        .parse()
+                        .map_err(|e| format!("bad --faults: {e}"))?;
+                    if !(fault_opts.rate.is_finite() && (0.0..=1.0).contains(&fault_opts.rate)) {
+                        return Err("--faults must be a rate in 0..=1".to_string());
+                    }
+                }
+                "--fault-seed" => {
+                    fault_opts.seed = value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --fault-seed: {e}"))?
+                }
+                "--max-retries" => {
+                    fault_opts.max_retries = value("--max-retries")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-retries: {e}"))?
+                }
+                "--backoff" => {
+                    fault_opts.backoff_ms = value("--backoff")?
+                        .parse()
+                        .map_err(|e| format!("bad --backoff: {e}"))?
+                }
                 "--trace" => trace = Some(value("--trace")?),
                 "--baseline" => baseline = Some(value("--baseline")?),
                 "--current" => current = Some(value("--current")?),
@@ -367,6 +455,7 @@ impl Options {
                         attempts,
                         bits,
                         jobs,
+                        faults: fault_opts,
                     }
                 } else {
                     Command::Trace {
@@ -376,6 +465,7 @@ impl Options {
                         attempts,
                         bits,
                         jobs,
+                        faults: fault_opts,
                     }
                 }
             }
@@ -470,6 +560,7 @@ mod tests {
                 attempts,
                 bits,
                 jobs,
+                faults,
             } => {
                 assert_eq!(scenarios.len(), 1);
                 assert_eq!(scenarios[0].name, "small");
@@ -478,6 +569,8 @@ mod tests {
                 assert_eq!(*attempts, 50);
                 assert_eq!(*bits, 12);
                 assert_eq!(*jobs, None);
+                assert_eq!(*faults, FaultOpts::default());
+                assert!(!faults.fault_config().is_active());
             }
             other => panic!("expected campaign, got {other:?}"),
         }
@@ -559,6 +652,7 @@ mod tests {
                 attempts,
                 bits,
                 jobs,
+                ..
             } => {
                 assert_eq!(scenarios[0].name, "tiny");
                 assert_eq!((*seeds, *base_seed), (2, 7));
@@ -568,6 +662,48 @@ mod tests {
         }
         // --trace needs a path.
         assert!(parse(&["campaign", "--trace"]).is_err());
+    }
+
+    #[test]
+    fn fault_flags() {
+        let o = parse(&[
+            "campaign",
+            "--faults",
+            "0.05",
+            "--fault-seed",
+            "11",
+            "--max-retries",
+            "2",
+            "--backoff",
+            "25",
+        ])
+        .unwrap();
+        match &o.command {
+            Command::Campaign { faults, .. } => {
+                assert_eq!(
+                    *faults,
+                    FaultOpts {
+                        rate: 0.05,
+                        seed: 11,
+                        max_retries: 2,
+                        backoff_ms: 25,
+                    }
+                );
+                let config = faults.fault_config();
+                assert!(config.is_active());
+                assert_eq!(config.seed, 11);
+                let retry = faults.retry_policy();
+                assert_eq!(retry.max_retries, 2);
+                assert_eq!(retry.backoff, SimDuration::from_millis(25));
+                assert!(retry.degrade);
+            }
+            other => panic!("expected campaign, got {other:?}"),
+        }
+        // The rate must be a probability.
+        assert!(parse(&["campaign", "--faults", "1.5"]).is_err());
+        assert!(parse(&["campaign", "--faults", "-0.1"]).is_err());
+        assert!(parse(&["campaign", "--faults", "NaN"]).is_err());
+        assert!(parse(&["campaign", "--faults"]).is_err());
     }
 
     #[test]

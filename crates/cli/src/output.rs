@@ -332,6 +332,15 @@ impl Json for TraceEventOut {
             }
             Event::ViommuMap { iova } => obj.number("iova", iova),
             Event::VmReboot => {}
+            Event::FaultInjected { stage, cause } => {
+                obj.string("stage", stage);
+                obj.string("cause", cause);
+            }
+            Event::Retry { stage, attempt } => {
+                obj.string("stage", stage);
+                obj.number("attempt", attempt);
+            }
+            Event::SprayDegraded { budget } => obj.number("budget", budget),
             Event::StageStart { stage } => obj.string("stage", stage.name()),
             Event::StageEnd { stage, nanos } => {
                 obj.string("stage", stage.name());

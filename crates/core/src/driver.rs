@@ -16,7 +16,7 @@ use hh_sim::clock::SimDuration;
 use crate::exploit::{EscapeProof, ExploitFailure, ExploitParams, Exploiter};
 use crate::machine::Scenario;
 use crate::profile::{FlipCatalog, ProfileParams, Profiler};
-use crate::steering::{PageSteering, SteeringParams};
+use crate::steering::{with_retries, PageSteering, RetryPolicy, SteeringParams};
 
 /// A catalogued bit re-located into the current VM's guest-physical
 /// space.
@@ -50,6 +50,10 @@ pub enum AttemptOutcome {
     Failed(ExploitFailure),
     /// No catalogued bit could be re-located into this VM instance.
     NoUsableBits,
+    /// The attempt was abandoned by a transient host fault that outlived
+    /// the retry budget. The VM was torn down cleanly; the campaign
+    /// counts the attempt as failed and moves on.
+    Aborted(HvError),
 }
 
 impl AttemptOutcome {
@@ -90,23 +94,30 @@ impl CampaignStats {
             .map(|i| i + 1)
     }
 
-    /// Mean simulated attempt duration in minutes.
+    /// Mean simulated attempt duration in minutes. The sum saturates at
+    /// `u64::MAX` nanoseconds instead of overflowing (a campaign of
+    /// near-`u64::MAX` attempt durations yields the saturated mean, not
+    /// a panic or a wrapped-around nonsense value).
     pub fn avg_attempt_mins(&self) -> f64 {
         if self.attempts.is_empty() {
             return 0.0;
         }
-        let total: u64 = self.attempts.iter().map(|a| a.duration.as_nanos()).sum();
-        SimDuration::from_nanos(total / self.attempts.len() as u64).as_mins_f64()
+        let total = self
+            .attempts
+            .iter()
+            .fold(SimDuration::ZERO, |acc, a| acc.saturating_add(a.duration));
+        SimDuration::from_nanos(total.as_nanos() / self.attempts.len() as u64).as_mins_f64()
     }
 
-    /// Simulated time from campaign start to the first success.
+    /// Simulated time from campaign start to the first success,
+    /// saturating at `u64::MAX` nanoseconds.
     pub fn time_to_first_success(&self) -> Option<SimDuration> {
         let idx = self.first_success()?;
-        let nanos: u64 = self.attempts[..idx]
-            .iter()
-            .map(|a| a.duration.as_nanos())
-            .sum();
-        Some(SimDuration::from_nanos(nanos))
+        Some(
+            self.attempts[..idx]
+                .iter()
+                .fold(SimDuration::ZERO, |acc, a| acc.saturating_add(a.duration)),
+        )
     }
 }
 
@@ -124,6 +135,10 @@ pub struct DriverParams {
     /// when `true`, unstable bits are excluded entirely rather than used
     /// as fallback.
     pub stable_bits_only: bool,
+    /// Recovery policy for transient host faults, threaded through every
+    /// steering stage and the campaign's VM-respawn path. Dead code when
+    /// the host's fault plan is off.
+    pub retry: RetryPolicy,
 }
 
 impl DriverParams {
@@ -142,6 +157,7 @@ impl DriverParams {
             // bits, so the paper's 12-bit attempts must draw on unstable
             // bits too; stable ones are simply tried first.
             stable_bits_only: false,
+            retry: RetryPolicy::standard(),
         }
     }
 }
@@ -159,7 +175,7 @@ pub struct AttackDriver {
 impl AttackDriver {
     /// Creates a driver.
     pub fn new(params: DriverParams) -> Self {
-        let steering = PageSteering::new(params.steering.clone());
+        let steering = PageSteering::new(params.steering.clone()).with_retry(params.retry);
         let exploiter = Exploiter::new(params.exploit.clone());
         Self {
             params,
@@ -360,8 +376,14 @@ impl AttackDriver {
         max_attempts: usize,
         mut progress: impl FnMut(usize, &AttemptRecord),
     ) -> Result<CampaignStats, HvError> {
-        // The hypervisor page with a magic value (§5.3.2).
-        let witness = host.buddy_mut().alloc_page(MigrateType::Unmovable)?;
+        // The hypervisor page with a magic value (§5.3.2). Allocation
+        // jitter from the fault plan can trip this too, so it retries
+        // like any choke-point operation.
+        let witness = with_retries(&self.params.retry, host, |h| {
+            h.buddy_mut()
+                .alloc_page(MigrateType::Unmovable)
+                .map_err(HvError::from)
+        })?;
         host.dram_mut()
             .store_mut()
             .write_u64(witness.base_hpa(), 0x4b56_4d45_5343_4150); // "KVMESCAP"
@@ -370,8 +392,34 @@ impl AttackDriver {
         let mut stats = CampaignStats::default();
         for i in 0..max_attempts {
             let respawn_start = host.now();
-            let vm = host.create_vm(scenario.vm_config())?;
-            let mut record = self.run_attempt(host, vm, catalog, witness.base_hpa())?;
+            let free_before = host.buddy().free_pages();
+            // A transient fault that outlives its retry budget abandons
+            // the attempt, not the campaign — whether it trips the VM
+            // respawn (constructor rolls itself back) or the attempt
+            // proper (`run_attempt` tears the VM down). Either way the
+            // host must be back to its pre-attempt page balance so the
+            // next respawn starts clean.
+            let attempt = with_retries(&self.params.retry, host, |h| {
+                h.create_vm(scenario.vm_config())
+            })
+            .and_then(|vm| self.run_attempt(host, vm, catalog, witness.base_hpa()));
+            let mut record = match attempt {
+                Ok(record) => record,
+                Err(e) if e.is_transient() => {
+                    assert_eq!(
+                        host.buddy().free_pages(),
+                        free_before,
+                        "aborted attempt must not leak host pages"
+                    );
+                    AttemptRecord {
+                        outcome: AttemptOutcome::Aborted(e),
+                        duration: SimDuration::ZERO,
+                        bits_targeted: 0,
+                        released: 0,
+                    }
+                }
+                Err(e) => return Err(e),
+            };
             // Attempt cost includes the VM respawn (§5.3: failed attempts
             // force a restart).
             record.duration = host.elapsed_since(respawn_start);
@@ -455,5 +503,51 @@ mod tests {
         }
         // Host is left balanced: all VMs destroyed.
         let _ = stats.avg_attempt_mins();
+    }
+
+    fn record(outcome: AttemptOutcome, nanos: u64) -> AttemptRecord {
+        AttemptRecord {
+            outcome,
+            duration: SimDuration::from_nanos(nanos),
+            bits_targeted: 0,
+            released: 0,
+        }
+    }
+
+    #[test]
+    fn stats_saturate_instead_of_overflowing() {
+        // Three near-u64::MAX attempts: the raw nanosecond sum would
+        // overflow twice over; the folds must saturate, not wrap or
+        // panic.
+        let proof = crate::exploit::EscapeProof {
+            controlled_gpa: hh_sim::addr::Gpa::new(0),
+            ept_window_gpa: hh_sim::addr::Gpa::new(0),
+            target_hpa: Hpa::new(0),
+            value_read: 0,
+        };
+        let stats = CampaignStats {
+            attempts: vec![
+                record(AttemptOutcome::NoUsableBits, u64::MAX - 17),
+                record(AttemptOutcome::NoUsableBits, u64::MAX / 2),
+                record(AttemptOutcome::Success(proof), u64::MAX),
+            ],
+            total_time: SimDuration::from_nanos(u64::MAX),
+        };
+        assert_eq!(
+            stats.time_to_first_success(),
+            Some(SimDuration::from_nanos(u64::MAX))
+        );
+        let mins = stats.avg_attempt_mins();
+        // Saturated sum / 3 attempts, in minutes — finite and positive.
+        assert!(mins.is_finite() && mins > 0.0);
+        assert!((mins - SimDuration::from_nanos(u64::MAX / 3).as_mins_f64()).abs() < 1.0);
+    }
+
+    #[test]
+    fn stats_on_empty_campaign_are_zero() {
+        let stats = CampaignStats::default();
+        assert_eq!(stats.avg_attempt_mins(), 0.0);
+        assert_eq!(stats.time_to_first_success(), None);
+        assert_eq!(stats.first_success(), None);
     }
 }

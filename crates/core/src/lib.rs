@@ -64,4 +64,4 @@ pub use exploit::{EscapeProof, Exploiter};
 pub use machine::Scenario;
 pub use parallel::{CampaignGrid, CellResult};
 pub use profile::{FlipCatalog, ProfileReport, Profiler};
-pub use steering::PageSteering;
+pub use steering::{PageSteering, RetryPolicy};

@@ -2,7 +2,7 @@
 
 use hh_dram::fault::{FaultParams, TrrConfig};
 use hh_dram::DimmProfile;
-use hh_hv::{Host, HostConfig, QuarantinePolicy, VmConfig};
+use hh_hv::{FaultConfig, Host, HostConfig, QuarantinePolicy, VmConfig};
 use hh_sim::clock::CostModel;
 use hh_sim::ByteSize;
 
@@ -200,6 +200,15 @@ impl Scenario {
     /// experiments).
     pub fn with_vm_config(mut self, vm: VmConfig) -> Self {
         self.vm = vm;
+        self
+    }
+
+    /// Returns a copy with the given hostile-host fault plan. The
+    /// plan's injection stream also mixes the host seed, so re-seeding
+    /// the scenario afterwards (as campaign grids do per cell) still
+    /// yields an independent fault schedule per cell.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.host = self.host.with_faults(faults);
         self
     }
 

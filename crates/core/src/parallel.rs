@@ -27,12 +27,13 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hh_hv::HvError;
+use hh_hv::{FaultConfig, HvError};
 use hh_sim::rng::SimRng;
 use hh_trace::{TraceMode, TraceSink, Tracer};
 
 use crate::driver::{AttackDriver, CampaignStats, DriverParams};
 use crate::machine::Scenario;
+use crate::steering::{with_retries, RetryPolicy};
 
 /// Resolves a `--jobs`-style request: `None` means "use all available
 /// parallelism", and a request is clamped to at least one worker.
@@ -184,6 +185,24 @@ impl CampaignGrid {
         self
     }
 
+    /// Applies a hostile-host fault plan to every scenario in the grid.
+    /// Each cell still derives its own injection stream: the plan mixes
+    /// the cell's host seed, which [`CampaignGrid::cells`] re-splits per
+    /// cell, so no two cells share a fault schedule and determinism per
+    /// cell (hence across `--jobs`) is preserved.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        for scenario in &mut self.scenarios {
+            *scenario = scenario.clone().with_faults(faults);
+        }
+        self
+    }
+
+    /// Replaces the transient-fault recovery policy used by every cell.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.params.retry = retry;
+        self
+    }
+
     /// Uses these explicit experiment seeds for every scenario.
     pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
         assert!(!seeds.is_empty(), "a grid needs at least one seed");
@@ -241,10 +260,16 @@ impl CampaignGrid {
         let tracer = Tracer::new(self.trace);
         tracer.set_cell(cell.index);
         host.attach_tracer(tracer.clone());
-        let mut vm = host.create_vm(cell.scenario.vm_config())?;
-        let catalog =
-            driver.profile_and_catalog(&mut host, &mut vm, cell.scenario.profile_params())?;
-        vm.destroy(&mut host);
+        // An active fault plan can trip the profiling stage too (VM
+        // creation jitter, EPT splits under the profiler's hammering).
+        // Retry the whole stage on a fresh VM: the faulted try destroys
+        // its VM before the backoff, so nothing leaks between tries.
+        let catalog = with_retries(&self.params.retry, &mut host, |h| {
+            let mut vm = h.create_vm(cell.scenario.vm_config())?;
+            let result = driver.profile_and_catalog(h, &mut vm, cell.scenario.profile_params());
+            vm.destroy(h);
+            result
+        })?;
         let stats = driver.campaign(&cell.scenario, &mut host, &catalog, self.max_attempts)?;
         Ok(CellResult {
             scenario: cell.scenario.name,

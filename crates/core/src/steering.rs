@@ -19,7 +19,7 @@
 
 use hh_hv::{Host, HvError, Vm};
 use hh_sim::addr::{Gpa, Iova, HUGE_PAGE_SIZE};
-use hh_sim::clock::SimInstant;
+use hh_sim::clock::{SimDuration, SimInstant};
 use hh_trace::Stage;
 
 /// Machine code of the paper's Listing 1 — an idling function
@@ -55,6 +55,78 @@ impl SteeringParams {
             iova_base: 0x1_0000_0000,
             mapping_batch: 1_000,
             batch_delay_secs: 1,
+        }
+    }
+}
+
+/// Recovery policy for transient host faults ([`HvError::Transient`]).
+///
+/// Choke-point operations (vIOMMU map, virtio-mem unplug, EPT split,
+/// page allocation) that fail transiently are retried in place: each
+/// retry advances the simulated clock by `backoff` before re-issuing
+/// the *same* operation, which is safe because injected transients
+/// never have side effects. An operation that stays faulty past
+/// `max_retries` propagates its `Transient` error — except during the
+/// EPT spray, where `degrade` turns persistent failures into a
+/// degradation ladder (halve the remaining spray width, re-drain the
+/// noise pool, continue) instead of failing the whole attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per choke-point operation before giving up on it.
+    pub max_retries: u32,
+    /// Simulated-time backoff charged before each retry.
+    pub backoff: SimDuration,
+    /// Degrade the spray instead of failing the attempt.
+    pub degrade: bool,
+}
+
+impl RetryPolicy {
+    /// Default recovery: 4 retries, 10 ms backoff, degradation on.
+    /// With faults off this is pure dead code — no clock or trace
+    /// impact — so default-built drivers stay byte-identical to
+    /// pre-fault revisions.
+    pub const fn standard() -> Self {
+        Self {
+            max_retries: 4,
+            backoff: SimDuration::from_millis(10),
+            degrade: true,
+        }
+    }
+
+    /// No recovery: every transient fault propagates immediately.
+    pub const fn none() -> Self {
+        Self {
+            max_retries: 0,
+            backoff: SimDuration::ZERO,
+            degrade: false,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Runs `op`, retrying [`HvError::Transient`] failures per `policy`:
+/// each retry charges the backoff to the simulated clock and records a
+/// retry event. Any other outcome (success or fatal error) passes
+/// through untouched.
+pub(crate) fn with_retries<T>(
+    policy: &RetryPolicy,
+    host: &mut Host,
+    mut op: impl FnMut(&mut Host) -> Result<T, HvError>,
+) -> Result<T, HvError> {
+    let mut attempt = 0u32;
+    loop {
+        match op(host) {
+            Err(HvError::Transient { stage, .. }) if attempt < policy.max_retries => {
+                attempt += 1;
+                host.charge_nanos(policy.backoff.as_nanos());
+                host.tracer().retry(stage.name(), u64::from(attempt));
+            }
+            other => return other,
         }
     }
 }
@@ -114,12 +186,28 @@ impl ReuseStats {
 #[derive(Debug, Clone)]
 pub struct PageSteering {
     params: SteeringParams,
+    retry: RetryPolicy,
 }
 
 impl PageSteering {
-    /// Creates the engine with the given parameters.
+    /// Creates the engine with the given parameters and the
+    /// [`RetryPolicy::standard`] recovery policy.
     pub fn new(params: SteeringParams) -> Self {
-        Self { params }
+        Self {
+            params,
+            retry: RetryPolicy::standard(),
+        }
+    }
+
+    /// Returns a copy with a different recovery policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The recovery policy in force.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Step 1: exhaust small-order unmovable free blocks via vIOMMU.
@@ -152,8 +240,12 @@ impl PageSteering {
         }];
         for i in 0..self.params.iova_mappings {
             let iova = Iova::new(self.params.iova_base + i * HUGE_PAGE_SIZE);
-            match vm.iommu_map(host, 0, iova, target_page) {
+            match with_retries(&self.retry, host, |h| vm.iommu_map(h, 0, iova, target_page)) {
                 Ok(()) => {}
+                // Re-drains (the spray degradation ladder) walk the same
+                // IOVA sequence again: mappings that survived the first
+                // pass are skipped, only the missing tail is established.
+                Err(HvError::IovaAlreadyMapped(_)) => {}
                 Err(HvError::IommuMapLimit) => break,
                 // Draining the host's free pool is this stage's success
                 // condition (§4.2.1), not a failure: on small hosts the
@@ -213,7 +305,7 @@ impl PageSteering {
         targets.sort_unstable();
         targets.dedup();
         for hp in targets {
-            match vm.virtio_mem_unplug(host, hp) {
+            match with_retries(&self.retry, host, |h| vm.virtio_mem_unplug(h, hp)) {
                 Ok(()) => released.push(hp),
                 Err(HvError::NotPlugged(_)) => {} // already released
                 Err(e) => return Err(e),
@@ -264,14 +356,36 @@ impl PageSteering {
                     return Ok(stats);
                 }
                 let hp = base.add(off);
-                // Write the idling function, then call it.
-                vm.write_gpa(host, hp, &IDLE_FUNCTION)?;
-                let split = vm.exec_gpa(host, hp)?;
-                stats.hugepages_executed += 1;
-                if split {
-                    stats.splits += 1;
+                // Write the idling function, then call it. Retries
+                // re-issue both: the write is idempotent and the split
+                // only happens once.
+                let executed = with_retries(&self.retry, host, |h| {
+                    vm.write_gpa(h, hp, &IDLE_FUNCTION)?;
+                    vm.exec_gpa(h, hp)
+                });
+                match executed {
+                    Ok(split) => {
+                        stats.hugepages_executed += 1;
+                        if split {
+                            stats.splits += 1;
+                        }
+                        budget -= HUGE_PAGE_SIZE;
+                    }
+                    // Degradation ladder (§4.2.3 sizing under a hostile
+                    // host): a hugepage that stays faulty past the retry
+                    // budget is skipped, the remaining spray width is
+                    // halved, and the noise pool is re-drained so the
+                    // narrower spray still lands on released blocks.
+                    Err(HvError::Transient { .. }) if self.retry.degrade => {
+                        budget /= 2;
+                        host.tracer().spray_degraded(budget);
+                        if budget < HUGE_PAGE_SIZE {
+                            return Ok(stats);
+                        }
+                        self.exhaust_noise_inner(host, vm)?;
+                    }
+                    Err(e) => return Err(e),
                 }
-                budget -= HUGE_PAGE_SIZE;
             }
         }
         Ok(stats)
@@ -314,8 +428,21 @@ impl PageSteering {
     ) -> Result<(Vec<NoiseSample>, Vec<Gpa>, SprayStats), HvError> {
         let noise = self.exhaust_noise(host, vm)?;
         let released = self.release_hugepages(host, vm, victim_hugepages)?;
-        let stats = self.spray_ept(host, vm, Self::spray_budget(released.len()))?;
-        Ok((noise, released, stats))
+        match self.spray_ept(host, vm, Self::spray_budget(released.len())) {
+            Ok(stats) => Ok((noise, released, stats)),
+            Err(e) => {
+                // Roll the release back so a failed steering run leaves
+                // the VM's virtio-mem plug state as it found it (the
+                // retry loop depends on starting from a clean state).
+                // Re-plugging is best-effort: if the host is too far
+                // gone to provision fresh backing, the original error
+                // still propagates.
+                for &hp in &released {
+                    let _ = with_retries(&self.retry, host, |h| vm.virtio_mem_plug(h, hp));
+                }
+                Err(e)
+            }
+        }
     }
 }
 

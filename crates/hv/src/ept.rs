@@ -400,6 +400,9 @@ impl Ept {
         if !entry.is_present() || !entry.is_large() {
             return Err(HvError::Unmapped(gpa));
         }
+        // Fault choke point: past validation, before the PT page is
+        // allocated, so an injected transient leaves the EPT untouched.
+        host.fault_check(crate::error::FaultStage::EptSplit)?;
         let pt = host.alloc_ept_page_typed(mt)?;
         let base = entry.pfn();
         // Build the whole PT page and store it in one operation.

@@ -5,11 +5,49 @@ use std::fmt;
 use hh_buddy::AllocError;
 use hh_sim::{Gpa, Iova};
 
+/// The steering choke points where the host's fault plan can inject a
+/// transient failure (see [`crate::FaultPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultStage {
+    /// vIOMMU DMA map (`IommuGroup::map`).
+    ViommuMap,
+    /// vIOMMU DMA unmap (`IommuGroup::unmap`).
+    ViommuUnmap,
+    /// virtio-mem sub-block unplug.
+    VirtioMemUnplug,
+    /// iTLB-Multihit EPT hugepage split.
+    EptSplit,
+    /// Host buddy-allocator page allocation (jitter).
+    BuddyAlloc,
+}
+
+impl FaultStage {
+    /// Stable lower-snake name (used in trace events and messages).
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultStage::ViommuMap => "viommu_map",
+            FaultStage::ViommuUnmap => "viommu_unmap",
+            FaultStage::VirtioMemUnplug => "virtio_mem_unplug",
+            FaultStage::EptSplit => "ept_split",
+            FaultStage::BuddyAlloc => "buddy_alloc",
+        }
+    }
+}
+
 /// Errors surfaced by hypervisor operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HvError {
     /// The host ran out of memory.
     OutOfHostMemory(AllocError),
+    /// A transient, retryable failure injected by the host's fault plan.
+    /// Unlike every other variant, the operation left no side effects and
+    /// may simply be retried after a backoff.
+    Transient {
+        /// Choke point the fault hit.
+        stage: FaultStage,
+        /// Modelled cause of the failure.
+        cause: &'static str,
+    },
     /// A guest-physical address has no EPT mapping.
     Unmapped(Gpa),
     /// A guest-physical address is outside the VM's address space.
@@ -50,6 +88,9 @@ impl fmt::Display for HvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HvError::OutOfHostMemory(e) => write!(f, "host allocation failed: {e}"),
+            HvError::Transient { stage, cause } => {
+                write!(f, "transient fault at {}: {cause}", stage.name())
+            }
             HvError::Unmapped(gpa) => write!(f, "no EPT mapping for {gpa}"),
             HvError::OutOfGuestRange(gpa) => write!(f, "{gpa} outside guest address space"),
             HvError::NotPlugged(gpa) => write!(f, "sub-block at {gpa} is not plugged"),
@@ -81,8 +122,22 @@ impl std::error::Error for HvError {
     }
 }
 
+impl HvError {
+    /// Whether the error is a retryable [`HvError::Transient`] fault.
+    pub const fn is_transient(&self) -> bool {
+        matches!(self, HvError::Transient { .. })
+    }
+}
+
 impl From<AllocError> for HvError {
     fn from(e: AllocError) -> Self {
-        HvError::OutOfHostMemory(e)
+        match e {
+            // Jitter is retryable; real exhaustion is not.
+            AllocError::Transient => HvError::Transient {
+                stage: FaultStage::BuddyAlloc,
+                cause: "allocation jitter",
+            },
+            other => HvError::OutOfHostMemory(other),
+        }
     }
 }

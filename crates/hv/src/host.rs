@@ -1,6 +1,6 @@
 //! The host machine: DRAM, page allocator, clock, and boot-time noise.
 
-use hh_buddy::{BuddyAllocator, MigrateType, PageTypeInfo, PcpConfig};
+use hh_buddy::{AllocJitter, BuddyAllocator, MigrateType, PageTypeInfo, PcpConfig};
 use hh_dram::{DimmProfile, DramDevice};
 use hh_sim::addr::{Pfn, PAGE_SIZE};
 use hh_sim::clock::{Clock, CostModel, SimDuration, SimInstant};
@@ -8,6 +8,8 @@ use hh_sim::rng::SimRng;
 use hh_sim::ByteSize;
 use hh_trace::Tracer;
 
+use crate::error::FaultStage;
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::virtio_mem::QuarantinePolicy;
 use crate::HvError;
 
@@ -67,6 +69,9 @@ pub struct HostConfig {
     pub noise: NoiseProfile,
     /// virtio-mem request quarantine (the paper's §6 countermeasure).
     pub quarantine: QuarantinePolicy,
+    /// Transient fault injection at the steering choke points
+    /// (off by default).
+    pub faults: FaultConfig,
     /// Master seed for all stochastic behaviour.
     pub seed: u64,
 }
@@ -81,6 +86,7 @@ impl HostConfig {
             pcp: PcpConfig::standard(),
             noise: NoiseProfile::quiet(),
             quarantine: QuarantinePolicy::Off,
+            faults: FaultConfig::off(),
             seed: 0x5eed,
         }
     }
@@ -93,6 +99,7 @@ impl HostConfig {
             pcp: PcpConfig::standard(),
             noise: NoiseProfile::bare_kvm(),
             quarantine: QuarantinePolicy::Off,
+            faults: FaultConfig::off(),
             seed: 0x51,
         }
     }
@@ -110,6 +117,7 @@ impl HostConfig {
                 free_small_unmovable_pages: 31_000,
             },
             quarantine: QuarantinePolicy::Off,
+            faults: FaultConfig::off(),
             seed: 0x52,
         }
     }
@@ -135,6 +143,12 @@ impl HostConfig {
         self.quarantine = q;
         self
     }
+
+    /// Returns a copy with the given fault-injection configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// The host machine.
@@ -156,6 +170,7 @@ pub struct Host {
     released_log: Vec<Pfn>,
     ept_pages_allocated: u64,
     next_vm_id: u32,
+    fault_plan: FaultPlan,
     tracer: Tracer,
 }
 
@@ -172,6 +187,7 @@ impl Host {
         let noise_rng = rng.fork("host-noise");
         let dram = DramDevice::new(config.dimm, config.seed ^ 0xd1a);
         let buddy = BuddyAllocator::with_pcp(size / PAGE_SIZE, config.pcp);
+        let fault_plan = FaultPlan::new(config.faults, config.seed);
         let mut host = Self {
             dram,
             buddy,
@@ -182,9 +198,18 @@ impl Host {
             released_log: Vec::new(),
             ept_pages_allocated: 0,
             next_vm_id: 1,
+            fault_plan,
             tracer: Tracer::off(),
         };
         host.apply_boot_noise(config.noise);
+        // Jitter attaches after boot noise: boot-time churn is part of
+        // the machine's initial conditions, not of the hostile phase.
+        if config.faults.alloc_rate > 0.0 {
+            host.buddy.set_alloc_jitter(Some(AllocJitter::new(
+                host.fault_plan.jitter_seed(),
+                config.faults.alloc_rate,
+            )));
+        }
         host
     }
 
@@ -276,6 +301,29 @@ impl Host {
     /// Host-side RNG stream (background activity, TRR sampling…).
     pub fn rng_mut(&mut self) -> &mut SimRng {
         &mut self.rng
+    }
+
+    /// The host's fault plan (inspection / test hooks).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Rolls the fault plan for a choke-point operation. Called before
+    /// the operation has any side effect; on a hit, records the
+    /// injection in the trace and returns the retryable
+    /// [`HvError::Transient`] the operation must propagate.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Transient`] when the plan schedules a fault here.
+    pub fn fault_check(&mut self, stage: FaultStage) -> Result<(), HvError> {
+        match self.fault_plan.check(stage, self.clock.now_nanos()) {
+            None => Ok(()),
+            Some(cause) => {
+                self.tracer.fault_injected(stage.name(), cause);
+                Err(HvError::Transient { stage, cause })
+            }
+        }
     }
 
     /// Advances the clock and keeps the trace sink's timestamp in step.

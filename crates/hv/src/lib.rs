@@ -58,6 +58,7 @@
 pub mod balloon;
 pub mod ept;
 mod error;
+pub mod fault;
 pub mod guest_mm;
 pub mod host;
 pub mod viommu;
@@ -65,7 +66,8 @@ pub mod virtio_mem;
 pub mod vm;
 pub mod xen;
 
-pub use error::HvError;
+pub use error::{FaultStage, HvError};
+pub use fault::{FaultConfig, FaultPlan};
 pub use guest_mm::{GuestMm, GuestThp};
 pub use host::{Host, HostConfig, NoiseProfile};
 pub use viommu::IommuGroup;

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use hh_sim::addr::{Gpa, Hpa, Iova, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
 
+use crate::error::FaultStage;
 use crate::host::Host;
 use crate::HvError;
 
@@ -67,6 +68,9 @@ impl IommuGroup {
         if self.mappings.contains_key(&page_index) {
             return Err(HvError::IovaAlreadyMapped(iova));
         }
+        // Fault choke point: past validation, before any side effect, so
+        // an injected transient leaves the group untouched.
+        host.fault_check(FaultStage::ViommuMap)?;
         let window = iova.raw() / HUGE_PAGE_SIZE;
         if let std::collections::hash_map::Entry::Vacant(e) = self.iopt_pages.entry(window) {
             let pt = host.alloc_iopt_page()?;
@@ -92,9 +96,12 @@ impl IommuGroup {
     /// [`HvError::IovaNotMapped`] if no mapping exists.
     pub fn unmap(&mut self, host: &mut Host, iova: Iova) -> Result<(), HvError> {
         let page_index = iova.raw() / PAGE_SIZE;
-        if self.mappings.remove(&page_index).is_none() {
+        if !self.mappings.contains_key(&page_index) {
             return Err(HvError::IovaNotMapped(iova));
         }
+        // Fault choke point: checked before the mapping is removed.
+        host.fault_check(FaultStage::ViommuUnmap)?;
+        self.mappings.remove(&page_index);
         let window = iova.raw() / HUGE_PAGE_SIZE;
         let pt = self.iopt_pages[&window];
         let slot = page_index % 512;

@@ -16,6 +16,8 @@
 
 use hh_sim::addr::{Gpa, HUGE_PAGE_SIZE};
 
+use crate::error::FaultStage;
+use crate::host::Host;
 use crate::HvError;
 
 /// Size of a virtio-mem sub-block: 2 MiB, aligned with THP and order-9
@@ -176,6 +178,34 @@ impl VirtioMemDevice {
                 requested: self.requested_size,
             });
         }
+        self.plugged[index as usize] = false;
+        Ok(())
+    }
+
+    /// [`Self::unplug`] with the host's fault plan consulted first —
+    /// the paper's second steering choke point. Validation and the
+    /// quarantine check run before the fault roll, so an injected
+    /// transient leaves the device state untouched and the request can
+    /// simply be re-issued.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::unplug`] returns, plus [`HvError::Transient`]
+    /// when the host's fault plan drops the request.
+    pub fn unplug_on(&mut self, host: &mut Host, gpa: Gpa) -> Result<(), HvError> {
+        let policy = host.quarantine();
+        let index = self.sub_block_of(gpa)?;
+        if !self.plugged[index as usize] {
+            return Err(HvError::NotPlugged(gpa));
+        }
+        let plugged = self.plugged_size();
+        if !policy.permits_unplug(plugged, self.requested_size, SUB_BLOCK_SIZE) {
+            return Err(HvError::QuarantineNack {
+                current: plugged,
+                requested: self.requested_size,
+            });
+        }
+        host.fault_check(FaultStage::VirtioMemUnplug)?;
         self.plugged[index as usize] = false;
         Ok(())
     }

@@ -219,8 +219,12 @@ impl Vm {
                 // VFIO pins the guest's pages (§2.6).
                 host.buddy_mut()
                     .set_migrate_type(block, 9, MigrateType::Unmovable);
-                self.ept
-                    .map_huge(host, base, block.base_hpa(), executable)?;
+                if let Err(e) = self.ept.map_huge(host, base, block.base_hpa(), executable) {
+                    // The block is not in `backing` yet, so the caller's
+                    // `destroy` rollback cannot reach it: free it here.
+                    host.buddy_mut().free(block, 9);
+                    return Err(e);
+                }
                 self.backing.insert(chunk, Backing::Huge(block));
                 self.rev_huge.insert(block.index() / 512, chunk);
                 return Ok(());
@@ -647,11 +651,11 @@ impl Vm {
     /// # Errors
     ///
     /// Protocol errors from [`VirtioMemDevice::unplug`] (including
-    /// [`HvError::QuarantineNack`] under the §6 countermeasure), or
+    /// [`HvError::QuarantineNack`] under the §6 countermeasure),
     /// [`HvError::NotHugeBacked`] if THP did not back this sub-block with
-    /// a single order-9 block.
+    /// a single order-9 block, or [`HvError::Transient`] when the host's
+    /// fault plan drops the request (retryable; no state changed).
     pub fn virtio_mem_unplug(&mut self, host: &mut Host, gpa: Gpa) -> Result<(), HvError> {
-        let policy = host.quarantine();
         // Validate backing before touching protocol state.
         let chunk = gpa.raw() / HUGE_PAGE_SIZE;
         match self.backing.get(&chunk) {
@@ -659,7 +663,7 @@ impl Vm {
             Some(Backing::Pages(_)) => return Err(HvError::NotHugeBacked(gpa)),
             None => return Err(HvError::NotPlugged(gpa)),
         }
-        self.virtio_mem.unplug(gpa, policy)?;
+        self.virtio_mem.unplug_on(host, gpa)?;
         let Some(Backing::Huge(block)) = self.backing.remove(&chunk) else {
             unreachable!("validated above");
         };

@@ -133,11 +133,17 @@ pub enum Counter {
     DramPlanCompiles,
     /// Hammer bursts served from the compiled-plan cache.
     DramPlanHits,
+    /// Transient faults injected by the host's fault plan.
+    FaultsInjected,
+    /// Stage operations retried after a transient fault.
+    TransientRetries,
+    /// Spray-width halvings after repeated transient spray failures.
+    SprayDegradations,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -157,6 +163,9 @@ impl Counter {
         Counter::VmReboots,
         Counter::DramPlanCompiles,
         Counter::DramPlanHits,
+        Counter::FaultsInjected,
+        Counter::TransientRetries,
+        Counter::SprayDegradations,
     ];
 
     /// Stable lower-snake name (used in NDJSON output and tables).
@@ -178,6 +187,9 @@ impl Counter {
             Counter::VmReboots => "vm_reboots",
             Counter::DramPlanCompiles => "dram_plan_compiles",
             Counter::DramPlanHits => "dram_plan_hits",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::TransientRetries => "transient_retries",
+            Counter::SprayDegradations => "spray_degradations",
         }
     }
 
@@ -199,6 +211,9 @@ impl Counter {
             Counter::VmReboots => 13,
             Counter::DramPlanCompiles => 14,
             Counter::DramPlanHits => 15,
+            Counter::FaultsInjected => 16,
+            Counter::TransientRetries => 17,
+            Counter::SprayDegradations => 18,
         }
     }
 }
@@ -437,6 +452,25 @@ pub enum Event {
     },
     /// The attacker VM was (re)booted.
     VmReboot,
+    /// The host's fault plan injected a transient failure.
+    FaultInjected {
+        /// Choke point the fault hit (stable lower-snake name).
+        stage: &'static str,
+        /// Modelled cause of the failure.
+        cause: &'static str,
+    },
+    /// A stage operation was retried after a transient fault.
+    Retry {
+        /// Choke point being retried (stable lower-snake name).
+        stage: &'static str,
+        /// 1-based retry number for this operation.
+        attempt: u64,
+    },
+    /// The EPT spray halved its remaining width after repeated faults.
+    SprayDegraded {
+        /// Remaining spray budget, bytes.
+        budget: u64,
+    },
     /// An attack-pipeline stage began.
     StageStart {
         /// Stage that began.
@@ -467,6 +501,9 @@ impl Event {
             Event::ViommuMap { .. } => "viommu_map",
             Event::VirtioMemUnplug { .. } => "virtio_mem_unplug",
             Event::VmReboot => "vm_reboot",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::Retry { .. } => "retry",
+            Event::SprayDegraded { .. } => "spray_degraded",
             Event::StageStart { .. } => "stage_start",
             Event::StageEnd { .. } => "stage_end",
         }
@@ -785,6 +822,30 @@ impl Tracer {
         self.with(|s| {
             s.metrics.bump(Counter::VmReboots, 1);
             s.record(Event::VmReboot);
+        });
+    }
+
+    /// Records a transient fault injected by the host's fault plan.
+    pub fn fault_injected(&self, stage: &'static str, cause: &'static str) {
+        self.with(|s| {
+            s.metrics.bump(Counter::FaultsInjected, 1);
+            s.record(Event::FaultInjected { stage, cause });
+        });
+    }
+
+    /// Records a stage operation being retried after a transient fault.
+    pub fn retry(&self, stage: &'static str, attempt: u64) {
+        self.with(|s| {
+            s.metrics.bump(Counter::TransientRetries, 1);
+            s.record(Event::Retry { stage, attempt });
+        });
+    }
+
+    /// Records a spray-width halving after repeated transient failures.
+    pub fn spray_degraded(&self, budget: u64) {
+        self.with(|s| {
+            s.metrics.bump(Counter::SprayDegradations, 1);
+            s.record(Event::SprayDegraded { budget });
         });
     }
 

@@ -82,12 +82,40 @@ stage_determinism() {
     echo "determinism: --jobs 1/2/8 campaign outputs are byte-identical"
 }
 
+stage_chaos() {
+    stage chaos
+    # Fault injection is part of the simulation, so a hostile-host
+    # campaign must stay exactly as deterministic as a fault-free one:
+    # identical --trace NDJSON (injections, retries and degradations
+    # included) for every worker count.
+    local tmpdir jobs
+    tmpdir="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
+    trap "rm -rf '$tmpdir'" RETURN
+    for jobs in 1 2 8; do
+        echo "==> campaign --faults 0.05 --jobs $jobs (tiny grid, traced)"
+        cargo run --release --offline --locked -q -p hyperhammer-cli -- \
+            campaign --scenarios tiny --seeds 3 --attempts 2 --bits 4 \
+            --faults 0.05 --fault-seed 37 \
+            --jobs "$jobs" --trace "$tmpdir/trace_${jobs}.ndjson" \
+            | tail -n +3 >"$tmpdir/stdout_${jobs}.txt"
+    done
+    run cmp "$tmpdir/trace_1.ndjson" "$tmpdir/trace_2.ndjson"
+    run cmp "$tmpdir/trace_1.ndjson" "$tmpdir/trace_8.ndjson"
+    run cmp "$tmpdir/stdout_1.txt" "$tmpdir/stdout_8.txt"
+    # The injected faults must actually be there to be deterministic
+    # about: a 5% plan on the tiny grid always fires at least once.
+    run grep -q '"event": "fault_injected"' "$tmpdir/trace_1.ndjson"
+    run grep -q '"event": "retry"' "$tmpdir/trace_1.ndjson"
+    echo "chaos: --faults 0.05 campaign outputs are byte-identical across --jobs 1/2/8"
+}
+
 stage_bench_diff() {
     stage bench-diff
     run scripts/bench_diff.sh
 }
 
-ALL_STAGES=(build test fmt clippy bench-smoke determinism bench-diff)
+ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos bench-diff)
 if [ "$#" -gt 0 ]; then
     STAGES=("$@")
 else
@@ -102,6 +130,7 @@ for name in "${STAGES[@]}"; do
         clippy) stage_clippy ;;
         bench-smoke) stage_bench_smoke ;;
         determinism) stage_determinism ;;
+        chaos) stage_chaos ;;
         bench-diff) stage_bench_diff ;;
         *)
             CURRENT_STAGE="$name"

@@ -41,6 +41,9 @@ fn full_pipeline_runs_and_accounts_consistently() {
                 assert!(attempt.released <= attempt.bits_targeted);
             }
             AttemptOutcome::NoUsableBits => {}
+            AttemptOutcome::Aborted(e) => {
+                panic!("faults are off in this scenario, yet an attempt aborted: {e}");
+            }
         }
         assert!(attempt.duration.as_nanos() > 0);
     }

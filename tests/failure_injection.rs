@@ -4,13 +4,13 @@
 use hh_buddy::AllocError;
 use hh_dram::fault::FaultParams;
 use hh_dram::DimmProfile;
-use hh_hv::{Host, HostConfig, HvError, VmConfig};
+use hh_hv::{FaultConfig, Host, HostConfig, HvError, VmConfig};
 use hh_sim::addr::{HUGE_PAGE_SIZE, PAGE_SIZE};
 use hh_sim::{ByteSize, Gpa, Iova};
 use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
 use hyperhammer::machine::Scenario;
 use hyperhammer::profile::{FlipCatalog, Profiler};
-use hyperhammer::steering::{PageSteering, SteeringParams};
+use hyperhammer::steering::{PageSteering, RetryPolicy, SteeringParams};
 
 /// A host too small for the requested VM: creation fails with OOM and
 /// leaks nothing.
@@ -175,4 +175,127 @@ fn failed_attempt_under_quarantine_leaks_nothing() {
         .create_vm(hardened.vm_config())
         .expect("host is reusable");
     vm2.destroy(&mut host);
+}
+
+/// Profiles a fault-free tiny host and hands back its catalogue (the
+/// reuse pattern of the quarantine test above). `None` when the seed
+/// produced no catalogued bits.
+fn tiny_catalog() -> Option<FlipCatalog> {
+    let sc = Scenario::tiny_demo();
+    let mut host = sc.boot_host();
+    let mut vm = host.create_vm(sc.vm_config()).unwrap();
+    let profiler = Profiler::new(sc.profile_params());
+    let report = profiler.run(&mut host, &mut vm).unwrap();
+    let catalog = profiler.to_catalog(&vm, &report).unwrap();
+    vm.destroy(&mut host);
+    (!catalog.entries.is_empty()).then_some(catalog)
+}
+
+/// A transient fault that exhausts its retry budget aborts the attempt
+/// with `HvError::Transient`, and the teardown leaves the host
+/// byte-identical: `free_pages()` is restored and the host can spawn the
+/// next VM immediately.
+#[test]
+fn transient_abort_leaves_host_balanced() {
+    let Some(catalog) = tiny_catalog() else {
+        return;
+    };
+
+    // Every EPT split fails and nothing retries: the spray stage aborts
+    // the first attempt deterministically.
+    let faulty = Scenario::tiny_demo().with_faults(FaultConfig {
+        ept_split_rate: 1.0,
+        ..FaultConfig::off()
+    });
+    let mut host = faulty.boot_host();
+    let free_before = host.buddy().free_pages();
+    let vm = host.create_vm(faulty.vm_config()).unwrap();
+    let driver = AttackDriver::new(DriverParams {
+        bits_per_attempt: 2,
+        retry: RetryPolicy::none(),
+        ..DriverParams::paper()
+    });
+    let result = driver.run_attempt(&mut host, vm, &catalog, hh_sim::Hpa::new(0));
+    match &result {
+        Err(e) if e.is_transient() => {}
+        other => panic!("expected a transient abort, got {other:?}"),
+    }
+    assert_eq!(
+        host.buddy().free_pages(),
+        free_before,
+        "aborted attempt leaked host pages"
+    );
+    let vm2 = host
+        .create_vm(faulty.vm_config())
+        .expect("host is reusable");
+    vm2.destroy(&mut host);
+}
+
+/// At the campaign level a transient abort is an attempt outcome, not a
+/// campaign error: the driver records `Aborted`, verifies the page
+/// balance, and respawns for the next attempt.
+#[test]
+fn campaign_survives_persistently_faulty_attempts() {
+    let Some(catalog) = tiny_catalog() else {
+        return;
+    };
+
+    let faulty = Scenario::tiny_demo().with_faults(FaultConfig {
+        ept_split_rate: 1.0,
+        ..FaultConfig::off()
+    });
+    let mut host = faulty.boot_host();
+    let driver = AttackDriver::new(DriverParams {
+        bits_per_attempt: 2,
+        retry: RetryPolicy::none(),
+        ..DriverParams::paper()
+    });
+    let stats = driver.campaign(&faulty, &mut host, &catalog, 3).unwrap();
+    assert_eq!(stats.attempts.len(), 3, "aborts must not end the campaign");
+    for attempt in &stats.attempts {
+        assert!(
+            matches!(attempt.outcome, AttemptOutcome::Aborted(_)),
+            "expected aborted attempts, got {:?}",
+            attempt.outcome
+        );
+        assert!(attempt.duration.as_nanos() > 0);
+    }
+}
+
+/// Satellite: when the spray fails after hugepages were already
+/// released, `PageSteering::run` re-plugs them — a failed steering run
+/// leaves the VM's virtio-mem plug state exactly as it found it.
+#[test]
+fn failed_spray_restores_virtio_mem_plug_state() {
+    let faulty = Scenario::tiny_demo().with_faults(FaultConfig {
+        ept_split_rate: 1.0,
+        ..FaultConfig::off()
+    });
+    let mut host = faulty.boot_host();
+    let mut vm = host.create_vm(faulty.vm_config()).unwrap();
+    let plugged_before = vm.plugged_sub_blocks();
+    let victims: Vec<Gpa> = plugged_before.iter().take(2).copied().collect();
+    assert!(!victims.is_empty(), "tiny VM has plugged sub-blocks");
+
+    // No mappings: the exhaustion stage stays off the (everywhere-faulty)
+    // EPT-split path, so the first transient is the spray's.
+    let steering = PageSteering::new(SteeringParams {
+        iova_mappings: 0,
+        ..faulty.steering_params()
+    })
+    .with_retry(RetryPolicy::none());
+    let result = steering.run(&mut host, &mut vm, &victims);
+    match &result {
+        Err(e) if e.is_transient() => {}
+        other => panic!("expected the spray to fail transiently, got {other:?}"),
+    }
+    assert_eq!(
+        vm.plugged_sub_blocks(),
+        plugged_before,
+        "released sub-blocks were not re-plugged"
+    );
+    for &victim in &victims {
+        assert!(vm.virtio_mem().is_plugged(victim).unwrap());
+    }
+    vm.destroy(&mut host);
 }
