@@ -1,10 +1,17 @@
 //! Throughput scaling of the deterministic parallel campaign engine.
 //!
-//! Runs the same (tiny_demo × 8 seed) campaign grid on 1, 2, 4 and 8
+//! Runs tiny_demo campaign grids of several sizes on 1, 2, 4 and 8
 //! workers. Results are bit-identical across worker counts (asserted
 //! here against the serial reference), so the only thing that changes
 //! is wall-clock time — the per-worker-count sample times ARE the
 //! scaling curve.
+//!
+//! Worker counts are requests: [`CampaignGrid::run`] clamps the
+//! effective width to the machine's available parallelism, so on a
+//! single-CPU host every variant degenerates to the serial fast path
+//! and the curve is flat at ~1.0x (the pre-clamp engine was ~24 %
+//! *slower* at 4 workers there). The ≥1.5x speedup check therefore
+//! only fires on machines with at least 4 CPUs.
 
 use std::num::NonZeroUsize;
 
@@ -15,60 +22,84 @@ use hyperhammer::machine::Scenario;
 use hyperhammer::parallel::CampaignGrid;
 use std::hint::black_box;
 
-fn grid() -> CampaignGrid {
+fn grid(cells: usize) -> CampaignGrid {
     let params = DriverParams {
         bits_per_attempt: 4,
         ..DriverParams::paper()
     };
-    let seeds = if quick() { 4 } else { 8 };
-    CampaignGrid::new(vec![Scenario::tiny_demo()], params, 3).with_seed_count(0x5ca1e, seeds)
+    CampaignGrid::new(vec![Scenario::tiny_demo()], params, 3).with_seed_count(0x5ca1e, cells)
 }
 
 fn bench_scaling(c: &mut Criterion) {
-    let grid = grid();
-    let reference = grid.run_serial().expect("serial reference runs");
-
+    // Quick mode keeps the historical 4-cell variants (baseline
+    // continuity) plus an 8-cell grid; full mode runs the 8- and
+    // 32-cell grids from the scaling experiment.
+    let cell_counts: &[usize] = if quick() { &[4, 8] } else { &[8, 32] };
     let worker_counts: &[usize] = if quick() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+
     let mut group = c.benchmark_group("campaign_scaling");
     group.sample_size(if quick() { 3 } else { 10 });
     group.meta("tiny_demo", 0x5ca1e);
-    for &workers in worker_counts {
-        let jobs = NonZeroUsize::new(workers).expect("non-zero");
-        let name = format!("tiny_demo_{}cells_{workers}w", grid.len());
-        group.bench_function(&name, |b| {
-            b.iter(|| {
-                let results = grid.run(jobs).expect("grid runs");
-                assert_eq!(results, reference, "determinism across worker counts");
-                black_box(results)
-            })
-        });
+    for &cells in cell_counts {
+        let grid = grid(cells);
+        let reference = grid.run_serial().expect("serial reference runs");
+        for &workers in worker_counts {
+            let jobs = NonZeroUsize::new(workers).expect("non-zero");
+            let name = format!("tiny_demo_{cells}cells_{workers}w");
+            group.bench_function(&name, |b| {
+                b.iter(|| {
+                    let results = grid.run(jobs).expect("grid runs");
+                    assert_eq!(results, reference, "determinism across worker counts");
+                    black_box(results)
+                })
+            });
+        }
     }
     group.finish();
 
-    // Throughput summary: best-of-3 wall clock per worker count, as
-    // cells/second and speedup over the 1-worker run. Flat scaling on a
-    // single-CPU machine is expected — the grid's cells are pure CPU.
-    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
-    let cells = grid.len();
-    println!("\ncampaign throughput ({cells} cells, {cores} CPUs available):");
+    // Throughput summary: best-of-N wall clock per worker count, as
+    // cells/second and speedup over the 1-worker run.
     let timings = if quick() { 1 } else { 3 };
-    let mut base = None;
-    for &workers in worker_counts {
-        let jobs = NonZeroUsize::new(workers).expect("non-zero");
-        let best = (0..timings)
-            .map(|_| {
-                let t0 = std::time::Instant::now();
-                black_box(grid.run(jobs).expect("grid runs"));
-                t0.elapsed()
-            })
-            .min()
-            .expect("at least one timing");
-        let cells_per_sec = grid.len() as f64 / best.as_secs_f64();
-        let speedup = base.get_or_insert(best).as_secs_f64() / best.as_secs_f64();
-        println!(
-            "  {workers} worker(s): {:>8.1} ms | {cells_per_sec:>6.1} cells/s | {speedup:.2}x",
-            best.as_secs_f64() * 1e3
-        );
+    for &cells in cell_counts {
+        let grid = grid(cells);
+        println!("\ncampaign throughput ({cells} cells, {cores} CPUs available):");
+        let mut base = None;
+        let mut speedup_at_4 = None;
+        for &workers in worker_counts {
+            let jobs = NonZeroUsize::new(workers).expect("non-zero");
+            let best = (0..timings)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    black_box(grid.run(jobs).expect("grid runs"));
+                    t0.elapsed()
+                })
+                .min()
+                .expect("at least one timing");
+            let cells_per_sec = grid.len() as f64 / best.as_secs_f64();
+            let speedup = base.get_or_insert(best).as_secs_f64() / best.as_secs_f64();
+            if workers == 4 {
+                speedup_at_4 = Some(speedup);
+            }
+            println!(
+                "  {workers} worker(s): {:>8.1} ms | {cells_per_sec:>6.1} cells/s | {speedup:.2}x",
+                best.as_secs_f64() * 1e3
+            );
+        }
+        if let Some(speedup) = speedup_at_4 {
+            if cores >= 4 && cells >= 8 {
+                assert!(
+                    speedup >= 1.5,
+                    "4 workers on {cells} cells only reached {speedup:.2}x (expected >= 1.5x \
+                     with {cores} CPUs)"
+                );
+            } else if cells >= 8 {
+                println!(
+                    "  (skipping the >=1.5x @ 4-worker check: only {cores} CPU(s) available, \
+                     workers are clamped)"
+                );
+            }
+        }
     }
 }
 

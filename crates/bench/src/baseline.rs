@@ -199,6 +199,16 @@ impl DiffReport {
             .any(|e| matches!(e.status, DiffStatus::Regression | DiffStatus::Missing))
     }
 
+    /// Whether any entry beat its baseline by more than the tolerance.
+    /// Not a failure, but the baseline now understates real performance
+    /// — regressions up to `(1 + tolerance) × stale baseline` would go
+    /// unnoticed — so callers should prompt for a re-baseline.
+    pub fn has_improvements(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.status == DiffStatus::Improved)
+    }
+
     /// Count of entries with the given status.
     pub fn count(&self, status: DiffStatus) -> usize {
         self.entries.iter().filter(|e| e.status == status).count()
@@ -630,6 +640,24 @@ mod tests {
         assert_eq!(d.entries[2].status, DiffStatus::Improved);
         assert!(d.has_failures());
         assert_eq!(d.count(DiffStatus::Regression), 1);
+        assert!(d.has_improvements());
+    }
+
+    #[test]
+    fn improvements_are_reported_without_failing() {
+        let base = BenchReport {
+            quick: true,
+            records: vec![record("a", 100.0), record("b", 100.0)],
+        };
+        let cur = BenchReport {
+            quick: true,
+            records: vec![record("a", 50.0), record("b", 100.0)],
+        };
+        let d = diff(&base, &cur, DEFAULT_TOLERANCE).expect("comparable");
+        assert!(!d.has_failures(), "an improvement alone must not fail CI");
+        assert!(d.has_improvements(), "but it must prompt a re-baseline");
+        let steady = diff(&base, &base, DEFAULT_TOLERANCE).expect("comparable");
+        assert!(!steady.has_improvements());
     }
 
     #[test]

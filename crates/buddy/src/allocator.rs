@@ -155,6 +155,34 @@ pub struct AllocStats {
     pub pcp_refills: u64,
 }
 
+/// A plain-data image of a [`BuddyAllocator`]'s state: frames, free
+/// lists, block indices, the allocated map, the PCP cache and lifetime
+/// stats — everything except the tracer handle and jitter source, which
+/// are per-instantiation concerns.
+///
+/// Snapshots exist so campaign grids can pay for boot-time noise once
+/// per scenario and stamp out per-cell allocators with
+/// [`BuddyAllocator::from_snapshot`] instead of replaying the whole
+/// allocation sequence for every cell. Unlike the allocator itself
+/// (whose tracer holds an `Rc`), a snapshot is `Send + Sync`, so one
+/// snapshot can seed allocators on many worker threads.
+#[derive(Debug, Clone)]
+pub struct BuddySnapshot {
+    frames: u64,
+    free: [[FreeList; MAX_ORDER as usize]; 2],
+    free_index: HashMap<u64, (u8, MigrateType)>,
+    allocated: HashMap<u64, (u8, MigrateType)>,
+    pcp: PcpCache,
+    stats: AllocStats,
+}
+
+impl BuddySnapshot {
+    /// Total frames the snapshotted zone manages.
+    pub fn total_frames(&self) -> u64 {
+        self.frames
+    }
+}
+
 /// A single-zone buddy allocator with two migration types and a per-CPU
 /// pageset cache.
 ///
@@ -220,6 +248,37 @@ impl BuddyAllocator {
             base += 1u64 << order;
         }
         this
+    }
+
+    /// Captures the allocator's current state as a thread-shareable
+    /// [`BuddySnapshot`]. The tracer and jitter source are not part of
+    /// the snapshot.
+    pub fn snapshot(&self) -> BuddySnapshot {
+        BuddySnapshot {
+            frames: self.frames,
+            free: self.free.clone(),
+            free_index: self.free_index.clone(),
+            allocated: self.allocated.clone(),
+            pcp: self.pcp.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds an allocator from a snapshot, bit-identical to the
+    /// snapshotted one apart from instrumentation: the restored
+    /// allocator starts with [`Tracer::off`] and no jitter — attach
+    /// both afterwards if needed.
+    pub fn from_snapshot(snap: &BuddySnapshot) -> Self {
+        Self {
+            frames: snap.frames,
+            free: snap.free.clone(),
+            free_index: snap.free_index.clone(),
+            allocated: snap.allocated.clone(),
+            pcp: snap.pcp.clone(),
+            stats: snap.stats,
+            tracer: Tracer::off(),
+            jitter: None,
+        }
     }
 
     /// Attaches an instrumentation handle; allocations, frees, splits,
@@ -754,6 +813,39 @@ mod tests {
         tracer.inspect(|sink| {
             assert_eq!(sink.metrics().get(Counter::BuddyExhaustions), 1);
         });
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical_and_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuddySnapshot>();
+
+        let mut b = BuddyAllocator::new(frames(16));
+        // Dirty the state: allocations across orders and types, a PCP
+        // round-trip, and a held page so `allocated` is non-empty.
+        let held = b.alloc(3, MigrateType::Unmovable).unwrap();
+        let p = b.alloc_page(MigrateType::Movable).unwrap();
+        b.free_page(p);
+
+        let snap = b.snapshot();
+        let mut restored = BuddyAllocator::from_snapshot(&snap);
+        assert_eq!(restored.pagetypeinfo(), b.pagetypeinfo());
+        assert_eq!(restored.free_pages(), b.free_pages());
+        assert_eq!(restored.stats(), b.stats());
+        // Same state ⇒ same future decisions: the next allocations on
+        // both allocators return the same frames.
+        for order in [0u8, 2, 9] {
+            assert_eq!(
+                restored.alloc(order, MigrateType::Movable),
+                b.alloc(order, MigrateType::Movable),
+                "order-{order} alloc diverged after snapshot restore"
+            );
+        }
+        assert_eq!(
+            restored.alloc_page(MigrateType::Unmovable),
+            b.alloc_page(MigrateType::Unmovable)
+        );
+        b.free(held, 3);
     }
 
     #[test]

@@ -43,7 +43,9 @@ mod free_list;
 mod pcp;
 mod report;
 
-pub use allocator::{AllocError, AllocJitter, AllocStats, BuddyAllocator, FreeError, MAX_ORDER};
+pub use allocator::{
+    AllocError, AllocJitter, AllocStats, BuddyAllocator, BuddySnapshot, FreeError, MAX_ORDER,
+};
 pub use pcp::PcpConfig;
 pub use report::{OrderCounts, PageTypeInfo};
 

@@ -101,6 +101,14 @@ fn bench_diff(
         for row in &rows {
             println!("{}", output::to_json_line(row));
         }
+        if report.has_improvements() {
+            // The hint goes to stderr so JSON consumers see only rows
+            // on stdout.
+            eprintln!(
+                "note: improvements beyond tolerance understate the baseline — \
+                 consider re-baselining (scripts/bench_diff.sh --update)"
+            );
+        }
     } else {
         let fmt_ns = |ns: Option<f64>| {
             ns.map_or_else(
@@ -138,7 +146,7 @@ fn bench_diff(
             report.count(DiffStatus::Regression),
             report.count(DiffStatus::Missing),
         );
-        if report.count(DiffStatus::Improved) > 0 {
+        if report.has_improvements() {
             println!(
                 "note: improvements beyond tolerance understate the baseline — \
                  consider re-baselining (scripts/bench_diff.sh --update)"

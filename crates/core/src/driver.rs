@@ -15,7 +15,7 @@ use hh_sim::clock::SimDuration;
 
 use crate::exploit::{EscapeProof, ExploitFailure, ExploitParams, Exploiter};
 use crate::machine::Scenario;
-use crate::profile::{FlipCatalog, ProfileParams, Profiler};
+use crate::profile::{FlipCatalog, ProfileParams, ProfileTables, Profiler};
 use crate::steering::{with_retries, PageSteering, RetryPolicy, SteeringParams};
 
 /// A catalogued bit re-located into the current VM's guest-physical
@@ -196,8 +196,26 @@ impl AttackDriver {
         vm: &mut Vm,
         profile: ProfileParams,
     ) -> Result<FlipCatalog, HvError> {
+        self.profile_and_catalog_with(host, vm, profile, None)
+    }
+
+    /// [`AttackDriver::profile_and_catalog`] with optionally precomputed
+    /// [`ProfileTables`], so a campaign grid recovers the bank function
+    /// once per scenario instead of once per cell. The catalogue is
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors.
+    pub fn profile_and_catalog_with(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        profile: ProfileParams,
+        tables: Option<&ProfileTables>,
+    ) -> Result<FlipCatalog, HvError> {
         let profiler = Profiler::new(profile);
-        let report = profiler.run(host, vm)?;
+        let report = profiler.run_with_tables(host, vm, tables)?;
         profiler.to_catalog(vm, &report)
     }
 

@@ -57,11 +57,13 @@ pub mod machine;
 pub mod parallel;
 pub mod profile;
 pub mod steering;
+pub mod template;
 
 pub use balloon_steering::BalloonSteering;
 pub use driver::{AttackDriver, AttemptOutcome, CampaignStats};
 pub use exploit::{EscapeProof, Exploiter};
 pub use machine::Scenario;
 pub use parallel::{CampaignGrid, CellResult};
-pub use profile::{FlipCatalog, ProfileReport, Profiler};
+pub use profile::{FlipCatalog, ProfileReport, ProfileTables, Profiler};
 pub use steering::{PageSteering, RetryPolicy};
+pub use template::MachineTemplate;

@@ -13,17 +13,34 @@
 //!    [`SimRng::split_seed`]`(base, index)` — a pure function of the grid's
 //!    base seed and the cell's position, never of worker count or
 //!    scheduling order.
-//! 2. **Indexed results.** Workers pull cells from a shared cursor but
-//!    write results into the cell's own slot, so the output vector is
-//!    always in grid order. A 1-worker run and an 8-worker run of the
-//!    same grid return bit-identical [`CampaignStats`].
+//! 2. **Indexed results.** Workers claim work through chunked
+//!    work-stealing deques but each result lands in its item's own
+//!    slot, so the output vector is always in grid order. A 1-worker
+//!    run and an 8-worker run of the same grid return bit-identical
+//!    [`CampaignStats`].
+//!
+//! Scheduling is *work-stealing*: every worker starts with its own
+//! deque of index chunks and, once drained, steals whole chunks from
+//! the back of its neighbours' deques. Stragglers (a cell whose
+//! campaign runs long) therefore no longer serialize the tail of the
+//! grid the way a static split would, and the deterministic-output
+//! guarantee is untouched because *which worker* runs a cell never
+//! influences *what the cell computes*.
+//!
+//! [`parallel_map`] also clamps its effective worker count to the
+//! machine's available parallelism: requesting more workers than CPUs
+//! can only add contention (on a 1-CPU host it made 4-worker runs ~24 %
+//! *slower* than serial), and because results are scheduling-independent
+//! the clamp is unobservable in the output.
 //!
 //! The engine is two layers: [`parallel_map`], a general deterministic
 //! fan-out over `std::thread::scope` (also used by the benchmark
 //! harness's ablation sweeps), and [`CampaignGrid`], the campaign-shaped
 //! API on top.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -34,6 +51,7 @@ use hh_trace::{TraceMode, TraceSink, Tracer};
 use crate::driver::{AttackDriver, CampaignStats, DriverParams};
 use crate::machine::Scenario;
 use crate::steering::{with_retries, RetryPolicy};
+use crate::template::MachineTemplate;
 
 /// Resolves a `--jobs`-style request: `None` means "use all available
 /// parallelism", and a request is clamped to at least one worker.
@@ -45,14 +63,21 @@ pub fn resolve_jobs(requested: Option<usize>) -> NonZeroUsize {
     }
 }
 
-/// Applies `f` to every item on `jobs` scoped workers, returning results
-/// in input order.
+/// Applies `f` to every item on up to `jobs` scoped workers, returning
+/// results in input order.
 ///
-/// Work distribution is a shared atomic cursor: workers race for the
-/// *next* index but each result lands in its item's slot, so the output
-/// is independent of scheduling. `f` must itself be deterministic per
-/// item for the full determinism guarantee to hold — the campaign engine
-/// arranges that by deriving every cell's RNG from its own seed.
+/// The effective worker count is clamped to the machine's available
+/// parallelism (and to the item count): oversubscribing a small machine
+/// only adds scheduler contention and per-thread allocator overhead,
+/// and because outputs are scheduling-independent the clamp cannot
+/// change results. Use [`parallel_map_exact`] to force a width (the
+/// determinism tests do, so cross-thread scheduling is exercised even
+/// on single-CPU machines).
+///
+/// Work distribution is chunked work-stealing — see the
+/// [module docs](self). `f` must itself be deterministic per item for
+/// the full determinism guarantee to hold; the campaign engine arranges
+/// that by deriving every cell's RNG from its own seed.
 ///
 /// # Panics
 ///
@@ -63,11 +88,40 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    run_on_workers(items, jobs.get().min(cpus), f)
+}
+
+/// [`parallel_map`] without the available-parallelism clamp: exactly
+/// `jobs` workers (still at most one per item). Results are identical
+/// to [`parallel_map`]'s — this variant exists so tests can prove that
+/// on *any* machine, not to make production runs faster.
+pub fn parallel_map_exact<T, R, F>(items: Vec<T>, jobs: NonZeroUsize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_on_workers(items, jobs.get(), f)
+}
+
+/// Chunk granularity: a few chunks per worker so early finishers have
+/// something to steal, but no smaller than one item.
+fn chunk_len(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers * 4).max(1)
+}
+
+fn run_on_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = jobs.get().min(n);
+    let workers = workers.min(n);
     if workers == 1 {
         // Serial fast path: no threads, same order, same results.
         return items
@@ -79,22 +133,55 @@ where
 
     let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
+
+    // Deal contiguous index chunks round-robin onto per-worker deques.
+    // Workers pop their own deque from the front (oldest chunk first)
+    // and steal from victims' backs, so an owner and a thief never
+    // contend for the same end until a deque is nearly empty.
+    let chunk = chunk_len(n, workers);
+    let mut deques: Vec<VecDeque<Range<usize>>> = (0..workers).map(|_| VecDeque::new()).collect();
+    let mut start = 0;
+    let mut next_worker = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        deques[next_worker].push_back(start..end);
+        next_worker = (next_worker + 1) % workers;
+        start = end;
+    }
+    let queues: Vec<Mutex<VecDeque<Range<usize>>>> = deques.into_iter().map(Mutex::new).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for me in 0..workers {
+            let queues = &queues;
+            let tasks = &tasks;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own deque first; once drained, scan victims in a
+                // fixed ring order. Chunks are only ever *removed*, so
+                // a full empty scan means the grid is done.
+                let mut claimed = queues[me].lock().expect("queue poisoned").pop_front();
+                if claimed.is_none() {
+                    for offset in 1..workers {
+                        let victim = (me + offset) % workers;
+                        claimed = queues[victim].lock().expect("queue poisoned").pop_back();
+                        if claimed.is_some() {
+                            break;
+                        }
+                    }
                 }
-                let item = tasks[i]
-                    .lock()
-                    .expect("task slot poisoned")
-                    .take()
-                    .expect("each task index is claimed exactly once");
-                let out = f(i, item);
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                let Some(range) = claimed else {
+                    break;
+                };
+                for i in range {
+                    let item = tasks[i]
+                        .lock()
+                        .expect("task slot poisoned")
+                        .take()
+                        .expect("each task index is claimed exactly once");
+                    let out = f(i, item);
+                    *results[i].lock().expect("result slot poisoned") = Some(out);
+                }
             });
         }
     });
@@ -247,6 +334,15 @@ impl CampaignGrid {
         self.len() == 0
     }
 
+    /// One [`MachineTemplate`] per scenario, in scenario order; cell
+    /// `i` uses entry `i / seeds`.
+    fn scenario_templates(&self) -> Vec<MachineTemplate> {
+        self.scenarios
+            .iter()
+            .map(MachineTemplate::for_scenario)
+            .collect()
+    }
+
     /// Runs one cell exactly as the serial path would: boot, profile,
     /// catalogue, then campaign to first success or the attempt budget.
     ///
@@ -254,10 +350,23 @@ impl CampaignGrid {
     ///
     /// Propagates hypervisor errors.
     pub fn run_cell(&self, cell: &CampaignCell) -> Result<CellResult, HvError> {
+        self.run_cell_with(cell, &MachineTemplate::for_scenario(&cell.scenario), 0)
+    }
+
+    /// [`CampaignGrid::run_cell`] against a prebuilt template. The
+    /// `events_hint` pre-sizes the cell's trace arena (capacity only —
+    /// a wrong hint can never change recorded output, so passing a
+    /// scheduling-dependent high-water mark is safe).
+    fn run_cell_with(
+        &self,
+        cell: &CampaignCell,
+        template: &MachineTemplate,
+        events_hint: usize,
+    ) -> Result<CellResult, HvError> {
         let driver = AttackDriver::new(self.params.clone());
-        let mut host = cell.scenario.boot_host();
+        let mut host = template.instantiate(cell.seed);
         // Attach after boot: boot-time noise is outside the campaign.
-        let tracer = Tracer::new(self.trace);
+        let tracer = Tracer::with_capacity(self.trace, events_hint);
         tracer.set_cell(cell.index);
         host.attach_tracer(tracer.clone());
         // An active fault plan can trip the profiling stage too (VM
@@ -266,7 +375,12 @@ impl CampaignGrid {
         // its VM before the backoff, so nothing leaks between tries.
         let catalog = with_retries(&self.params.retry, &mut host, |h| {
             let mut vm = h.create_vm(cell.scenario.vm_config())?;
-            let result = driver.profile_and_catalog(h, &mut vm, cell.scenario.profile_params());
+            let result = driver.profile_and_catalog_with(
+                h,
+                &mut vm,
+                cell.scenario.profile_params(),
+                Some(template.tables()),
+            );
             vm.destroy(h);
             result
         })?;
@@ -303,10 +417,21 @@ impl CampaignGrid {
         jobs: NonZeroUsize,
         progress: impl Fn(&CellResult) + Sync,
     ) -> Result<Vec<CellResult>, HvError> {
+        let templates = self.scenario_templates();
+        let seeds_per_scenario = self.seeds.len();
+        // High-water mark of per-cell event counts, used to pre-size
+        // later cells' trace arenas. Scheduling-dependent, but hints
+        // only set capacity, so determinism is untouched.
+        let events_hint = AtomicUsize::new(0);
         let cells = self.cells();
         let results = parallel_map(cells, jobs, |_, cell| {
-            let result = self.run_cell(&cell);
+            let template = &templates[cell.index / seeds_per_scenario];
+            let hint = events_hint.load(Ordering::Relaxed);
+            let result = self.run_cell_with(&cell, template, hint);
             if let Ok(r) = &result {
+                if let Some(sink) = &r.trace {
+                    events_hint.fetch_max(sink.events().len(), Ordering::Relaxed);
+                }
                 progress(r);
             }
             result
@@ -315,15 +440,19 @@ impl CampaignGrid {
     }
 
     /// Runs the grid serially on the calling thread — the reference the
-    /// parallel path is tested against.
+    /// parallel path is tested against. Shares the per-scenario
+    /// template machinery with the parallel path, so "serial vs
+    /// parallel" compares scheduling only.
     ///
     /// # Errors
     ///
     /// Returns the first hypervisor error.
     pub fn run_serial(&self) -> Result<Vec<CellResult>, HvError> {
+        let templates = self.scenario_templates();
+        let seeds_per_scenario = self.seeds.len();
         self.cells()
             .iter()
-            .map(|cell| self.run_cell(cell))
+            .map(|cell| self.run_cell_with(cell, &templates[cell.index / seeds_per_scenario], 0))
             .collect()
     }
 }
@@ -345,11 +474,15 @@ mod tests {
     fn parallel_map_preserves_order_and_runs_every_item() {
         let items: Vec<u64> = (0..37).collect();
         let jobs = NonZeroUsize::new(4).unwrap();
-        let out = parallel_map(items.clone(), jobs, |i, x| {
+        // The exact variant forces 4 real workers even on a 1-CPU
+        // machine, so cross-thread stealing is actually exercised.
+        let out = parallel_map_exact(items.clone(), jobs, |i, x| {
             assert_eq!(i as u64, x);
             x * 2
         });
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let clamped = parallel_map(items.clone(), jobs, |_, x| x * 2);
+        assert_eq!(clamped, out, "CPU clamp must not change results");
     }
 
     #[test]
@@ -357,8 +490,50 @@ mod tests {
         let jobs = NonZeroUsize::new(8).unwrap();
         let empty: Vec<u8> = parallel_map(Vec::<u8>::new(), jobs, |_, x| x);
         assert!(empty.is_empty());
-        let two = parallel_map(vec![1, 2], jobs, |_, x| x + 1);
+        let two = parallel_map_exact(vec![1, 2], jobs, |_, x| x + 1);
         assert_eq!(two, vec![2, 3]);
+    }
+
+    #[test]
+    fn work_stealing_survives_pathological_imbalance() {
+        // Front-loaded cost: item 0 is ~3 orders of magnitude heavier
+        // than the rest. A static split would strand worker 0's whole
+        // initial share behind it; stealing lets the other workers
+        // drain it, and the output must stay in input order either way.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_exact(items, NonZeroUsize::new(4).unwrap(), |i, x| {
+            let spins = if i == 0 { 2_000_000 } else { 2_000 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_every_index_without_overlap() {
+        for n in [1usize, 2, 5, 16, 37, 100] {
+            for workers in [1usize, 2, 4, 8] {
+                let chunk = chunk_len(n, workers);
+                assert!(chunk >= 1);
+                // Reconstruct the dealing loop and check coverage.
+                let mut seen = vec![false; n];
+                let mut start = 0;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    for (i, slot) in seen.iter_mut().enumerate().take(end).skip(start) {
+                        assert!(!*slot, "index {i} dealt twice (n={n}, w={workers})");
+                        *slot = true;
+                    }
+                    start = end;
+                }
+                assert!(seen.iter().all(|&s| s), "coverage gap (n={n}, w={workers})");
+            }
+        }
     }
 
     #[test]

@@ -241,6 +241,57 @@ fn aggressor_pairs(masks: &[u64], side: Side) -> Vec<(u64, u64)> {
     pairs
 }
 
+/// Precomputed profiling inputs: the recovered bank-function masks and
+/// the per-side aggressor-pair table.
+///
+/// Both are pure functions of DRAM *geometry* — the DRAMDig recovery
+/// runs against a timing probe built from the geometry alone, and the
+/// pair table is derived from the recovered masks — so they are
+/// identical for every experiment seed of a scenario. A campaign grid
+/// computes them once per scenario (see `MachineTemplate`) instead of
+/// re-running the GF(2) solver for every cell. `Send + Sync`: worker
+/// threads profile from a shared reference.
+#[derive(Debug, Clone)]
+pub struct ProfileTables {
+    masks: Vec<u64>,
+    pair_table: Vec<(Side, Vec<(u64, u64)>)>,
+}
+
+impl ProfileTables {
+    /// Recovers the bank function for `geometry` (falling back to the
+    /// installed function if the solver is defeated) and precomputes
+    /// the aggressor-pair table.
+    pub fn for_geometry(geometry: &hh_dram::geometry::DramGeometry) -> Self {
+        // §5.1: the attacker first reverse engineers the DRAM address
+        // function with DRAMDig. Run the actual solver against the
+        // row-buffer timing side channel; only if the (synthetic)
+        // geometry defeats it do we fall back to the installed function.
+        // Any basis equivalent to the true function works: aggressor
+        // pairing needs only same-bank *equality*, which is invariant
+        // under output-bit recombination.
+        let masks = {
+            let probe = hh_dram::timing::TimingProbe::new(
+                geometry.clone(),
+                hh_dram::timing::AccessTiming::ddr4_2666(),
+            );
+            match hh_dram::dramdig::recover(&probe) {
+                Ok(map) => map.bank_fn.masks().to_vec(),
+                Err(_) => geometry.bank_fn().masks().to_vec(),
+            }
+        };
+        let pair_table = vec![
+            (Side::Top, aggressor_pairs(&masks, Side::Top)),
+            (Side::Bottom, aggressor_pairs(&masks, Side::Bottom)),
+        ];
+        Self { masks, pair_table }
+    }
+
+    /// The recovered (or fallback) bank-function masks.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+}
+
 /// The memory profiler.
 #[derive(Debug, Clone)]
 pub struct Profiler {
@@ -253,44 +304,55 @@ impl Profiler {
         Self { params }
     }
 
-    /// Runs the profiling campaign over the VM's virtio-mem region.
+    /// Runs the profiling campaign over the VM's virtio-mem region,
+    /// recovering the bank function on the fly.
     ///
     /// # Errors
     ///
     /// Propagates hypervisor errors from memory operations.
     pub fn run(&self, host: &mut Host, vm: &mut Vm) -> Result<ProfileReport, HvError> {
+        self.run_with_tables(host, vm, None)
+    }
+
+    /// [`Profiler::run`] with optionally precomputed [`ProfileTables`].
+    /// Passing `Some` skips the per-run DRAMDig recovery; because the
+    /// tables are a pure function of the DRAM geometry, the report is
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor errors from memory operations.
+    pub fn run_with_tables(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        tables: Option<&ProfileTables>,
+    ) -> Result<ProfileReport, HvError> {
         host.tracer().stage_start(hh_trace::Stage::Profile);
-        let result = self.run_inner(host, vm);
+        let result = self.run_inner(host, vm, tables);
         host.tracer().stage_end(hh_trace::Stage::Profile);
         result
     }
 
-    fn run_inner(&self, host: &mut Host, vm: &mut Vm) -> Result<ProfileReport, HvError> {
+    fn run_inner(
+        &self,
+        host: &mut Host,
+        vm: &mut Vm,
+        tables: Option<&ProfileTables>,
+    ) -> Result<ProfileReport, HvError> {
         let start = host.now();
         let plan_stats_before = host.dram().plan_stats();
         let region_base = vm.virtio_mem().region_base();
         let region_size = vm.virtio_mem().region_size();
-        // §5.1: the attacker first reverse engineers the DRAM address
-        // function with DRAMDig. Run the actual solver against the
-        // row-buffer timing side channel; only if the (synthetic)
-        // geometry defeats it do we fall back to the installed function.
-        // Any basis equivalent to the true function works: aggressor
-        // pairing needs only same-bank *equality*, which is invariant
-        // under output-bit recombination.
-        let masks = {
-            let probe = hh_dram::timing::TimingProbe::new(
-                host.dram().geometry().clone(),
-                hh_dram::timing::AccessTiming::ddr4_2666(),
-            );
-            match hh_dram::dramdig::recover(&probe) {
-                Ok(map) => map.bank_fn.masks().to_vec(),
-                Err(_) => host.dram().geometry().bank_fn().masks().to_vec(),
+        let computed;
+        let tables = match tables {
+            Some(shared) => shared,
+            None => {
+                computed = ProfileTables::for_geometry(host.dram().geometry());
+                &computed
             }
         };
-        let pair_table: Vec<(Side, Vec<(u64, u64)>)> = vec![
-            (Side::Top, aggressor_pairs(&masks, Side::Top)),
-            (Side::Bottom, aggressor_pairs(&masks, Side::Bottom)),
-        ];
+        let pair_table: &[(Side, Vec<(u64, u64)>)] = &tables.pair_table;
 
         let mut found: HashMap<(u64, u8), ProfiledBit> = HashMap::new();
         let mut exploitable_found = 0usize;
@@ -309,7 +371,7 @@ impl Profiler {
                 let hp_base = region_base.add(chunk);
                 hugepages_profiled += 1;
                 let cursor = vm.journal_cursor(host);
-                for (_side, pairs) in &pair_table {
+                for (_side, pairs) in pair_table {
                     for &(o1, o2) in pairs {
                         vm.hammer_gpa(
                             host,
@@ -334,7 +396,7 @@ impl Profiler {
                         host,
                         vm,
                         hp_base,
-                        &pair_table,
+                        pair_table,
                         flip.gpa,
                         flip.bit,
                         flip.direction,

@@ -1,0 +1,130 @@
+//! Per-scenario machine templates.
+//!
+//! Every cell of a campaign grid used to pay the full cold-boot bill:
+//! build a buddy allocator frame by frame, replay boot-time allocation
+//! noise, and re-run DRAMDig bank-function recovery — all of which are
+//! *identical* for every cell of a scenario. A [`MachineTemplate`]
+//! hoists that work out of the per-cell path:
+//!
+//! * **Host side** — [`HostTemplate`](hh_hv::HostTemplate) snapshots
+//!   the buddy allocator *after* boot noise (which is deliberately
+//!   RNG-free, hence seed-independent); instantiating a cell's host is
+//!   then a plain-data clone plus the seed-dependent tail (RNG streams,
+//!   DRAM device, fault plan).
+//! * **Profile side** — [`ProfileTables`] caches the recovered
+//!   bank-function masks and the aggressor-pair table, both pure
+//!   functions of the DRAM geometry.
+//!
+//! What deliberately stays **per cell**: the [`DramDevice`]
+//! (vulnerable-cell tables, flip RNG) and its compiled-hammer-plan
+//! cache. Both are seeded from the cell seed (`seed ^ 0xd1a`), so no
+//! two cells of a grid share them and caching either in the template
+//! would change results. The template is `Send + Sync` plain data, so
+//! campaign workers instantiate cells from a shared reference.
+//!
+//! Instantiated machines are bit-identical to cold-booted ones — the
+//! host side is pinned by `hh-hv`'s `HostTemplate` tests, the profile
+//! side by the equivalence test in this module.
+//!
+//! [`DramDevice`]: hh_dram::DramDevice
+
+use hh_hv::{Host, HostTemplate};
+
+use crate::machine::Scenario;
+use crate::profile::ProfileTables;
+
+/// The scenario-invariant parts of a campaign cell's machine: a
+/// post-boot-noise buddy snapshot and the precomputed profiling tables.
+///
+/// Build once per scenario with [`MachineTemplate::for_scenario`], then
+/// stamp out each cell's [`Host`] with [`MachineTemplate::instantiate`].
+#[derive(Debug, Clone)]
+pub struct MachineTemplate {
+    host: HostTemplate,
+    tables: ProfileTables,
+}
+
+impl MachineTemplate {
+    /// Builds the template for `scenario`: boots the buddy allocator
+    /// (with boot noise) once and runs DRAMDig recovery once. The
+    /// scenario's current seed is irrelevant — every template product
+    /// is re-seeded at instantiation time.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        let host = HostTemplate::new(scenario.host_config().clone());
+        let tables = ProfileTables::for_geometry(&scenario.host_config().dimm.geometry);
+        Self { host, tables }
+    }
+
+    /// Instantiates the cell host for `seed` — bit-identical to
+    /// `scenario.with_seed(seed).boot_host()`.
+    pub fn instantiate(&self, seed: u64) -> Host {
+        self.host.instantiate(seed)
+    }
+
+    /// The precomputed profiling tables shared by every cell.
+    pub fn tables(&self) -> &ProfileTables {
+        &self.tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{AttackDriver, DriverParams};
+    use hh_sim::rng::SimRng;
+
+    #[test]
+    fn template_profiling_matches_cold_boot_profiling() {
+        let scenario = Scenario::tiny_demo();
+        let template = MachineTemplate::for_scenario(&scenario);
+        let params = DriverParams {
+            bits_per_attempt: 4,
+            stable_bits_only: true,
+            ..DriverParams::paper()
+        };
+        let driver = AttackDriver::new(params);
+        for i in 0..2u64 {
+            let seed = SimRng::split_seed(0x7e3a, i);
+            let cell = scenario.clone().with_seed(seed);
+
+            // Cold path: fresh boot, on-the-fly DRAMDig recovery.
+            let mut cold_host = cell.boot_host();
+            let mut cold_vm = cold_host.create_vm(cell.vm_config()).unwrap();
+            let cold = driver
+                .profile_and_catalog(&mut cold_host, &mut cold_vm, cell.profile_params())
+                .unwrap();
+            cold_vm.destroy(&mut cold_host);
+
+            // Template path: snapshot instantiation + cached tables.
+            let mut warm_host = template.instantiate(seed);
+            let mut warm_vm = warm_host.create_vm(cell.vm_config()).unwrap();
+            let warm = driver
+                .profile_and_catalog_with(
+                    &mut warm_host,
+                    &mut warm_vm,
+                    cell.profile_params(),
+                    Some(template.tables()),
+                )
+                .unwrap();
+            warm_vm.destroy(&mut warm_host);
+
+            assert_eq!(
+                cold.entries, warm.entries,
+                "catalogue diverged (seed {seed:#x})"
+            );
+            assert_eq!(
+                cold_host.pagetypeinfo(),
+                warm_host.pagetypeinfo(),
+                "allocator state diverged (seed {seed:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn template_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let template = MachineTemplate::for_scenario(&Scenario::tiny_demo());
+        assert_send_sync(&template);
+        assert!(!template.tables().masks().is_empty());
+    }
+}

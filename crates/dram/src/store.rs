@@ -86,32 +86,109 @@ impl Page {
         *self = Page::Dense(bytes);
     }
 
-    /// Bytes that differ from `expected`, as (offset, actual) pairs.
-    fn mismatches(&self, expected: u8) -> Vec<(u16, u8)> {
+    /// Bytes that differ from `expected`, as (offset, actual) pairs —
+    /// lazily, so callers that stop early (or merely count) never
+    /// materialize a whole page of pairs.
+    fn mismatches(&self, expected: u8) -> PageMismatches<'_> {
         match self {
-            Page::Uniform(fill) => {
-                if *fill == expected {
-                    Vec::new()
+            Page::Uniform(fill) if *fill == expected => PageMismatches::Empty,
+            Page::Uniform(fill) => PageMismatches::Uniform {
+                fill: *fill,
+                next: 0,
+            },
+            // Invariant: a patch never equals its page's fill byte, so
+            // when the fill matches `expected` the diff list *is* the
+            // mismatch list.
+            Page::Patched { fill, diffs } if *fill == expected => {
+                PageMismatches::Diffs(diffs.iter())
+            }
+            Page::Patched { fill, diffs } => PageMismatches::Patched {
+                fill: *fill,
+                diffs,
+                expected,
+                next: 0,
+            },
+            Page::Dense(bytes) => PageMismatches::Dense {
+                bytes,
+                expected,
+                next: 0,
+            },
+        }
+    }
+}
+
+/// Lazy per-page mismatch scan (the page-local half of [`Mismatches`]).
+#[derive(Debug)]
+enum PageMismatches<'a> {
+    Empty,
+    Uniform {
+        fill: u8,
+        next: u16,
+    },
+    Diffs(std::slice::Iter<'a, (u16, u8)>),
+    Patched {
+        fill: u8,
+        diffs: &'a [(u16, u8)],
+        expected: u8,
+        next: u16,
+    },
+    Dense {
+        bytes: &'a [u8; PAGE_SIZE as usize],
+        expected: u8,
+        next: u16,
+    },
+}
+
+impl Iterator for PageMismatches<'_> {
+    type Item = (u16, u8);
+
+    fn next(&mut self) -> Option<(u16, u8)> {
+        match self {
+            PageMismatches::Empty => None,
+            PageMismatches::Uniform { fill, next } => {
+                if u64::from(*next) < PAGE_SIZE {
+                    let o = *next;
+                    *next += 1;
+                    Some((o, *fill))
                 } else {
-                    (0..PAGE_SIZE as u16).map(|o| (o, *fill)).collect()
+                    None
                 }
             }
-            Page::Patched { fill, diffs } => {
-                if *fill == expected {
-                    diffs.clone()
-                } else {
-                    (0..PAGE_SIZE as u16)
-                        .map(|o| (o, self.read(o)))
-                        .filter(|&(_, b)| b != expected)
-                        .collect()
+            PageMismatches::Diffs(diffs) => diffs.next().copied(),
+            PageMismatches::Patched {
+                fill,
+                diffs,
+                expected,
+                next,
+            } => {
+                while u64::from(*next) < PAGE_SIZE {
+                    let o = *next;
+                    *next += 1;
+                    let b = diffs
+                        .iter()
+                        .find(|&&(d, _)| d == o)
+                        .map_or(*fill, |&(_, b)| b);
+                    if b != *expected {
+                        return Some((o, b));
+                    }
                 }
+                None
             }
-            Page::Dense(bytes) => bytes
-                .iter()
-                .enumerate()
-                .filter(|&(_, &b)| b != expected)
-                .map(|(o, &b)| (o as u16, b))
-                .collect(),
+            PageMismatches::Dense {
+                bytes,
+                expected,
+                next,
+            } => {
+                while u64::from(*next) < PAGE_SIZE {
+                    let o = *next;
+                    *next += 1;
+                    let b = bytes[o as usize];
+                    if b != *expected {
+                        return Some((o, b));
+                    }
+                }
+                None
+            }
         }
     }
 }
@@ -320,51 +397,91 @@ impl SparseStore {
         self.set_slot(page_base.pfn().index(), page);
     }
 
-    /// Copies `bytes` into memory starting at `hpa`.
+    /// Copies `bytes` into memory starting at `hpa`, one slot lookup per
+    /// touched page rather than per byte.
     pub fn write_bytes(&mut self, hpa: Hpa, bytes: &[u8]) {
         self.check(hpa, bytes.len() as u64);
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(hpa.add(i as u64), b);
+        let mut cur = hpa;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let span = ((PAGE_SIZE - cur.page_offset()) as usize).min(rest.len());
+            let (chunk, tail) = rest.split_at(span);
+            let base = cur.page_offset() as u16;
+            let page = self.slot_mut(cur.pfn().index());
+            for (i, &b) in chunk.iter().enumerate() {
+                page.write(base + i as u16, b);
+            }
+            cur = cur.add(span as u64);
+            rest = tail;
         }
     }
 
-    /// Reads `len` bytes starting at `hpa`.
+    /// Reads `len` bytes starting at `hpa`, one page lookup per touched
+    /// page; uniform and dense pages are copied span-at-a-time.
     pub fn read_bytes(&self, hpa: Hpa, len: usize) -> Vec<u8> {
         self.check(hpa, len as u64);
-        (0..len).map(|i| self.read_u8(hpa.add(i as u64))).collect()
+        let mut out = Vec::with_capacity(len);
+        let mut cur = hpa;
+        let end = hpa.add(len as u64);
+        while cur < end {
+            let page_end = cur.align_down(PAGE_SIZE).add(PAGE_SIZE);
+            let chunk_end = page_end.min(end);
+            let span = chunk_end.offset_from(cur) as usize;
+            let lo = cur.page_offset() as usize;
+            match &self.pages[cur.pfn().index() as usize] {
+                None => out.resize(out.len() + span, 0),
+                Some(Page::Uniform(fill)) => out.resize(out.len() + span, *fill),
+                Some(Page::Patched { fill, diffs }) => {
+                    let start = out.len();
+                    out.resize(start + span, *fill);
+                    for &(o, b) in diffs {
+                        let o = o as usize;
+                        if o >= lo && o < lo + span {
+                            out[start + (o - lo)] = b;
+                        }
+                    }
+                }
+                Some(Page::Dense(bytes)) => out.extend_from_slice(&bytes[lo..lo + span]),
+            }
+            cur = chunk_end;
+        }
+        out
     }
 
-    /// Returns every byte in `[hpa, hpa+len)` that differs from
-    /// `expected`, as `(address, actual)` pairs.
+    /// Lazily scans `[hpa, hpa+len)` for bytes differing from
+    /// `expected`, yielding `(address, actual)` pairs in address order.
     ///
     /// Cost is proportional to the number of *touched* pages and diffs,
     /// not to `len`, which is what makes simulated multi-GiB corruption
-    /// scans tractable.
-    pub fn find_mismatches(&self, hpa: Hpa, len: u64, expected: u8) -> Vec<(Hpa, u8)> {
+    /// scans tractable — and being an iterator, callers that stop early
+    /// (or only count) allocate nothing at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the range is page-aligned and inside the device.
+    pub fn mismatches(&self, hpa: Hpa, len: u64, expected: u8) -> Mismatches<'_> {
         self.check(hpa, len);
         assert!(
             hpa.is_aligned(PAGE_SIZE) && len.is_multiple_of(PAGE_SIZE),
             "mismatch scan must be page-aligned"
         );
-        let mut out = Vec::new();
-        for pfn in hpa.pfn().index()..(hpa.raw() + len) / PAGE_SIZE {
-            let base = Hpa::new(pfn * PAGE_SIZE);
-            match &self.pages[pfn as usize] {
-                None => {
-                    if expected != 0 {
-                        for o in 0..PAGE_SIZE {
-                            out.push((base.add(o), 0));
-                        }
-                    }
-                }
-                Some(p) => {
-                    for (o, b) in p.mismatches(expected) {
-                        out.push((base.add(u64::from(o)), b));
-                    }
-                }
-            }
+        Mismatches {
+            store: self,
+            expected,
+            pfn: hpa.pfn().index(),
+            end_pfn: (hpa.raw() + len) / PAGE_SIZE,
+            base: hpa,
+            current: PageMismatches::Empty,
         }
-        out
+    }
+
+    /// [`SparseStore::mismatches`], collected.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the range is page-aligned and inside the device.
+    pub fn find_mismatches(&self, hpa: Hpa, len: u64, expected: u8) -> Vec<(Hpa, u8)> {
+        self.mismatches(hpa, len, expected).collect()
     }
 
     /// Number of materialized (non-zero-default) pages, for memory
@@ -391,6 +508,41 @@ impl SparseStore {
             self.resident += 1;
         }
         *slot = Some(page);
+    }
+}
+
+/// Lazy corruption scan over a page-aligned range — see
+/// [`SparseStore::mismatches`].
+#[derive(Debug)]
+pub struct Mismatches<'a> {
+    store: &'a SparseStore,
+    expected: u8,
+    pfn: u64,
+    end_pfn: u64,
+    base: Hpa,
+    current: PageMismatches<'a>,
+}
+
+impl Iterator for Mismatches<'_> {
+    type Item = (Hpa, u8);
+
+    fn next(&mut self) -> Option<(Hpa, u8)> {
+        loop {
+            if let Some((o, b)) = self.current.next() {
+                return Some((self.base.add(u64::from(o)), b));
+            }
+            if self.pfn >= self.end_pfn {
+                return None;
+            }
+            self.base = Hpa::new(self.pfn * PAGE_SIZE);
+            self.current = match &self.store.pages[self.pfn as usize] {
+                // An untouched slot is a zero page.
+                None if self.expected != 0 => PageMismatches::Uniform { fill: 0, next: 0 },
+                None => PageMismatches::Empty,
+                Some(p) => p.mismatches(self.expected),
+            };
+            self.pfn += 1;
+        }
     }
 }
 
@@ -500,5 +652,97 @@ mod tests {
         let data = [1u8, 2, 3, 4, 5];
         mem.write_bytes(Hpa::new(0xfff), &data);
         assert_eq!(mem.read_bytes(Hpa::new(0xfff), 5), data);
+    }
+
+    #[test]
+    fn read_bytes_spans_mixed_page_representations() {
+        let mut mem = SparseStore::new(1 << 16);
+        // Page 0: untouched (zero). Page 1: uniform. Page 2: patched.
+        // Page 3: dense.
+        mem.fill(Hpa::new(PAGE_SIZE), PAGE_SIZE, 0x55);
+        mem.fill(Hpa::new(2 * PAGE_SIZE), PAGE_SIZE, 0xaa);
+        mem.write_u8(Hpa::new(2 * PAGE_SIZE + 1), 0xab);
+        mem.write_u8(Hpa::new(3 * PAGE_SIZE - 1), 0xac);
+        let mut dense = Box::new([0u8; PAGE_SIZE as usize]);
+        for (i, b) in dense.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        mem.write_page(Hpa::new(3 * PAGE_SIZE), dense);
+
+        // A read crossing all four pages, starting and ending mid-page.
+        let got = mem.read_bytes(Hpa::new(PAGE_SIZE - 2), (3 * PAGE_SIZE + 4) as usize);
+        let expect: Vec<u8> = (0..3 * PAGE_SIZE + 4)
+            .map(|i| mem.read_u8(Hpa::new(PAGE_SIZE - 2 + i)))
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(got[0], 0); // tail of the zero page
+        assert_eq!(got[2], 0x55); // uniform page starts
+        assert_eq!(got[(PAGE_SIZE + 3) as usize], 0xab); // patch honoured
+        assert_eq!(got[(2 * PAGE_SIZE + 1) as usize], 0xac); // trailing patch
+        assert_eq!(got[(2 * PAGE_SIZE + 2) as usize], 0); // dense page byte 0
+        assert_eq!(got[(2 * PAGE_SIZE + 5) as usize], 3); // dense page byte 3
+    }
+
+    #[test]
+    fn write_bytes_across_page_boundary_patches_both_pages() {
+        let mut mem = SparseStore::new(1 << 16);
+        mem.fill(Hpa::new(0), 2 * PAGE_SIZE, 0x55);
+        let data: Vec<u8> = (0..8).collect();
+        mem.write_bytes(Hpa::new(PAGE_SIZE - 4), &data);
+        assert_eq!(mem.read_bytes(Hpa::new(PAGE_SIZE - 4), 8), data);
+        // Both pages hold a patched representation with the right diffs.
+        assert_eq!(
+            mem.find_mismatches(Hpa::new(0), 2 * PAGE_SIZE, 0x55).len(),
+            8
+        );
+        // Writing the fill back restores the uniform representation.
+        mem.write_bytes(Hpa::new(PAGE_SIZE - 4), &[0x55; 8]);
+        assert!(mem
+            .find_mismatches(Hpa::new(0), 2 * PAGE_SIZE, 0x55)
+            .is_empty());
+    }
+
+    #[test]
+    fn mismatch_iterator_is_lazy_and_ordered() {
+        let mut mem = SparseStore::new(1 << 16);
+        mem.fill(Hpa::new(0), 4 * PAGE_SIZE, 0x77);
+        mem.write_u8(Hpa::new(0x10), 0x01);
+        mem.write_u8(Hpa::new(PAGE_SIZE + 0x20), 0x02);
+        mem.write_u8(Hpa::new(3 * PAGE_SIZE + 0x30), 0x03);
+        // Early exit: taking the first hit must not depend on scanning
+        // the rest of the range.
+        let first = mem.mismatches(Hpa::new(0), 4 * PAGE_SIZE, 0x77).next();
+        assert_eq!(first, Some((Hpa::new(0x10), 0x01)));
+        // Full drain matches the collected API, in address order.
+        let all: Vec<_> = mem.mismatches(Hpa::new(0), 4 * PAGE_SIZE, 0x77).collect();
+        assert_eq!(all, mem.find_mismatches(Hpa::new(0), 4 * PAGE_SIZE, 0x77));
+        assert_eq!(
+            all,
+            vec![
+                (Hpa::new(0x10), 0x01),
+                (Hpa::new(PAGE_SIZE + 0x20), 0x02),
+                (Hpa::new(3 * PAGE_SIZE + 0x30), 0x03),
+            ]
+        );
+    }
+
+    #[test]
+    fn mismatch_scan_against_wrong_fill_reports_patches_once() {
+        let mut mem = SparseStore::new(1 << 16);
+        // A patched page scanned against a byte that is neither the fill
+        // nor the patch: every byte mismatches, with patched values
+        // reported (not the fill).
+        mem.fill(Hpa::new(0), PAGE_SIZE, 0x55);
+        mem.write_u8(Hpa::new(0x10), 0x99);
+        let hits = mem.find_mismatches(Hpa::new(0), PAGE_SIZE, 0x11);
+        assert_eq!(hits.len(), PAGE_SIZE as usize);
+        assert_eq!(hits[0x10], (Hpa::new(0x10), 0x99));
+        assert_eq!(hits[0x11], (Hpa::new(0x11), 0x55));
+        // A patch that happens to equal the scanned-for byte is *not* a
+        // mismatch and punches a hole in the run.
+        mem.write_u8(Hpa::new(0x20), 0x11);
+        let hits = mem.find_mismatches(Hpa::new(0), PAGE_SIZE, 0x11);
+        assert_eq!(hits.len(), PAGE_SIZE as usize - 1);
+        assert!(!hits.contains(&(Hpa::new(0x20), 0x11)));
     }
 }

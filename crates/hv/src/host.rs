@@ -1,6 +1,6 @@
 //! The host machine: DRAM, page allocator, clock, and boot-time noise.
 
-use hh_buddy::{AllocJitter, BuddyAllocator, MigrateType, PageTypeInfo, PcpConfig};
+use hh_buddy::{AllocJitter, BuddyAllocator, BuddySnapshot, MigrateType, PageTypeInfo, PcpConfig};
 use hh_dram::{DimmProfile, DramDevice};
 use hh_sim::addr::{Pfn, PAGE_SIZE};
 use hh_sim::clock::{Clock, CostModel, SimDuration, SimInstant};
@@ -183,10 +183,19 @@ impl Host {
     /// Panics if the noise profile does not fit in the DIMM.
     pub fn new(config: HostConfig) -> Self {
         let size = config.dimm.geometry.size_bytes();
+        let mut buddy = BuddyAllocator::with_pcp(size / PAGE_SIZE, config.pcp);
+        apply_boot_noise(&mut buddy, config.noise);
+        Self::assemble(config, buddy)
+    }
+
+    /// Shared tail of [`Self::new`] and [`HostTemplate::instantiate`]:
+    /// everything *after* the allocator has absorbed its boot noise.
+    /// Keeping both constructors on this one path is what makes a
+    /// template-instantiated host bit-identical to a booted one.
+    fn assemble(config: HostConfig, buddy: BuddyAllocator) -> Self {
         let mut rng = SimRng::seed_from(config.seed);
         let noise_rng = rng.fork("host-noise");
         let dram = DramDevice::new(config.dimm, config.seed ^ 0xd1a);
-        let buddy = BuddyAllocator::with_pcp(size / PAGE_SIZE, config.pcp);
         let fault_plan = FaultPlan::new(config.faults, config.seed);
         let mut host = Self {
             dram,
@@ -201,7 +210,6 @@ impl Host {
             fault_plan,
             tracer: Tracer::off(),
         };
-        host.apply_boot_noise(config.noise);
         // Jitter attaches after boot noise: boot-time churn is part of
         // the machine's initial conditions, not of the hostile phase.
         if config.faults.alloc_rate > 0.0 {
@@ -211,34 +219,6 @@ impl Host {
             )));
         }
         host
-    }
-
-    /// Boot-time churn: allocate unmovable pages in adjacent pairs and
-    /// free one page of each pair, leaving `free_small_unmovable_pages`
-    /// order-0 unmovable free pages that cannot coalesce — the initial
-    /// "noise pages" population of Figure 3.
-    fn apply_boot_noise(&mut self, noise: NoiseProfile) {
-        for _ in 0..noise.live_unmovable_pages {
-            self.buddy
-                .alloc(0, MigrateType::Unmovable)
-                .expect("noise profile exceeds DRAM");
-        }
-        let mut to_free = Vec::with_capacity(noise.free_small_unmovable_pages as usize);
-        for _ in 0..noise.free_small_unmovable_pages {
-            // Holding the odd page of each pair pins fragmentation.
-            let a = self
-                .buddy
-                .alloc(0, MigrateType::Unmovable)
-                .expect("noise profile exceeds DRAM");
-            let _held = self
-                .buddy
-                .alloc(0, MigrateType::Unmovable)
-                .expect("noise profile exceeds DRAM");
-            to_free.push(a);
-        }
-        for p in to_free {
-            self.buddy.free(p, 0);
-        }
     }
 
     /// Attaches an instrumentation handle to the host and propagates it
@@ -464,6 +444,90 @@ impl Host {
     }
 }
 
+/// Boot-time churn: allocate unmovable pages in adjacent pairs and
+/// free one page of each pair, leaving `free_small_unmovable_pages`
+/// order-0 unmovable free pages that cannot coalesce — the initial
+/// "noise pages" population of Figure 3.
+///
+/// Deliberately RNG-free: the noise sequence depends only on the
+/// profile, never on the host seed, which is what lets
+/// [`HostTemplate`] replay it once and share the result across every
+/// seed of a campaign scenario.
+fn apply_boot_noise(buddy: &mut BuddyAllocator, noise: NoiseProfile) {
+    for _ in 0..noise.live_unmovable_pages {
+        buddy
+            .alloc(0, MigrateType::Unmovable)
+            .expect("noise profile exceeds DRAM");
+    }
+    let mut to_free = Vec::with_capacity(noise.free_small_unmovable_pages as usize);
+    for _ in 0..noise.free_small_unmovable_pages {
+        // Holding the odd page of each pair pins fragmentation.
+        let a = buddy
+            .alloc(0, MigrateType::Unmovable)
+            .expect("noise profile exceeds DRAM");
+        let _held = buddy
+            .alloc(0, MigrateType::Unmovable)
+            .expect("noise profile exceeds DRAM");
+        to_free.push(a);
+    }
+    for p in to_free {
+        buddy.free(p, 0);
+    }
+}
+
+/// A pre-booted host image: the configuration plus a snapshot of the
+/// allocator state after boot-time noise.
+///
+/// Booting a host replays tens of thousands of allocator operations
+/// (the noise profile), and that sequence is a pure function of the
+/// configuration — the seed only steers DRAM faults, TRR sampling and
+/// fault injection, none of which touch the boot-time allocator. A
+/// campaign grid therefore builds one template per scenario and stamps
+/// out per-seed hosts with [`instantiate`](Self::instantiate), which
+/// skips straight to a snapshot restore.
+///
+/// The template is `Send + Sync` (unlike [`Host`], whose tracer holds
+/// an `Rc`), so worker threads can instantiate from a shared reference.
+#[derive(Debug, Clone)]
+pub struct HostTemplate {
+    config: HostConfig,
+    buddy: BuddySnapshot,
+}
+
+impl HostTemplate {
+    /// Builds the template: seeds the allocator and replays the boot
+    /// noise once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the noise profile does not fit in the DIMM.
+    pub fn new(config: HostConfig) -> Self {
+        let size = config.dimm.geometry.size_bytes();
+        let mut buddy = BuddyAllocator::with_pcp(size / PAGE_SIZE, config.pcp);
+        apply_boot_noise(&mut buddy, config.noise);
+        Self {
+            config,
+            buddy: buddy.snapshot(),
+        }
+    }
+
+    /// The configuration the template was built from (its seed is
+    /// replaced per instantiation).
+    pub fn config(&self) -> &HostConfig {
+        &self.config
+    }
+
+    /// Instantiates a host with the given seed, bit-identical to
+    /// `Host::new(template.config().clone().with_seed(seed))` — the
+    /// DRAM device, RNG streams and fault plan are derived from `seed`
+    /// exactly as [`Host::new`] derives them; only the boot-noise
+    /// replay is skipped in favour of the snapshot.
+    pub fn instantiate(&self, seed: u64) -> Host {
+        let config = self.config.clone().with_seed(seed);
+        Host::assemble(config, BuddyAllocator::from_snapshot(&self.buddy))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +586,51 @@ mod tests {
         assert_eq!(host.released_log()[2], Pfn::new(102));
         host.reset_released_log();
         assert!(host.released_log().is_empty());
+    }
+
+    #[test]
+    fn template_instantiation_matches_a_cold_boot() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HostTemplate>();
+
+        let template = HostTemplate::new(HostConfig::small_test());
+        for seed in [0x5eed, 0xd15c0, 1, u64::MAX] {
+            let mut cold = Host::new(HostConfig::small_test().with_seed(seed));
+            let mut fast = template.instantiate(seed);
+            assert_eq!(fast.pagetypeinfo(), cold.pagetypeinfo());
+            assert_eq!(fast.buddy().free_pages(), cold.buddy().free_pages());
+            assert_eq!(fast.noise_pages(), cold.noise_pages());
+            // Same state ⇒ same future behaviour: allocator decisions,
+            // RNG streams and fault draws all line up.
+            assert_eq!(
+                fast.alloc_ept_page().unwrap(),
+                cold.alloc_ept_page().unwrap()
+            );
+            assert_eq!(fast.rng_mut().next_u64(), cold.rng_mut().next_u64());
+        }
+    }
+
+    #[test]
+    fn template_instantiation_matches_a_faulted_boot() {
+        let cfg = HostConfig::small_test().with_faults(FaultConfig::uniform(0.2).with_seed(9));
+        let template = HostTemplate::new(cfg.clone());
+        let mut cold = Host::new(cfg.with_seed(0xfa));
+        let mut fast = template.instantiate(0xfa);
+        // Jitter and the fault plan are per-seed: the same injections
+        // must fire on both hosts, in the same order.
+        for _ in 0..64 {
+            assert_eq!(
+                fast.buddy_mut().alloc_page(MigrateType::Unmovable),
+                cold.buddy_mut().alloc_page(MigrateType::Unmovable)
+            );
+            fast.charge_nanos(1_000);
+            cold.charge_nanos(1_000);
+            assert_eq!(
+                fast.fault_check(FaultStage::EptSplit).is_err(),
+                cold.fault_check(FaultStage::EptSplit).is_err()
+            );
+        }
+        assert_eq!(fast.fault_plan().draws(), cold.fault_plan().draws());
     }
 
     #[test]

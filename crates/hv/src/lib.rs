@@ -69,7 +69,7 @@ pub mod xen;
 pub use error::{FaultStage, HvError};
 pub use fault::{FaultConfig, FaultPlan};
 pub use guest_mm::{GuestMm, GuestThp};
-pub use host::{Host, HostConfig, NoiseProfile};
+pub use host::{Host, HostConfig, HostTemplate, NoiseProfile};
 pub use viommu::IommuGroup;
 pub use virtio_mem::QuarantinePolicy;
 pub use vm::{Vm, VmConfig};

@@ -312,13 +312,29 @@ impl Vm {
     /// (possibly corrupted) translation leaves physical memory.
     pub fn read_gpa(&self, host: &Host, gpa: Gpa, len: usize) -> Result<Vec<u8>, HvError> {
         let mut out = Vec::with_capacity(len);
-        for i in 0..len as u64 {
-            let a = gpa.add(i);
+        let len = len as u64;
+        let mut off = 0u64;
+        // One EPT walk per touched page: translations are contiguous
+        // within a page (base frame + offset), so a single walk covers
+        // the rest of the page.
+        while off < len {
+            let a = gpa.add(off);
             let t = self.ept.translate(host, a)?;
-            if !host.dram().geometry().contains(t.hpa) {
+            let span = (PAGE_SIZE - a.page_offset()).min(len - off);
+            let geometry = host.dram().geometry();
+            if !geometry.contains(t.hpa) {
                 return Err(HvError::Unmapped(a));
             }
-            out.push(host.dram().store().read_u8(t.hpa));
+            if !geometry.contains(t.hpa.add(span - 1)) {
+                // The translation leaves the device mid-span: report the
+                // first off-device byte, as a per-byte walk would.
+                let valid = (0..span)
+                    .find(|&i| !geometry.contains(t.hpa.add(i)))
+                    .unwrap_or(span);
+                return Err(HvError::Unmapped(a.add(valid)));
+            }
+            out.extend_from_slice(&host.dram().store().read_bytes(t.hpa, span as usize));
+            off += span;
         }
         Ok(out)
     }
@@ -345,17 +361,37 @@ impl Vm {
     ///
     /// Same as [`Self::read_gpa`].
     pub fn write_gpa(&mut self, host: &mut Host, gpa: Gpa, bytes: &[u8]) -> Result<(), HvError> {
-        for (i, &b) in bytes.iter().enumerate() {
-            let a = gpa.add(i as u64);
+        let len = bytes.len() as u64;
+        let mut off = 0u64;
+        // One EPT walk and one dirty-page check per touched page (the
+        // whole span shares a frame), not per byte.
+        while off < len {
+            let a = gpa.add(off);
             let t = self.ept.translate(host, a)?;
-            if !host.dram().geometry().contains(t.hpa) {
+            let span = (PAGE_SIZE - a.page_offset()).min(len - off);
+            let geometry = host.dram().geometry();
+            if !geometry.contains(t.hpa) {
                 return Err(HvError::Unmapped(a));
             }
+            let valid = if geometry.contains(t.hpa.add(span - 1)) {
+                span
+            } else {
+                (0..span)
+                    .find(|&i| !geometry.contains(t.hpa.add(i)))
+                    .unwrap_or(span)
+            };
             let frame = t.hpa.pfn().index();
             if self.pt_windows.contains_key(&frame) && !self.dirty_pt_pages.contains(&frame) {
                 self.dirty_pt_pages.push(frame);
             }
-            host.dram_mut().store_mut().write_u8(t.hpa, b);
+            let chunk = &bytes[off as usize..(off + valid) as usize];
+            host.dram_mut().store_mut().write_bytes(t.hpa, chunk);
+            if valid < span {
+                // Partial span off-device: the valid prefix is written
+                // (matching the per-byte walk), then the fault surfaces.
+                return Err(HvError::Unmapped(a.add(valid)));
+            }
+            off += span;
         }
         Ok(())
     }
@@ -541,8 +577,7 @@ impl Vm {
         len: u64,
     ) -> Vec<GuestFlip> {
         host.charge_scan(len);
-        let journal: Vec<hh_dram::FlipEvent> = host.dram().flip_journal()[since..].to_vec();
-        journal
+        host.dram().flip_journal()[since..]
             .iter()
             .filter_map(|f| {
                 let gpa = self.gpa_of_hpa(Hpa::new(f.hpa.raw()))?;
@@ -604,9 +639,7 @@ impl Vm {
 
         // (b) flips: in data pages (magic bytes themselves) and in EPT
         // pages (redirected translations).
-        let journal: Vec<hh_dram::FlipEvent> =
-            host.dram().flip_journal()[self.journal_start..].to_vec();
-        for f in &journal {
+        for f in &host.dram().flip_journal()[self.journal_start..] {
             if let Some(gpa) = self.gpa_of_hpa(f.hpa) {
                 candidates.push(Gpa::new(gpa.align_down(PAGE_SIZE).raw()));
             }

@@ -569,6 +569,23 @@ impl TraceSink {
         }
     }
 
+    /// [`TraceSink::new`] with a pre-sized event arena.
+    ///
+    /// A tiny campaign cell records tens of thousands of events; growing
+    /// the stream through doubling reallocations is measurable on the
+    /// hot path. The hint is a capacity reservation only — it cannot
+    /// change *what* is recorded, so callers may derive it from
+    /// scheduling-dependent observations (e.g. the previous cell's
+    /// event count) without breaking byte-identical output. Ignored in
+    /// [`TraceMode::Metrics`], which records no events.
+    pub fn with_capacity(mode: TraceMode, events_hint: usize) -> Self {
+        let mut sink = Self::new(mode);
+        if sink.record_events {
+            sink.events.reserve_exact(events_hint);
+        }
+        sink
+    }
+
     /// Campaign-grid cell index this sink belongs to (0 outside grids).
     pub const fn cell(&self) -> usize {
         self.cell
@@ -668,6 +685,20 @@ impl Tracer {
             TraceMode::Off => Self::default(),
             mode => Self {
                 sink: Some(Rc::new(RefCell::new(TraceSink::new(mode)))),
+            },
+        }
+    }
+
+    /// [`Tracer::new`] with a pre-sized event arena — see
+    /// [`TraceSink::with_capacity`] for why hints are always safe.
+    pub fn with_capacity(mode: TraceMode, events_hint: usize) -> Self {
+        match mode {
+            TraceMode::Off => Self::default(),
+            mode => Self {
+                sink: Some(Rc::new(RefCell::new(TraceSink::with_capacity(
+                    mode,
+                    events_hint,
+                )))),
             },
         }
     }
@@ -1017,6 +1048,30 @@ mod tests {
             sink.events().is_empty(),
             "plan-cache bookkeeping must not perturb the event stream"
         );
+    }
+
+    #[test]
+    fn capacity_hint_changes_nothing_observable() {
+        let run = |t: Tracer| {
+            t.set_now(7);
+            t.hammer(12, 1, 1);
+            t.stage_start(Stage::SprayEpt);
+            t.ept_spray(44, 3);
+            t.set_now(90);
+            t.stage_end(Stage::SprayEpt);
+            t.take_sink().expect("attached")
+        };
+        for mode in [TraceMode::Metrics, TraceMode::Full] {
+            let plain = run(Tracer::new(mode));
+            for hint in [0, 1, 4096] {
+                assert_eq!(
+                    run(Tracer::with_capacity(mode, hint)),
+                    plain,
+                    "hint {hint} perturbed a {mode:?} sink"
+                );
+            }
+        }
+        assert!(!Tracer::with_capacity(TraceMode::Off, 512).is_on());
     }
 
     #[test]

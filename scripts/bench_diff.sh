@@ -5,7 +5,9 @@
 # (HH_BENCH_QUICK=1), captures their machine-readable reports via
 # HH_BENCH_JSON, and compares each against the committed baseline with
 # `hyperhammer-sim bench-diff`. Exits non-zero when any bench regresses
-# beyond the tolerance or disappears from the current run. Quick-mode
+# beyond the tolerance or disappears from the current run; improvements
+# beyond the tolerance never fail, but print a re-baseline hint (a stale
+# baseline would let regressions hide under it). Quick-mode
 # reports are only comparable with quick-mode baselines (the JSON schema
 # records which mode produced it and bench-diff refuses to mix them), so
 # the committed baselines are quick-mode runs too.
@@ -76,5 +78,9 @@ if [ "$status" -ne 0 ]; then
     echo "bench_diff: FAILED — regression(s) beyond tolerance, see above" >&2
     echo "bench_diff: if the slowdown is intended, re-baseline with" \
         "scripts/bench_diff.sh --update and commit the result" >&2
+else
+    echo "bench_diff: OK — within tolerance of the committed baselines"
+    echo "bench_diff: (an 'improved' note above means the baseline now" \
+        "understates real perf — lock it in with scripts/bench_diff.sh --update)"
 fi
 exit "$status"

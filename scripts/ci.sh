@@ -8,7 +8,7 @@
 # usage: scripts/ci.sh [stage...]
 #   With no arguments every stage runs in order; otherwise only the
 #   named stages run. Stages: build test fmt clippy bench-smoke
-#   determinism bench-diff.
+#   determinism chaos scaling-sanity bench-diff.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -110,12 +110,63 @@ stage_chaos() {
     echo "chaos: --faults 0.05 campaign outputs are byte-identical across --jobs 1/2/8"
 }
 
+stage_scaling_sanity() {
+    stage scaling-sanity
+    # The work-stealing engine's whole point: more workers must never
+    # make a campaign slower (the static-split engine was ~24% slower at
+    # 4 workers than serial on a 1-CPU host). Run an 8-cell tiny grid at
+    # 1/2/4/8 workers, require the 4-worker run to be no slower than
+    # serial (plus timing-noise headroom), and require the traced NDJSON
+    # to stay byte-identical across every worker count.
+    local tmpdir jobs t0 t1 ncpus
+    declare -A elapsed
+    tmpdir="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
+    trap "rm -rf '$tmpdir'" RETURN
+    run cargo build --release --offline --locked -q -p hyperhammer-cli
+    for jobs in 1 2 4 8; do
+        echo "==> campaign --jobs $jobs (8-cell tiny grid, traced)"
+        t0=$(date +%s%N)
+        ./target/release/hyperhammer-sim \
+            campaign --scenarios tiny --seeds 8 --attempts 2 --bits 4 \
+            --jobs "$jobs" --trace "$tmpdir/trace_${jobs}.ndjson" \
+            | tail -n +3 >"$tmpdir/stdout_${jobs}.txt"
+        t1=$(date +%s%N)
+        elapsed[$jobs]=$(((t1 - t0) / 1000000))
+        echo "    ${elapsed[$jobs]} ms"
+    done
+    run cmp "$tmpdir/trace_1.ndjson" "$tmpdir/trace_2.ndjson"
+    run cmp "$tmpdir/trace_1.ndjson" "$tmpdir/trace_4.ndjson"
+    run cmp "$tmpdir/trace_1.ndjson" "$tmpdir/trace_8.ndjson"
+    run cmp "$tmpdir/stdout_1.txt" "$tmpdir/stdout_4.txt"
+    # 4 workers no slower than serial (25% headroom for timer noise).
+    if [ "${elapsed[4]}" -gt $((elapsed[1] * 125 / 100)) ]; then
+        echo "scaling-sanity: inverted scaling — 4 workers took" \
+            "${elapsed[4]} ms vs ${elapsed[1]} ms serial" >&2
+        return 1
+    fi
+    ncpus=$(nproc 2>/dev/null || echo 1)
+    if [ "$ncpus" -ge 4 ]; then
+        # With real cores behind the workers, demand actual speedup.
+        if [ $((elapsed[1] * 100)) -lt $((elapsed[4] * 150)) ]; then
+            echo "scaling-sanity: expected >=1.5x at 4 workers on $ncpus CPUs:" \
+                "serial ${elapsed[1]} ms vs 4-worker ${elapsed[4]} ms" >&2
+            return 1
+        fi
+    else
+        echo "scaling-sanity: $ncpus CPU(s) — skipping the >=1.5x speedup" \
+            "check (effective workers are clamped to the CPU count)"
+    fi
+    echo "scaling-sanity: 4 workers no slower than serial; traces" \
+        "byte-identical across --jobs 1/2/4/8"
+}
+
 stage_bench_diff() {
     stage bench-diff
     run scripts/bench_diff.sh
 }
 
-ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos bench-diff)
+ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity bench-diff)
 if [ "$#" -gt 0 ]; then
     STAGES=("$@")
 else
@@ -131,6 +182,7 @@ for name in "${STAGES[@]}"; do
         bench-smoke) stage_bench_smoke ;;
         determinism) stage_determinism ;;
         chaos) stage_chaos ;;
+        scaling-sanity) stage_scaling_sanity ;;
         bench-diff) stage_bench_diff ;;
         *)
             CURRENT_STAGE="$name"
