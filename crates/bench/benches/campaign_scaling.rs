@@ -1,4 +1,8 @@
-//! Throughput scaling of the deterministic parallel campaign engine.
+//! Throughput scaling of the deterministic parallel campaign engine,
+//! plus the bounded-memory streaming series (`campaign_memory`): peak
+//! RSS of a `run_streamed` campaign must stay flat as the grid grows,
+//! and each record carries `peak_rss_kib` so bench-diff guards the
+//! ceiling across commits.
 //!
 //! Runs tiny_demo campaign grids of several sizes on 1, 2, 4 and 8
 //! workers. Results are bit-identical across worker counts (asserted
@@ -15,11 +19,12 @@
 
 use std::num::NonZeroUsize;
 
-use hh_bench::harness::{quick, Criterion};
+use hh_bench::harness::{quick, BatchSize, Criterion};
 use hh_bench::{criterion_group, criterion_main};
 use hyperhammer::driver::DriverParams;
 use hyperhammer::machine::Scenario;
-use hyperhammer::parallel::CampaignGrid;
+use hyperhammer::parallel::{CampaignGrid, CellResult};
+use hyperhammer::streamref::{merge_shards, CampaignAggregate, CampaignStreamer};
 use std::hint::black_box;
 
 fn grid(cells: usize) -> CampaignGrid {
@@ -103,5 +108,92 @@ fn bench_scaling(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_scaling);
+/// One full streaming run: spill to a scratch dir, merge into the
+/// void, fold the aggregate — the production pipeline minus stdout.
+fn run_streamed_discard(grid: &CampaignGrid, jobs: NonZeroUsize, dir: &std::path::Path) {
+    type Fmt = fn(&CellResult, &mut String);
+    let fmt_cell: Fmt = |r, out| {
+        use std::fmt::Write as _;
+        writeln!(
+            out,
+            "{} {} {}",
+            r.seed,
+            r.catalog_bits,
+            r.stats.attempts.len()
+        )
+        .expect("write to String");
+    };
+    let fmt_trace: Fmt = |_, _| {};
+    let consumers = grid
+        .run_streamed(jobs, |worker| {
+            CampaignStreamer::new(dir, worker, false, fmt_cell, fmt_trace)
+        })
+        .expect("streamed grid runs");
+    let mut aggregates = Vec::new();
+    let mut shards = Vec::new();
+    for consumer in consumers {
+        let (aggregate, cells, _) = consumer.finish().expect("spill flush");
+        aggregates.push(aggregate);
+        shards.extend(cells);
+    }
+    merge_shards(shards, grid.len(), &mut std::io::sink()).expect("shards tile the grid");
+    black_box(CampaignAggregate::merged(&aggregates));
+}
+
+/// The bounded-memory series: peak RSS of a streaming campaign must not
+/// grow with cell count. Runs before `bench_scaling` because `VmHWM` is
+/// a process-wide monotonic high-water mark — in-memory grid runs would
+/// raise it past anything the streaming path allocates.
+fn bench_memory(c: &mut Criterion) {
+    let params = DriverParams {
+        bits_per_attempt: 4,
+        ..DriverParams::paper()
+    };
+    let make_grid = |cells| {
+        CampaignGrid::new(vec![Scenario::micro_demo()], params.clone(), 2)
+            .with_seed_count(0x111c40, cells)
+    };
+    let jobs = NonZeroUsize::new(2).expect("non-zero");
+    let cell_counts: [usize; 2] = if quick() { [64, 512] } else { [64, 4096] };
+    let dir = std::env::temp_dir().join(format!("hh-bench-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create spill dir");
+
+    let mut group = c.benchmark_group("campaign_memory");
+    group.sample_size(2);
+    group.meta("micro_demo", 0x111c40);
+    let mut peaks = Vec::new();
+    for cells in cell_counts {
+        let grid = make_grid(cells);
+        group.bench_function(&format!("micro_stream_{cells}cells_2w"), |b| {
+            b.iter_batched(
+                || (),
+                |()| run_streamed_discard(&grid, jobs, &dir),
+                BatchSize::SmallInput,
+            );
+            // Stamped into the JSON record so bench-diff tracks the
+            // memory ceiling across commits like any other number.
+            b.record_peak_rss();
+        });
+        peaks.push(hh_sim::mem::peak_rss_kib());
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The point of streaming: a {64,~8}x bigger grid stays within 2x
+    // the small grid's peak (slack for allocator hysteresis), where the
+    // in-memory path grows O(cells).
+    if let (Some(Some(small)), Some(Some(large))) = (peaks.first().copied(), peaks.last().copied())
+    {
+        println!(
+            "\ncampaign memory: {} cells peaked at {small} KiB, {} cells at {large} KiB",
+            cell_counts[0], cell_counts[1]
+        );
+        assert!(
+            large <= small * 2,
+            "streaming peak RSS grew with cell count: {small} KiB -> {large} KiB"
+        );
+    }
+}
+
+criterion_group!(benches, bench_memory, bench_scaling);
 criterion_main!(benches);

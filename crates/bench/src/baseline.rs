@@ -38,6 +38,11 @@ pub struct BenchRecord {
     pub scenario: String,
     /// Deterministic seed the bench ran with (0 when seedless).
     pub seed: u64,
+    /// Process peak RSS (`VmHWM`, KiB) observed when the bench
+    /// finished, for memory-bound benches that opt in via
+    /// [`Bencher::record_peak_rss`](crate::harness::Bencher::record_peak_rss);
+    /// `None` elsewhere and in reports written before the field existed.
+    pub peak_rss_kib: Option<u64>,
 }
 
 /// A full bench report: every record one `cargo bench` invocation
@@ -66,10 +71,10 @@ impl BenchReport {
                 Some(f) => format_f64(f),
                 None => "null".to_string(),
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "    {{\"name\": {}, \"iters\": {}, \"ns_per_iter\": {}, \
-                 \"flips_per_sec\": {}, \"scenario\": {}, \"seed\": {}}}{comma}",
+                 \"flips_per_sec\": {}, \"scenario\": {}, \"seed\": {}",
                 quote(&r.name),
                 r.iters,
                 format_f64(r.ns_per_iter),
@@ -77,6 +82,12 @@ impl BenchReport {
                 quote(&r.scenario),
                 r.seed,
             );
+            // Written only when measured, so reports from benches that
+            // never opt in stay byte-identical to pre-field baselines.
+            if let Some(kib) = r.peak_rss_kib {
+                let _ = write!(out, ", \"peak_rss_kib\": {kib}");
+            }
+            let _ = writeln!(out, "}}{comma}");
         }
         let _ = writeln!(out, "  ]");
         let _ = write!(out, "}}");
@@ -124,6 +135,11 @@ impl BenchReport {
                         .ok_or("scenario must be a string")?
                         .to_string(),
                     seed: get(r, "seed")?.as_u64().ok_or("seed must be an integer")?,
+                    // Absent in pre-field reports — tolerate, don't fail.
+                    peak_rss_kib: match get_opt(r, "peak_rss_kib") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => Some(v.as_u64().ok_or("peak_rss_kib must be an integer")?),
+                    },
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -178,6 +194,9 @@ pub struct DiffEntry {
     pub current_ns: Option<f64>,
     /// `current / baseline` when both sides exist.
     pub ratio: Option<f64>,
+    /// `current / baseline` peak RSS, when both runs measured it —
+    /// reports without the field simply skip the memory comparison.
+    pub rss_ratio: Option<f64>,
     /// Verdict for this bench.
     pub status: DiffStatus,
 }
@@ -241,22 +260,33 @@ pub fn diff(
                 baseline_ns: Some(base.ns_per_iter),
                 current_ns: None,
                 ratio: None,
+                rss_ratio: None,
                 status: DiffStatus::Missing,
             }),
             Some(cur) => {
                 let ratio = cur.ns_per_iter / base.ns_per_iter;
-                let status = if ratio > 1.0 + tolerance {
-                    DiffStatus::Regression
-                } else if ratio < 1.0 - tolerance {
-                    DiffStatus::Improved
-                } else {
-                    DiffStatus::Ok
+                let rss_ratio = match (base.peak_rss_kib, cur.peak_rss_kib) {
+                    (Some(b), Some(c)) if b > 0 => Some(c as f64 / b as f64),
+                    _ => None,
                 };
+                // Blowing the memory budget fails CI exactly like a
+                // time regression; running leaner never does (peak RSS
+                // has a floor — the process image — so a drop is not a
+                // stale-baseline signal the way a time drop is).
+                let status =
+                    if ratio > 1.0 + tolerance || rss_ratio.is_some_and(|r| r > 1.0 + tolerance) {
+                        DiffStatus::Regression
+                    } else if ratio < 1.0 - tolerance {
+                        DiffStatus::Improved
+                    } else {
+                        DiffStatus::Ok
+                    };
                 entries.push(DiffEntry {
                     name: base.name.clone(),
                     baseline_ns: Some(base.ns_per_iter),
                     current_ns: Some(cur.ns_per_iter),
                     ratio: Some(ratio),
+                    rss_ratio,
                     status,
                 });
             }
@@ -269,6 +299,7 @@ pub fn diff(
                 baseline_ns: None,
                 current_ns: Some(cur.ns_per_iter),
                 ratio: None,
+                rss_ratio: None,
                 status: DiffStatus::New,
             });
         }
@@ -364,14 +395,18 @@ impl Json {
 }
 
 fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("missing key {key:?}"))
+    get_opt(obj, key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// [`get`] for keys added to the schema after v1 reports already
+/// existed: absence is data, not an error.
+fn get_opt<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 /// A small recursive-descent JSON parser — enough for the bench schema
-/// (no surrogate-pair escapes; `\uXXXX` below the BMP only).
+/// (`\uXXXX` escapes cover the full range: surrogate pairs combine
+/// into their supplementary-plane scalar, lone surrogates are errors).
 struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -520,18 +555,39 @@ impl<'a> JsonParser<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex =
-                                std::str::from_utf8(hex).map_err(|_| "non-ascii \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code).ok_or("surrogate \\u escape unsupported")?,
-                            );
+                            let code = self.hex_escape()?;
+                            let c = match code {
+                                // High surrogate: must pair with an
+                                // immediately following \uDC00..\uDFFF
+                                // low surrogate (RFC 8259 §7) to form
+                                // one supplementary-plane scalar.
+                                0xd800..=0xdbff => {
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return Err(format!(
+                                            "lone high surrogate \\u{code:04x} (expected \
+                                             \\uDC00-\\uDFFF to follow)"
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex_escape()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err(format!(
+                                            "high surrogate \\u{code:04x} followed by \
+                                             \\u{low:04x}, not a low surrogate"
+                                        ));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    char::from_u32(scalar).expect("paired surrogates are scalar")
+                                }
+                                0xdc00..=0xdfff => {
+                                    return Err(format!(
+                                        "lone low surrogate \\u{code:04x} (no preceding \
+                                         high surrogate)"
+                                    ));
+                                }
+                                code => char::from_u32(code).expect("BMP non-surrogate is scalar"),
+                            };
+                            out.push(c);
                         }
                         other => {
                             return Err(format!("unknown escape \\{}", other as char));
@@ -553,6 +609,19 @@ impl<'a> JsonParser<'a> {
                 }
             }
         }
+    }
+
+    /// Reads the 4 hex digits of a `\u` escape (the `\u` itself
+    /// already consumed) and returns the code unit.
+    fn hex_escape(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "non-ascii \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -592,6 +661,14 @@ mod tests {
             flips_per_sec: Some(42.5),
             scenario: "default".to_string(),
             seed: 99,
+            peak_rss_kib: None,
+        }
+    }
+
+    fn with_rss(r: BenchRecord, kib: u64) -> BenchRecord {
+        BenchRecord {
+            peak_rss_kib: Some(kib),
+            ..r
         }
     }
 
@@ -610,6 +687,65 @@ mod tests {
         };
         let parsed = BenchReport::parse(&report.to_json()).expect("round trip");
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn peak_rss_round_trips_and_tolerates_absence() {
+        // Measured: survives a round trip.
+        let report = BenchReport {
+            quick: true,
+            records: vec![with_rss(record("campaign/stream", 9.0), 5_640)],
+        };
+        let text = report.to_json();
+        assert!(text.contains("\"peak_rss_kib\": 5640"));
+        assert_eq!(BenchReport::parse(&text).expect("round trip"), report);
+
+        // Unmeasured: the key is not even written, matching pre-field
+        // reports byte for byte…
+        let bare = BenchReport {
+            quick: true,
+            records: vec![record("campaign/serial", 9.0)],
+        };
+        assert!(!bare.to_json().contains("peak_rss_kib"));
+        // …and a pre-field report (no key at all) still parses.
+        let v1 = r#"{"schema": "hyperhammer-bench-v1", "quick": true, "records": [
+            {"name": "a", "iters": 1, "ns_per_iter": 2.0,
+             "flips_per_sec": null, "scenario": "default", "seed": 0}]}"#;
+        let parsed = BenchReport::parse(v1).expect("pre-field report parses");
+        assert_eq!(parsed.records[0].peak_rss_kib, None);
+    }
+
+    #[test]
+    fn diff_compares_peak_rss_only_when_both_sides_measured_it() {
+        let base = BenchReport {
+            quick: true,
+            records: vec![
+                with_rss(record("bloats", 100.0), 1_000),
+                record("unmeasured-base", 100.0),
+                with_rss(record("steady", 100.0), 1_000),
+                with_rss(record("slims", 100.0), 1_000),
+            ],
+        };
+        let cur = BenchReport {
+            quick: true,
+            records: vec![
+                // Flat time, 2.5× memory: a regression all the same.
+                with_rss(record("bloats", 100.0), 2_500),
+                // Only one side measured: no memory verdict possible.
+                with_rss(record("unmeasured-base", 100.0), 9_999),
+                with_rss(record("steady", 101.0), 1_050),
+                // Leaner is welcome but is not a stale-baseline signal.
+                with_rss(record("slims", 100.0), 400),
+            ],
+        };
+        let d = diff(&base, &cur, DEFAULT_TOLERANCE).expect("comparable");
+        assert_eq!(d.entries[0].status, DiffStatus::Regression);
+        assert_eq!(d.entries[0].rss_ratio, Some(2.5));
+        assert_eq!(d.entries[1].status, DiffStatus::Ok);
+        assert_eq!(d.entries[1].rss_ratio, None);
+        assert_eq!(d.entries[2].status, DiffStatus::Ok);
+        assert_eq!(d.entries[3].status, DiffStatus::Ok);
+        assert!(d.has_failures());
     }
 
     #[test]
@@ -698,5 +834,43 @@ mod tests {
         let b = get(obj, "b").unwrap().as_obj().unwrap();
         assert_eq!(get(b, "q\"x").unwrap().as_str().unwrap(), "yA\n");
         assert_eq!(get(obj, "c").unwrap(), &Json::Null);
+    }
+
+    #[test]
+    fn parser_pairs_surrogate_escapes() {
+        // `\ud83d\ude00` is 😀 (U+1F600); other producers may escape
+        // non-BMP strings this way even though quote() emits raw UTF-8.
+        let v = JsonParser::new("{\"s\": \"grin \\ud83d\\ude00!\"}")
+            .parse()
+            .expect("surrogate pair parses");
+        let obj = v.as_obj().unwrap();
+        assert_eq!(get(obj, "s").unwrap().as_str().unwrap(), "grin 😀!");
+        // The BMP boundary cases stay plain scalars.
+        let v = JsonParser::new("\"\\ud7ff\\ue000\"")
+            .parse()
+            .expect("BMP neighbours parse");
+        assert_eq!(v.as_str().unwrap(), "\u{d7ff}\u{e000}");
+    }
+
+    #[test]
+    fn parser_rejects_lone_and_reversed_surrogates() {
+        for bad in [
+            r#""\ud83d""#,        // lone high at end of string
+            r#""\ud83d rest""#,   // high followed by plain text
+            "\"\\ud83d\\u0041\"", // high followed by non-surrogate escape
+            r#""\ude00""#,        // lone low
+            r#""\ude00\ud83d""#,  // reversed pair
+        ] {
+            let err = JsonParser::new(bad).parse().expect_err(bad);
+            assert!(err.contains("surrogate"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn non_bmp_strings_round_trip_through_quote_and_parse() {
+        let original = "name 😀 \u{10FFFF} plain";
+        let quoted = quote(original);
+        let v = JsonParser::new(&quoted).parse().expect("round-trips");
+        assert_eq!(v.as_str().unwrap(), original);
     }
 }

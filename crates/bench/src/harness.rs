@@ -127,6 +127,7 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
             iters: 0,
             flips_per_iter: None,
+            peak_rss_kib: None,
         };
         f(&mut bencher);
         bencher.report(&self.name, name, &self.scenario, self.seed);
@@ -144,6 +145,7 @@ pub struct Bencher {
     samples: Vec<Duration>,
     iters: u64,
     flips_per_iter: Option<f64>,
+    peak_rss_kib: Option<u64>,
 }
 
 impl Bencher {
@@ -215,6 +217,16 @@ impl Bencher {
         self.flips_per_iter = Some(flips);
     }
 
+    /// Stamps the process's peak RSS (`VmHWM`, KiB) as of now into this
+    /// bench's JSON record. Call after the `iter` call from benches
+    /// whose point is memory behaviour (the campaign streaming series):
+    /// the high-water mark is process-wide and monotonic, so order the
+    /// cheap runs before the hungry ones within a bench binary. A no-op
+    /// where procfs is unavailable.
+    pub fn record_peak_rss(&mut self) {
+        self.peak_rss_kib = hh_sim::mem::peak_rss_kib();
+    }
+
     fn report(&mut self, group: &str, name: &str, scenario: &str, seed: u64) {
         if self.samples.is_empty() {
             println!("  {name:<40} (no samples)");
@@ -242,6 +254,7 @@ impl Bencher {
                 flips_per_sec: self.flips_per_iter.map(|f| f * 1e9 / ns.max(1.0)),
                 scenario: scenario.to_string(),
                 seed,
+                peak_rss_kib: self.peak_rss_kib,
             });
     }
 }

@@ -281,6 +281,64 @@ impl BuddyAllocator {
         }
     }
 
+    /// Restores the allocator's page state — free lists (including
+    /// their LIFO order), the free/allocated indexes and the per-CPU
+    /// caches — to `snap`, keeping the live instrumentation (stats,
+    /// tracer, jitter) untouched.
+    ///
+    /// This is the abort-rollback primitive: an abandoned attack
+    /// attempt frees every page it took, so the *count* comes back on
+    /// its own, but interleaved split/coalesce traffic leaves the free
+    /// lists in a different LIFO order — and buddy allocation order is
+    /// exactly what hammer-plan physical layout depends on. Restoring
+    /// the snapshot makes a later attempt's allocations independent of
+    /// the aborted attempt's fault stream.
+    ///
+    /// # Panics
+    ///
+    /// If `snap` came from a zone of a different size.
+    pub fn restore_free_state(&mut self, snap: &BuddySnapshot) {
+        assert_eq!(
+            self.frames, snap.frames,
+            "free-state snapshot is from a different zone"
+        );
+        self.free = snap.free.clone();
+        self.free_index = snap.free_index.clone();
+        self.allocated = snap.allocated.clone();
+        self.pcp = snap.pcp.clone();
+    }
+
+    /// An order-sensitive digest of the free state: every free list's
+    /// PFN sequence (per migratetype and order) and every per-CPU cache
+    /// list, folded in iteration order. Two allocators with the same
+    /// free pages in a different LIFO order digest differently — the
+    /// property [`restore_free_state`](Self::restore_free_state) exists
+    /// to protect.
+    pub fn free_state_digest(&self) -> u64 {
+        // FNV-1a over (tag, pfn) words; tags separate list boundaries
+        // so moving a page between lists always changes the digest.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (mt, per_order) in self.free.iter().enumerate() {
+            for (order, list) in per_order.iter().enumerate() {
+                fold(0x1000_0000 | (mt as u64) << 8 | order as u64);
+                for pfn in list.iter() {
+                    fold(pfn);
+                }
+            }
+        }
+        for mt in MigrateType::ALL {
+            fold(0x2000_0000 | mt.index() as u64);
+            for pfn in self.pcp.lane_iter(mt) {
+                fold(pfn);
+            }
+        }
+        h
+    }
+
     /// Attaches an instrumentation handle; allocations, frees, splits,
     /// merges and exhaustions are reported to it from now on. Clones of
     /// a traced allocator share the same sink.
@@ -846,6 +904,46 @@ mod tests {
             b.alloc_page(MigrateType::Unmovable)
         );
         b.free(held, 3);
+    }
+
+    #[test]
+    fn restore_free_state_recovers_lifo_order_not_just_counts() {
+        let mut b = BuddyAllocator::new(frames(8));
+        // Stir the lists so they are not in freshly-carved order.
+        let held: Vec<_> = (0..6)
+            .map(|_| b.alloc(2, MigrateType::Movable).unwrap())
+            .collect();
+        for p in held.iter().rev() {
+            b.free(*p, 2);
+        }
+        let snap = b.snapshot();
+        let digest = b.free_state_digest();
+
+        // An alloc/free round trip restores the page *count* but not
+        // the LIFO order (remove() swap-removes; coalescing re-pushes)
+        // — the situation an aborted attempt leaves behind.
+        let a1 = b.alloc(0, MigrateType::Movable).unwrap();
+        let a2 = b.alloc(4, MigrateType::Unmovable).unwrap();
+        b.free(a1, 0);
+        b.free(a2, 4);
+        assert_eq!(b.free_pages(), snap.total_frames());
+        assert_ne!(
+            b.free_state_digest(),
+            digest,
+            "the digest must be order-sensitive or this test is vacuous"
+        );
+
+        b.restore_free_state(&snap);
+        assert_eq!(b.free_state_digest(), digest);
+        // Same state ⇒ same future decisions.
+        let mut reference = BuddyAllocator::from_snapshot(&snap);
+        for order in [0u8, 2, 4] {
+            assert_eq!(
+                b.alloc(order, MigrateType::Movable),
+                reference.alloc(order, MigrateType::Movable),
+                "order-{order} alloc diverged after free-state restore"
+            );
+        }
     }
 
     #[test]

@@ -86,6 +86,13 @@ impl PcpCache {
         out
     }
 
+    /// The cached pages of one migratetype lane, head-to-tail — the
+    /// order [`free_state_digest`](crate::BuddyAllocator::free_state_digest)
+    /// folds them in.
+    pub fn lane_iter(&self, mt: MigrateType) -> impl Iterator<Item = u64> + '_ {
+        self.lists[mt.index()].iter()
+    }
+
     pub fn pages(&self, mt: MigrateType) -> u64 {
         self.lists[mt.index()].len() as u64
     }

@@ -2,6 +2,7 @@
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::path::PathBuf;
 
 use hh_dram::dramdig::recover;
 use hh_dram::timing::{AccessTiming, TimingProbe};
@@ -14,6 +15,7 @@ use hyperhammer::machine::Scenario;
 use hyperhammer::parallel::{resolve_jobs, CampaignGrid, CellResult};
 use hyperhammer::profile::{ProfileParams, Profiler};
 use hyperhammer::steering::PageSteering;
+use hyperhammer::streamref::{merge_shards, CampaignAggregate, CampaignStreamer};
 
 use crate::opts::{Command, FaultOpts, Options};
 use crate::output::{
@@ -93,6 +95,7 @@ fn bench_diff(
             baseline_ns: e.baseline_ns,
             current_ns: e.current_ns,
             ratio: e.ratio,
+            rss_ratio: e.rss_ratio,
             status: status_name(e.status),
         })
         .collect();
@@ -123,17 +126,19 @@ fn bench_diff(
             .max()
             .unwrap_or(5);
         println!(
-            "{:<name_w$}  {:>10}  {:>10}  {:>7}  status",
-            "bench", "baseline", "current", "ratio"
+            "{:<name_w$}  {:>10}  {:>10}  {:>7}  {:>7}  status",
+            "bench", "baseline", "current", "ratio", "rss"
         );
         for r in &rows {
+            let fmt_ratio =
+                |x: Option<f64>| x.map_or_else(|| "-".to_string(), |x| format!("{x:.2}x"));
             println!(
-                "{:<name_w$}  {:>10}  {:>10}  {:>7}  {}",
+                "{:<name_w$}  {:>10}  {:>10}  {:>7}  {:>7}  {}",
                 r.name,
                 fmt_ns(r.baseline_ns),
                 fmt_ns(r.current_ns),
-                r.ratio
-                    .map_or_else(|| "-".to_string(), |x| format!("{x:.2}x")),
+                fmt_ratio(r.ratio),
+                fmt_ratio(r.rss_ratio),
                 r.status
             );
         }
@@ -343,14 +348,22 @@ fn campaign(
         .with_seed_count(base_seed, seeds)
         .with_trace(mode);
     let jobs = resolve_jobs(jobs);
+    // Streaming kicks in when the user names a spill directory or the
+    // grid outgrows the in-memory cap (spilling via a temp dir then).
+    let streaming =
+        opts.stream_out.is_some() || opts.max_cells_in_memory.is_some_and(|cap| grid.len() > cap);
     if !opts.json {
         println!(
-            "campaign: {} cells ({} scenarios x {} seeds) on {} workers",
+            "campaign: {} cells ({} scenarios x {} seeds) on {} workers{}",
             grid.len(),
             scenarios.len(),
             seeds,
-            jobs
+            jobs,
+            if streaming { " (streaming)" } else { "" }
         );
+    }
+    if streaming {
+        return campaign_streamed(opts, &grid, jobs);
     }
     let results = grid.run(jobs)?;
     if let Some(path) = &opts.trace {
@@ -359,23 +372,15 @@ fn campaign(
             println!("trace: wrote {events} events to {path}");
         }
     }
+    report_peak_rss();
 
-    let cells: Vec<CampaignCellOut> = results
-        .iter()
-        .map(|r| CampaignCellOut {
-            scenario: r.scenario.to_string(),
-            seed: r.seed,
-            attempts: r.stats.attempts.len(),
-            first_success: r.stats.first_success(),
-            avg_attempt_mins: r.stats.avg_attempt_mins(),
-            hours_to_success: r.stats.time_to_first_success().map(|d| d.as_hours_f64()),
-        })
-        .collect();
+    let cells: Vec<CampaignCellOut> = results.iter().map(cell_out).collect();
 
     if opts.json {
-        // NDJSON: one record per cell, in grid order.
+        // NDJSON: one record per cell, in grid order — the reference
+        // bytes the streaming path's merged cells.ndjson must equal.
         for cell in &cells {
-            println!("{}", output::to_json(cell));
+            println!("{}", output::to_json_line(cell));
         }
         return Ok(());
     }
@@ -427,6 +432,152 @@ fn campaign(
     Ok(())
 }
 
+/// The per-cell campaign record — one NDJSON line of `--json` output.
+fn cell_out(r: &CellResult) -> CampaignCellOut {
+    CampaignCellOut {
+        scenario: r.scenario.to_string(),
+        seed: r.seed,
+        attempts: r.stats.attempts.len(),
+        first_success: r.stats.first_success(),
+        avg_attempt_mins: r.stats.avg_attempt_mins(),
+        hours_to_success: r.stats.time_to_first_success().map(|d| d.as_hours_f64()),
+    }
+}
+
+/// Appends one cell's NDJSON record line — the exact bytes the
+/// in-memory `--json` path prints for the cell, so shard merges stay
+/// byte-identical to it.
+fn fmt_cell_line(result: &CellResult, out: &mut String) {
+    out.push_str(&output::to_json_line(&cell_out(result)));
+    out.push('\n');
+}
+
+/// Appends one cell's trace-event lines — the exact bytes
+/// [`write_trace_ndjson`] writes for the cell.
+fn fmt_trace_lines(result: &CellResult, out: &mut String) {
+    let Some(sink) = &result.trace else { return };
+    for event in sink.events() {
+        let record = TraceEventOut {
+            cell: sink.cell(),
+            event: *event,
+        };
+        out.push_str(&output::to_json_line(&record));
+        out.push('\n');
+    }
+}
+
+/// Reports the process's peak RSS on stderr (keeping stdout
+/// byte-comparable across runs); silent where procfs is unavailable.
+fn report_peak_rss() {
+    if let Some(kib) = hh_sim::mem::peak_rss_kib() {
+        eprintln!("campaign: peak RSS {kib} KiB");
+    }
+}
+
+/// The bounded-memory campaign path: per-worker consumers fold every
+/// finished cell into a [`CampaignAggregate`] and spill its NDJSON
+/// record (and trace lines) to shards, which merge in grid order into
+/// `DIR/cells.ndjson` (and the `--trace` path). Peak memory is
+/// O(workers); the merged bytes equal the in-memory path's for any
+/// `--jobs`.
+fn campaign_streamed(
+    opts: &Options,
+    grid: &CampaignGrid,
+    jobs: std::num::NonZeroUsize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let trace_on = opts.trace.is_some();
+    let (dir, temp) = match &opts.stream_out {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (
+            std::env::temp_dir().join(format!("hh-stream-{}", std::process::id())),
+            true,
+        ),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let fmt_cell = fmt_cell_line as fn(&CellResult, &mut String);
+    let fmt_trace = fmt_trace_lines as fn(&CellResult, &mut String);
+
+    let consumers = grid.run_streamed(jobs, |worker| {
+        CampaignStreamer::new(&dir, worker, trace_on, fmt_cell, fmt_trace)
+    })?;
+
+    let mut aggregate = CampaignAggregate::default();
+    let mut cell_shards = Vec::new();
+    let mut trace_shards = Vec::new();
+    for consumer in consumers {
+        let (agg, cells, traces) = consumer.finish()?;
+        aggregate.merge(&agg);
+        cell_shards.extend(cells);
+        trace_shards.extend(traces);
+    }
+
+    let merged_path = dir.join("cells.ndjson");
+    let mut out = BufWriter::new(File::create(&merged_path)?);
+    merge_shards(cell_shards, grid.len(), &mut out)?;
+    drop(out);
+    if let Some(path) = &opts.trace {
+        let mut out = BufWriter::new(File::create(path)?);
+        merge_shards(trace_shards, grid.len(), &mut out)?;
+    }
+
+    if opts.json {
+        // Replay the merged file so stdout carries the same NDJSON
+        // bytes the in-memory path prints.
+        let mut file = File::open(&merged_path)?;
+        let stdout = std::io::stdout();
+        std::io::copy(&mut file, &mut stdout.lock())?;
+    } else {
+        let mins = |nanos: f64| nanos / 60e9;
+        println!(
+            "streamed: {} cells, {} succeeded, {} attempts ({} aborted)",
+            aggregate.cells, aggregate.succeeded, aggregate.attempts, aggregate.aborted_attempts
+        );
+        println!(
+            "catalog bits: mean {:.1}, p50 <= {}, p95 <= {}",
+            aggregate.catalog_bits.mean(),
+            aggregate.catalog_bits.quantile(0.5),
+            aggregate.catalog_bits.quantile(0.95)
+        );
+        println!(
+            "attempt mins: mean {:.2}, p50 <= {:.2}, p95 <= {:.2}",
+            mins(aggregate.attempt_nanos.mean()),
+            mins(aggregate.attempt_nanos.quantile(0.5) as f64),
+            mins(aggregate.attempt_nanos.quantile(0.95) as f64)
+        );
+        if aggregate.success_nanos.count() > 0 {
+            println!(
+                "time to success (hours): mean {:.2}, p95 <= {:.2}",
+                aggregate.success_nanos.mean() / 3600e9,
+                aggregate.success_nanos.quantile(0.95) as f64 / 3600e9
+            );
+        }
+        if trace_on {
+            for stage in Stage::ALL {
+                let sketch = &aggregate.stage_nanos[stage.index()];
+                if sketch.count() > 0 {
+                    println!(
+                        "stage {}: mean {:.3} ms/cell, p95 <= {:.3} ms",
+                        stage.name(),
+                        sketch.mean() / 1e6,
+                        sketch.quantile(0.95) as f64 / 1e6
+                    );
+                }
+            }
+            if let Some(path) = &opts.trace {
+                println!("trace: merged stream to {path}");
+            }
+        }
+        if !temp {
+            println!("results: {}", merged_path.display());
+        }
+    }
+    report_peak_rss();
+    if temp {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    Ok(())
+}
+
 /// Writes the merged NDJSON event stream for a campaign run.
 ///
 /// Cells are visited in grid order and each cell's events are already in
@@ -438,16 +589,12 @@ fn write_trace_ndjson(
 ) -> Result<usize, Box<dyn std::error::Error>> {
     let mut w = BufWriter::new(File::create(path)?);
     let mut lines = 0usize;
+    let mut buf = String::new();
     for result in results {
-        let Some(sink) = &result.trace else { continue };
-        for event in sink.events() {
-            let record = TraceEventOut {
-                cell: sink.cell(),
-                event: *event,
-            };
-            writeln!(w, "{}", output::to_json_line(&record))?;
-            lines += 1;
-        }
+        buf.clear();
+        fmt_trace_lines(result, &mut buf);
+        lines += buf.lines().count();
+        w.write_all(buf.as_bytes())?;
     }
     w.flush()?;
     Ok(lines)

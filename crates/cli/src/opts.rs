@@ -37,6 +37,17 @@ options:
                                    each line carries its cell index and
                                    cells appear in grid order, so output
                                    is byte-identical for every --jobs
+  --stream-out DIR                 (campaign) bounded-memory streaming:
+                                   spill per-worker NDJSON shards into
+                                   DIR as cells finish and merge them
+                                   into DIR/cells.ndjson at the end —
+                                   byte-identical to the in-memory
+                                   --json output, with peak RSS O(jobs)
+                                   instead of O(cells)
+  --max-cells-in-memory N          (campaign) auto-switch to streaming
+                                   (spilling via a temporary directory)
+                                   when the grid has more than N cells
+                                   [default: unlimited]
   --json                           machine-readable output
   --quarantine                     enable the §6 virtio-mem countermeasure
   --faults R                       (campaign/trace) hostile-host fault
@@ -66,6 +77,12 @@ pub struct Options {
     pub json: bool,
     /// Write an NDJSON trace-event stream to this path (campaign/trace).
     pub trace: Option<String>,
+    /// Stream campaign output through NDJSON shards in this directory
+    /// (campaign), merging into `cells.ndjson` at the end.
+    pub stream_out: Option<String>,
+    /// Auto-switch the campaign to streaming when the grid exceeds this
+    /// many cells (campaign).
+    pub max_cells_in_memory: Option<usize>,
 }
 
 /// Fault-injection and recovery knobs shared by `campaign` and `trace`.
@@ -303,6 +320,8 @@ impl Options {
         let mut jobs: Option<usize> = None;
         let mut fault_opts = FaultOpts::default();
         let mut trace: Option<String> = None;
+        let mut stream_out: Option<String> = None;
+        let mut max_cells_in_memory: Option<usize> = None;
         let mut baseline: Option<String> = None;
         let mut current: Option<String> = None;
         let mut tolerance: f64 = hh_bench::baseline::DEFAULT_TOLERANCE;
@@ -403,6 +422,14 @@ impl Options {
                         .map_err(|e| format!("bad --backoff: {e}"))?
                 }
                 "--trace" => trace = Some(value("--trace")?),
+                "--stream-out" => stream_out = Some(value("--stream-out")?),
+                "--max-cells-in-memory" => {
+                    max_cells_in_memory = Some(
+                        value("--max-cells-in-memory")?
+                            .parse()
+                            .map_err(|e| format!("bad --max-cells-in-memory: {e}"))?,
+                    )
+                }
                 "--baseline" => baseline = Some(value("--baseline")?),
                 "--current" => current = Some(value("--current")?),
                 "--tolerance" => {
@@ -482,6 +509,8 @@ impl Options {
             scenario,
             json,
             trace,
+            stream_out,
+            max_cells_in_memory,
         })
     }
 }
@@ -662,6 +691,30 @@ mod tests {
         }
         // --trace needs a path.
         assert!(parse(&["campaign", "--trace"]).is_err());
+    }
+
+    #[test]
+    fn streaming_flags() {
+        let o = parse(&[
+            "campaign",
+            "--scenarios",
+            "micro",
+            "--stream-out",
+            "/tmp/shards",
+            "--max-cells-in-memory",
+            "256",
+        ])
+        .unwrap();
+        assert_eq!(o.stream_out.as_deref(), Some("/tmp/shards"));
+        assert_eq!(o.max_cells_in_memory, Some(256));
+        // Defaults: in-memory, no cap.
+        let o = parse(&["campaign"]).unwrap();
+        assert_eq!(o.stream_out, None);
+        assert_eq!(o.max_cells_in_memory, None);
+        // Both flags need values; the cap must be a number.
+        assert!(parse(&["campaign", "--stream-out"]).is_err());
+        assert!(parse(&["campaign", "--max-cells-in-memory"]).is_err());
+        assert!(parse(&["campaign", "--max-cells-in-memory", "many"]).is_err());
     }
 
     #[test]

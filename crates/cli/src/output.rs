@@ -399,6 +399,8 @@ pub struct BenchDiffOut {
     pub current_ns: Option<f64>,
     /// current / baseline.
     pub ratio: Option<f64>,
+    /// current / baseline peak RSS, when both runs measured it.
+    pub rss_ratio: Option<f64>,
     /// Verdict: `ok`, `regression`, `improved`, `missing` or `new`.
     pub status: &'static str,
 }
@@ -409,6 +411,7 @@ impl Json for BenchDiffOut {
         obj.opt_float("baseline_ns", self.baseline_ns);
         obj.opt_float("current_ns", self.current_ns);
         obj.opt_float("ratio", self.ratio);
+        obj.opt_float("rss_ratio", self.rss_ratio);
         obj.string("status", self.status);
     }
 }

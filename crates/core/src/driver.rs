@@ -411,6 +411,13 @@ impl AttackDriver {
         for i in 0..max_attempts {
             let respawn_start = host.now();
             let free_before = host.buddy().free_pages();
+            // Aborts only happen under an active fault plan, so only
+            // then is the pre-attempt snapshot worth its clone cost.
+            let buddy_before = host
+                .fault_plan()
+                .config()
+                .is_active()
+                .then(|| host.buddy().snapshot());
             // A transient fault that outlives its retry budget abandons
             // the attempt, not the campaign — whether it trips the VM
             // respawn (constructor rolls itself back) or the attempt
@@ -429,6 +436,16 @@ impl AttackDriver {
                         free_before,
                         "aborted attempt must not leak host pages"
                     );
+                    // Page *count* coming back is not enough: the
+                    // abort's interleaved split/coalesce traffic leaves
+                    // the free lists in a different LIFO order, and the
+                    // next attempt's physical layout — hence its hammer
+                    // outcome — would depend on where the fault struck.
+                    // Restore the order too, so a cell's result is a
+                    // function of its own seeds only.
+                    if let Some(snap) = &buddy_before {
+                        host.buddy_mut().restore_free_state(snap);
+                    }
                     AttemptRecord {
                         outcome: AttemptOutcome::Aborted(e),
                         duration: SimDuration::ZERO,

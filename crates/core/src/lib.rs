@@ -57,6 +57,7 @@ pub mod machine;
 pub mod parallel;
 pub mod profile;
 pub mod steering;
+pub mod streamref;
 pub mod template;
 
 pub use balloon_steering::BalloonSteering;

@@ -118,6 +118,51 @@ impl Scenario {
         }
     }
 
+    /// The cheapest runnable scenario — milliseconds per campaign cell,
+    /// for memory-scaling CI and bench series that need thousands of
+    /// cells (`memory-cap` stage, `campaign_scaling` streaming series).
+    /// Everything that scales per-cell cost is cut to the bone: 256 MiB
+    /// host, 36 MiB VM, light profiling, a short steering burst. Its
+    /// campaigns rarely succeed — the point is exercising the engine's
+    /// per-cell machinery, not the attack.
+    pub fn micro_demo() -> Self {
+        let host = HostConfig {
+            dimm: DimmProfile {
+                fault: FaultParams::dense_test(),
+                ..DimmProfile::s1(ByteSize::mib(256).bytes())
+            }
+            .with_trr(TrrConfig::undersized()),
+            ..HostConfig::small_test()
+        };
+        // Same majority-share reasoning as `tiny_demo`, scaled down.
+        let vm = VmConfig {
+            boot_mem: ByteSize::mib(4),
+            virtio_mem: ByteSize::mib(32),
+            vcpus: 1,
+            iommu_groups: 1,
+            thp: true,
+            multihit_mitigation: true,
+            ept_mode: Default::default(),
+        };
+        Self {
+            name: "micro",
+            host,
+            vm,
+            profile: ProfileParams {
+                hammer_rounds: 50_000,
+                stability_checks: 1,
+                stop_after_exploitable: Some(4),
+                host_mem: ByteSize::mib(256),
+            },
+            steering: SteeringParams {
+                iova_mappings: 100,
+                iova_base: 0x1_0000_0000,
+                mapping_batch: 50,
+                batch_delay_secs: 0,
+            },
+        }
+    }
+
     /// A mid-size scenario whose spray capacity exceeds the worst-case
     /// noise remnant (PCP plus up to 1 023 split-leftover pages), so
     /// released-page reuse is observable: 4 GiB host, ~3 GiB attacker.
@@ -168,7 +213,7 @@ impl Scenario {
     }
 
     /// Looks a scenario up by its CLI name (`s1`, `s2`, `s3`, `small`,
-    /// `tiny`).
+    /// `tiny`, `micro`).
     ///
     /// # Errors
     ///
@@ -180,6 +225,7 @@ impl Scenario {
             "s3" => Ok(Self::s3()),
             "small" => Ok(Self::small_attack()),
             "tiny" => Ok(Self::tiny_demo()),
+            "micro" => Ok(Self::micro_demo()),
             other => Err(format!("unknown scenario {other}")),
         }
     }

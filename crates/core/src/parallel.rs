@@ -38,9 +38,11 @@
 //! harness's ablation sweeps), and [`CampaignGrid`], the campaign-shaped
 //! API on top.
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -111,6 +113,86 @@ fn chunk_len(n: usize, workers: usize) -> usize {
     n.div_ceil(workers * 4).max(1)
 }
 
+/// Per-worker chunk deques with work stealing: a worker pops its own
+/// deque from the front (oldest chunk first) and steals from victims'
+/// backs, so an owner and a thief never contend for the same end until
+/// a deque is nearly empty. Chunks are only ever *removed*, so a full
+/// empty scan means the grid is done.
+struct ChunkQueues {
+    queues: Vec<Mutex<VecDeque<Range<usize>>>>,
+}
+
+impl ChunkQueues {
+    /// Deals contiguous index chunks round-robin onto `workers` deques.
+    fn deal(n: usize, workers: usize) -> Self {
+        let chunk = chunk_len(n, workers);
+        let mut deques: Vec<VecDeque<Range<usize>>> =
+            (0..workers).map(|_| VecDeque::new()).collect();
+        let mut start = 0;
+        let mut next_worker = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            deques[next_worker].push_back(start..end);
+            next_worker = (next_worker + 1) % workers;
+            start = end;
+        }
+        Self {
+            queues: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Claims the next chunk for worker `me`: own deque first, then a
+    /// fixed-ring scan of the victims.
+    fn claim(&self, me: usize) -> Option<Range<usize>> {
+        let workers = self.queues.len();
+        if let Some(range) = self.queues[me].lock().expect("queue poisoned").pop_front() {
+            return Some(range);
+        }
+        for offset in 1..workers {
+            let victim = (me + offset) % workers;
+            if let Some(range) = self.queues[victim]
+                .lock()
+                .expect("queue poisoned")
+                .pop_back()
+            {
+                return Some(range);
+            }
+        }
+        None
+    }
+}
+
+/// Captures the grid-order-first panic from worker closures so it can
+/// be resumed on the caller's thread with its original payload. All
+/// items still run (never stopping early keeps the chosen panic a pure
+/// function of the grid, not of scheduling), then the payload with the
+/// lowest grid index wins — exactly the panic a serial run would have
+/// surfaced first.
+#[derive(Default)]
+struct FirstPanic {
+    slot: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+}
+
+impl FirstPanic {
+    fn record(&self, index: usize, payload: Box<dyn Any + Send>) {
+        let mut slot = self.slot.lock().expect("panic slot poisoned");
+        let replace = match slot.as_ref() {
+            Some((held, _)) => index < *held,
+            None => true,
+        };
+        if replace {
+            *slot = Some((index, payload));
+        }
+    }
+
+    /// Resumes the recorded panic, if any, on the calling thread.
+    fn resume_if_any(self) {
+        if let Some((_, payload)) = self.slot.into_inner().expect("panic slot poisoned") {
+            resume_unwind(payload);
+        }
+    }
+}
+
 fn run_on_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -123,7 +205,8 @@ where
     }
     let workers = workers.min(n);
     if workers == 1 {
-        // Serial fast path: no threads, same order, same results.
+        // Serial fast path: no threads, same order, same results, and
+        // a panicking closure propagates on its own.
         return items
             .into_iter()
             .enumerate()
@@ -133,22 +216,8 @@ where
 
     let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    // Deal contiguous index chunks round-robin onto per-worker deques.
-    // Workers pop their own deque from the front (oldest chunk first)
-    // and steal from victims' backs, so an owner and a thief never
-    // contend for the same end until a deque is nearly empty.
-    let chunk = chunk_len(n, workers);
-    let mut deques: Vec<VecDeque<Range<usize>>> = (0..workers).map(|_| VecDeque::new()).collect();
-    let mut start = 0;
-    let mut next_worker = 0;
-    while start < n {
-        let end = (start + chunk).min(n);
-        deques[next_worker].push_back(start..end);
-        next_worker = (next_worker + 1) % workers;
-        start = end;
-    }
-    let queues: Vec<Mutex<VecDeque<Range<usize>>>> = deques.into_iter().map(Mutex::new).collect();
+    let queues = ChunkQueues::deal(n, workers);
+    let first_panic = FirstPanic::default();
 
     std::thread::scope(|scope| {
         for me in 0..workers {
@@ -156,35 +225,30 @@ where
             let tasks = &tasks;
             let results = &results;
             let f = &f;
-            scope.spawn(move || loop {
-                // Own deque first; once drained, scan victims in a
-                // fixed ring order. Chunks are only ever *removed*, so
-                // a full empty scan means the grid is done.
-                let mut claimed = queues[me].lock().expect("queue poisoned").pop_front();
-                if claimed.is_none() {
-                    for offset in 1..workers {
-                        let victim = (me + offset) % workers;
-                        claimed = queues[victim].lock().expect("queue poisoned").pop_back();
-                        if claimed.is_some() {
-                            break;
+            let first_panic = &first_panic;
+            scope.spawn(move || {
+                while let Some(range) = queues.claim(me) {
+                    for i in range {
+                        let item = tasks[i]
+                            .lock()
+                            .expect("task slot poisoned")
+                            .take()
+                            .expect("each task index is claimed exactly once");
+                        // Catch per item so a panicking closure surfaces
+                        // with its own payload (not a poisoned-mutex or
+                        // generic scope panic) after every worker stops.
+                        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                            Ok(out) => {
+                                *results[i].lock().expect("result slot poisoned") = Some(out);
+                            }
+                            Err(payload) => first_panic.record(i, payload),
                         }
                     }
-                }
-                let Some(range) = claimed else {
-                    break;
-                };
-                for i in range {
-                    let item = tasks[i]
-                        .lock()
-                        .expect("task slot poisoned")
-                        .take()
-                        .expect("each task index is claimed exactly once");
-                    let out = f(i, item);
-                    *results[i].lock().expect("result slot poisoned") = Some(out);
                 }
             });
         }
     });
+    first_panic.resume_if_any();
 
     results
         .into_iter()
@@ -192,6 +256,102 @@ where
             slot.into_inner()
                 .expect("result slot poisoned")
                 .expect("every task ran to completion")
+        })
+        .collect()
+}
+
+/// Streaming variant of [`parallel_map`]: instead of parking every
+/// result in an O(items) slot vector, each worker owns an accumulator
+/// from `new_acc(worker)` and folds every index it claims into it via
+/// `fold(acc, index)` — so a run holds O(workers) state, never
+/// O(items). Returns the accumulators in worker order.
+///
+/// Indices arrive in ascending order *within* a contiguous chunk, but
+/// chunks interleave under stealing, so deterministic aggregation
+/// requires folds that commute across chunks (sums, histograms,
+/// per-index spill files). The effective worker count is clamped to the
+/// machine's available parallelism, like [`parallel_map`].
+///
+/// # Panics
+///
+/// Propagates the grid-order-first panic from `fold` once all workers
+/// have stopped.
+pub fn parallel_reduce_indexed<A, G, F>(n: usize, jobs: NonZeroUsize, new_acc: G, fold: F) -> Vec<A>
+where
+    A: Send,
+    G: Fn(usize) -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+{
+    let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    run_reduce_on_workers(n, jobs.get().min(cpus), new_acc, fold)
+}
+
+/// [`parallel_reduce_indexed`] without the available-parallelism clamp:
+/// exactly `jobs` workers (still at most one per index), so tests can
+/// exercise cross-thread stealing on any machine.
+pub fn parallel_reduce_indexed_exact<A, G, F>(
+    n: usize,
+    jobs: NonZeroUsize,
+    new_acc: G,
+    fold: F,
+) -> Vec<A>
+where
+    A: Send,
+    G: Fn(usize) -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+{
+    run_reduce_on_workers(n, jobs.get(), new_acc, fold)
+}
+
+fn run_reduce_on_workers<A, G, F>(n: usize, workers: usize, new_acc: G, fold: F) -> Vec<A>
+where
+    A: Send,
+    G: Fn(usize) -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n);
+    if workers == 1 {
+        let mut acc = new_acc(0);
+        for i in 0..n {
+            fold(&mut acc, i);
+        }
+        return vec![acc];
+    }
+
+    let queues = ChunkQueues::deal(n, workers);
+    let first_panic = FirstPanic::default();
+    let accs: Vec<Mutex<Option<A>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let accs = &accs;
+            let new_acc = &new_acc;
+            let fold = &fold;
+            let first_panic = &first_panic;
+            scope.spawn(move || {
+                let mut acc = new_acc(me);
+                while let Some(range) = queues.claim(me) {
+                    for i in range {
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| fold(&mut acc, i))) {
+                            first_panic.record(i, payload);
+                        }
+                    }
+                }
+                *accs[me].lock().expect("acc slot poisoned") = Some(acc);
+            });
+        }
+    });
+    first_panic.resume_if_any();
+
+    accs.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("acc slot poisoned")
+                .expect("every worker parks its accumulator")
         })
         .collect()
 }
@@ -311,17 +471,25 @@ impl CampaignGrid {
     /// The grid's cells in row-major (scenario-major) order, each with
     /// its re-seeded scenario.
     pub fn cells(&self) -> Vec<CampaignCell> {
-        let mut out = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
-        for scenario in &self.scenarios {
-            for &seed in &self.seeds {
-                out.push(CampaignCell {
-                    index: out.len(),
-                    scenario: scenario.clone().with_seed(seed),
-                    seed,
-                });
-            }
+        (0..self.len()).map(|i| self.cell_at(i)).collect()
+    }
+
+    /// Builds the cell at row-major `index` on demand — the streaming
+    /// path materializes one cell per worker at a time instead of the
+    /// whole grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn cell_at(&self, index: usize) -> CampaignCell {
+        assert!(index < self.len(), "cell index {index} out of range");
+        let scenario = &self.scenarios[index / self.seeds.len()];
+        let seed = self.seeds[index % self.seeds.len()];
+        CampaignCell {
+            index,
+            scenario: scenario.clone().with_seed(seed),
+            seed,
         }
-        out
     }
 
     /// Number of cells in the grid.
@@ -363,10 +531,22 @@ impl CampaignGrid {
         template: &MachineTemplate,
         events_hint: usize,
     ) -> Result<CellResult, HvError> {
+        self.run_cell_recycled(cell, template, events_hint, None)
+    }
+
+    /// [`CampaignGrid::run_cell_with`] reusing a spent sink's event
+    /// arena (see [`TraceSink::recycle`]); `None` allocates fresh.
+    fn run_cell_recycled(
+        &self,
+        cell: &CampaignCell,
+        template: &MachineTemplate,
+        events_hint: usize,
+        recycled: Option<TraceSink>,
+    ) -> Result<CellResult, HvError> {
         let driver = AttackDriver::new(self.params.clone());
         let mut host = template.instantiate(cell.seed);
         // Attach after boot: boot-time noise is outside the campaign.
-        let tracer = Tracer::with_capacity(self.trace, events_hint);
+        let tracer = Tracer::with_recycled(self.trace, events_hint, recycled);
         tracer.set_cell(cell.index);
         host.attach_tracer(tracer.clone());
         // An active fault plan can trip the profiling stage too (VM
@@ -454,6 +634,174 @@ impl CampaignGrid {
             .iter()
             .map(|cell| self.run_cell_with(cell, &templates[cell.index / seeds_per_scenario], 0))
             .collect()
+    }
+
+    /// Runs the grid with O(workers) memory: each worker folds every
+    /// finished [`CellResult`] into its own [`CellConsumer`] (built by
+    /// `new_consumer(worker)`) instead of parking it in a slot vector,
+    /// and cells are materialized one per worker at a time. Spent trace
+    /// sinks handed back by the consumer are recycled, so one event
+    /// arena serves all of a worker's cells.
+    ///
+    /// Consumers observe cells in their worker's scheduling order;
+    /// deterministic output therefore needs order-insensitive folds
+    /// (mergeable sketches, per-index spill shards) — what
+    /// [`streamref`](crate::streamref) provides. The effective worker
+    /// count is clamped like [`parallel_map`]'s; the returned consumers
+    /// are in worker order.
+    ///
+    /// # Errors
+    ///
+    /// Like [`CampaignGrid::run`], every cell still runs and the
+    /// grid-order-first error (hypervisor or consumer I/O) is returned.
+    pub fn run_streamed<C, G>(
+        &self,
+        jobs: NonZeroUsize,
+        new_consumer: G,
+    ) -> Result<Vec<C>, StreamError>
+    where
+        C: CellConsumer + Send,
+        G: Fn(usize) -> C + Sync,
+    {
+        let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        let jobs = NonZeroUsize::new(jobs.get().min(cpus)).expect("min of non-zeroes");
+        self.run_streamed_exact(jobs, new_consumer)
+    }
+
+    /// [`CampaignGrid::run_streamed`] without the available-parallelism
+    /// clamp — exactly `jobs` workers, so the streaming equivalence
+    /// tests exercise cross-thread shard interleaving on any machine.
+    ///
+    /// # Errors
+    ///
+    /// See [`CampaignGrid::run_streamed`].
+    pub fn run_streamed_exact<C, G>(
+        &self,
+        jobs: NonZeroUsize,
+        new_consumer: G,
+    ) -> Result<Vec<C>, StreamError>
+    where
+        C: CellConsumer + Send,
+        G: Fn(usize) -> C + Sync,
+    {
+        struct WorkerState<C> {
+            consumer: C,
+            recycled: Option<TraceSink>,
+            // Lowest-index failure this worker saw; the grid-order
+            // minimum across workers is the run's error, matching the
+            // in-memory path's "first grid-order error" contract.
+            first_error: Option<(usize, StreamError)>,
+        }
+
+        let templates = self.scenario_templates();
+        let seeds_per_scenario = self.seeds.len();
+        let events_hint = AtomicUsize::new(0);
+        let states = parallel_reduce_indexed_exact(
+            self.len(),
+            jobs,
+            |worker| WorkerState {
+                consumer: new_consumer(worker),
+                recycled: None,
+                first_error: None,
+            },
+            |state, index| {
+                let cell = self.cell_at(index);
+                let template = &templates[index / seeds_per_scenario];
+                let hint = events_hint.load(Ordering::Relaxed);
+                let outcome = self
+                    .run_cell_recycled(&cell, template, hint, state.recycled.take())
+                    .map_err(StreamError::Hv)
+                    .and_then(|result| {
+                        if let Some(sink) = &result.trace {
+                            events_hint.fetch_max(sink.events().len(), Ordering::Relaxed);
+                        }
+                        state
+                            .consumer
+                            .consume(index, result)
+                            .map_err(StreamError::Io)
+                    });
+                match outcome {
+                    Ok(recycled) => state.recycled = recycled,
+                    Err(e) => {
+                        // Keep running the remaining cells (the
+                        // in-memory path does too) but remember only
+                        // the lowest-index failure.
+                        let replace = match state.first_error.as_ref() {
+                            Some((held, _)) => index < *held,
+                            None => true,
+                        };
+                        if replace {
+                            state.first_error = Some((index, e));
+                        }
+                    }
+                }
+            },
+        );
+
+        let mut consumers = Vec::with_capacity(states.len());
+        let mut first_error: Option<(usize, StreamError)> = None;
+        for state in states {
+            if let Some((index, e)) = state.first_error {
+                let replace = match first_error.as_ref() {
+                    Some((held, _)) => index < *held,
+                    None => true,
+                };
+                if replace {
+                    first_error = Some((index, e));
+                }
+            }
+            consumers.push(state.consumer);
+        }
+        match first_error {
+            Some((_, e)) => Err(e),
+            None => Ok(consumers),
+        }
+    }
+}
+
+/// Per-worker sink for [`CampaignGrid::run_streamed`]: receives every
+/// finished [`CellResult`] of its worker, in that worker's scheduling
+/// order, and may hand the cell's spent [`TraceSink`] back so the
+/// engine can recycle its arena for the worker's next cell.
+pub trait CellConsumer {
+    /// Folds cell `index`'s finished result into the consumer's state.
+    ///
+    /// # Errors
+    ///
+    /// Spill I/O failures; the run reports the grid-order-first one.
+    fn consume(&mut self, index: usize, result: CellResult) -> std::io::Result<Option<TraceSink>>;
+}
+
+/// A streaming run's failure: the cell computation itself
+/// ([`HvError`]) or the consumer's spill I/O.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A cell failed the way [`CampaignGrid::run`] can fail.
+    Hv(HvError),
+    /// A consumer failed to spill or merge its shard output.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Hv(e) => write!(f, "{e}"),
+            StreamError::Io(e) => write!(f, "stream spill I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<HvError> for StreamError {
+    fn from(e: HvError) -> Self {
+        StreamError::Hv(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
     }
 }
 
@@ -567,5 +915,128 @@ mod tests {
         assert_eq!(resolve_jobs(Some(0)).get(), 1);
         assert_eq!(resolve_jobs(Some(6)).get(), 6);
         assert!(resolve_jobs(None).get() >= 1);
+    }
+
+    /// Runs `f`, catches its panic, and returns the `&str`/`String`
+    /// payload — the message a user would see.
+    fn panic_message<F: FnOnce() + std::panic::UnwindSafe>(f: F) -> String {
+        let payload = catch_unwind(f).expect_err("closure must panic");
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload should be a string")
+    }
+
+    #[test]
+    fn parallel_map_propagates_original_panic_payload() {
+        // The original payload must surface — not a slot-mutex
+        // "result slot poisoned" panic from the collection phase.
+        for jobs in [1usize, 4] {
+            let jobs = NonZeroUsize::new(jobs).unwrap();
+            let msg = panic_message(move || {
+                parallel_map_exact((0..16u64).collect(), jobs, |i, x| {
+                    assert!(i != 11, "cell 11 exploded");
+                    x
+                });
+            });
+            assert!(msg.contains("cell 11 exploded"), "got: {msg}");
+        }
+        let msg = panic_message(|| {
+            parallel_map(
+                (0..4u64).collect(),
+                NonZeroUsize::new(2).unwrap(),
+                |_, _| panic!("clamped path panic"),
+            );
+        });
+        assert!(msg.contains("clamped path panic"), "got: {msg}");
+    }
+
+    #[test]
+    fn first_grid_order_panic_wins_regardless_of_scheduling() {
+        // Several items panic; the one surfacing must be the lowest
+        // index — what a serial run would hit first — even though a
+        // later-index worker may panic earlier in wall-clock time.
+        let msg = panic_message(|| {
+            parallel_map_exact(
+                (0..64usize).collect(),
+                NonZeroUsize::new(4).unwrap(),
+                |i, _| {
+                    if i >= 5 {
+                        panic!("panicked at index {i}");
+                    }
+                },
+            );
+        });
+        assert_eq!(msg, "panicked at index 5");
+    }
+
+    #[test]
+    fn reduce_path_propagates_original_panic_payload() {
+        let msg = panic_message(|| {
+            parallel_reduce_indexed_exact(
+                32,
+                NonZeroUsize::new(4).unwrap(),
+                |_| 0u64,
+                |acc, i| {
+                    assert!(i != 7, "reducer died on 7");
+                    *acc += 1;
+                },
+            );
+        });
+        assert!(msg.contains("reducer died on 7"), "got: {msg}");
+    }
+
+    #[test]
+    fn reduce_partitions_every_index_exactly_once() {
+        for jobs in [1usize, 2, 4, 8] {
+            let jobs = NonZeroUsize::new(jobs).unwrap();
+            let accs =
+                parallel_reduce_indexed_exact(37, jobs, |_| Vec::new(), |acc, i| acc.push(i));
+            assert_eq!(accs.len(), jobs.get().min(37));
+            let mut all: Vec<usize> = accs.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..37).collect::<Vec<_>>());
+        }
+        assert!(parallel_reduce_indexed_exact(
+            0,
+            NonZeroUsize::new(4).unwrap(),
+            |_| 0u8,
+            |_, _| {}
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn streamed_run_matches_in_memory_results() {
+        struct Collect(Vec<(usize, CellResult)>);
+        impl CellConsumer for Collect {
+            fn consume(
+                &mut self,
+                index: usize,
+                mut result: CellResult,
+            ) -> std::io::Result<Option<TraceSink>> {
+                let sink = result.trace.take();
+                self.0.push((index, result));
+                Ok(sink)
+            }
+        }
+
+        let grid = tiny_grid(3);
+        let reference = grid.run_serial().unwrap();
+        for jobs in [1usize, 2, 8] {
+            let consumers = grid
+                .run_streamed_exact(NonZeroUsize::new(jobs).unwrap(), |_| Collect(Vec::new()))
+                .unwrap();
+            let mut streamed: Vec<(usize, CellResult)> =
+                consumers.into_iter().flat_map(|c| c.0).collect();
+            streamed.sort_by_key(|(i, _)| *i);
+            assert_eq!(streamed.len(), reference.len());
+            for ((i, got), want) in streamed.iter().zip(reference.iter()) {
+                let mut want = want.clone();
+                want.trace = None;
+                assert_eq!(got, &want, "cell {i} diverged at jobs={jobs}");
+            }
+        }
     }
 }

@@ -18,6 +18,8 @@
 //! * [`check`] — a miniature deterministic property-testing harness built
 //!   on [`rng`].
 //! * [`size`] — human-friendly byte sizes.
+//! * [`mem`] — process peak-RSS measurement (`VmHWM`), for the
+//!   bounded-memory guarantees the streaming campaign path makes.
 //!
 //! # Examples
 //!
@@ -44,6 +46,7 @@
 pub mod addr;
 pub mod check;
 pub mod clock;
+pub mod mem;
 pub mod rng;
 pub mod size;
 

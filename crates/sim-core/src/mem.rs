@@ -1,0 +1,45 @@
+//! Process peak-memory measurement (`VmHWM`), std-only.
+//!
+//! The streaming campaign path exists to bound peak RSS; this module is
+//! how the CLI, benches and the `memory-cap` CI stage observe whether
+//! it worked. `VmHWM` ("high water mark") in `/proc/self/status` is the
+//! kernel's own running maximum of the process's resident set — a
+//! single read at exit captures the whole run's peak, with no sampling
+//! loop and no dependency beyond procfs.
+
+/// The process's peak resident set size in KiB (`VmHWM`), or `None`
+/// where procfs is unavailable (non-Linux hosts, locked-down sandboxes)
+/// — callers degrade to "not measured", never to a guess.
+pub fn peak_rss_kib() -> Option<u64> {
+    parse_vm_hwm(&std::fs::read_to_string("/proc/self/status").ok()?)
+}
+
+/// Parses the `VmHWM:` line out of `/proc/<pid>/status` content.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: "VmHWM:     12345 kB" — fixed by procfs ABI.
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_procfs_status_format() {
+        let status = "Name:\tcat\nVmPeak:\t  222 kB\nVmHWM:\t   8704 kB\nVmRSS:\t 1234 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(8704));
+        assert_eq!(parse_vm_hwm("Name:\tcat\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn live_reading_is_plausible_on_linux() {
+        if let Some(kib) = peak_rss_kib() {
+            // A running test binary has at least a few hundred KiB
+            // resident and far less than a TiB.
+            assert!(kib > 100, "implausibly small VmHWM: {kib} KiB");
+            assert!(kib < (1 << 30), "implausibly large VmHWM: {kib} KiB");
+        }
+    }
+}

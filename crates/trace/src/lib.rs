@@ -85,7 +85,9 @@ impl Stage {
         }
     }
 
-    const fn index(self) -> usize {
+    /// The stage's position in [`Stage::ALL`] — the index streaming
+    /// aggregates use for per-stage arrays.
+    pub const fn index(self) -> usize {
         match self {
             Stage::Profile => 0,
             Stage::ExhaustNoise => 1,
@@ -586,6 +588,26 @@ impl TraceSink {
         sink
     }
 
+    /// Resets the sink for reuse on another campaign cell, keeping the
+    /// event arena's allocation. Streaming campaigns serialize each
+    /// cell's sink as the cell finishes and then hand the spent sink
+    /// back through here, so one arena allocation serves every cell a
+    /// worker processes. Recycling is a capacity optimisation only —
+    /// a recycled sink records byte-identically to a fresh
+    /// [`TraceSink::with_capacity`] sink — exactly like capacity hints.
+    pub fn recycle(mut self, mode: TraceMode, events_hint: usize) -> Self {
+        self.cell = 0;
+        self.now = 0;
+        self.record_events = mode == TraceMode::Full;
+        self.events.clear();
+        if self.record_events {
+            self.events.reserve_exact(events_hint);
+        }
+        self.metrics = Metrics::default();
+        self.current_stage = None;
+        self
+    }
+
     /// Campaign-grid cell index this sink belongs to (0 outside grids).
     pub const fn cell(&self) -> usize {
         self.cell
@@ -700,6 +722,25 @@ impl Tracer {
                     events_hint,
                 )))),
             },
+        }
+    }
+
+    /// [`Tracer::with_capacity`] that reuses a previously taken sink's
+    /// allocation via [`TraceSink::recycle`] — the per-worker
+    /// flush-and-reuse path of streaming campaigns. Passing `None`
+    /// falls back to a fresh arena.
+    pub fn with_recycled(mode: TraceMode, events_hint: usize, recycled: Option<TraceSink>) -> Self {
+        match mode {
+            TraceMode::Off => Self::default(),
+            mode => {
+                let sink = match recycled {
+                    Some(spent) => spent.recycle(mode, events_hint),
+                    None => TraceSink::with_capacity(mode, events_hint),
+                };
+                Self {
+                    sink: Some(Rc::new(RefCell::new(sink))),
+                }
+            }
         }
     }
 
@@ -954,6 +995,47 @@ mod tests {
         // The clone now sees the emptied (taken) sink.
         let leftover = u.take_sink().expect("still attached");
         assert_eq!(leftover.metrics().get(Counter::BuddyAllocs), 0);
+    }
+
+    #[test]
+    fn recycled_sink_records_identically_to_fresh() {
+        // Record the same event sequence through a fresh sink and a
+        // recycled one (previously dirtied with other events): the
+        // taken sinks must compare equal, so arena reuse can never
+        // change streamed output.
+        let record = |t: &Tracer| {
+            t.set_cell(7);
+            t.set_now(10);
+            t.stage_start(Stage::Exploit);
+            t.hammer(500, 2, 1);
+            t.set_now(40);
+            t.stage_end(Stage::Exploit);
+            t.buddy_alloc(3);
+        };
+        let fresh = Tracer::with_capacity(TraceMode::Full, 8);
+        record(&fresh);
+        let fresh_sink = fresh.take_sink().expect("attached");
+
+        let dirty = Tracer::new(TraceMode::Full);
+        dirty.set_now(999);
+        dirty.vm_reboot();
+        dirty.fault_injected("ept_split", "test");
+        let spent = dirty.take_sink().expect("attached");
+        let reused = Tracer::with_recycled(TraceMode::Full, 8, Some(spent));
+        record(&reused);
+        assert_eq!(reused.take_sink().expect("attached"), fresh_sink);
+
+        // Mode switches apply on recycle too: Full -> Metrics stops
+        // event recording.
+        let spent = Tracer::new(TraceMode::Full).take_sink().expect("attached");
+        let metrics_only = Tracer::with_recycled(TraceMode::Metrics, 0, Some(spent));
+        metrics_only.buddy_alloc(0);
+        let sink = metrics_only.take_sink().expect("attached");
+        assert!(!sink.events_enabled() && sink.events().is_empty());
+        assert_eq!(sink.metrics().get(Counter::BuddyAllocs), 1);
+
+        // Off stays detached regardless of the recycled sink.
+        assert!(!Tracer::with_recycled(TraceMode::Off, 0, None).is_on());
     }
 
     #[test]

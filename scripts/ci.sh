@@ -8,7 +8,7 @@
 # usage: scripts/ci.sh [stage...]
 #   With no arguments every stage runs in order; otherwise only the
 #   named stages run. Stages: build test fmt clippy bench-smoke
-#   determinism chaos scaling-sanity bench-diff.
+#   determinism chaos scaling-sanity memory-cap bench-diff.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -161,12 +161,62 @@ stage_scaling_sanity() {
         "byte-identical across --jobs 1/2/4/8"
 }
 
+stage_memory_cap() {
+    stage memory-cap
+    # The streaming campaign path promises O(workers) memory: peak RSS
+    # (VmHWM, reported on stderr) of a 4096-cell micro campaign must
+    # stay within 2x of a 64-cell run at the same --jobs, and the
+    # merged streaming NDJSON must be byte-identical to the in-memory
+    # --json output at 1/2/8 workers.
+    local tmpdir jobs cells rss_small rss_large
+    tmpdir="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
+    trap "rm -rf '$tmpdir'" RETURN
+    run cargo build --release --offline --locked -q -p hyperhammer-cli
+
+    for cells in 64 4096; do
+        echo "==> campaign --stream-out --jobs 2 (${cells}-cell micro grid)"
+        ./target/release/hyperhammer-sim \
+            campaign --scenarios micro --seeds "$cells" --attempts 2 --bits 4 \
+            --jobs 2 --json --stream-out "$tmpdir/stream_${cells}" \
+            >/dev/null 2>"$tmpdir/rss_${cells}.txt"
+        cat "$tmpdir/rss_${cells}.txt"
+    done
+    rss_small=$(sed -n 's/^campaign: peak RSS \([0-9]*\) KiB$/\1/p' "$tmpdir/rss_64.txt")
+    rss_large=$(sed -n 's/^campaign: peak RSS \([0-9]*\) KiB$/\1/p' "$tmpdir/rss_4096.txt")
+    if [ -z "$rss_small" ] || [ -z "$rss_large" ]; then
+        echo "memory-cap: peak RSS report missing from campaign stderr" >&2
+        return 1
+    fi
+    if [ "$rss_large" -gt $((rss_small * 2)) ]; then
+        echo "memory-cap: streaming peak RSS grew with cell count:" \
+            "${rss_small} KiB @ 64 cells -> ${rss_large} KiB @ 4096 cells" >&2
+        return 1
+    fi
+
+    # Byte-identity: in-memory --json vs the streamed merge, 1/2/8 workers.
+    # --json emits pure NDJSON (the human banner only prints without it).
+    ./target/release/hyperhammer-sim \
+        campaign --scenarios micro --seeds 16 --attempts 2 --bits 4 \
+        --jobs 1 --json >"$tmpdir/inmem_cells.ndjson" 2>/dev/null
+    for jobs in 1 2 8; do
+        echo "==> streaming byte-identity at --jobs $jobs"
+        ./target/release/hyperhammer-sim \
+            campaign --scenarios micro --seeds 16 --attempts 2 --bits 4 \
+            --jobs "$jobs" --json --stream-out "$tmpdir/eq_${jobs}" \
+            >/dev/null 2>/dev/null
+        run cmp "$tmpdir/inmem_cells.ndjson" "$tmpdir/eq_${jobs}/cells.ndjson"
+    done
+    echo "memory-cap: 4096-cell streaming peaked at ${rss_large} KiB" \
+        "(64-cell: ${rss_small} KiB); merged output byte-identical at --jobs 1/2/8"
+}
+
 stage_bench_diff() {
     stage bench-diff
     run scripts/bench_diff.sh
 }
 
-ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity bench-diff)
+ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity memory-cap bench-diff)
 if [ "$#" -gt 0 ]; then
     STAGES=("$@")
 else
@@ -183,6 +233,7 @@ for name in "${STAGES[@]}"; do
         determinism) stage_determinism ;;
         chaos) stage_chaos ;;
         scaling-sanity) stage_scaling_sanity ;;
+        memory-cap) stage_memory_cap ;;
         bench-diff) stage_bench_diff ;;
         *)
             CURRENT_STAGE="$name"
