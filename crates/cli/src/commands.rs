@@ -16,10 +16,11 @@ use hyperhammer::parallel::{resolve_jobs, CampaignGrid, CellResult};
 use hyperhammer::profile::{ProfileParams, Profiler};
 use hyperhammer::steering::PageSteering;
 use hyperhammer::streamref::{merge_shards, CampaignAggregate, CampaignStreamer};
+use hyperhammer::JobSpec;
 
-use crate::opts::{Command, FaultOpts, Options};
+use crate::opts::{ClientAction, Command, FaultOpts, Options};
 use crate::output::{
-    self, AttackOut, BenchDiffOut, CampaignCellOut, ProfileOut, ReconOut, SteerOut,
+    self, AttackOut, BenchDiffOut, CampaignCellOut, ProfileOut, ReconOut, ScenarioOut, SteerOut,
     TraceCountersOut, TraceEventOut, TraceStageOut,
 };
 
@@ -56,6 +57,12 @@ pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         } => trace(
             opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs, *faults,
         ),
+        Command::Scenarios => {
+            scenarios_cmd(opts);
+            Ok(())
+        }
+        Command::Serve { addr } => serve(addr),
+        Command::Client { addr, action } => client(opts, addr, action),
         Command::Analyse => {
             analyse(opts);
             Ok(())
@@ -331,11 +338,6 @@ fn campaign(
     jobs: Option<usize>,
     faults: FaultOpts,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let params = DriverParams {
-        bits_per_attempt: bits,
-        retry: faults.retry_policy(),
-        ..DriverParams::paper()
-    };
     // --trace turns on full event recording for every cell; otherwise the
     // campaign runs untraced (the fast path the benchmarks measure).
     let mode = if opts.trace.is_some() {
@@ -343,9 +345,8 @@ fn campaign(
     } else {
         TraceMode::Off
     };
-    let grid = CampaignGrid::new(scenarios.to_vec(), params, attempts)
-        .with_faults(faults.fault_config())
-        .with_seed_count(base_seed, seeds)
+    let grid = grid_spec(seeds, base_seed, attempts, bits, faults, scenarios)
+        .grid_for(scenarios.to_vec())
         .with_trace(mode);
     let jobs = resolve_jobs(jobs);
     // Streaming kicks in when the user names a spill directory or the
@@ -432,6 +433,34 @@ fn campaign(
     Ok(())
 }
 
+/// The [`JobSpec`] describing a CLI campaign/trace grid. Both the CLI
+/// and the campaign server assemble grids through
+/// [`JobSpec::grid_for`], so their parameters (and hence output bytes)
+/// cannot drift apart. The resolved scenarios are passed to `grid_for`
+/// directly; the spec's name list mirrors them for reference only.
+fn grid_spec(
+    seeds: usize,
+    base_seed: u64,
+    attempts: usize,
+    bits: usize,
+    faults: FaultOpts,
+    scenarios: &[Scenario],
+) -> JobSpec {
+    JobSpec {
+        scenarios: scenarios.iter().map(|s| s.name.to_lowercase()).collect(),
+        seeds,
+        base_seed,
+        attempts,
+        bits,
+        jobs: None,
+        priority: 0,
+        fault_rate: faults.rate,
+        fault_seed: faults.seed,
+        max_retries: faults.max_retries,
+        backoff_ms: faults.backoff_ms,
+    }
+}
+
 /// The per-cell campaign record — one NDJSON line of `--json` output.
 fn cell_out(r: &CellResult) -> CampaignCellOut {
     CampaignCellOut {
@@ -445,9 +474,10 @@ fn cell_out(r: &CellResult) -> CampaignCellOut {
 }
 
 /// Appends one cell's NDJSON record line — the exact bytes the
-/// in-memory `--json` path prints for the cell, so shard merges stay
+/// in-memory `--json` path prints for the cell, so shard merges (and
+/// the campaign server, which injects this very function) stay
 /// byte-identical to it.
-fn fmt_cell_line(result: &CellResult, out: &mut String) {
+pub fn campaign_cell_line(result: &CellResult, out: &mut String) {
     out.push_str(&output::to_json_line(&cell_out(result)));
     out.push('\n');
 }
@@ -494,7 +524,7 @@ fn campaign_streamed(
         ),
     };
     std::fs::create_dir_all(&dir)?;
-    let fmt_cell = fmt_cell_line as fn(&CellResult, &mut String);
+    let fmt_cell = campaign_cell_line as fn(&CellResult, &mut String);
     let fmt_trace = fmt_trace_lines as fn(&CellResult, &mut String);
 
     let consumers = grid.run_streamed(jobs, |worker| {
@@ -611,11 +641,6 @@ fn trace(
     jobs: Option<usize>,
     faults: FaultOpts,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let params = DriverParams {
-        bits_per_attempt: bits,
-        retry: faults.retry_policy(),
-        ..DriverParams::paper()
-    };
     // Metrics stay cheap; the full event stream is only recorded when the
     // caller asked for an NDJSON file to put it in.
     let mode = if opts.trace.is_some() {
@@ -623,9 +648,8 @@ fn trace(
     } else {
         TraceMode::Metrics
     };
-    let grid = CampaignGrid::new(scenarios.to_vec(), params, attempts)
-        .with_faults(faults.fault_config())
-        .with_seed_count(base_seed, seeds)
+    let grid = grid_spec(seeds, base_seed, attempts, bits, faults, scenarios)
+        .grid_for(scenarios.to_vec())
         .with_trace(mode);
     let jobs = resolve_jobs(jobs);
     if !opts.json {
@@ -702,6 +726,82 @@ fn trace(
     println!("counters:");
     for (name, value) in &counters.counters {
         println!("  {name:<24} {value}");
+    }
+    Ok(())
+}
+
+/// Lists the registered scenario presets — the names `--scenario(s)`
+/// and server job specs accept.
+fn scenarios_cmd(opts: &Options) {
+    let rows: Vec<ScenarioOut> = Scenario::registry()
+        .iter()
+        .map(|info| ScenarioOut {
+            name: info.name.to_string(),
+            label: info.label.to_string(),
+            description: info.description.to_string(),
+        })
+        .collect();
+    if opts.json {
+        for row in &rows {
+            println!("{}", output::to_json_line(row));
+        }
+        return;
+    }
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(5).max(5);
+    println!("{:<name_w$}  {:<label_w$}  description", "name", "label");
+    for row in &rows {
+        println!(
+            "{:<name_w$}  {:<label_w$}  {}",
+            row.name, row.label, row.description
+        );
+    }
+}
+
+/// Runs the persistent campaign server until a client posts
+/// `/shutdown`. The per-cell formatter handed to the server is the very
+/// function the `campaign --json` path uses, so server streams are
+/// byte-identical to serial CLI runs by construction.
+fn serve(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let server = hh_server::CampaignServer::start(addr, campaign_cell_line)?;
+    // Print the resolved address (port 0 binds are ephemeral) so
+    // wrappers can scrape it; flush before blocking in join.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush()?;
+    server.join();
+    Ok(())
+}
+
+/// One campaign-server request from the CLI.
+fn client(
+    opts: &Options,
+    addr: &str,
+    action: &ClientAction,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let api = hh_server::client::Client::new(addr);
+    match action {
+        ClientAction::Submit { spec } => {
+            let id = api.submit(&hh_server::json::job_spec_to_json(spec))?;
+            if opts.json {
+                println!("{{\"id\": {id}}}");
+            } else {
+                println!("submitted job {id} ({} cells)", spec.cell_count());
+            }
+        }
+        ClientAction::Status { id } => println!("{}", api.status(*id)?),
+        ClientAction::Stream { id } => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            api.stream(*id, &mut out)?;
+            out.flush()?;
+        }
+        ClientAction::Cancel { id } => println!("{}", api.cancel(*id)?),
+        ClientAction::Shutdown => {
+            api.shutdown()?;
+            if !opts.json {
+                println!("server shutting down");
+            }
+        }
     }
     Ok(())
 }

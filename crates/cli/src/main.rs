@@ -13,6 +13,11 @@
 //!                       records a merged NDJSON event stream)
 //!   trace               campaign grid with tracing on; prints the
 //!                       per-stage time/activation breakdown
+//!   scenarios           list the registered scenario presets
+//!   serve               run the persistent campaign server
+//!                       (--addr HOST:PORT)
+//!   client              submit/status/stream/cancel jobs on a running
+//!                       campaign server (client <action> --addr A)
 //!   analyse             print the §5.3 analytical model
 //!   bench-diff          compare bench JSON reports (--baseline PATH
 //!                       --current PATH [--tolerance F]); non-zero

@@ -6,6 +6,7 @@ use hh_hv::FaultConfig;
 use hh_sim::clock::SimDuration;
 use hyperhammer::machine::Scenario;
 use hyperhammer::steering::RetryPolicy;
+use hyperhammer::JobSpec;
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -21,6 +22,18 @@ commands:
                --attempts N, --bits B, --jobs N)
   trace       run a campaign grid with tracing on and print a per-stage
               time/activation breakdown (same grid flags as campaign)
+  scenarios   list the registered scenario presets (lookup name, label,
+              description); these are the names job specs may use
+  serve       run the persistent campaign server: HTTP/1.1 job API with
+              a priority queue and warm per-scenario machine templates
+              (--addr HOST:PORT; port 0 picks an ephemeral port and the
+              chosen address is printed on stdout)
+  client      talk to a campaign server at --addr:
+                client submit [campaign grid flags] [--priority N]
+                client status --id N      client stream --id N
+                client cancel --id N      client shutdown
+              `stream` prints the job's NDJSON cells in grid order —
+              byte-identical to `campaign --json` with the same flags
   analyse     print the §5.3 analytical model
   bench-diff  compare a bench JSON report against a committed baseline
               (--baseline PATH --current PATH [--tolerance F]); exits
@@ -62,6 +75,11 @@ options:
                                    the attempt aborts      [default: 4]
   --backoff MS                     simulated backoff per retry, in
                                    milliseconds            [default: 10]
+  --addr HOST:PORT                 (serve/client) campaign-server address
+                                   [default: 127.0.0.1:7799]
+  --id N                           (client) job id returned by submit
+  --priority N                     (client submit) queue priority 0-255;
+                                   higher runs first        [default: 0]
 
 campaign determinism: cell seeds are split from --base-seed by position,
 so results (and --trace streams) are identical for every --jobs value.";
@@ -187,6 +205,20 @@ pub enum Command {
         /// Fault-injection and recovery knobs.
         faults: FaultOpts,
     },
+    /// List the registered scenario presets.
+    Scenarios,
+    /// Run the persistent campaign server.
+    Serve {
+        /// Listen address (`host:port`; port 0 for ephemeral).
+        addr: String,
+    },
+    /// Talk to a campaign server.
+    Client {
+        /// Server address (`host:port`).
+        addr: String,
+        /// What to ask the server.
+        action: ClientAction,
+    },
     /// Analytical model.
     Analyse,
     /// Baseline comparison of bench JSON reports.
@@ -200,10 +232,50 @@ pub enum Command {
     },
 }
 
+/// One campaign-server request (`client <action>`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Submit a job spec built from the campaign grid flags.
+    Submit {
+        /// The job to submit.
+        spec: JobSpec,
+    },
+    /// Fetch a job's status JSON.
+    Status {
+        /// Job id.
+        id: u64,
+    },
+    /// Stream a job's NDJSON cells to stdout.
+    Stream {
+        /// Job id.
+        id: u64,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// Job id.
+        id: u64,
+    },
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
 impl PartialEq for Command {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
-            (Self::Recon, Self::Recon) | (Self::Analyse, Self::Analyse) => true,
+            (Self::Recon, Self::Recon)
+            | (Self::Analyse, Self::Analyse)
+            | (Self::Scenarios, Self::Scenarios) => true,
+            (Self::Serve { addr: a }, Self::Serve { addr: b }) => a == b,
+            (
+                Self::Client {
+                    addr: aa,
+                    action: ac,
+                },
+                Self::Client {
+                    addr: ba,
+                    action: bc,
+                },
+            ) => aa == ba && ac == bc,
             (
                 Self::BenchDiff {
                     baseline: ab,
@@ -304,6 +376,17 @@ impl Options {
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut it = args.iter().peekable();
         let command_name = it.next().ok_or("missing command")?.clone();
+        // `client` takes its action as a second command word, before
+        // any flags.
+        let client_action_name = if command_name == "client" {
+            Some(
+                it.next()
+                    .ok_or("client needs an action: submit|status|stream|cancel|shutdown")?
+                    .clone(),
+            )
+        } else {
+            None
+        };
 
         let mut scenario_name = "small".to_string();
         let mut seed: Option<u64> = None;
@@ -322,6 +405,9 @@ impl Options {
         let mut trace: Option<String> = None;
         let mut stream_out: Option<String> = None;
         let mut max_cells_in_memory: Option<usize> = None;
+        let mut addr = "127.0.0.1:7799".to_string();
+        let mut id: Option<u64> = None;
+        let mut priority: u8 = 0;
         let mut baseline: Option<String> = None;
         let mut current: Option<String> = None;
         let mut tolerance: f64 = hh_bench::baseline::DEFAULT_TOLERANCE;
@@ -430,6 +516,19 @@ impl Options {
                             .map_err(|e| format!("bad --max-cells-in-memory: {e}"))?,
                     )
                 }
+                "--addr" => addr = value("--addr")?,
+                "--id" => {
+                    id = Some(
+                        value("--id")?
+                            .parse()
+                            .map_err(|e| format!("bad --id: {e}"))?,
+                    )
+                }
+                "--priority" => {
+                    priority = value("--priority")?
+                        .parse()
+                        .map_err(|e| format!("bad --priority: {e}"))?
+                }
                 "--baseline" => baseline = Some(value("--baseline")?),
                 "--current" => current = Some(value("--current")?),
                 "--tolerance" => {
@@ -495,6 +594,50 @@ impl Options {
                         faults: fault_opts,
                     }
                 }
+            }
+            "scenarios" => Command::Scenarios,
+            "serve" => Command::Serve { addr },
+            "client" => {
+                let need_id = || id.ok_or("this client action needs --id N");
+                let action = match client_action_name.as_deref() {
+                    Some("submit") => {
+                        if quarantine {
+                            return Err(
+                                "--quarantine is not supported over the job API".to_string()
+                            );
+                        }
+                        let spec = JobSpec {
+                            scenarios: scenarios
+                                .clone()
+                                .unwrap_or_else(|| vec![scenario_name.clone()]),
+                            seeds: grid_seeds,
+                            base_seed: seed.unwrap_or(base_seed),
+                            attempts,
+                            bits,
+                            jobs,
+                            priority,
+                            fault_rate: fault_opts.rate,
+                            fault_seed: fault_opts.seed,
+                            max_retries: fault_opts.max_retries,
+                            backoff_ms: fault_opts.backoff_ms,
+                        };
+                        // Fail on unknown scenario names here, with the
+                        // registered list, instead of at the server.
+                        spec.validate()?;
+                        ClientAction::Submit { spec }
+                    }
+                    Some("status") => ClientAction::Status { id: need_id()? },
+                    Some("stream") => ClientAction::Stream { id: need_id()? },
+                    Some("cancel") => ClientAction::Cancel { id: need_id()? },
+                    Some("shutdown") => ClientAction::Shutdown,
+                    other => {
+                        return Err(format!(
+                        "unknown client action {} (expected submit|status|stream|cancel|shutdown)",
+                        other.unwrap_or("<none>")
+                    ))
+                    }
+                };
+                Command::Client { addr, action }
             }
             "analyse" | "analyze" => Command::Analyse,
             "bench-diff" => Command::BenchDiff {
@@ -822,6 +965,100 @@ mod tests {
             "x"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn scenarios_serve_and_client_commands() {
+        assert_eq!(parse(&["scenarios"]).unwrap().command, Command::Scenarios);
+        assert_eq!(
+            parse(&["serve", "--addr", "127.0.0.1:0"]).unwrap().command,
+            Command::Serve {
+                addr: "127.0.0.1:0".to_string()
+            }
+        );
+
+        let o = parse(&[
+            "client",
+            "submit",
+            "--scenarios",
+            "tiny,micro",
+            "--seeds",
+            "2",
+            "--base-seed",
+            "9",
+            "--attempts",
+            "3",
+            "--bits",
+            "4",
+            "--priority",
+            "7",
+        ])
+        .unwrap();
+        match &o.command {
+            Command::Client {
+                addr,
+                action: ClientAction::Submit { spec },
+            } => {
+                assert_eq!(addr, "127.0.0.1:7799", "default address");
+                assert_eq!(
+                    spec.scenarios,
+                    vec!["tiny".to_string(), "micro".to_string()]
+                );
+                assert_eq!(
+                    (spec.seeds, spec.base_seed, spec.attempts, spec.bits),
+                    (2, 9, 3, 4)
+                );
+                assert_eq!(spec.priority, 7);
+            }
+            other => panic!("expected client submit, got {other:?}"),
+        }
+
+        let o = parse(&["client", "status", "--id", "5", "--addr", "localhost:9"]).unwrap();
+        assert_eq!(
+            o.command,
+            Command::Client {
+                addr: "localhost:9".to_string(),
+                action: ClientAction::Status { id: 5 },
+            }
+        );
+        assert_eq!(
+            parse(&["client", "stream", "--id", "2"]).unwrap().command,
+            Command::Client {
+                addr: "127.0.0.1:7799".to_string(),
+                action: ClientAction::Stream { id: 2 },
+            }
+        );
+        assert_eq!(
+            parse(&["client", "cancel", "--id", "2"]).unwrap().command,
+            Command::Client {
+                addr: "127.0.0.1:7799".to_string(),
+                action: ClientAction::Cancel { id: 2 },
+            }
+        );
+        assert!(matches!(
+            parse(&["client", "shutdown"]).unwrap().command,
+            Command::Client {
+                action: ClientAction::Shutdown,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn client_rejects_bad_requests() {
+        // Action word required; id-taking actions need --id.
+        assert!(parse(&["client"]).is_err());
+        assert!(parse(&["client", "teleport"]).is_err());
+        assert!(parse(&["client", "status"]).is_err());
+        assert!(parse(&["client", "stream"]).is_err());
+        // Unknown scenarios fail at parse time, naming the registry.
+        let err = parse(&["client", "submit", "--scenarios", "warp9"]).unwrap_err();
+        assert!(err.contains("unknown scenario warp9"), "got: {err}");
+        assert!(err.contains("tiny"), "error lists registered names: {err}");
+        // Quarantine is a local-grid knob, not a job-spec field.
+        assert!(parse(&["client", "submit", "--quarantine"]).is_err());
+        // Priority must fit a u8.
+        assert!(parse(&["client", "submit", "--priority", "300"]).is_err());
     }
 
     #[test]

@@ -284,6 +284,25 @@ impl Json for CampaignCellOut {
     }
 }
 
+/// One `scenarios` listing row (`--json` NDJSON form).
+#[derive(Debug)]
+pub struct ScenarioOut {
+    /// Lookup name accepted by `--scenario(s)` and job specs.
+    pub name: String,
+    /// Label the built scenario carries.
+    pub label: String,
+    /// One-line description.
+    pub description: String,
+}
+
+impl Json for ScenarioOut {
+    fn fields(&self, obj: &mut JsonObject) {
+        obj.string("name", &self.name);
+        obj.string("label", &self.label);
+        obj.string("description", &self.description);
+    }
+}
+
 /// One `--trace` NDJSON line: a time-stamped event plus the campaign
 /// cell it came from. Field order is fixed (`cell`, `t_ns`, `event`,
 /// payload…) so merged streams are byte-stable.

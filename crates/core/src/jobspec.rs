@@ -1,0 +1,220 @@
+//! Campaign job specifications — the shared description of "one
+//! campaign run" used by both the CLI `campaign` command and the
+//! campaign server's `POST /jobs` API.
+//!
+//! The byte-identity contract between the two fronts (a server job's
+//! streamed NDJSON must equal the serial CLI run's `--json` output)
+//! holds **by construction**: both build their [`CampaignGrid`] through
+//! [`JobSpec::grid_for`], so driver parameters, fault plans, retry
+//! policies and seed derivation can never drift apart.
+
+use hh_hv::FaultConfig;
+use hh_sim::clock::SimDuration;
+
+use crate::driver::DriverParams;
+use crate::machine::Scenario;
+use crate::parallel::CampaignGrid;
+use crate::steering::RetryPolicy;
+
+/// Everything that defines one campaign run: the scenario list, the
+/// seed grid, the attack budget, fault injection, and (server-side)
+/// scheduling hints. Plain data; field defaults mirror the CLI's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Registered scenario lookup names (`"tiny"`, `"s1"`, …).
+    pub scenarios: Vec<String>,
+    /// Experiment seeds per scenario, derived from `base_seed`.
+    pub seeds: usize,
+    /// Base of the split-seed derivation.
+    pub base_seed: u64,
+    /// Attack attempts per cell.
+    pub attempts: usize,
+    /// Catalogued bits targeted per attempt.
+    pub bits: usize,
+    /// Requested worker count (`None` = all available parallelism).
+    /// Cannot change results — only wall-clock time.
+    pub jobs: Option<usize>,
+    /// Server queue priority: higher runs first among queued jobs.
+    pub priority: u8,
+    /// Uniform transient-fault injection rate (0 disables).
+    pub fault_rate: f64,
+    /// Fault-stream seed.
+    pub fault_seed: u64,
+    /// Retries per faulted operation.
+    pub max_retries: u32,
+    /// Simulated backoff per retry, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            scenarios: vec!["small".to_string()],
+            seeds: 1,
+            base_seed: 0,
+            attempts: 50,
+            bits: 12,
+            jobs: None,
+            priority: 0,
+            fault_rate: 0.0,
+            fault_seed: 0,
+            max_retries: 4,
+            backoff_ms: 10,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Validates the spec without building anything: every scenario
+    /// name must be registered, and the numeric fields must describe a
+    /// non-empty, runnable grid.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found —
+    /// unknown scenario names include the registered list.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scenarios.is_empty() {
+            return Err("job spec needs at least one scenario".to_string());
+        }
+        for name in &self.scenarios {
+            Scenario::by_name(name)?;
+        }
+        if self.seeds == 0 {
+            return Err("seeds must be at least 1".to_string());
+        }
+        if self.attempts == 0 {
+            return Err("attempts must be at least 1".to_string());
+        }
+        if self.bits == 0 {
+            return Err("bits must be at least 1".to_string());
+        }
+        if !(self.fault_rate.is_finite() && (0.0..=1.0).contains(&self.fault_rate)) {
+            return Err("fault_rate must be a rate in 0..=1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Total cell count of the grid this spec describes.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len() * self.seeds
+    }
+
+    /// The host-side fault plan this spec describes.
+    pub fn fault_config(&self) -> FaultConfig {
+        FaultConfig::uniform(self.fault_rate).with_seed(self.fault_seed)
+    }
+
+    /// The driver-side recovery policy this spec describes.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: self.max_retries,
+            backoff: SimDuration::from_millis(self.backoff_ms),
+            degrade: true,
+        }
+    }
+
+    /// Builds the campaign grid for already-resolved scenarios — the
+    /// one place driver parameters, fault plan and seed grid are
+    /// assembled, shared by [`JobSpec::to_grid`] and the CLI (which
+    /// resolves scenarios during argument parsing).
+    ///
+    /// Tracing is left [`Off`](hh_trace::TraceMode::Off); callers that
+    /// trace add `.with_trace(..)` on top.
+    pub fn grid_for(&self, scenarios: Vec<Scenario>) -> CampaignGrid {
+        let params = DriverParams {
+            bits_per_attempt: self.bits,
+            retry: self.retry_policy(),
+            ..DriverParams::paper()
+        };
+        CampaignGrid::new(scenarios, params, self.attempts)
+            .with_faults(self.fault_config())
+            .with_seed_count(self.base_seed, self.seeds)
+    }
+
+    /// Resolves the scenario names and builds the grid.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobSpec::validate`].
+    pub fn to_grid(&self) -> Result<CampaignGrid, String> {
+        self.validate()?;
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|name| Scenario::by_name(name))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.grid_for(scenarios))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::num::NonZeroUsize;
+
+    fn tiny_spec() -> JobSpec {
+        JobSpec {
+            scenarios: vec!["tiny".to_string()],
+            seeds: 2,
+            base_seed: 0x717e,
+            attempts: 2,
+            bits: 4,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(tiny_spec().validate().is_ok());
+
+        let mut bad = tiny_spec();
+        bad.scenarios = vec!["warp9".to_string()];
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("unknown scenario warp9"), "got: {err}");
+        assert!(err.contains("tiny"), "error must list registered names");
+
+        let mut bad = tiny_spec();
+        bad.scenarios.clear();
+        assert!(bad.validate().is_err());
+
+        let mut bad = tiny_spec();
+        bad.seeds = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = tiny_spec();
+        bad.fault_rate = 1.5;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn spec_grid_matches_hand_built_grid() {
+        // The spec-built grid must equal what the CLI used to assemble
+        // by hand — same cells, same results.
+        let spec = tiny_spec();
+        let grid = spec.to_grid().unwrap();
+        assert_eq!(grid.len(), spec.cell_count());
+
+        let params = DriverParams {
+            bits_per_attempt: 4,
+            retry: spec.retry_policy(),
+            ..DriverParams::paper()
+        };
+        let reference = CampaignGrid::new(vec![Scenario::tiny_demo()], params, 2)
+            .with_faults(spec.fault_config())
+            .with_seed_count(0x717e, 2);
+
+        let a = grid.run(NonZeroUsize::new(2).unwrap()).unwrap();
+        let b = reference.run(NonZeroUsize::new(1).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_spec_mirrors_cli_defaults() {
+        let spec = JobSpec::default();
+        assert_eq!(spec.scenarios, vec!["small".to_string()]);
+        assert_eq!((spec.seeds, spec.attempts, spec.bits), (1, 50, 12));
+        assert_eq!((spec.max_retries, spec.backoff_ms), (4, 10));
+        assert!(!spec.fault_config().is_active());
+    }
+}

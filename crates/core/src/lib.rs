@@ -53,6 +53,7 @@ pub mod analysis;
 pub mod balloon_steering;
 pub mod driver;
 pub mod exploit;
+pub mod jobspec;
 pub mod machine;
 pub mod parallel;
 pub mod profile;
@@ -63,8 +64,9 @@ pub mod template;
 pub use balloon_steering::BalloonSteering;
 pub use driver::{AttackDriver, AttemptOutcome, CampaignStats};
 pub use exploit::{EscapeProof, Exploiter};
+pub use jobspec::JobSpec;
 pub use machine::Scenario;
-pub use parallel::{CampaignGrid, CellResult};
+pub use parallel::{CampaignGrid, CancelToken, CellResult};
 pub use profile::{FlipCatalog, ProfileReport, ProfileTables, Profiler};
 pub use steering::{PageSteering, RetryPolicy};
 pub use template::MachineTemplate;

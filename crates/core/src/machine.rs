@@ -9,6 +9,23 @@ use hh_sim::ByteSize;
 use crate::profile::ProfileParams;
 use crate::steering::SteeringParams;
 
+/// One row of the scenario registry: the CLI lookup name, the label
+/// carried by the built [`Scenario`], and a one-line description.
+///
+/// The registry ([`Scenario::registry`]) is the single source of truth
+/// for "what can `--scenario` / a server job spec name": the CLI
+/// `scenarios` subcommand lists it, and the campaign server validates
+/// submitted job specs against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioInfo {
+    /// Lookup name accepted by [`Scenario::by_name`] (`"s1"`, `"tiny"`, …).
+    pub name: &'static str,
+    /// The label the built scenario carries (`Scenario::name`).
+    pub label: &'static str,
+    /// One-line human description.
+    pub description: &'static str,
+}
+
 /// A complete experiment scenario: host, VM, and attack parameters.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -212,12 +229,56 @@ impl Scenario {
         }
     }
 
+    /// The registered scenarios, in presentation order: lookup name,
+    /// label, and a one-line description each.
+    pub const fn registry() -> &'static [ScenarioInfo] {
+        &[
+            ScenarioInfo {
+                name: "s1",
+                label: "S1",
+                description: "Core i3-10100, 16 GiB DDR4-2666, bare KVM (paper Table 1)",
+            },
+            ScenarioInfo {
+                name: "s2",
+                label: "S2",
+                description: "Xeon E-2124, 16 GiB DDR4-2666, bare KVM (paper Table 1)",
+            },
+            ScenarioInfo {
+                name: "s3",
+                label: "S3",
+                description: "S1 hardware under DevStack: extra boot-time noise pages",
+            },
+            ScenarioInfo {
+                name: "small",
+                label: "small",
+                description: "4 GiB host whose spray drowns the noise floor; reuse experiments",
+            },
+            ScenarioInfo {
+                name: "tiny",
+                label: "tiny",
+                description: "512 MiB demo machine for tests and CI; full attack pipeline",
+            },
+            ScenarioInfo {
+                name: "micro",
+                label: "micro",
+                description: "cheapest runnable cell (256 MiB); memory-scaling series",
+            },
+        ]
+    }
+
+    /// Comma-separated registered lookup names, for error messages.
+    fn known_names() -> String {
+        let names: Vec<&str> = Self::registry().iter().map(|info| info.name).collect();
+        names.join(", ")
+    }
+
     /// Looks a scenario up by its CLI name (`s1`, `s2`, `s3`, `small`,
     /// `tiny`, `micro`).
     ///
     /// # Errors
     ///
-    /// Returns the unknown name back to the caller for error reporting.
+    /// Returns the unknown name, plus the registered names so callers
+    /// surface a helpful message.
     pub fn by_name(name: &str) -> Result<Self, String> {
         match name {
             "s1" => Ok(Self::s1()),
@@ -226,7 +287,10 @@ impl Scenario {
             "small" => Ok(Self::small_attack()),
             "tiny" => Ok(Self::tiny_demo()),
             "micro" => Ok(Self::micro_demo()),
-            other => Err(format!("unknown scenario {other}")),
+            other => Err(format!(
+                "unknown scenario {other} (registered: {})",
+                Self::known_names()
+            )),
         }
     }
 
@@ -321,6 +385,26 @@ mod tests {
         let vm = host.create_vm(sc.vm_config()).unwrap();
         assert_eq!(vm.config().total_mem(), ByteSize::mib(320));
         vm.destroy(&mut host);
+    }
+
+    #[test]
+    fn registry_names_resolve_and_labels_match() {
+        for info in Scenario::registry() {
+            let scenario = Scenario::by_name(info.name)
+                .unwrap_or_else(|e| panic!("registry name {} must resolve: {e}", info.name));
+            assert_eq!(
+                scenario.name, info.label,
+                "label mismatch for {}",
+                info.name
+            );
+            assert!(!info.description.is_empty());
+        }
+        let err = Scenario::by_name("nope").unwrap_err();
+        assert!(err.contains("unknown scenario nope"), "got: {err}");
+        assert!(
+            err.contains("tiny"),
+            "error must list registered names: {err}"
+        );
     }
 
     #[test]

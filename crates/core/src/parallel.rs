@@ -43,8 +43,8 @@ use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use hh_hv::{FaultConfig, HvError};
 use hh_sim::rng::SimRng;
@@ -356,6 +356,38 @@ where
         .collect()
 }
 
+/// Cooperative cancellation handle for streamed grid runs.
+///
+/// Cancellation is *cell-granular and leak-free by construction*: a
+/// worker checks the token before claiming each cell, so an in-flight
+/// cell always completes its normal path (every faulted try destroys
+/// its VM before retrying, and `free_pages()` accounting is asserted by
+/// the driver), while unstarted cells are skipped without ever booting
+/// a host. The campaign server's `DELETE /jobs/{id}` is built on this.
+///
+/// Clones share the flag; cancelling any clone cancels the run.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation: no new cells start after this returns.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
 /// One (scenario × seed) cell of a campaign grid.
 #[derive(Debug, Clone)]
 pub struct CampaignCell {
@@ -466,6 +498,12 @@ impl CampaignGrid {
             .map(|i| SimRng::split_seed(base, i))
             .collect();
         self.with_seeds(seeds)
+    }
+
+    /// The grid's scenarios, in row order — one [`MachineTemplate`] per
+    /// entry is what [`CampaignGrid::run_streamed_with`] expects.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
     }
 
     /// The grid's cells in row-major (scenario-major) order, each with
@@ -684,6 +722,64 @@ impl CampaignGrid {
         C: CellConsumer + Send,
         G: Fn(usize) -> C + Sync,
     {
+        let templates = self.scenario_templates();
+        let refs: Vec<&MachineTemplate> = templates.iter().collect();
+        self.run_streamed_inner(jobs, &refs, None, new_consumer)
+    }
+
+    /// [`CampaignGrid::run_streamed`] against caller-owned per-scenario
+    /// templates (one per [`CampaignGrid::scenarios`] entry, in order)
+    /// and a [`CancelToken`]. This is the campaign server's entry
+    /// point: warm templates are shared across jobs, and cancelling the
+    /// token skips every not-yet-started cell.
+    ///
+    /// The worker count is clamped like [`CampaignGrid::run_streamed`].
+    /// Results for the cells that do run are bit-identical to the
+    /// template-less paths — templates only hoist scenario-invariant
+    /// work.
+    ///
+    /// # Errors
+    ///
+    /// Like [`CampaignGrid::run_streamed`], plus
+    /// [`StreamError::Cancelled`] when cancellation skipped at least
+    /// one cell (unless an earlier grid-order cell failed harder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `templates.len()` differs from the scenario count.
+    pub fn run_streamed_with<C, G>(
+        &self,
+        jobs: NonZeroUsize,
+        templates: &[&MachineTemplate],
+        cancel: &CancelToken,
+        new_consumer: G,
+    ) -> Result<Vec<C>, StreamError>
+    where
+        C: CellConsumer + Send,
+        G: Fn(usize) -> C + Sync,
+    {
+        let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        let jobs = NonZeroUsize::new(jobs.get().min(cpus)).expect("min of non-zeroes");
+        self.run_streamed_inner(jobs, templates, Some(cancel), new_consumer)
+    }
+
+    fn run_streamed_inner<C, G>(
+        &self,
+        jobs: NonZeroUsize,
+        templates: &[&MachineTemplate],
+        cancel: Option<&CancelToken>,
+        new_consumer: G,
+    ) -> Result<Vec<C>, StreamError>
+    where
+        C: CellConsumer + Send,
+        G: Fn(usize) -> C + Sync,
+    {
+        assert_eq!(
+            templates.len(),
+            self.scenarios.len(),
+            "one template per scenario, in scenario order"
+        );
+
         struct WorkerState<C> {
             consumer: C,
             recycled: Option<TraceSink>,
@@ -693,7 +789,18 @@ impl CampaignGrid {
             first_error: Option<(usize, StreamError)>,
         }
 
-        let templates = self.scenario_templates();
+        impl<C> WorkerState<C> {
+            fn record_error(&mut self, index: usize, e: StreamError) {
+                let replace = match self.first_error.as_ref() {
+                    Some((held, _)) => index < *held,
+                    None => true,
+                };
+                if replace {
+                    self.first_error = Some((index, e));
+                }
+            }
+        }
+
         let seeds_per_scenario = self.seeds.len();
         let events_hint = AtomicUsize::new(0);
         let states = parallel_reduce_indexed_exact(
@@ -705,8 +812,15 @@ impl CampaignGrid {
                 first_error: None,
             },
             |state, index| {
+                // Checked per cell, before any host is booted: an
+                // in-flight cell always completes (leak-free), a
+                // not-yet-started cell never starts.
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    state.record_error(index, StreamError::Cancelled);
+                    return;
+                }
                 let cell = self.cell_at(index);
-                let template = &templates[index / seeds_per_scenario];
+                let template = templates[index / seeds_per_scenario];
                 let hint = events_hint.load(Ordering::Relaxed);
                 let outcome = self
                     .run_cell_recycled(&cell, template, hint, state.recycled.take())
@@ -722,18 +836,10 @@ impl CampaignGrid {
                     });
                 match outcome {
                     Ok(recycled) => state.recycled = recycled,
-                    Err(e) => {
-                        // Keep running the remaining cells (the
-                        // in-memory path does too) but remember only
-                        // the lowest-index failure.
-                        let replace = match state.first_error.as_ref() {
-                            Some((held, _)) => index < *held,
-                            None => true,
-                        };
-                        if replace {
-                            state.first_error = Some((index, e));
-                        }
-                    }
+                    // Keep running the remaining cells (the in-memory
+                    // path does too) but remember only the lowest-index
+                    // failure.
+                    Err(e) => state.record_error(index, e),
                 }
             },
         );
@@ -773,13 +879,17 @@ pub trait CellConsumer {
 }
 
 /// A streaming run's failure: the cell computation itself
-/// ([`HvError`]) or the consumer's spill I/O.
+/// ([`HvError`]), the consumer's spill I/O, or cooperative
+/// cancellation.
 #[derive(Debug)]
 pub enum StreamError {
     /// A cell failed the way [`CampaignGrid::run`] can fail.
     Hv(HvError),
     /// A consumer failed to spill or merge its shard output.
     Io(std::io::Error),
+    /// A [`CancelToken`] stopped the run before this grid reached the
+    /// cell; already-consumed cells are valid, the rest never ran.
+    Cancelled,
 }
 
 impl std::fmt::Display for StreamError {
@@ -787,6 +897,7 @@ impl std::fmt::Display for StreamError {
         match self {
             StreamError::Hv(e) => write!(f, "{e}"),
             StreamError::Io(e) => write!(f, "stream spill I/O: {e}"),
+            StreamError::Cancelled => write!(f, "campaign run cancelled"),
         }
     }
 }
@@ -1007,21 +1118,103 @@ mod tests {
         .is_empty());
     }
 
+    struct Collect(Vec<(usize, CellResult)>);
+    impl CellConsumer for Collect {
+        fn consume(
+            &mut self,
+            index: usize,
+            mut result: CellResult,
+        ) -> std::io::Result<Option<TraceSink>> {
+            let sink = result.trace.take();
+            self.0.push((index, result));
+            Ok(sink)
+        }
+    }
+
     #[test]
-    fn streamed_run_matches_in_memory_results() {
-        struct Collect(Vec<(usize, CellResult)>);
-        impl CellConsumer for Collect {
+    fn shared_templates_and_idle_token_match_plain_streamed_run() {
+        let grid = tiny_grid(3);
+        let reference = grid.run_serial().unwrap();
+        // Caller-owned templates, as the campaign server shares them
+        // across jobs; an uncancelled token must be unobservable.
+        let templates: Vec<MachineTemplate> = grid
+            .scenarios()
+            .iter()
+            .map(MachineTemplate::for_scenario)
+            .collect();
+        let refs: Vec<&MachineTemplate> = templates.iter().collect();
+        let token = CancelToken::new();
+        let consumers = grid
+            .run_streamed_with(NonZeroUsize::new(2).unwrap(), &refs, &token, |_| {
+                Collect(Vec::new())
+            })
+            .unwrap();
+        let mut streamed: Vec<(usize, CellResult)> =
+            consumers.into_iter().flat_map(|c| c.0).collect();
+        streamed.sort_by_key(|(i, _)| *i);
+        assert_eq!(streamed.len(), reference.len());
+        for ((i, got), want) in streamed.iter().zip(reference.iter()) {
+            let mut want = want.clone();
+            want.trace = None;
+            assert_eq!(got, &want, "cell {i} diverged under shared templates");
+        }
+    }
+
+    #[test]
+    fn cancelled_token_skips_unstarted_cells() {
+        let grid = tiny_grid(4);
+        let templates: Vec<MachineTemplate> = grid
+            .scenarios()
+            .iter()
+            .map(MachineTemplate::for_scenario)
+            .collect();
+        let refs: Vec<&MachineTemplate> = templates.iter().collect();
+
+        // Cancelled before the run starts: nothing runs at all.
+        let token = CancelToken::new();
+        token.cancel();
+        let Err(err) = grid.run_streamed_with(NonZeroUsize::new(2).unwrap(), &refs, &token, |_| {
+            Collect(Vec::new())
+        }) else {
+            panic!("a pre-cancelled run must not succeed");
+        };
+        assert!(matches!(err, StreamError::Cancelled), "got: {err:?}");
+
+        // Cancelled mid-run (from the consumer after the first cell, on
+        // one worker so scheduling is fixed): the started cell's result
+        // is delivered, later cells are skipped.
+        struct CancelAfterFirst {
+            token: CancelToken,
+            consumed: std::sync::Arc<Mutex<Vec<usize>>>,
+        }
+        impl CellConsumer for CancelAfterFirst {
             fn consume(
                 &mut self,
                 index: usize,
                 mut result: CellResult,
             ) -> std::io::Result<Option<TraceSink>> {
-                let sink = result.trace.take();
-                self.0.push((index, result));
-                Ok(sink)
+                self.consumed.lock().unwrap().push(index);
+                self.token.cancel();
+                Ok(result.trace.take())
             }
         }
+        let token = CancelToken::new();
+        let consumed = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let Err(err) = grid.run_streamed_with(NonZeroUsize::new(1).unwrap(), &refs, &token, |_| {
+            CancelAfterFirst {
+                token: token.clone(),
+                consumed: consumed.clone(),
+            }
+        }) else {
+            panic!("a mid-run cancellation must surface");
+        };
+        assert!(matches!(err, StreamError::Cancelled), "got: {err:?}");
+        let consumed = consumed.lock().unwrap();
+        assert_eq!(*consumed, vec![0], "exactly the in-flight cell completes");
+    }
 
+    #[test]
+    fn streamed_run_matches_in_memory_results() {
         let grid = tiny_grid(3);
         let reference = grid.run_serial().unwrap();
         for jobs in [1usize, 2, 8] {

@@ -179,9 +179,27 @@ impl Iterator for PageMismatches<'_> {
                 expected,
                 next,
             } => {
+                // Word-at-a-time scan: a clean dense page walks 512
+                // `u64` compares instead of 4096 byte compares, and only
+                // words with a nonzero XOR against the expected fill are
+                // expanded byte by byte. `PAGE_SIZE` is a multiple of 8,
+                // so an aligned cursor always has a full word ahead.
+                let expected_word = u64::from_le_bytes([*expected; 8]);
                 while u64::from(*next) < PAGE_SIZE {
                     let o = *next;
-                    *next += 1;
+                    if o % 8 == 0 {
+                        let start = o as usize;
+                        let word = u64::from_le_bytes(
+                            bytes[start..start + 8]
+                                .try_into()
+                                .expect("aligned 8-byte chunk inside the page"),
+                        );
+                        if word == expected_word {
+                            *next = o + 8;
+                            continue;
+                        }
+                    }
+                    *next = o + 1;
                     let b = bytes[o as usize];
                     if b != *expected {
                         return Some((o, b));
@@ -724,6 +742,121 @@ mod tests {
                 (Hpa::new(3 * PAGE_SIZE + 0x30), 0x03),
             ]
         );
+    }
+
+    /// Reference scan: the per-byte definition the word-at-a-time fast
+    /// path must reproduce exactly.
+    fn naive_mismatches(mem: &SparseStore, hpa: Hpa, len: u64, expected: u8) -> Vec<(Hpa, u8)> {
+        (0..len)
+            .map(|i| hpa.add(i))
+            .filter_map(|a| {
+                let b = mem.read_u8(a);
+                (b != expected).then_some((a, b))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_word_scan_matches_byte_scan_on_word_edges() {
+        let mut mem = SparseStore::new(1 << 16);
+        // Force a dense page, then plant flips straddling every kind of
+        // word edge: offset 0, last byte of a word (7), first of the
+        // next (8), an interior pair inside one word, the page's last
+        // byte, and a run crossing a word boundary.
+        let mut dense = Box::new([0x5au8; PAGE_SIZE as usize]);
+        for off in [0usize, 7, 8, 1000, 1001, 4088, 4095] {
+            dense[off] = 0xa5;
+        }
+        for off in 2045..2052usize {
+            dense[off] = off as u8;
+        }
+        mem.write_page(Hpa::new(0), dense);
+
+        for expected in [0x5a, 0xa5, 0x00] {
+            let got = mem.find_mismatches(Hpa::new(0), PAGE_SIZE, expected);
+            assert_eq!(
+                got,
+                naive_mismatches(&mem, Hpa::new(0), PAGE_SIZE, expected),
+                "dense scan diverged for expected {expected:#x}"
+            );
+        }
+        // Laziness across the fast path: the first hit must not require
+        // draining the page, and resuming mid-word must not re-yield or
+        // skip bytes.
+        let mut it = mem.mismatches(Hpa::new(0), PAGE_SIZE, 0x5a);
+        assert_eq!(it.next(), Some((Hpa::new(0), 0xa5)));
+        assert_eq!(it.next(), Some((Hpa::new(7), 0xa5)));
+        assert_eq!(it.next(), Some((Hpa::new(8), 0xa5)));
+    }
+
+    #[test]
+    fn dense_word_scan_matches_byte_scan_across_page_boundaries() {
+        let mut mem = SparseStore::new(1 << 16);
+        // Page 0 dense with a flip in its final word, page 1 dense with
+        // a flip in its first word: the per-page word cursors must not
+        // leak across the page boundary.
+        let mut lo = Box::new([0x77u8; PAGE_SIZE as usize]);
+        lo[PAGE_SIZE as usize - 2] = 0x78;
+        let mut hi = Box::new([0x77u8; PAGE_SIZE as usize]);
+        hi[1] = 0x79;
+        mem.write_page(Hpa::new(0), lo);
+        mem.write_page(Hpa::new(PAGE_SIZE), hi);
+
+        let got = mem.find_mismatches(Hpa::new(0), 2 * PAGE_SIZE, 0x77);
+        assert_eq!(
+            got,
+            naive_mismatches(&mem, Hpa::new(0), 2 * PAGE_SIZE, 0x77)
+        );
+        assert_eq!(
+            got,
+            vec![
+                (Hpa::new(PAGE_SIZE - 2), 0x78),
+                (Hpa::new(PAGE_SIZE + 1), 0x79),
+            ]
+        );
+    }
+
+    #[test]
+    fn dense_scan_agrees_with_patched_scan_for_same_contents() {
+        // Identical page contents in Patched and Dense representation
+        // must produce identical mismatch streams for every expected
+        // byte (the representation is an implementation detail).
+        let mut patched = SparseStore::new(1 << 16);
+        let mut dense = SparseStore::new(1 << 16);
+        patched.fill(Hpa::new(0), PAGE_SIZE, 0x33);
+        let mut page = Box::new([0x33u8; PAGE_SIZE as usize]);
+        for off in [0usize, 5, 8, 15, 16, 4090, 4095] {
+            patched.write_u8(Hpa::new(off as u64), 0xcc);
+            page[off] = 0xcc;
+        }
+        dense.write_page(Hpa::new(0), page);
+
+        for expected in [0x33, 0xcc, 0x11] {
+            let from_patched = patched.find_mismatches(Hpa::new(0), PAGE_SIZE, expected);
+            let from_dense = dense.find_mismatches(Hpa::new(0), PAGE_SIZE, expected);
+            assert_eq!(
+                from_patched, from_dense,
+                "representations diverged for expected {expected:#x}"
+            );
+            assert_eq!(
+                from_dense,
+                naive_mismatches(&dense, Hpa::new(0), PAGE_SIZE, expected)
+            );
+        }
+    }
+
+    #[test]
+    fn densified_page_scan_stays_identical_after_threshold() {
+        // Push a patched page over DENSE_THRESHOLD so it densifies, and
+        // check the scan against the per-byte reference on both sides
+        // of the switch.
+        let mut mem = SparseStore::new(1 << 16);
+        mem.fill(Hpa::new(0), PAGE_SIZE, 0x00);
+        for i in 0..(DENSE_THRESHOLD as u64 + 8) {
+            mem.write_u8(Hpa::new(i * 61 % PAGE_SIZE), 0xee);
+            let got = mem.find_mismatches(Hpa::new(0), PAGE_SIZE, 0x00);
+            assert_eq!(got, naive_mismatches(&mem, Hpa::new(0), PAGE_SIZE, 0x00));
+        }
     }
 
     #[test]

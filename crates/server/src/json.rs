@@ -1,0 +1,472 @@
+//! Minimal JSON parsing for job specs (std-only).
+//!
+//! Numbers keep their raw lexeme so `u64` seeds survive beyond 2^53 —
+//! a float round-trip would silently corrupt `base_seed`/`fault_seed`
+//! values like `0xffff_ffff_ffff_fff1`.
+
+use hyperhammer::JobSpec;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its raw lexeme.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integer number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        // Validate the lexeme is a number at all.
+        raw.parse::<f64>()
+            .map_err(|_| format!("invalid number {raw:?} at byte {start}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not needed for job
+                            // specs; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-UTF-8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// A position-annotated description of the first syntax problem.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+/// Decodes a job-spec JSON object into a [`JobSpec`], starting from the
+/// spec defaults. Unknown keys are rejected by name so a typo like
+/// `"seedz"` fails loudly instead of silently running the default.
+///
+/// # Errors
+///
+/// Syntax errors, unknown keys, wrong member types, or a spec that
+/// fails [`JobSpec::validate`] (e.g. an unregistered scenario name).
+pub fn job_spec_from_json(text: &str) -> Result<JobSpec, String> {
+    let doc = parse(text)?;
+    let Json::Obj(members) = &doc else {
+        return Err("job spec must be a JSON object".to_string());
+    };
+    let mut spec = JobSpec::default();
+    for (key, value) in members {
+        match key.as_str() {
+            "scenarios" => {
+                let items = value
+                    .as_array()
+                    .ok_or("\"scenarios\" must be an array of names")?;
+                spec.scenarios = items
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "\"scenarios\" entries must be strings".to_string())
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "seeds" => spec.seeds = need_usize(key, value)?,
+            "base_seed" => spec.base_seed = need_u64(key, value)?,
+            "attempts" => spec.attempts = need_usize(key, value)?,
+            "bits" => spec.bits = need_usize(key, value)?,
+            "jobs" => {
+                spec.jobs = match value {
+                    Json::Null => None,
+                    _ => Some(need_usize(key, value)?),
+                }
+            }
+            "priority" => {
+                let raw = need_u64(key, value)?;
+                spec.priority = u8::try_from(raw)
+                    .map_err(|_| format!("\"priority\" must fit a u8, got {raw}"))?;
+            }
+            "fault_rate" => {
+                spec.fault_rate = value.as_f64().ok_or("\"fault_rate\" must be a number")?;
+            }
+            "fault_seed" => spec.fault_seed = need_u64(key, value)?,
+            "max_retries" => {
+                let raw = need_u64(key, value)?;
+                spec.max_retries = u32::try_from(raw)
+                    .map_err(|_| format!("\"max_retries\" must fit a u32, got {raw}"))?;
+            }
+            "backoff_ms" => spec.backoff_ms = need_u64(key, value)?,
+            other => {
+                return Err(format!(
+                    "unknown job-spec key {other:?} (known: scenarios, seeds, base_seed, \
+                     attempts, bits, jobs, priority, fault_rate, fault_seed, max_retries, \
+                     backoff_ms)"
+                ))
+            }
+        }
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+fn need_usize(key: &str, value: &Json) -> Result<usize, String> {
+    value
+        .as_usize()
+        .ok_or_else(|| format!("{key:?} must be a non-negative integer"))
+}
+
+fn need_u64(key: &str, value: &Json) -> Result<u64, String> {
+    value
+        .as_u64()
+        .ok_or_else(|| format!("{key:?} must be a non-negative integer"))
+}
+
+/// Serializes a [`JobSpec`] back to the JSON the server accepts — used
+/// by the CLI client so flag-built specs round-trip exactly.
+pub fn job_spec_to_json(spec: &JobSpec) -> String {
+    use crate::http::json_escape;
+    let scenarios = spec
+        .scenarios
+        .iter()
+        .map(|s| json_escape(s))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let jobs = match spec.jobs {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"scenarios\": [{scenarios}], \"seeds\": {}, \"base_seed\": {}, \
+         \"attempts\": {}, \"bits\": {}, \"jobs\": {jobs}, \"priority\": {}, \
+         \"fault_rate\": {}, \"fault_seed\": {}, \"max_retries\": {}, \"backoff_ms\": {}}}",
+        spec.seeds,
+        spec.base_seed,
+        spec.attempts,
+        spec.bits,
+        spec.priority,
+        spec.fault_rate,
+        spec.fault_seed,
+        spec.max_retries,
+        spec.backoff_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc =
+            parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny"}, "d": null, "e": true}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\ny")
+        );
+        assert_eq!(doc.get("d"), Some(&Json::Null));
+        assert_eq!(doc.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn big_u64_seeds_survive() {
+        let doc = parse(r#"{"base_seed": 18446744073709551615}"#).unwrap();
+        assert_eq!(doc.get("base_seed").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn job_spec_round_trips_through_json() {
+        let spec = JobSpec {
+            scenarios: vec!["tiny".to_string(), "micro".to_string()],
+            seeds: 3,
+            base_seed: u64::MAX - 14,
+            attempts: 7,
+            bits: 5,
+            jobs: Some(2),
+            priority: 9,
+            fault_rate: 0.25,
+            fault_seed: 0xfa01,
+            max_retries: 2,
+            backoff_ms: 1,
+        };
+        let text = job_spec_to_json(&spec);
+        let parsed = job_spec_from_json(&text).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn partial_spec_fills_defaults() {
+        let spec = job_spec_from_json(r#"{"scenarios": ["tiny"], "seeds": 2}"#).unwrap();
+        assert_eq!(spec.scenarios, vec!["tiny".to_string()]);
+        assert_eq!(spec.seeds, 2);
+        let defaults = JobSpec::default();
+        assert_eq!(spec.attempts, defaults.attempts);
+        assert_eq!(spec.bits, defaults.bits);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_scenarios_fail_loudly() {
+        let err = job_spec_from_json(r#"{"seedz": 2}"#).unwrap_err();
+        assert!(err.contains("unknown job-spec key \"seedz\""), "got: {err}");
+        assert!(err.contains("scenarios"), "error must list known keys");
+
+        let err = job_spec_from_json(r#"{"scenarios": ["warp9"]}"#).unwrap_err();
+        assert!(err.contains("unknown scenario warp9"), "got: {err}");
+        assert!(err.contains("registered"), "got: {err}");
+
+        let err = job_spec_from_json(r#"{"scenarios": "tiny"}"#).unwrap_err();
+        assert!(err.contains("array"), "got: {err}");
+
+        let err = job_spec_from_json(r#"{"priority": 300}"#).unwrap_err();
+        assert!(err.contains("u8"), "got: {err}");
+    }
+}

@@ -141,11 +141,23 @@ pub enum Counter {
     TransientRetries,
     /// Spray-width halvings after repeated transient spray failures.
     SprayDegradations,
+    /// HTTP requests handled by the campaign server.
+    ServerRequests,
+    /// Campaign jobs accepted by the server's queue.
+    ServerJobsSubmitted,
+    /// Campaign jobs run to completion by the server.
+    ServerJobsCompleted,
+    /// Campaign jobs cancelled (queued or mid-run).
+    ServerJobsCancelled,
+    /// Server jobs that found a warm per-scenario template in the cache.
+    ServerTemplateHits,
+    /// Server jobs that had to build a per-scenario template cold.
+    ServerTemplateMisses,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 25;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -168,6 +180,12 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::TransientRetries,
         Counter::SprayDegradations,
+        Counter::ServerRequests,
+        Counter::ServerJobsSubmitted,
+        Counter::ServerJobsCompleted,
+        Counter::ServerJobsCancelled,
+        Counter::ServerTemplateHits,
+        Counter::ServerTemplateMisses,
     ];
 
     /// Stable lower-snake name (used in NDJSON output and tables).
@@ -192,6 +210,12 @@ impl Counter {
             Counter::FaultsInjected => "faults_injected",
             Counter::TransientRetries => "transient_retries",
             Counter::SprayDegradations => "spray_degradations",
+            Counter::ServerRequests => "server_requests",
+            Counter::ServerJobsSubmitted => "server_jobs_submitted",
+            Counter::ServerJobsCompleted => "server_jobs_completed",
+            Counter::ServerJobsCancelled => "server_jobs_cancelled",
+            Counter::ServerTemplateHits => "server_template_hits",
+            Counter::ServerTemplateMisses => "server_template_misses",
         }
     }
 
@@ -216,6 +240,12 @@ impl Counter {
             Counter::FaultsInjected => 16,
             Counter::TransientRetries => 17,
             Counter::SprayDegradations => 18,
+            Counter::ServerRequests => 19,
+            Counter::ServerJobsSubmitted => 20,
+            Counter::ServerJobsCompleted => 21,
+            Counter::ServerJobsCancelled => 22,
+            Counter::ServerTemplateHits => 23,
+            Counter::ServerTemplateMisses => 24,
         }
     }
 }
@@ -333,7 +363,11 @@ impl Metrics {
         self.counters[counter.index()]
     }
 
-    fn bump(&mut self, counter: Counter, by: u64) {
+    /// Adds `by` to a counter. Inside a cell the [`Tracer`] does this
+    /// through typed events; the campaign server bumps its own
+    /// process-wide `Metrics` (requests served, jobs run, template
+    /// cache hits) directly.
+    pub fn bump(&mut self, counter: Counter, by: u64) {
         self.counters[counter.index()] += by;
     }
 

@@ -8,7 +8,7 @@
 # usage: scripts/ci.sh [stage...]
 #   With no arguments every stage runs in order; otherwise only the
 #   named stages run. Stages: build test fmt clippy bench-smoke
-#   determinism chaos scaling-sanity memory-cap bench-diff.
+#   determinism chaos scaling-sanity memory-cap server-smoke bench-diff.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -211,12 +211,67 @@ stage_memory_cap() {
         "(64-cell: ${rss_small} KiB); merged output byte-identical at --jobs 1/2/8"
 }
 
+stage_server_smoke() {
+    stage server-smoke
+    # End-to-end over real sockets: start the campaign daemon on an
+    # ephemeral port, submit two overlapping jobs, cancel one mid-run,
+    # stream the other and require its NDJSON byte-identical to a serial
+    # `campaign --json --jobs 1` run, then shut the server down remotely
+    # and demand a clean exit (leak-free thread teardown).
+    local tmpdir sim addr server_pid
+    tmpdir="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
+    trap "rm -rf '$tmpdir'" RETURN
+    run cargo build --release --offline --locked -q -p hyperhammer-cli
+    sim=./target/release/hyperhammer-sim
+
+    "$sim" serve --addr 127.0.0.1:0 >"$tmpdir/serve.log" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 50); do
+        addr=$(sed -n 's/^listening on //p' "$tmpdir/serve.log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "server-smoke: server never reported its address" >&2
+        kill "$server_pid" 2>/dev/null || true
+        return 1
+    fi
+    echo "==> campaign server at $addr"
+
+    # A long job to cancel mid-run, and a short one to stream to the end.
+    local victim_id stream_id
+    victim_id=$("$sim" client submit --addr "$addr" --json \
+        --scenarios tiny --seeds 12 --attempts 2 --bits 4 --jobs 1 \
+        | sed -n 's/.*"id": \([0-9]*\).*/\1/p')
+    stream_id=$("$sim" client submit --addr "$addr" --json \
+        --scenarios micro --seeds 4 --attempts 2 --bits 4 \
+        | sed -n 's/.*"id": \([0-9]*\).*/\1/p')
+    echo "==> submitted jobs $victim_id (to cancel) and $stream_id (to stream)"
+    run "$sim" client cancel --addr "$addr" --id "$victim_id"
+    echo "==> $sim client stream --addr $addr --id $stream_id"
+    "$sim" client stream --addr "$addr" --id "$stream_id" \
+        >"$tmpdir/streamed.ndjson"
+    "$sim" campaign --scenarios micro --seeds 4 --attempts 2 --bits 4 \
+        --jobs 1 --json >"$tmpdir/serial.ndjson" 2>/dev/null
+    run cmp "$tmpdir/serial.ndjson" "$tmpdir/streamed.ndjson"
+    run "$sim" client status --addr "$addr" --id "$victim_id"
+
+    run "$sim" client shutdown --addr "$addr"
+    if ! wait "$server_pid"; then
+        echo "server-smoke: server exited non-zero after shutdown" >&2
+        return 1
+    fi
+    echo "server-smoke: streamed NDJSON byte-identical to the serial run;" \
+        "mid-run cancel and remote shutdown exited cleanly"
+}
+
 stage_bench_diff() {
     stage bench-diff
     run scripts/bench_diff.sh
 }
 
-ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity memory-cap bench-diff)
+ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity memory-cap server-smoke bench-diff)
 if [ "$#" -gt 0 ]; then
     STAGES=("$@")
 else
@@ -234,6 +289,7 @@ for name in "${STAGES[@]}"; do
         chaos) stage_chaos ;;
         scaling-sanity) stage_scaling_sanity ;;
         memory-cap) stage_memory_cap ;;
+        server-smoke) stage_server_smoke ;;
         bench-diff) stage_bench_diff ;;
         *)
             CURRENT_STAGE="$name"

@@ -247,6 +247,7 @@ fn streaming_reports_the_grid_order_first_error() {
                 "streaming surfaced a different first error at {jobs} workers"
             ),
             StreamError::Io(e) => panic!("expected a hypervisor error, got I/O: {e}"),
+            StreamError::Cancelled => panic!("expected a hypervisor error, got cancellation"),
         }
     }
 }
