@@ -1,8 +1,10 @@
 //! Subcommand implementations.
 
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use hh_dram::dramdig::recover;
 use hh_dram::timing::{AccessTiming, TimingProbe};
@@ -12,11 +14,13 @@ use hh_sim::Gpa;
 use hh_trace::{Counter, Metrics, Stage, TraceMode};
 use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
 use hyperhammer::machine::Scenario;
-use hyperhammer::parallel::{resolve_jobs, CampaignGrid, CellResult};
+use hyperhammer::parallel::{
+    resolve_jobs, CampaignGrid, CancelToken, CellConsumer, CellResult, StreamError,
+};
 use hyperhammer::profile::{ProfileParams, Profiler};
 use hyperhammer::steering::PageSteering;
 use hyperhammer::streamref::{merge_shards, CampaignAggregate, CampaignStreamer};
-use hyperhammer::JobSpec;
+use hyperhammer::{JobSpec, MachineTemplate};
 
 use crate::opts::{ClientAction, Command, FaultOpts, Options};
 use crate::output::{
@@ -43,9 +47,27 @@ pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             bits,
             jobs,
             faults,
-        } => campaign(
-            opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs, *faults,
-        ),
+            checkpoint,
+            checkpoint_every,
+            resume,
+            stop_after_cells,
+        } => {
+            if checkpoint.is_some() || resume.is_some() {
+                campaign_checkpointed(
+                    opts,
+                    grid_spec(*seeds, *base_seed, *attempts, *bits, *faults, scenarios),
+                    *jobs,
+                    checkpoint.as_deref(),
+                    *checkpoint_every,
+                    resume.as_deref(),
+                    *stop_after_cells,
+                )
+            } else {
+                campaign(
+                    opts, scenarios, *seeds, *base_seed, *attempts, *bits, *jobs, *faults,
+                )
+            }
+        }
         Command::Trace {
             scenarios,
             seeds,
@@ -61,7 +83,7 @@ pub fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             scenarios_cmd(opts);
             Ok(())
         }
-        Command::Serve { addr } => serve(addr),
+        Command::Serve { addr, spool } => serve(addr, spool.as_deref()),
         Command::Client { addr, action } => client(opts, addr, action),
         Command::Analyse => {
             analyse(opts);
@@ -608,6 +630,232 @@ fn campaign_streamed(
     Ok(())
 }
 
+/// First line of a campaign checkpoint file. The rest is the job-spec
+/// JSON header followed by one `index\tcell-json` record per completed
+/// cell, appended (and fsynced every `--checkpoint-every` records) as
+/// cells finish — a kill at any point leaves a loadable prefix.
+const CKPT_MAGIC: &str = "hyperhammer-ckpt-v1";
+
+/// The checkpoint file plus its flush cadence, shared by every worker's
+/// [`CheckpointSink`] under one lock.
+struct CkFile {
+    file: File,
+    since_sync: usize,
+    every: usize,
+}
+
+impl CkFile {
+    fn append(&mut self, record: &str) -> std::io::Result<()> {
+        self.file.write_all(record.as_bytes())?;
+        self.since_sync += 1;
+        if self.since_sync >= self.every {
+            self.file.sync_data()?;
+            self.since_sync = 0;
+        }
+        Ok(())
+    }
+}
+
+/// State shared by the per-worker checkpoint consumers.
+struct CkShared {
+    file: Mutex<CkFile>,
+    /// Cells newly completed by this run (resumed cells not included).
+    completed: AtomicUsize,
+    stop_after: Option<usize>,
+    cancel: CancelToken,
+}
+
+/// Per-worker consumer for checkpointed runs: appends each finished
+/// cell's record to the shared checkpoint file and keeps the NDJSON
+/// line for the final grid-order merge.
+struct CheckpointSink<'a> {
+    ck: &'a CkShared,
+    lines: Vec<(usize, String)>,
+}
+
+impl CellConsumer for CheckpointSink<'_> {
+    fn consume(
+        &mut self,
+        index: usize,
+        result: CellResult,
+    ) -> std::io::Result<Option<hh_trace::TraceSink>> {
+        let mut line = String::new();
+        campaign_cell_line(&result, &mut line);
+        let record = format!("{index}\t{}", line);
+        self.ck
+            .file
+            .lock()
+            .expect("checkpoint poisoned")
+            .append(&record)?;
+        self.lines.push((index, line));
+        let newly = self.ck.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.ck.stop_after.is_some_and(|k| newly >= k) {
+            self.ck.cancel.cancel();
+        }
+        Ok(None)
+    }
+}
+
+/// A loaded checkpoint: the job spec it was started with and, per grid
+/// index, the NDJSON line of every already-completed cell.
+type Checkpoint = (JobSpec, Vec<Option<String>>);
+
+/// Loads a checkpoint file written by `campaign --checkpoint`.
+fn load_checkpoint(path: &str) -> Result<Checkpoint, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let lines: Vec<&str> = text.split('\n').collect();
+    if lines.first().copied() != Some(CKPT_MAGIC) {
+        return Err(format!("{path} is not a {CKPT_MAGIC} checkpoint").into());
+    }
+    let spec_line = lines
+        .get(1)
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| format!("{path} has no job-spec header"))?;
+    let spec = hh_server::json::job_spec_from_json(spec_line)?;
+    spec.validate()?;
+    let cells = spec.cell_count();
+    let mut done: Vec<Option<String>> = vec![None; cells];
+    let records = &lines[2..];
+    for (pos, raw) in records.iter().enumerate() {
+        if raw.is_empty() {
+            continue;
+        }
+        let parsed = raw.split_once('\t').and_then(|(index, json)| {
+            index
+                .parse::<usize>()
+                .ok()
+                .filter(|i| *i < cells)
+                .map(|i| (i, json))
+        });
+        match parsed {
+            Some((index, json)) => done[index] = Some(format!("{json}\n")),
+            // A kill mid-append can tear the final record; everything
+            // before it is intact, so drop it and re-run that cell.
+            None if pos + 1 == records.len() => {
+                eprintln!("checkpoint: ignoring torn final record in {path}");
+            }
+            None => return Err(format!("corrupt checkpoint record at {path}:{}", pos + 3).into()),
+        }
+    }
+    Ok((spec, done))
+}
+
+/// The checkpointed campaign path: every finished cell is appended to
+/// the checkpoint file as it completes, `--resume` skips cells the file
+/// already holds, and the merged grid-order output is byte-identical to
+/// an uninterrupted `--json` run for any `--jobs` value.
+fn campaign_checkpointed(
+    opts: &Options,
+    cli_spec: JobSpec,
+    jobs: Option<usize>,
+    checkpoint: Option<&str>,
+    every: usize,
+    resume: Option<&str>,
+    stop_after_cells: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    // On resume the grid is rebuilt from the spec recorded in the file;
+    // grid flags from the current command line are ignored so the
+    // resumed cells can never diverge from the checkpointed ones.
+    let (path, spec, mut lines) = match resume {
+        Some(path) => {
+            let (spec, lines) = load_checkpoint(path)?;
+            (path.to_string(), spec, lines)
+        }
+        None => {
+            let path = checkpoint.expect("dispatch checked").to_string();
+            let mut file = File::create(&path)?;
+            writeln!(file, "{CKPT_MAGIC}")?;
+            writeln!(file, "{}", hh_server::json::job_spec_to_json(&cli_spec))?;
+            file.sync_data()?;
+            let cells = cli_spec.cell_count();
+            (path, cli_spec, vec![None; cells])
+        }
+    };
+    let grid = spec.to_grid()?;
+    let resumed = lines.iter().filter(|l| l.is_some()).count();
+    let jobs = resolve_jobs(jobs.or(spec.jobs));
+    if !opts.json {
+        println!(
+            "campaign: {} cells ({resumed} checkpointed) on {} workers, checkpoint {path}",
+            grid.len(),
+            jobs
+        );
+    }
+
+    let shared = CkShared {
+        file: Mutex::new(CkFile {
+            file: OpenOptions::new().append(true).open(&path)?,
+            since_sync: 0,
+            every,
+        }),
+        completed: AtomicUsize::new(0),
+        stop_after: stop_after_cells,
+        cancel: CancelToken::new(),
+    };
+    let templates = grid.scenario_templates();
+    let refs: Vec<&MachineTemplate> = templates.iter().collect();
+    let done_mask: Vec<bool> = lines.iter().map(Option::is_some).collect();
+    let outcome = grid.run_streamed_resume(
+        jobs,
+        &refs,
+        &shared.cancel,
+        &|index| done_mask[index],
+        |_| CheckpointSink {
+            ck: &shared,
+            lines: Vec::new(),
+        },
+    );
+    let sync = || -> std::io::Result<()> { self_sync(&shared) };
+    match outcome {
+        Ok(consumers) => {
+            sync()?;
+            for sink in consumers {
+                for (index, line) in sink.lines {
+                    lines[index] = Some(line);
+                }
+            }
+            if opts.json {
+                let stdout = std::io::stdout();
+                let mut out = stdout.lock();
+                for line in &lines {
+                    out.write_all(line.as_deref().expect("all cells complete").as_bytes())?;
+                }
+                out.flush()?;
+            } else {
+                println!(
+                    "campaign: complete — {} cells ({} run now, {resumed} resumed)",
+                    grid.len(),
+                    grid.len() - resumed
+                );
+            }
+            report_peak_rss();
+            Ok(())
+        }
+        // --stop-after-cells cancels on purpose: the partial run is the
+        // expected outcome, announced on stderr so stdout never carries
+        // an incomplete NDJSON stream.
+        Err(StreamError::Cancelled) if stop_after_cells.is_some() => {
+            sync()?;
+            let newly = shared.completed.load(Ordering::SeqCst);
+            eprintln!(
+                "campaign: stopped after {newly} new cells ({}/{} checkpointed) — \
+                 finish with --resume {path}",
+                resumed + newly,
+                grid.len()
+            );
+            Ok(())
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Final fsync of the checkpoint file, regardless of flush cadence.
+fn self_sync(shared: &CkShared) -> std::io::Result<()> {
+    let mut ck = shared.file.lock().expect("checkpoint poisoned");
+    ck.since_sync = 0;
+    ck.file.sync_data()
+}
+
 /// Writes the merged NDJSON event stream for a campaign run.
 ///
 /// Cells are visited in grid order and each cell's events are already in
@@ -762,8 +1010,12 @@ fn scenarios_cmd(opts: &Options) {
 /// `/shutdown`. The per-cell formatter handed to the server is the very
 /// function the `campaign --json` path uses, so server streams are
 /// byte-identical to serial CLI runs by construction.
-fn serve(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let server = hh_server::CampaignServer::start(addr, campaign_cell_line)?;
+fn serve(addr: &str, spool: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    let server = hh_server::CampaignServer::start_with_spool(
+        addr,
+        campaign_cell_line,
+        spool.map(PathBuf::from),
+    )?;
     // Print the resolved address (port 0 binds are ephemeral) so
     // wrappers can scrape it; flush before blocking in join.
     println!("listening on {}", server.local_addr());

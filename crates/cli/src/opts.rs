@@ -19,7 +19,8 @@ commands:
   attack      run end-to-end attack attempts (--attempts N, --bits B)
   campaign    sweep campaigns over a (scenario x seed) grid
               (--scenarios a,b,..., --seeds N, --base-seed S,
-               --attempts N, --bits B, --jobs N)
+               --attempts N, --bits B, --jobs N); checkpointable with
+              --checkpoint PATH / --resume PATH
   trace       run a campaign grid with tracing on and print a per-stage
               time/activation breakdown (same grid flags as campaign)
   scenarios   list the registered scenario presets (lookup name, label,
@@ -27,7 +28,10 @@ commands:
   serve       run the persistent campaign server: HTTP/1.1 job API with
               a priority queue and warm per-scenario machine templates
               (--addr HOST:PORT; port 0 picks an ephemeral port and the
-              chosen address is printed on stdout)
+              chosen address is printed on stdout); with --spool DIR the
+              queue survives restarts: specs and completed cell lines
+              are persisted there and unfinished jobs resume on startup
+              under their original ids, skipping already-completed cells
   client      talk to a campaign server at --addr:
                 client submit [campaign grid flags] [--priority N]
                 client status --id N      client stream --id N
@@ -75,6 +79,24 @@ options:
                                    the attempt aborts      [default: 4]
   --backoff MS                     simulated backoff per retry, in
                                    milliseconds            [default: 10]
+  --checkpoint PATH                (campaign) append every finished
+                                   cell's record to a checkpoint file so
+                                   an interrupted run can be resumed;
+                                   incompatible with --trace/--stream-out
+  --checkpoint-every N             (campaign) flush the checkpoint file
+                                   every N completed cells  [default: 1]
+  --resume PATH                    (campaign) resume the run recorded in
+                                   a checkpoint file: the grid comes
+                                   from the checkpoint (grid flags are
+                                   ignored), completed cells are skipped
+                                   and new cells keep appending to PATH;
+                                   the merged output is byte-identical
+                                   to an uninterrupted run for any --jobs
+  --stop-after-cells K             (campaign) cancel the run after K
+                                   newly completed cells — deterministic
+                                   interruption for checkpoint tests
+  --spool DIR                      (serve) persist the job queue to DIR
+                                   and resume unfinished jobs on restart
   --addr HOST:PORT                 (serve/client) campaign-server address
                                    [default: 127.0.0.1:7799]
   --id N                           (client) job id returned by submit
@@ -187,6 +209,14 @@ pub enum Command {
         jobs: Option<usize>,
         /// Fault-injection and recovery knobs.
         faults: FaultOpts,
+        /// Append finished-cell records to this checkpoint file.
+        checkpoint: Option<String>,
+        /// Flush the checkpoint file every this many completed cells.
+        checkpoint_every: usize,
+        /// Resume the run recorded in this checkpoint file.
+        resume: Option<String>,
+        /// Cancel the run after this many newly completed cells.
+        stop_after_cells: Option<usize>,
     },
     /// Campaign grid with tracing on; prints the per-stage breakdown.
     Trace {
@@ -211,6 +241,8 @@ pub enum Command {
     Serve {
         /// Listen address (`host:port`; port 0 for ephemeral).
         addr: String,
+        /// Spool directory the job queue persists to (`--spool`).
+        spool: Option<String>,
     },
     /// Talk to a campaign server.
     Client {
@@ -265,7 +297,16 @@ impl PartialEq for Command {
             (Self::Recon, Self::Recon)
             | (Self::Analyse, Self::Analyse)
             | (Self::Scenarios, Self::Scenarios) => true,
-            (Self::Serve { addr: a }, Self::Serve { addr: b }) => a == b,
+            (
+                Self::Serve {
+                    addr: a,
+                    spool: asp,
+                },
+                Self::Serve {
+                    addr: b,
+                    spool: bsp,
+                },
+            ) => a == b && asp == bsp,
             (
                 Self::Client {
                     addr: aa,
@@ -318,6 +359,10 @@ impl PartialEq for Command {
                     bits: abi,
                     jobs: aj,
                     faults: af,
+                    checkpoint: ack,
+                    checkpoint_every: ace,
+                    resume: ar,
+                    stop_after_cells: asa,
                 },
                 Self::Campaign {
                     scenarios: bsc,
@@ -327,9 +372,26 @@ impl PartialEq for Command {
                     bits: bbi,
                     jobs: bj,
                     faults: bf,
+                    checkpoint: bck,
+                    checkpoint_every: bce,
+                    resume: br,
+                    stop_after_cells: bsa,
                 },
-            )
-            | (
+            ) => {
+                asc.len() == bsc.len()
+                    && asc.iter().zip(bsc).all(|(a, b)| a.name == b.name)
+                    && ase == bse
+                    && abs == bbs
+                    && aat == bat
+                    && abi == bbi
+                    && aj == bj
+                    && af == bf
+                    && ack == bck
+                    && ace == bce
+                    && ar == br
+                    && asa == bsa
+            }
+            (
                 Self::Trace {
                     scenarios: asc,
                     seeds: ase,
@@ -405,6 +467,11 @@ impl Options {
         let mut trace: Option<String> = None;
         let mut stream_out: Option<String> = None;
         let mut max_cells_in_memory: Option<usize> = None;
+        let mut checkpoint: Option<String> = None;
+        let mut checkpoint_every: usize = 1;
+        let mut resume: Option<String> = None;
+        let mut stop_after_cells: Option<usize> = None;
+        let mut spool: Option<String> = None;
         let mut addr = "127.0.0.1:7799".to_string();
         let mut id: Option<u64> = None;
         let mut priority: u8 = 0;
@@ -516,6 +583,26 @@ impl Options {
                             .map_err(|e| format!("bad --max-cells-in-memory: {e}"))?,
                     )
                 }
+                "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+                "--checkpoint-every" => {
+                    checkpoint_every = value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                    if checkpoint_every == 0 {
+                        return Err("--checkpoint-every must be at least 1".to_string());
+                    }
+                }
+                "--resume" => resume = Some(value("--resume")?),
+                "--stop-after-cells" => {
+                    let parsed: usize = value("--stop-after-cells")?
+                        .parse()
+                        .map_err(|e| format!("bad --stop-after-cells: {e}"))?;
+                    if parsed == 0 {
+                        return Err("--stop-after-cells must be at least 1".to_string());
+                    }
+                    stop_after_cells = Some(parsed);
+                }
+                "--spool" => spool = Some(value("--spool")?),
                 "--addr" => addr = value("--addr")?,
                 "--id" => {
                     id = Some(
@@ -574,6 +661,29 @@ impl Options {
                 }
                 let base_seed = seed.unwrap_or(base_seed);
                 if command_name == "campaign" {
+                    if checkpoint.is_some() && resume.is_some() {
+                        return Err("--checkpoint and --resume are mutually exclusive \
+                             (--resume keeps appending to its own file)"
+                            .to_string());
+                    }
+                    let checkpointing = checkpoint.is_some() || resume.is_some();
+                    // The checkpoint header is a job spec, which (like
+                    // the job API) cannot carry the quarantine knob — a
+                    // resumed grid would silently drop it.
+                    if checkpointing && quarantine {
+                        return Err("--quarantine is not recorded in checkpoints".to_string());
+                    }
+                    if checkpointing && (trace.is_some() || stream_out.is_some()) {
+                        return Err(
+                            "checkpointing does not combine with --trace or --stream-out"
+                                .to_string(),
+                        );
+                    }
+                    if stop_after_cells.is_some() && !checkpointing {
+                        return Err("--stop-after-cells needs --checkpoint or --resume \
+                             (a deliberately partial run must be resumable)"
+                            .to_string());
+                    }
                     Command::Campaign {
                         scenarios: grid_scenarios,
                         seeds: grid_seeds,
@@ -582,6 +692,10 @@ impl Options {
                         bits,
                         jobs,
                         faults: fault_opts,
+                        checkpoint,
+                        checkpoint_every,
+                        resume,
+                        stop_after_cells,
                     }
                 } else {
                     Command::Trace {
@@ -596,7 +710,7 @@ impl Options {
                 }
             }
             "scenarios" => Command::Scenarios,
-            "serve" => Command::Serve { addr },
+            "serve" => Command::Serve { addr, spool },
             "client" => {
                 let need_id = || id.ok_or("this client action needs --id N");
                 let action = match client_action_name.as_deref() {
@@ -733,6 +847,10 @@ mod tests {
                 bits,
                 jobs,
                 faults,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                stop_after_cells,
             } => {
                 assert_eq!(scenarios.len(), 1);
                 assert_eq!(scenarios[0].name, "small");
@@ -743,6 +861,10 @@ mod tests {
                 assert_eq!(*jobs, None);
                 assert_eq!(*faults, FaultOpts::default());
                 assert!(!faults.fault_config().is_active());
+                assert_eq!(*checkpoint, None);
+                assert_eq!(*checkpoint_every, 1);
+                assert_eq!(*resume, None);
+                assert_eq!(*stop_after_cells, None);
             }
             other => panic!("expected campaign, got {other:?}"),
         }
@@ -903,6 +1025,62 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_flags() {
+        let o = parse(&[
+            "campaign",
+            "--scenarios",
+            "tiny",
+            "--checkpoint",
+            "ck.bin",
+            "--checkpoint-every",
+            "3",
+            "--stop-after-cells",
+            "2",
+        ])
+        .unwrap();
+        match &o.command {
+            Command::Campaign {
+                checkpoint,
+                checkpoint_every,
+                resume,
+                stop_after_cells,
+                ..
+            } => {
+                assert_eq!(checkpoint.as_deref(), Some("ck.bin"));
+                assert_eq!(*checkpoint_every, 3);
+                assert_eq!(*resume, None);
+                assert_eq!(*stop_after_cells, Some(2));
+            }
+            other => panic!("expected campaign, got {other:?}"),
+        }
+        // Resume carries its own grid; only the path travels.
+        let o = parse(&["campaign", "--resume", "ck.bin", "--jobs", "2"]).unwrap();
+        match &o.command {
+            Command::Campaign {
+                resume,
+                checkpoint,
+                jobs,
+                ..
+            } => {
+                assert_eq!(resume.as_deref(), Some("ck.bin"));
+                assert_eq!(*checkpoint, None);
+                assert_eq!(*jobs, Some(2));
+            }
+            other => panic!("expected campaign, got {other:?}"),
+        }
+        // Mutually exclusive / dependent flags.
+        assert!(parse(&["campaign", "--checkpoint", "a", "--resume", "b"]).is_err());
+        assert!(parse(&["campaign", "--checkpoint", "a", "--quarantine"]).is_err());
+        assert!(parse(&["campaign", "--checkpoint", "a", "--trace", "t.ndjson"]).is_err());
+        assert!(parse(&["campaign", "--checkpoint", "a", "--stream-out", "/tmp/x"]).is_err());
+        assert!(parse(&["campaign", "--stop-after-cells", "2"]).is_err());
+        assert!(parse(&["campaign", "--checkpoint", "a", "--stop-after-cells", "0"]).is_err());
+        assert!(parse(&["campaign", "--checkpoint", "a", "--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["campaign", "--checkpoint"]).is_err());
+        assert!(parse(&["campaign", "--resume"]).is_err());
+    }
+
+    #[test]
     fn campaign_quarantine_applies_to_grid() {
         let o = parse(&["campaign", "--scenarios", "tiny", "--quarantine"]).unwrap();
         match &o.command {
@@ -973,7 +1151,15 @@ mod tests {
         assert_eq!(
             parse(&["serve", "--addr", "127.0.0.1:0"]).unwrap().command,
             Command::Serve {
-                addr: "127.0.0.1:0".to_string()
+                addr: "127.0.0.1:0".to_string(),
+                spool: None,
+            }
+        );
+        assert_eq!(
+            parse(&["serve", "--spool", "/tmp/spool"]).unwrap().command,
+            Command::Serve {
+                addr: "127.0.0.1:7799".to_string(),
+                spool: Some("/tmp/spool".to_string()),
             }
         );
 

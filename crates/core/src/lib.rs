@@ -26,8 +26,10 @@
 //! worker threads with bit-identical results to the serial path,
 //! [`analysis`] implements the paper's §5.3 success-probability
 //! model, [`balloon_steering`] completes the §6 virtio-balloon variant the
-//! paper leaves to future work, and [`machine`] provides the S1/S2/S3
-//! evaluation presets.
+//! paper leaves to future work, [`machine`] provides the S1/S2/S3
+//! evaluation presets, and [`snapshot`] serializes mid-campaign machines
+//! to the versioned `hyperhammer-snap-v1` format for checkpoint/resume
+//! and copy-on-write forking.
 //!
 //! # Quickstart
 //!
@@ -57,6 +59,7 @@ pub mod jobspec;
 pub mod machine;
 pub mod parallel;
 pub mod profile;
+pub mod snapshot;
 pub mod steering;
 pub mod streamref;
 pub mod template;
@@ -68,5 +71,6 @@ pub use jobspec::JobSpec;
 pub use machine::Scenario;
 pub use parallel::{CampaignGrid, CancelToken, CellResult};
 pub use profile::{FlipCatalog, ProfileReport, ProfileTables, Profiler};
+pub use snapshot::{Machine, SNAP_MAGIC, SNAP_VERSION};
 pub use steering::{PageSteering, RetryPolicy};
 pub use template::MachineTemplate;

@@ -541,8 +541,10 @@ impl CampaignGrid {
     }
 
     /// One [`MachineTemplate`] per scenario, in scenario order; cell
-    /// `i` uses entry `i / seeds`.
-    fn scenario_templates(&self) -> Vec<MachineTemplate> {
+    /// `i` uses entry `i / seeds`. Callers that resume a checkpointed
+    /// run build these once and hand them to
+    /// [`CampaignGrid::run_streamed_resume`].
+    pub fn scenario_templates(&self) -> Vec<MachineTemplate> {
         self.scenarios
             .iter()
             .map(MachineTemplate::for_scenario)
@@ -724,7 +726,7 @@ impl CampaignGrid {
     {
         let templates = self.scenario_templates();
         let refs: Vec<&MachineTemplate> = templates.iter().collect();
-        self.run_streamed_inner(jobs, &refs, None, new_consumer)
+        self.run_streamed_inner(jobs, &refs, None, None, new_consumer)
     }
 
     /// [`CampaignGrid::run_streamed`] against caller-owned per-scenario
@@ -760,7 +762,40 @@ impl CampaignGrid {
     {
         let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
         let jobs = NonZeroUsize::new(jobs.get().min(cpus)).expect("min of non-zeroes");
-        self.run_streamed_inner(jobs, templates, Some(cancel), new_consumer)
+        self.run_streamed_inner(jobs, templates, Some(cancel), None, new_consumer)
+    }
+
+    /// [`CampaignGrid::run_streamed_with`] plus a completed-cell
+    /// predicate — the checkpoint/resume entry point. Cells for which
+    /// `done(index)` returns `true` are skipped without booting a host
+    /// or touching a consumer; the caller merges their previously
+    /// recorded results back in grid order. Because cells are
+    /// independent (seed-split RNG streams, per-cell hosts), the cells
+    /// that do run produce bytes identical to an uninterrupted run for
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`CampaignGrid::run_streamed_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `templates.len()` differs from the scenario count.
+    pub fn run_streamed_resume<C, G>(
+        &self,
+        jobs: NonZeroUsize,
+        templates: &[&MachineTemplate],
+        cancel: &CancelToken,
+        done: &(dyn Fn(usize) -> bool + Sync),
+        new_consumer: G,
+    ) -> Result<Vec<C>, StreamError>
+    where
+        C: CellConsumer + Send,
+        G: Fn(usize) -> C + Sync,
+    {
+        let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        let jobs = NonZeroUsize::new(jobs.get().min(cpus)).expect("min of non-zeroes");
+        self.run_streamed_inner(jobs, templates, Some(cancel), Some(done), new_consumer)
     }
 
     fn run_streamed_inner<C, G>(
@@ -768,6 +803,7 @@ impl CampaignGrid {
         jobs: NonZeroUsize,
         templates: &[&MachineTemplate],
         cancel: Option<&CancelToken>,
+        done: Option<&(dyn Fn(usize) -> bool + Sync)>,
         new_consumer: G,
     ) -> Result<Vec<C>, StreamError>
     where
@@ -817,6 +853,11 @@ impl CampaignGrid {
                 // not-yet-started cell never starts.
                 if cancel.is_some_and(CancelToken::is_cancelled) {
                     state.record_error(index, StreamError::Cancelled);
+                    return;
+                }
+                // Resume support: cells already completed by a prior
+                // (checkpointed) run are skipped before any work.
+                if done.is_some_and(|f| f(index)) {
                     return;
                 }
                 let cell = self.cell_at(index);
@@ -1211,6 +1252,42 @@ mod tests {
         assert!(matches!(err, StreamError::Cancelled), "got: {err:?}");
         let consumed = consumed.lock().unwrap();
         assert_eq!(*consumed, vec![0], "exactly the in-flight cell completes");
+    }
+
+    #[test]
+    fn resume_skips_done_cells_and_matches_a_full_run() {
+        let grid = tiny_grid(4);
+        let reference = grid.run_serial().unwrap();
+        let templates: Vec<MachineTemplate> = grid
+            .scenarios()
+            .iter()
+            .map(MachineTemplate::for_scenario)
+            .collect();
+        let refs: Vec<&MachineTemplate> = templates.iter().collect();
+        // Cells 0 and 2 were "already completed" by the interrupted run.
+        let done = |index: usize| index == 0 || index == 2;
+        for jobs in [1usize, 2] {
+            let token = CancelToken::new();
+            let consumers = grid
+                .run_streamed_resume(
+                    NonZeroUsize::new(jobs).unwrap(),
+                    &refs,
+                    &token,
+                    &done,
+                    |_| Collect(Vec::new()),
+                )
+                .unwrap();
+            let mut resumed: Vec<(usize, CellResult)> =
+                consumers.into_iter().flat_map(|c| c.0).collect();
+            resumed.sort_by_key(|(i, _)| *i);
+            let indexes: Vec<usize> = resumed.iter().map(|(i, _)| *i).collect();
+            assert_eq!(indexes, vec![1, 3], "done cells must never run");
+            for (i, got) in &resumed {
+                let mut want = reference[*i].clone();
+                want.trace = None;
+                assert_eq!(got, &want, "resumed cell {i} diverged at jobs={jobs}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Mid-campaign machine snapshots: serialize, restore, fork.
+//!
+//! A campaign cell's machine is a pure function of `(scenario, seed,
+//! fault config)` *plus* accumulated mutable state — allocator free-list
+//! LIFO order, DRAM contents (which include the EPT trees: table pages
+//! live in simulated DRAM), the flip journal, clock and RNG positions,
+//! and the fault-injection stream indexes. [`Machine::snapshot`]
+//! captures all of it in the versioned `hyperhammer-snap-v1` byte
+//! format; [`Machine::restore`] rebuilds a bit-identical machine, so an
+//! interrupted campaign resumed from a checkpoint replays the exact
+//! byte stream an uninterrupted run would have produced.
+//!
+//! [`Machine::fork`] clones a machine without serializing: DRAM pages
+//! are shared copy-on-write with the parent (see
+//! [`hh_dram::DramDevice::fork`]), so one profiled host can fan out
+//! into N divergent cells paying for profiling once.
+//!
+//! # Format (`hyperhammer-snap-v1`)
+//!
+//! All integers little-endian, fixed width; strings and byte blobs are
+//! `u64` length-prefixed. See `docs/` for the field-by-field layout.
+//! Decoding is bounds-checked end to end: truncated, bit-flipped or
+//! wrong-version inputs return a typed [`SnapError`], never panic, and
+//! never allocate from an unvalidated length prefix.
+//!
+//! Snapshots are taken at quiescent points — between campaign attempts,
+//! with no live VM. Host state fully determines the machine there.
+
+use hh_hv::{FaultConfig, Host};
+use hh_sim::snap::{Dec, Enc, SnapError};
+use hh_sim::{ByteSize, Hpa};
+
+use crate::machine::Scenario;
+use crate::profile::{CatalogEntry, FlipCatalog};
+use hh_dram::FlipDirection;
+
+/// Leading magic of every snapshot file.
+pub const SNAP_MAGIC: &[u8; 16] = b"hyperhammer-snap";
+
+/// Current snapshot format version. Bump only with a migration note in
+/// `CHANGELOG.md` and a refreshed `tests/fixtures/snap-v1.bin` golden
+/// fixture (the format-compat CI stage enforces both).
+pub const SNAP_VERSION: u32 = 1;
+
+/// A campaign cell's machine: the scenario binding plus the live host,
+/// optionally carrying the profiled flip catalog so a restored or
+/// forked machine can skip straight to the attack stages.
+#[derive(Debug)]
+pub struct Machine {
+    /// Registry lookup name (`"tiny"`, `"s1"`, …) — the serialized
+    /// scenario identity.
+    scenario_name: String,
+    scenario: Scenario,
+    host: Host,
+    catalog: Option<FlipCatalog>,
+}
+
+impl Machine {
+    /// Boots a machine for the named scenario with the given seed and
+    /// fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scenario-registry error for an unknown name.
+    pub fn boot(scenario_name: &str, seed: u64, faults: FaultConfig) -> Result<Self, String> {
+        let scenario = Scenario::by_name(scenario_name)?
+            .with_seed(seed)
+            .with_faults(faults);
+        let host = scenario.boot_host();
+        Ok(Self {
+            scenario_name: scenario_name.to_string(),
+            scenario,
+            host,
+            catalog: None,
+        })
+    }
+
+    /// The registry lookup name the machine was booted from.
+    pub fn scenario_name(&self) -> &str {
+        &self.scenario_name
+    }
+
+    /// The bound scenario (seed and faults already applied).
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The machine's seed.
+    pub fn seed(&self) -> u64 {
+        self.scenario.host_config().seed
+    }
+
+    /// The live host.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Mutable access to the live host.
+    pub fn host_mut(&mut self) -> &mut Host {
+        &mut self.host
+    }
+
+    /// The profiled flip catalog, if one has been attached.
+    pub fn catalog(&self) -> Option<&FlipCatalog> {
+        self.catalog.as_ref()
+    }
+
+    /// Attaches the profiled flip catalog so it travels with snapshots
+    /// and forks.
+    pub fn set_catalog(&mut self, catalog: FlipCatalog) {
+        self.catalog = Some(catalog);
+    }
+
+    /// Serializes the machine to the `hyperhammer-snap-v1` format.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.raw(SNAP_MAGIC);
+        enc.u32(SNAP_VERSION);
+        enc.str(&self.scenario_name);
+        let cfg = self.scenario.host_config();
+        enc.u64(cfg.seed);
+        enc.f64(cfg.faults.viommu_rate);
+        enc.f64(cfg.faults.virtio_mem_rate);
+        enc.f64(cfg.faults.ept_split_rate);
+        enc.f64(cfg.faults.alloc_rate);
+        enc.u64(cfg.faults.seed);
+        match &self.catalog {
+            None => enc.u8(0),
+            Some(catalog) => {
+                enc.u8(1);
+                enc.u64(catalog.host_mem.bytes());
+                enc.u64(catalog.entries.len() as u64);
+                for e in &catalog.entries {
+                    enc.u64(e.cell_hpa.raw());
+                    enc.u8(e.bit);
+                    enc.u8(match e.direction {
+                        FlipDirection::OneToZero => 0,
+                        FlipDirection::ZeroToOne => 1,
+                    });
+                    enc.u64(e.aggressor_hugepage_hpa.raw());
+                    enc.u64(e.aggressor_offsets[0]);
+                    enc.u64(e.aggressor_offsets[1]);
+                    enc.u8(u8::from(e.stable));
+                }
+            }
+        }
+        self.host.encode_state_into(&mut enc);
+        self.host.tracer().snapshot_write();
+        enc.into_bytes()
+    }
+
+    /// Rebuilds a machine from [`snapshot`](Self::snapshot) bytes,
+    /// bit-identical to the one serialized (with a detached tracer).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::BadMagic`] / [`SnapError::UnsupportedVersion`] for
+    /// foreign or future inputs, [`SnapError`] variants for truncated or
+    /// corrupt streams.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut dec = Dec::new(bytes);
+        if dec.raw(SNAP_MAGIC.len())? != SNAP_MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = dec.u32()?;
+        if version != SNAP_VERSION {
+            return Err(SnapError::UnsupportedVersion(version));
+        }
+        let scenario_name = dec.str()?.to_string();
+        let seed = dec.u64()?;
+        let faults = FaultConfig {
+            viommu_rate: rate(dec.f64()?)?,
+            virtio_mem_rate: rate(dec.f64()?)?,
+            ept_split_rate: rate(dec.f64()?)?,
+            alloc_rate: rate(dec.f64()?)?,
+            seed: dec.u64()?,
+        };
+        let scenario = Scenario::by_name(&scenario_name)
+            .map_err(|_| SnapError::Corrupt("unknown scenario name"))?
+            .with_seed(seed)
+            .with_faults(faults);
+        let catalog = match dec.u8()? {
+            0 => None,
+            1 => {
+                let host_mem = ByteSize::bytes_exact(dec.u64()?);
+                // cell u64 + bit u8 + dir u8 + hugepage u64 + 2×u64 + stable u8 = 43.
+                let count = dec.count(43)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let cell_hpa = Hpa::new(dec.u64()?);
+                    let bit = dec.u8()?;
+                    if bit > 7 {
+                        return Err(SnapError::Corrupt("catalog bit beyond byte"));
+                    }
+                    let direction = match dec.u8()? {
+                        0 => FlipDirection::OneToZero,
+                        1 => FlipDirection::ZeroToOne,
+                        _ => return Err(SnapError::Corrupt("unknown flip direction")),
+                    };
+                    let aggressor_hugepage_hpa = Hpa::new(dec.u64()?);
+                    let aggressor_offsets = [dec.u64()?, dec.u64()?];
+                    let stable = match dec.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(SnapError::Corrupt("catalog stable flag not 0/1")),
+                    };
+                    entries.push(CatalogEntry {
+                        cell_hpa,
+                        bit,
+                        direction,
+                        aggressor_hugepage_hpa,
+                        aggressor_offsets,
+                        stable,
+                    });
+                }
+                Some(FlipCatalog { entries, host_mem })
+            }
+            _ => return Err(SnapError::Corrupt("catalog presence flag not 0/1")),
+        };
+        let host = Host::from_snapshot_state(scenario.host_config().clone(), &mut dec)?;
+        dec.finish()?;
+        Ok(Self {
+            scenario_name,
+            scenario,
+            host,
+            catalog,
+        })
+    }
+
+    /// A copy-on-write fork: DRAM pages are shared with the parent
+    /// until either side writes; everything else (allocator, clock,
+    /// RNG and fault-stream positions, catalog) is copied. The fork
+    /// starts with a detached tracer.
+    pub fn fork(&self) -> Self {
+        self.host.tracer().snapshot_fork();
+        Self {
+            scenario_name: self.scenario_name.clone(),
+            scenario: self.scenario.clone(),
+            host: self.host.fork(),
+            catalog: self.catalog.clone(),
+        }
+    }
+
+    /// An order-sensitive digest of the full machine state (FNV-1a over
+    /// the canonical snapshot encoding) — two machines digest equal iff
+    /// their snapshots are byte-identical.
+    pub fn digest(&self) -> u64 {
+        let mut enc = Enc::new();
+        enc.raw(SNAP_MAGIC);
+        enc.u32(SNAP_VERSION);
+        enc.str(&self.scenario_name);
+        let cfg = self.scenario.host_config();
+        enc.u64(cfg.seed);
+        self.host.encode_state_into(&mut enc);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in enc.into_bytes().iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Validates a decoded fault rate: probabilities live in `[0, 1]` and a
+/// corrupt (bit-flipped) float must not reach the constructors that
+/// assert on it.
+fn rate(x: f64) -> Result<f64, SnapError> {
+    if (0.0..=1.0).contains(&x) {
+        Ok(x)
+    } else {
+        Err(SnapError::Corrupt("fault rate out of [0, 1]"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{AttackDriver, DriverParams};
+    use hh_buddy::MigrateType;
+
+    fn worked_machine() -> Machine {
+        let mut m = Machine::boot("tiny", 0x7e57, FaultConfig::uniform(0.02).with_seed(3)).unwrap();
+        // Accumulate state in every subsystem.
+        let host = m.host_mut();
+        for _ in 0..4 {
+            let _ = host.alloc_ept_page();
+        }
+        let blk = host.buddy_mut().alloc(2, MigrateType::Movable).unwrap();
+        host.buddy_mut().free(blk, 2);
+        host.charge_nanos(55_555);
+        let _ = host.rng_mut().next_u64();
+        m
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_by_digest() {
+        let m = worked_machine();
+        let bytes = m.snapshot();
+        let restored = Machine::restore(&bytes).expect("valid snapshot");
+        assert_eq!(restored.digest(), m.digest());
+        assert_eq!(restored.scenario_name(), "tiny");
+        assert_eq!(restored.seed(), 0x7e57);
+        assert_eq!(
+            restored.host().buddy().free_state_digest(),
+            m.host().buddy().free_state_digest()
+        );
+        // Restore is reproducible: a second round trip is byte-identical.
+        assert_eq!(restored.snapshot(), bytes);
+    }
+
+    #[test]
+    fn catalog_travels_with_the_snapshot() {
+        let mut m = worked_machine();
+        let driver = AttackDriver::new(DriverParams {
+            bits_per_attempt: 4,
+            stable_bits_only: true,
+            ..DriverParams::paper()
+        });
+        let scenario = m.scenario().clone();
+        let host = m.host_mut();
+        let mut vm = host.create_vm(scenario.vm_config()).unwrap();
+        let catalog = driver
+            .profile_and_catalog(host, &mut vm, scenario.profile_params())
+            .unwrap();
+        vm.destroy(host);
+        m.set_catalog(catalog);
+
+        let restored = Machine::restore(&m.snapshot()).expect("valid snapshot");
+        assert_eq!(
+            restored.catalog().map(|c| &c.entries),
+            m.catalog().map(|c| &c.entries)
+        );
+        assert_eq!(restored.digest(), m.digest());
+    }
+
+    #[test]
+    fn fork_preserves_digest_then_diverges() {
+        let m = worked_machine();
+        let fork = m.fork();
+        assert_eq!(fork.digest(), m.digest());
+        assert!(fork.host().dram().store().shared_pages() > 0);
+
+        let mut fork = fork;
+        let _ = fork.host_mut().alloc_ept_page();
+        assert_ne!(fork.digest(), m.digest());
+    }
+
+    #[test]
+    fn wrong_magic_version_and_truncation_are_typed_errors() {
+        let bytes = worked_machine().snapshot();
+
+        let mut foreign = bytes.clone();
+        foreign[0] ^= 0x40;
+        assert_eq!(Machine::restore(&foreign).err(), Some(SnapError::BadMagic));
+
+        let mut future = bytes.clone();
+        future[SNAP_MAGIC.len()] = 9;
+        assert_eq!(
+            Machine::restore(&future).err(),
+            Some(SnapError::UnsupportedVersion(9))
+        );
+
+        for len in (0..bytes.len()).step_by(257).chain([bytes.len() - 1]) {
+            let err = Machine::restore(&bytes[..len]).expect_err("truncated must fail");
+            let _ = err.to_string();
+        }
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            Machine::restore(&trailing).err(),
+            Some(SnapError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_rarely_slip_through() {
+        let bytes = worked_machine().snapshot();
+        // Flip one bit at a sweep of positions; every outcome must be a
+        // typed error or a machine (no panics, no unbounded allocation).
+        for pos in (0..bytes.len()).step_by(131) {
+            for bit in [0, 3, 7] {
+                let mut evil = bytes.clone();
+                evil[pos] ^= 1 << bit;
+                match Machine::restore(&evil) {
+                    Ok(m) => drop(m),
+                    Err(e) => {
+                        let _ = e.to_string();
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,18 +1,33 @@
 //! Blocking HTTP/1.1 client for the campaign server (std-only).
 //!
-//! One connection per request with `Connection: close` — the client
-//! favours simplicity over connection reuse; the server's keep-alive
-//! path is exercised by the HTTP unit tests instead.
+//! The client keeps one connection alive across requests: a
+//! `submit`/`status`/`stream` sequence re-uses the same TCP stream
+//! instead of paying a fresh handshake per call. A request that finds
+//! the cached connection stale (the server closed it while idle) is
+//! retried once on a fresh connection before it could have been
+//! processed; streamed bodies end with the server closing, so those
+//! connections are not cached back.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
 
 use crate::json::{self, Json};
 
 /// A client bound to one server address.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Client {
     addr: String,
+    /// Cached keep-alive connection; `None` until the first request or
+    /// after a response that closed (or tainted) the stream.
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+}
+
+impl Clone for Client {
+    /// Clones the address only; the clone opens its own connection.
+    fn clone(&self) -> Self {
+        Self::new(&self.addr)
+    }
 }
 
 /// One decoded response.
@@ -27,6 +42,7 @@ impl Client {
     pub fn new(addr: &str) -> Self {
         Self {
             addr: addr.to_string(),
+            conn: Mutex::new(None),
         }
     }
 
@@ -40,79 +56,49 @@ impl Client {
             .map_err(|e| format!("{method} {path} against {}: {e}", self.addr))
     }
 
-    /// Sends one request; a streamed (chunked) body is copied to `tee`
-    /// as it arrives when given, in addition to being collected.
+    /// Sends one request over the cached keep-alive connection
+    /// (connecting fresh when there is none); a streamed (chunked) body
+    /// is copied to `tee` as it arrives when given, in addition to
+    /// being collected.
     fn request_to(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
-        mut tee: Option<&mut dyn Write>,
+        tee: Option<&mut dyn Write>,
     ) -> io::Result<HttpResponse> {
-        let mut stream = TcpStream::connect(&self.addr)?;
-        let body = body.unwrap_or("");
-        write!(
-            stream,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
-            self.addr,
-            body.len(),
-        )?;
-        stream.flush()?;
-
-        let mut reader = BufReader::new(stream);
-        let status_line = read_crlf_line(&mut reader)?;
-        let status: u16 = status_line
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
-
-        let mut content_length: Option<usize> = None;
-        let mut chunked = false;
+        let mut cached = self.conn.lock().expect("client connection poisoned").take();
         loop {
-            let line = read_crlf_line(&mut reader)?;
-            if line.is_empty() {
-                break;
-            }
-            let Some((name, value)) = line.split_once(':') else {
-                return Err(bad(format!("malformed header {line:?}")));
+            let reused = cached.is_some();
+            let mut reader = match cached.take() {
+                Some(reader) => reader,
+                None => BufReader::new(TcpStream::connect(&self.addr)?),
             };
-            let name = name.trim().to_ascii_lowercase();
-            let value = value.trim();
-            if name == "content-length" {
-                content_length = Some(value.parse().map_err(|_| bad("bad Content-Length"))?);
-            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
-                chunked = true;
+            // Send and read the status line in one fallible step: a
+            // stale cached connection fails here — before the server
+            // can have processed anything — and is retried once fresh.
+            let opened = send_request(&mut reader, &self.addr, method, path, body)
+                .and_then(|()| read_crlf_line(&mut reader))
+                .and_then(|line| {
+                    if line.is_empty() {
+                        // EOF on a dead connection reads as an empty line.
+                        Err(bad("connection closed before status line"))
+                    } else {
+                        Ok(line)
+                    }
+                });
+            match opened {
+                Ok(status_line) => {
+                    let (response, alive) = read_response(&mut reader, &status_line, tee)?;
+                    if alive {
+                        *self.conn.lock().expect("client connection poisoned") = Some(reader);
+                    }
+                    return Ok(response);
+                }
+                Err(_) if reused => continue,
+                Err(e) => return Err(e),
             }
         }
-
-        let mut body = Vec::new();
-        if chunked {
-            loop {
-                let size_line = read_crlf_line(&mut reader)?;
-                let size = usize::from_str_radix(size_line.trim(), 16)
-                    .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
-                if size == 0 {
-                    // Consume the trailing CRLF after the last chunk.
-                    let _ = read_crlf_line(&mut reader);
-                    break;
-                }
-                let mut chunk = vec![0u8; size];
-                reader.read_exact(&mut chunk)?;
-                let mut crlf = [0u8; 2];
-                reader.read_exact(&mut crlf)?;
-                if let Some(tee) = tee.as_deref_mut() {
-                    tee.write_all(&chunk)?;
-                }
-                body.extend_from_slice(&chunk);
-            }
-        } else if let Some(len) = content_length {
-            body.resize(len, 0);
-            reader.read_exact(&mut body)?;
-        } else {
-            reader.read_to_end(&mut body)?;
-        }
-        Ok(HttpResponse { status, body })
     }
 
     fn expect_ok(&self, method: &str, path: &str, body: Option<&str>) -> Result<String, String> {
@@ -205,6 +191,93 @@ impl Client {
     pub fn shutdown(&self) -> Result<(), String> {
         self.expect_ok("POST", "/shutdown", None).map(|_| ())
     }
+}
+
+/// Writes one keep-alive request onto the cached stream.
+fn send_request(
+    reader: &mut BufReader<TcpStream>,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<()> {
+    let body = body.unwrap_or("");
+    let stream = reader.get_mut();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Reads the headers and body following an already-read status line.
+/// Returns the response and whether the connection may be cached for
+/// the next request — only when the body was fully framed by
+/// `Content-Length` and the server did not announce `Connection:
+/// close` (the server closes after chunked streams, so those are never
+/// cached back).
+fn read_response(
+    reader: &mut BufReader<TcpStream>,
+    status_line: &str,
+    mut tee: Option<&mut dyn Write>,
+) -> io::Result<(HttpResponse, bool)> {
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    let mut close = false;
+    loop {
+        let line = read_crlf_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = Some(value.parse().map_err(|_| bad("bad Content-Length"))?);
+        } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+            chunked = true;
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let size_line = read_crlf_line(reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                // Consume the trailing CRLF after the last chunk.
+                let _ = read_crlf_line(reader);
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            if let Some(tee) = tee.as_deref_mut() {
+                tee.write_all(&chunk)?;
+            }
+            body.extend_from_slice(&chunk);
+        }
+    } else if let Some(len) = content_length {
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    let alive = !close && !chunked && content_length.is_some();
+    Ok((HttpResponse { status, body }, alive))
 }
 
 fn read_crlf_line(reader: &mut impl BufRead) -> io::Result<String> {

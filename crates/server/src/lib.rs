@@ -40,9 +40,10 @@ pub mod http;
 pub mod json;
 
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -159,19 +160,64 @@ struct JobState {
     aggregate: CampaignAggregate,
 }
 
+/// Where one job persists itself when the manager runs with a spool
+/// directory: the spec as JSON (written at submit) and one
+/// `index\tndjson-line` record per completed cell (appended and fsynced
+/// as cells finish). Both are deleted once the job goes terminal, so
+/// after a crash the spool holds exactly the unfinished jobs.
+#[derive(Debug)]
+struct JobSpool {
+    spec_path: PathBuf,
+    lines_path: PathBuf,
+}
+
+impl JobSpool {
+    fn for_job(dir: &Path, id: u64) -> Self {
+        Self {
+            spec_path: dir.join(format!("job-{id}.json")),
+            lines_path: dir.join(format!("job-{id}.ndjson")),
+        }
+    }
+
+    fn append_line(&self, index: usize, line: &str) -> io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&self.lines_path)?;
+        // One write per record: a kill can tear at most the final line,
+        // which the restart scan drops (that cell simply re-runs).
+        file.write_all(format!("{index}\t{line}").as_bytes())?;
+        file.sync_data()
+    }
+
+    fn remove(&self) {
+        let _ = std::fs::remove_file(&self.spec_path);
+        let _ = std::fs::remove_file(&self.lines_path);
+    }
+}
+
 #[derive(Debug)]
 struct Job {
     spec: JobSpec,
     cancel: CancelToken,
     state: Mutex<JobState>,
     wake: Condvar,
+    spool: Option<JobSpool>,
 }
 
 impl Job {
     fn set_status(&self, status: JobStatus) {
-        let mut state = self.state.lock().expect("job state poisoned");
-        state.status = status;
-        self.wake.notify_all();
+        let terminal = status.is_terminal();
+        {
+            let mut state = self.state.lock().expect("job state poisoned");
+            state.status = status;
+            self.wake.notify_all();
+        }
+        if terminal {
+            if let Some(spool) = &self.spool {
+                spool.remove();
+            }
+        }
     }
 }
 
@@ -221,6 +267,8 @@ struct Shared {
     queue_wake: Condvar,
     templates: Mutex<HashMap<TemplateKey, Arc<MachineTemplate>>>,
     metrics: Mutex<Metrics>,
+    /// Spool directory the queue persists to, when configured.
+    spool: Option<PathBuf>,
 }
 
 impl Shared {
@@ -247,6 +295,11 @@ impl CellConsumer for LineSink {
     ) -> io::Result<Option<hh_trace::TraceSink>> {
         let mut line = String::new();
         (self.fmt_cell)(&result, &mut line);
+        // Persist before publishing: a line a streamer saw must survive
+        // a crash, the other way round merely re-runs a cell.
+        if let Some(spool) = &self.job.spool {
+            spool.append_line(index, &line)?;
+        }
         let mut state = self.job.state.lock().expect("job state poisoned");
         state.aggregate.observe(&result);
         state.lines[index] = Some(line);
@@ -268,14 +321,36 @@ pub struct JobManager {
 
 impl JobManager {
     /// Starts the manager (and its runner thread) with the given
-    /// per-cell line formatter.
+    /// per-cell line formatter. In-memory only — the queue dies with
+    /// the process; use [`JobManager::with_spool`] to persist it.
     pub fn new(fmt_cell: CellFormatter) -> Self {
+        Self::with_spool(fmt_cell, None).expect("an in-memory manager does no I/O")
+    }
+
+    /// Starts the manager with an optional spool directory. When given,
+    /// every submitted spec and completed cell line is persisted there,
+    /// and any unfinished job found on disk is restored under its
+    /// original id (FIFO by id, original priority) with its completed
+    /// cells pre-filled — the runner skips them and their streamed
+    /// bytes stay identical to an uninterrupted run. Aggregate
+    /// statistics only cover cells run after the restart.
+    ///
+    /// # Errors
+    ///
+    /// Spool directory creation or scan failures.
+    pub fn with_spool(fmt_cell: CellFormatter, spool: Option<PathBuf>) -> io::Result<Self> {
+        let mut registry = Registry::default();
+        if let Some(dir) = &spool {
+            std::fs::create_dir_all(dir)?;
+            restore_spool(dir, &mut registry)?;
+        }
         let shared = Arc::new(Shared {
             fmt_cell,
-            registry: Mutex::new(Registry::default()),
+            registry: Mutex::new(registry),
             queue_wake: Condvar::new(),
             templates: Mutex::new(HashMap::new()),
             metrics: Mutex::new(Metrics::default()),
+            spool,
         });
         let runner = {
             let shared = Arc::clone(&shared);
@@ -284,10 +359,10 @@ impl JobManager {
                 .spawn(move || runner_loop(&shared))
                 .expect("spawn runner thread")
         };
-        Self {
+        Ok(Self {
             shared,
             runner: Mutex::new(Some(runner)),
-        }
+        })
     }
 
     /// Validates and enqueues a job; returns its id.
@@ -307,6 +382,17 @@ impl JobManager {
         registry.next_id += 1;
         let seq = registry.next_seq;
         registry.next_seq += 1;
+        let spool = match &self.shared.spool {
+            Some(dir) => {
+                let spool = JobSpool::for_job(dir, id);
+                // Spec on disk before the job is visible: the spool
+                // never holds a job it cannot rebuild.
+                std::fs::write(&spool.spec_path, json::job_spec_to_json(&spec))
+                    .map_err(|e| format!("spool write failed: {e}"))?;
+                Some(spool)
+            }
+            None => None,
+        };
         let job = Arc::new(Job {
             spec: spec.clone(),
             cancel: CancelToken::new(),
@@ -318,6 +404,7 @@ impl JobManager {
                 aggregate: CampaignAggregate::default(),
             }),
             wake: Condvar::new(),
+            spool,
         });
         registry.jobs.insert(id, job);
         registry.queue.push(QueueEntry {
@@ -369,6 +456,9 @@ impl JobManager {
                 state.status = JobStatus::Cancelled;
                 job.wake.notify_all();
                 drop(state);
+                if let Some(spool) = &job.spool {
+                    spool.remove();
+                }
                 self.shared.bump(Counter::ServerJobsCancelled, 1);
             }
             JobStatus::Running => {
@@ -478,6 +568,9 @@ impl JobManager {
                 state.status = JobStatus::Cancelled;
                 job.wake.notify_all();
                 drop(state);
+                if let Some(spool) = &job.spool {
+                    spool.remove();
+                }
                 self.shared.bump(Counter::ServerJobsCancelled, 1);
             }
         }
@@ -499,6 +592,84 @@ impl Drop for JobManager {
         self.shutdown();
         self.join();
     }
+}
+
+/// Rebuilds the registry from a spool directory: every `job-<id>.json`
+/// spec becomes a queued job under its original id (FIFO by id among
+/// equal priorities), with the completed cell lines recorded in
+/// `job-<id>.ndjson` pre-filled so the runner skips those cells.
+fn restore_spool(dir: &Path, registry: &mut Registry) -> io::Result<()> {
+    let mut found: Vec<(u64, JobSpec)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(id) = name
+            .strip_prefix("job-")
+            .and_then(|n| n.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let text = std::fs::read_to_string(entry.path())?;
+        match json::job_spec_from_json(&text).and_then(|s| s.validate().map(|()| s)) {
+            Ok(spec) => found.push((id, spec)),
+            Err(msg) => eprintln!("spool: skipping unreadable {name}: {msg}"),
+        }
+    }
+    found.sort_by_key(|(id, _)| *id);
+    for (id, spec) in found {
+        let cells = spec.cell_count();
+        let spool = JobSpool::for_job(dir, id);
+        let mut lines: Vec<Option<String>> = vec![None; cells];
+        if let Ok(text) = std::fs::read_to_string(&spool.lines_path) {
+            let records: Vec<&str> = text.split('\n').collect();
+            for (pos, raw) in records.iter().enumerate() {
+                if raw.is_empty() {
+                    continue;
+                }
+                let parsed = raw.split_once('\t').and_then(|(index, line)| {
+                    index
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|i| *i < cells)
+                        .map(|i| (i, line))
+                });
+                match parsed {
+                    Some((index, line)) => lines[index] = Some(format!("{line}\n")),
+                    // A crash can tear the final record; drop it and
+                    // simply re-run that cell.
+                    None if pos + 1 == records.len() => {}
+                    None => eprintln!(
+                        "spool: ignoring corrupt record {}:{}",
+                        spool.lines_path.display(),
+                        pos + 1
+                    ),
+                }
+            }
+        }
+        let completed = lines.iter().filter(|l| l.is_some()).count();
+        let priority = spec.priority;
+        let job = Arc::new(Job {
+            spec,
+            cancel: CancelToken::new(),
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                lines,
+                completed,
+                start_order: None,
+                aggregate: CampaignAggregate::default(),
+            }),
+            wake: Condvar::new(),
+            spool: Some(spool),
+        });
+        registry.next_id = registry.next_id.max(id + 1);
+        let seq = registry.next_seq;
+        registry.next_seq += 1;
+        registry.jobs.insert(id, job);
+        registry.queue.push(QueueEntry { priority, seq, id });
+    }
+    Ok(())
 }
 
 fn runner_loop(shared: &Arc<Shared>) {
@@ -574,7 +745,13 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
     let refs: Vec<&MachineTemplate> = templates.iter().map(Arc::as_ref).collect();
     let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     let jobs = NonZeroUsize::new(job.spec.jobs.unwrap_or(cpus).max(1)).expect("max(1) is non-zero");
-    let outcome = grid.run_streamed_with(jobs, &refs, &job.cancel, |_| LineSink {
+    // Cells restored from the spool (or already present for any other
+    // reason) are skipped; their published lines stay as-is.
+    let done: Vec<bool> = {
+        let state = job.state.lock().expect("job state poisoned");
+        state.lines.iter().map(Option::is_some).collect()
+    };
+    let outcome = grid.run_streamed_resume(jobs, &refs, &job.cancel, &|i| done[i], |_| LineSink {
         job: Arc::clone(job),
         fmt_cell: shared.fmt_cell,
     });
@@ -619,10 +796,26 @@ impl CampaignServer {
     ///
     /// Socket bind failures.
     pub fn start(addr: &str, fmt_cell: CellFormatter) -> io::Result<Self> {
+        Self::start_with_spool(addr, fmt_cell, None)
+    }
+
+    /// [`CampaignServer::start`] with an optional spool directory the
+    /// job queue persists to (see [`JobManager::with_spool`]): after a
+    /// crash or kill, restarting with the same directory resumes every
+    /// unfinished job from its last completed cell.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind or spool directory failures.
+    pub fn start_with_spool(
+        addr: &str,
+        fmt_cell: CellFormatter,
+        spool: Option<PathBuf>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let ctx = Arc::new(ServerCtx {
-            manager: Arc::new(JobManager::new(fmt_cell)),
+            manager: Arc::new(JobManager::with_spool(fmt_cell, spool)?),
             addr: local,
             shutdown: AtomicBool::new(false),
         });
@@ -1031,6 +1224,43 @@ mod tests {
         assert!(manager.wait(running).unwrap().status.is_terminal());
         let queued = manager.wait(queued).unwrap();
         assert!(queued.status.is_terminal());
+    }
+
+    #[test]
+    fn spool_restores_unfinished_jobs_and_skips_completed_cells() {
+        let dir = std::env::temp_dir().join(format!("hh-spool-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Simulate a killed server: a spec on disk plus one completed
+        // cell whose line carries marker bytes a re-run could never
+        // produce — if it survives, the cell was really skipped.
+        let spec = tiny_spec();
+        std::fs::write(dir.join("job-7.json"), json::job_spec_to_json(&spec)).unwrap();
+        std::fs::write(dir.join("job-7.ndjson"), "0\t{\"marker\": true}\n").unwrap();
+
+        let manager = JobManager::with_spool(fmt, Some(dir.clone())).unwrap();
+        let done = manager.wait(7).expect("job restored under its original id");
+        assert_eq!(done.status, JobStatus::Done);
+        assert_eq!(done.completed, spec.cell_count());
+        assert_eq!(
+            manager.wait_line(7, 0),
+            Some(LineWait::Line("{\"marker\": true}\n".to_string()))
+        );
+        // The re-run cell matches the serial reference byte-for-byte.
+        let grid = spec.to_grid().unwrap();
+        let results = grid.run(NonZeroUsize::new(1).unwrap()).unwrap();
+        let mut expected = String::new();
+        fmt(&results[1], &mut expected);
+        assert_eq!(manager.wait_line(7, 1), Some(LineWait::Line(expected)));
+        // Terminal jobs clean up their spool files, and fresh ids
+        // continue past the restored ones.
+        assert!(!dir.join("job-7.json").exists());
+        assert!(!dir.join("job-7.ndjson").exists());
+        let next = manager.submit(tiny_spec()).unwrap();
+        assert_eq!(next, 8, "ids continue after the restored job");
+        manager.wait(next).unwrap();
+        drop(manager);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   experiment is reproducible from a single seed.
 //! * [`check`] — a miniature deterministic property-testing harness built
 //!   on [`rng`].
+//! * [`snap`] — bounds-checked little-endian encode/decode primitives
+//!   for the versioned machine-snapshot format.
 //! * [`size`] — human-friendly byte sizes.
 //! * [`mem`] — process peak-RSS measurement (`VmHWM`), for the
 //!   bounded-memory guarantees the streaming campaign path makes.
@@ -49,6 +51,7 @@ pub mod clock;
 pub mod mem;
 pub mod rng;
 pub mod size;
+pub mod snap;
 
 pub use addr::{Gpa, Gva, Hpa, Iova, Pfn, HUGE_PAGE_SIZE, PAGE_SIZE};
 pub use clock::Clock;

@@ -1,0 +1,392 @@
+//! Byte-level primitives for the versioned snapshot format.
+//!
+//! Every layer that serializes state for `hyperhammer-snap-v1` (the
+//! buddy allocator's free lists, the sparse DRAM store, the host's RNG
+//! and clock) encodes through [`Enc`] and decodes through [`Dec`]. The
+//! wire rules are deliberately tiny and hand-rolled — no external
+//! crates, mirroring how `hh_bench::baseline` hand-rolls its JSON:
+//!
+//! * all integers are **little-endian fixed width** (`u8`, `u32`,
+//!   `u64`); floats are the IEEE-754 bit pattern of an `f64` as `u64`;
+//! * variable-length data is **length-prefixed**: a `u64` count
+//!   followed by the raw bytes (or that many fixed-width elements);
+//! * decoding is **total**: every read is bounds-checked and returns a
+//!   typed [`SnapError`] — corrupt input can never panic, and a lying
+//!   length prefix can never trigger an allocation larger than the
+//!   input itself (lengths are validated against the remaining input
+//!   *before* any buffer is reserved).
+//!
+//! # Examples
+//!
+//! ```
+//! use hh_sim::snap::{Dec, Enc};
+//!
+//! let mut enc = Enc::new();
+//! enc.u32(7);
+//! enc.bytes(b"free-list");
+//! let buf = enc.into_bytes();
+//!
+//! let mut dec = Dec::new(&buf);
+//! assert_eq!(dec.u32().unwrap(), 7);
+//! assert_eq!(dec.bytes().unwrap(), b"free-list");
+//! dec.finish().unwrap();
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// A typed decoding failure. Every variant is a *diagnosis*, not a
+/// panic: snapshot files come from disk and may be truncated, from a
+/// different build (wrong version), or simply corrupt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The input ended before a fixed-width read or a promised payload.
+    Truncated {
+        /// Bytes the read needed.
+        needed: u64,
+        /// Bytes actually left in the input.
+        available: u64,
+    },
+    /// The leading magic string did not match the expected format tag.
+    BadMagic,
+    /// The format version is not one this decoder understands.
+    UnsupportedVersion(u32),
+    /// A structural invariant failed (impossible enum tag, value out of
+    /// range, duplicate key…). The message names the field.
+    Corrupt(&'static str),
+    /// Decoding finished but input bytes remain.
+    TrailingBytes(u64),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated snapshot: needed {needed} bytes, {available} available"
+                )
+            }
+            SnapError::BadMagic => write!(f, "not a hyperhammer snapshot (bad magic)"),
+            SnapError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapError::TrailingBytes(n) => {
+                write!(f, "snapshot has {n} trailing bytes after decoding")
+            }
+        }
+    }
+}
+
+impl Error for SnapError {}
+
+/// Little-endian binary encoder accumulating into a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes with **no** length prefix (magic strings,
+    /// already-framed sections).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (bit-exact
+    /// round-trip, no text formatting involved).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `u64` length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a string as length-prefixed UTF-8 bytes.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian decoder over a borrowed byte slice.
+///
+/// All reads return [`SnapError`] on failure; none panic. Length
+/// prefixes are validated against the remaining input before any
+/// allocation, so a corrupt prefix cannot cause unbounded reservation.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                needed: n as u64,
+                available: self.remaining() as u64,
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads raw bytes with no length prefix (magic strings).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` stored as its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte slice, borrowed from the input (no
+    /// allocation; the length is checked against the remaining input).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the prefix promises more bytes
+    /// than remain.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let len = self.u64()?;
+        if len > self.remaining() as u64 {
+            return Err(SnapError::Truncated {
+                needed: len,
+                available: self.remaining() as u64,
+            });
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] on a lying prefix,
+    /// [`SnapError::Corrupt`] on invalid UTF-8.
+    pub fn str(&mut self) -> Result<&'a str, SnapError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| SnapError::Corrupt("non-UTF-8 string"))
+    }
+
+    /// Reads a `u64` element count for a sequence whose elements occupy
+    /// at least `min_elem_size` bytes each, rejecting counts that could
+    /// not possibly fit in the remaining input. This is the guard that
+    /// makes `Vec::with_capacity(count)` safe downstream: the returned
+    /// count is always ≤ `remaining / min_elem_size`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the claimed count cannot fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_elem_size` is zero (a caller bug, not an input
+    /// property).
+    pub fn count(&mut self, min_elem_size: usize) -> Result<usize, SnapError> {
+        assert!(min_elem_size > 0, "elements must occupy at least one byte");
+        let count = self.u64()?;
+        let fit = (self.remaining() / min_elem_size) as u64;
+        if count > fit {
+            return Err(SnapError::Truncated {
+                needed: count.saturating_mul(min_elem_size as u64),
+                available: self.remaining() as u64,
+            });
+        }
+        Ok(count as usize)
+    }
+
+    /// Asserts all input was consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::TrailingBytes`] when bytes remain.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(SnapError::TrailingBytes(self.remaining() as u64));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut enc = Enc::new();
+        enc.u8(0xab);
+        enc.u32(0xdead_beef);
+        enc.u64(u64::MAX - 1);
+        enc.f64(0.125);
+        let buf = enc.into_bytes();
+        let mut dec = Dec::new(&buf);
+        assert_eq!(dec.u8().unwrap(), 0xab);
+        assert_eq!(dec.u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(dec.f64().unwrap().to_bits(), 0.125f64.to_bits());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn bytes_and_str_round_trip() {
+        let mut enc = Enc::new();
+        enc.bytes(b"");
+        enc.str("snap-v1 \u{1F980}");
+        let buf = enc.into_bytes();
+        let mut dec = Dec::new(&buf);
+        assert_eq!(dec.bytes().unwrap(), b"");
+        assert_eq!(dec.str().unwrap(), "snap-v1 \u{1F980}");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut dec = Dec::new(&[1, 2, 3]);
+        assert!(matches!(
+            dec.u64(),
+            Err(SnapError::Truncated {
+                needed: 8,
+                available: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn lying_length_prefix_is_rejected_before_allocation() {
+        // A prefix claiming u64::MAX bytes over a 1-byte payload must be
+        // rejected without reserving anything.
+        let mut enc = Enc::new();
+        enc.u64(u64::MAX);
+        enc.u8(0);
+        let buf = enc.into_bytes();
+        let mut dec = Dec::new(&buf);
+        assert!(matches!(dec.bytes(), Err(SnapError::Truncated { .. })));
+    }
+
+    #[test]
+    fn count_bounds_element_sequences() {
+        let mut enc = Enc::new();
+        enc.u64(1 << 40); // absurd element count
+        let buf = enc.into_bytes();
+        let mut dec = Dec::new(&buf);
+        assert!(matches!(dec.count(8), Err(SnapError::Truncated { .. })));
+
+        let mut enc = Enc::new();
+        enc.u64(2);
+        enc.u64(10);
+        enc.u64(20);
+        let buf = enc.into_bytes();
+        let mut dec = Dec::new(&buf);
+        assert_eq!(dec.count(8).unwrap(), 2);
+        assert_eq!(dec.u64().unwrap(), 10);
+        assert_eq!(dec.u64().unwrap(), 20);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_are_reported() {
+        let mut dec = Dec::new(&[0, 0]);
+        assert_eq!(dec.u8().unwrap(), 0);
+        assert_eq!(dec.finish(), Err(SnapError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn non_utf8_string_is_corrupt_not_panic() {
+        let mut enc = Enc::new();
+        enc.bytes(&[0xff, 0xfe]);
+        let buf = enc.into_bytes();
+        let mut dec = Dec::new(&buf);
+        assert_eq!(dec.str(), Err(SnapError::Corrupt("non-UTF-8 string")));
+    }
+}

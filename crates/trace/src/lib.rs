@@ -153,11 +153,17 @@ pub enum Counter {
     ServerTemplateHits,
     /// Server jobs that had to build a per-scenario template cold.
     ServerTemplateMisses,
+    /// Machine snapshots serialized (checkpoint writes).
+    SnapshotWrites,
+    /// Machine snapshots deserialized (checkpoint/resume restores).
+    SnapshotReads,
+    /// Copy-on-write machine forks taken from a live or restored host.
+    SnapshotForks,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -186,6 +192,9 @@ impl Counter {
         Counter::ServerJobsCancelled,
         Counter::ServerTemplateHits,
         Counter::ServerTemplateMisses,
+        Counter::SnapshotWrites,
+        Counter::SnapshotReads,
+        Counter::SnapshotForks,
     ];
 
     /// Stable lower-snake name (used in NDJSON output and tables).
@@ -216,6 +225,9 @@ impl Counter {
             Counter::ServerJobsCancelled => "server_jobs_cancelled",
             Counter::ServerTemplateHits => "server_template_hits",
             Counter::ServerTemplateMisses => "server_template_misses",
+            Counter::SnapshotWrites => "snapshot_writes",
+            Counter::SnapshotReads => "snapshot_reads",
+            Counter::SnapshotForks => "snapshot_forks",
         }
     }
 
@@ -246,6 +258,9 @@ impl Counter {
             Counter::ServerJobsCancelled => 22,
             Counter::ServerTemplateHits => 23,
             Counter::ServerTemplateMisses => 24,
+            Counter::SnapshotWrites => 25,
+            Counter::SnapshotReads => 26,
+            Counter::SnapshotForks => 27,
         }
     }
 }
@@ -937,6 +952,21 @@ impl Tracer {
             s.metrics.bump(Counter::FaultsInjected, 1);
             s.record(Event::FaultInjected { stage, cause });
         });
+    }
+
+    /// Records a machine snapshot being serialized.
+    pub fn snapshot_write(&self) {
+        self.with(|s| s.metrics.bump(Counter::SnapshotWrites, 1));
+    }
+
+    /// Records a machine snapshot being deserialized.
+    pub fn snapshot_read(&self) {
+        self.with(|s| s.metrics.bump(Counter::SnapshotReads, 1));
+    }
+
+    /// Records a copy-on-write machine fork.
+    pub fn snapshot_fork(&self) {
+        self.with(|s| s.metrics.bump(Counter::SnapshotForks, 1));
     }
 
     /// Records a stage operation being retried after a transient fault.

@@ -8,7 +8,13 @@
 # usage: scripts/ci.sh [stage...]
 #   With no arguments every stage runs in order; otherwise only the
 #   named stages run. Stages: build test fmt clippy bench-smoke
-#   determinism chaos scaling-sanity memory-cap server-smoke bench-diff.
+#   determinism chaos scaling-sanity memory-cap server-smoke
+#   snapshot-roundtrip bench-diff.
+#
+# All binary-driving stages share ONE --locked release build
+# (build_release below): the first stage that needs target/release pays
+# for it, the rest reuse it. A per-stage wall-clock summary prints at
+# the end of the run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,9 +33,21 @@ run() {
     "$@"
 }
 
+SIM=./target/release/hyperhammer-sim
+RELEASE_BUILT=0
+
+# The one shared release build: every stage that needs target/release
+# binaries calls this; only the first call compiles anything.
+build_release() {
+    if [ "$RELEASE_BUILT" = 0 ]; then
+        run cargo build --release --offline --locked --workspace
+        RELEASE_BUILT=1
+    fi
+}
+
 stage_build() {
     stage build
-    run cargo build --release --offline --locked --workspace
+    build_release
 }
 
 stage_test() {
@@ -51,10 +69,9 @@ stage_bench_smoke() {
     stage bench-smoke
     # Exercise the reporting binaries on the tiny scenario so regressions
     # in the bench crate surface here, not on the next full paper run.
-    run cargo run --release --offline --locked -p hh-bench --bin table1 -- \
-        --scenario tiny
-    run cargo run --release --offline --locked -p hh-bench --bin table3 -- \
-        --scenario tiny --attempts 5
+    build_release
+    run ./target/release/table1 --scenario tiny
+    run ./target/release/table3 --scenario tiny --attempts 5
 }
 
 stage_determinism() {
@@ -66,12 +83,13 @@ stage_determinism() {
     tmpdir="$(mktemp -d)"
     # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
     trap "rm -rf '$tmpdir'" RETURN
+    build_release
     for jobs in 1 2 8; do
         echo "==> campaign --jobs $jobs (tiny grid, traced)"
         # tail -n +3 drops the "N cells on M workers" banner and the
         # "trace: wrote ... to PATH" line — the only lines allowed to
         # mention the worker count or the per-run trace path.
-        cargo run --release --offline --locked -q -p hyperhammer-cli -- \
+        "$SIM" \
             campaign --scenarios tiny --seeds 3 --attempts 2 --bits 4 \
             --jobs "$jobs" --trace "$tmpdir/trace_${jobs}.ndjson" \
             | tail -n +3 >"$tmpdir/stdout_${jobs}.txt"
@@ -92,9 +110,10 @@ stage_chaos() {
     tmpdir="$(mktemp -d)"
     # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
     trap "rm -rf '$tmpdir'" RETURN
+    build_release
     for jobs in 1 2 8; do
         echo "==> campaign --faults 0.05 --jobs $jobs (tiny grid, traced)"
-        cargo run --release --offline --locked -q -p hyperhammer-cli -- \
+        "$SIM" \
             campaign --scenarios tiny --seeds 3 --attempts 2 --bits 4 \
             --faults 0.05 --fault-seed 37 \
             --jobs "$jobs" --trace "$tmpdir/trace_${jobs}.ndjson" \
@@ -123,7 +142,7 @@ stage_scaling_sanity() {
     tmpdir="$(mktemp -d)"
     # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
     trap "rm -rf '$tmpdir'" RETURN
-    run cargo build --release --offline --locked -q -p hyperhammer-cli
+    build_release
     for jobs in 1 2 4 8; do
         echo "==> campaign --jobs $jobs (8-cell tiny grid, traced)"
         t0=$(date +%s%N)
@@ -172,7 +191,7 @@ stage_memory_cap() {
     tmpdir="$(mktemp -d)"
     # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
     trap "rm -rf '$tmpdir'" RETURN
-    run cargo build --release --offline --locked -q -p hyperhammer-cli
+    build_release
 
     for cells in 64 4096; do
         echo "==> campaign --stream-out --jobs 2 (${cells}-cell micro grid)"
@@ -222,8 +241,8 @@ stage_server_smoke() {
     tmpdir="$(mktemp -d)"
     # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
     trap "rm -rf '$tmpdir'" RETURN
-    run cargo build --release --offline --locked -q -p hyperhammer-cli
-    sim=./target/release/hyperhammer-sim
+    build_release
+    sim=$SIM
 
     "$sim" serve --addr 127.0.0.1:0 >"$tmpdir/serve.log" 2>&1 &
     server_pid=$!
@@ -266,19 +285,116 @@ stage_server_smoke() {
         "mid-run cancel and remote shutdown exited cleanly"
 }
 
+stage_snapshot_roundtrip() {
+    stage snapshot-roundtrip
+    # The checkpoint/resume promise: a faulted campaign interrupted
+    # mid-run and resumed from its checkpoint emits NDJSON byte-identical
+    # to an uninterrupted run, at every worker count. Then the same
+    # promise for the server: kill -9 mid-job, restart on the same spool
+    # dir, and the resumed job's stream must match a serial CLI run.
+    # Finally the snap-v1 format-compat gate: the committed golden
+    # fixture must still decode and re-encode bit-identically.
+    local tmpdir jobs addr addr2 server_pid job_id
+    tmpdir="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
+    trap "rm -rf '$tmpdir'" RETURN
+    build_release
+
+    # --- CLI checkpoint/resume byte-identity (faulted grid) ---
+    "$SIM" campaign --scenarios tiny --seeds 3 --attempts 2 --bits 4 \
+        --faults 0.05 --fault-seed 37 --jobs 1 --json \
+        >"$tmpdir/ref.ndjson" 2>/dev/null
+    for jobs in 1 2 8; do
+        echo "==> checkpoint at 2 cells, resume with --jobs $jobs"
+        "$SIM" campaign --scenarios tiny --seeds 3 --attempts 2 --bits 4 \
+            --faults 0.05 --fault-seed 37 --jobs "$jobs" --json \
+            --checkpoint "$tmpdir/ck_${jobs}" --stop-after-cells 2 \
+            >/dev/null 2>/dev/null
+        "$SIM" campaign --resume "$tmpdir/ck_${jobs}" --jobs "$jobs" --json \
+            >"$tmpdir/resumed_${jobs}.ndjson" 2>/dev/null
+        run cmp "$tmpdir/ref.ndjson" "$tmpdir/resumed_${jobs}.ndjson"
+    done
+    echo "snapshot-roundtrip: interrupted+resumed output byte-identical" \
+        "to the uninterrupted run at --jobs 1/2/8"
+
+    # --- server spool survives kill -9 ---
+    "$SIM" serve --addr 127.0.0.1:0 --spool "$tmpdir/spool" \
+        >"$tmpdir/serve.log" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 50); do
+        addr=$(sed -n 's/^listening on //p' "$tmpdir/serve.log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "snapshot-roundtrip: server never reported its address" >&2
+        kill "$server_pid" 2>/dev/null || true
+        return 1
+    fi
+    job_id=$("$SIM" client submit --addr "$addr" --json \
+        --scenarios tiny --seeds 12 --attempts 2 --bits 4 --jobs 1 \
+        | sed -n 's/.*"id": \([0-9]*\).*/\1/p')
+    echo "==> submitted job $job_id to $addr; kill -9 mid-run"
+    sleep 0.5
+    kill -9 "$server_pid"
+    wait "$server_pid" 2>/dev/null || true
+    if [ ! -f "$tmpdir/spool/job-${job_id}.json" ]; then
+        echo "snapshot-roundtrip: job $job_id finished before kill -9" \
+            "(or was never spooled) — nothing to resume" >&2
+        return 1
+    fi
+
+    "$SIM" serve --addr 127.0.0.1:0 --spool "$tmpdir/spool" \
+        >"$tmpdir/serve2.log" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 50); do
+        addr2=$(sed -n 's/^listening on //p' "$tmpdir/serve2.log")
+        [ -n "$addr2" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr2" ]; then
+        echo "snapshot-roundtrip: restarted server never reported its address" >&2
+        kill "$server_pid" 2>/dev/null || true
+        return 1
+    fi
+    echo "==> restarted on $addr2 with the same spool; streaming job $job_id"
+    "$SIM" client stream --addr "$addr2" --id "$job_id" \
+        >"$tmpdir/streamed.ndjson"
+    "$SIM" campaign --scenarios tiny --seeds 12 --attempts 2 --bits 4 \
+        --jobs 1 --json >"$tmpdir/serial.ndjson" 2>/dev/null
+    run cmp "$tmpdir/serial.ndjson" "$tmpdir/streamed.ndjson"
+    run "$SIM" client shutdown --addr "$addr2"
+    if ! wait "$server_pid"; then
+        echo "snapshot-roundtrip: server exited non-zero after shutdown" >&2
+        return 1
+    fi
+    if compgen -G "$tmpdir/spool/job-*" >/dev/null; then
+        echo "snapshot-roundtrip: spool files left behind after job completed" >&2
+        return 1
+    fi
+    echo "snapshot-roundtrip: kill -9'd job resumed from the spool" \
+        "byte-identical to a serial run"
+
+    # --- snap-v1 format-compat gate (golden fixture) ---
+    run cargo test -q --release --offline --locked -p hyperhammer \
+        --test snapshot_compat
+}
+
 stage_bench_diff() {
     stage bench-diff
     run scripts/bench_diff.sh
 }
 
-ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity memory-cap server-smoke bench-diff)
+ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity memory-cap server-smoke snapshot-roundtrip bench-diff)
 if [ "$#" -gt 0 ]; then
     STAGES=("$@")
 else
     STAGES=("${ALL_STAGES[@]}")
 fi
 
+STAGE_SUMMARY=()
 for name in "${STAGES[@]}"; do
+    stage_t0=$(date +%s%N)
     case "$name" in
         build) stage_build ;;
         test) stage_test ;;
@@ -290,6 +406,7 @@ for name in "${STAGES[@]}"; do
         scaling-sanity) stage_scaling_sanity ;;
         memory-cap) stage_memory_cap ;;
         server-smoke) stage_server_smoke ;;
+        snapshot-roundtrip) stage_snapshot_roundtrip ;;
         bench-diff) stage_bench_diff ;;
         *)
             CURRENT_STAGE="$name"
@@ -297,7 +414,13 @@ for name in "${STAGES[@]}"; do
             exit 2
             ;;
     esac
+    stage_t1=$(date +%s%N)
+    STAGE_SUMMARY+=("$(printf '%-20s %7d ms' "$name" $(((stage_t1 - stage_t0) / 1000000)))")
 done
 
 echo
+echo "ci: stage wall-clock:"
+for line in "${STAGE_SUMMARY[@]}"; do
+    echo "  $line"
+done
 echo "ci: all green (${STAGES[*]})"

@@ -1,0 +1,78 @@
+//! One profiled host fans out into N forked cells without
+//! re-profiling: the trace counters show exactly one profile stage for
+//! N attacking cells, and every fork attacks off the shared catalog.
+
+use hyperhammer::driver::{AttackDriver, DriverParams};
+use hyperhammer::Machine;
+
+use hh_hv::FaultConfig;
+use hh_trace::{Counter, Stage, TraceMode, Tracer};
+
+fn driver() -> AttackDriver {
+    AttackDriver::new(DriverParams {
+        bits_per_attempt: 4,
+        stable_bits_only: true,
+        ..DriverParams::paper()
+    })
+}
+
+#[test]
+fn one_profile_feeds_n_forked_cells() {
+    const FORKS: usize = 3;
+
+    // Profile the parent once, under a metrics tracer.
+    let mut parent = Machine::boot("tiny", 0x5EED, FaultConfig::default()).expect("tiny exists");
+    parent
+        .host_mut()
+        .attach_tracer(Tracer::new(TraceMode::Metrics));
+    let scenario = parent.scenario().clone();
+    let drv = driver();
+    {
+        let host = parent.host_mut();
+        let mut vm = host.create_vm(scenario.vm_config()).expect("vm boots");
+        let catalog = drv
+            .profile_and_catalog(host, &mut vm, scenario.profile_params())
+            .expect("profiling succeeds");
+        vm.destroy(host);
+        parent.set_catalog(catalog);
+    }
+
+    // Round-trip through a snapshot so the fan-out starts from a
+    // *restored* host, the shape a resumed campaign would use.
+    let restored = Machine::restore(&parent.snapshot()).expect("snapshot round-trips");
+    let mut restored = restored;
+    restored
+        .host_mut()
+        .attach_tracer(Tracer::new(TraceMode::Metrics));
+
+    let forks: Vec<Machine> = (0..FORKS).map(|_| restored.fork()).collect();
+    let fork_count = restored
+        .host()
+        .tracer()
+        .inspect(|s| s.metrics().get(Counter::SnapshotForks))
+        .expect("tracer attached");
+    assert_eq!(fork_count, FORKS as u64);
+
+    // Every fork runs an attack campaign straight off the inherited
+    // catalog — none of them spends a nanosecond in the profile stage.
+    for mut fork in forks {
+        let catalog = fork.catalog().expect("catalog travels with forks").clone();
+        fork.host_mut()
+            .attach_tracer(Tracer::new(TraceMode::Metrics));
+        let stats = drv
+            .campaign(&scenario, fork.host_mut(), &catalog, 2)
+            .expect("forked cell attacks");
+        assert!(!stats.attempts.is_empty());
+        let sink = fork.host().tracer().take_sink().expect("tracer attached");
+        assert_eq!(
+            sink.metrics().stage_nanos(Stage::Profile),
+            0,
+            "a forked cell re-profiled instead of reusing the parent's catalog"
+        );
+    }
+
+    // The only profile work in the whole fan-out happened once, in the
+    // parent, before forking.
+    let parent_sink = parent.host().tracer().take_sink().expect("tracer attached");
+    assert!(parent_sink.metrics().stage_nanos(Stage::Profile) > 0);
+}

@@ -1,0 +1,149 @@
+//! Format-compatibility gate for the `hyperhammer-snap-v1` snapshot
+//! format, pinned by the golden fixture `tests/fixtures/snap-v1.bin`.
+//!
+//! The fixture is a committed snapshot of [`fixture_machine`]. The
+//! checks here fail whenever the current decoder can no longer read
+//! bytes written by a previous build, or the current encoder stops
+//! producing those bytes — either way the format changed and
+//! `SNAP_VERSION` must be bumped, the fixture regenerated (run the
+//! `#[ignore]`d `regenerate_golden_fixture` test), and a migration note
+//! added to `CHANGELOG.md`.
+
+use hyperhammer::driver::{AttackDriver, DriverParams};
+use hyperhammer::{Machine, SNAP_MAGIC, SNAP_VERSION};
+
+use hh_buddy::MigrateType;
+use hh_hv::FaultConfig;
+
+/// Absolute path of the committed golden fixture.
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/snap-v1.bin"
+);
+
+/// The machine the fixture pins: a deterministic recipe touching every
+/// serialized subsystem (buddy free lists, EPT pages in DRAM, clock,
+/// RNG, fault stream, profiled catalog). Changing this recipe
+/// invalidates the fixture — regenerate it if you must.
+fn fixture_machine() -> Machine {
+    let mut m = Machine::boot("tiny", 0xF1C5, FaultConfig::uniform(0.01).with_seed(7))
+        .expect("tiny scenario exists");
+    let scenario = m.scenario().clone();
+    let host = m.host_mut();
+    for _ in 0..3 {
+        let _ = host.alloc_ept_page();
+    }
+    let blk = host
+        .buddy_mut()
+        .alloc(3, MigrateType::Movable)
+        .expect("fresh tiny host has free order-3 blocks");
+    host.buddy_mut().free(blk, 3);
+    host.charge_nanos(123_456_789);
+    let _ = host.rng_mut().next_u64();
+    let _ = host.rng_mut().next_u64();
+
+    // Attach a profiled catalog so the fixture exercises the catalog
+    // section of the format too.
+    let driver = AttackDriver::new(DriverParams {
+        bits_per_attempt: 4,
+        stable_bits_only: true,
+        ..DriverParams::paper()
+    });
+    let host = m.host_mut();
+    let mut vm = host.create_vm(scenario.vm_config()).expect("vm boots");
+    let catalog = driver
+        .profile_and_catalog(host, &mut vm, scenario.profile_params())
+        .expect("profiling succeeds on tiny");
+    vm.destroy(host);
+    m.set_catalog(catalog);
+    m
+}
+
+fn read_fixture() -> Vec<u8> {
+    std::fs::read(FIXTURE).unwrap_or_else(|e| {
+        panic!(
+            "golden fixture {FIXTURE} unreadable ({e}); regenerate it with \
+             `cargo test -p hyperhammer --test snapshot_compat -- --ignored regenerate`"
+        )
+    })
+}
+
+/// The committed bytes must still decode, and decode to exactly the
+/// state they were written from. A failure here means a decoder change
+/// broke compatibility with snapshots already on disk.
+#[test]
+fn golden_fixture_still_decodes_to_the_pinned_machine() {
+    let bytes = read_fixture();
+    let restored = Machine::restore(&bytes).unwrap_or_else(|e| {
+        panic!(
+            "current decoder cannot read the committed snap-v1 fixture: {e}; \
+             if the format changed on purpose, bump SNAP_VERSION, refresh the \
+             fixture, and add a CHANGELOG.md migration note"
+        )
+    });
+    assert_eq!(restored.scenario_name(), "tiny");
+    assert_eq!(restored.seed(), 0xF1C5);
+    assert_eq!(
+        restored.digest(),
+        fixture_machine().digest(),
+        "fixture decodes to a different machine state than its recipe produces"
+    );
+}
+
+/// The current encoder must still emit the committed byte stream, both
+/// when re-encoding the restored fixture and when serializing the
+/// recipe from scratch. A failure here means the wire format drifted
+/// without a version bump.
+#[test]
+fn current_encoder_reproduces_the_fixture_bytes() {
+    let bytes = read_fixture();
+    let restored = Machine::restore(&bytes).expect("fixture decodes");
+    assert_eq!(
+        restored.snapshot(),
+        bytes,
+        "restore→snapshot round trip no longer reproduces the committed bytes"
+    );
+    assert_eq!(
+        fixture_machine().snapshot(),
+        bytes,
+        "encoding the fixture recipe from scratch diverged from the committed bytes"
+    );
+}
+
+/// Guards the version constant and the version embedded in the fixture.
+/// Bumping `SNAP_VERSION` is allowed only together with a refreshed
+/// fixture (rename it to `snap-v<N>.bin`, update `FIXTURE` here) and a
+/// `CHANGELOG.md` migration note describing how old snapshots are
+/// handled.
+#[test]
+fn version_bump_requires_a_fixture_refresh_and_changelog_note() {
+    assert_eq!(
+        SNAP_VERSION, 1,
+        "SNAP_VERSION changed: refresh tests/fixtures/snap-v1.bin (regenerate \
+         test), rename it for the new version, and add a CHANGELOG.md \
+         migration note before shipping"
+    );
+    let bytes = read_fixture();
+    assert_eq!(&bytes[..SNAP_MAGIC.len()], SNAP_MAGIC);
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[SNAP_MAGIC.len()..SNAP_MAGIC.len() + 4]);
+    assert_eq!(
+        u32::from_le_bytes(v),
+        SNAP_VERSION,
+        "fixture was written by a different format version than the code claims"
+    );
+}
+
+/// Rewrites the golden fixture from the recipe. Run explicitly after an
+/// intentional format change:
+/// `cargo test -p hyperhammer --test snapshot_compat -- --ignored regenerate`
+#[test]
+#[ignore = "rewrites the committed golden fixture"]
+fn regenerate_golden_fixture() {
+    let bytes = fixture_machine().snapshot();
+    let path = std::path::Path::new(FIXTURE);
+    std::fs::create_dir_all(path.parent().expect("fixture has a parent dir"))
+        .expect("create tests/fixtures");
+    std::fs::write(path, &bytes).expect("write fixture");
+    println!("wrote {} bytes to {FIXTURE}", bytes.len());
+}
