@@ -195,6 +195,48 @@ fn bench_memory(c: &mut Criterion) {
     }
 }
 
+/// Per-variant cost of a campaign cell: one micro cell per attack
+/// variant, so bench-diff catches any variant's pipeline getting
+/// disproportionately slower. Also asserts the five-variant grid stays
+/// bit-identical across worker counts — the property the variant-matrix
+/// CI stage byte-compares end to end.
+fn bench_variants(c: &mut Criterion) {
+    use hyperhammer::machine::AttackVariant;
+
+    let params = DriverParams {
+        bits_per_attempt: 4,
+        ..DriverParams::paper()
+    };
+    let scenarios: Vec<Scenario> = AttackVariant::ALL
+        .iter()
+        .map(|v| Scenario::micro_demo().with_variant(*v))
+        .collect();
+    let grid = CampaignGrid::new(scenarios, params.clone(), 2).with_seed_count(0x7a21a, 1);
+    let reference = grid.run_serial().expect("serial reference runs");
+    for workers in [2, 4] {
+        let jobs = NonZeroUsize::new(workers).expect("non-zero");
+        let results = grid.run(jobs).expect("grid runs");
+        assert_eq!(results, reference, "variant grid determinism at {workers}w");
+    }
+
+    let mut group = c.benchmark_group("campaign_variants");
+    group.sample_size(if quick() { 3 } else { 10 });
+    group.meta("micro_demo", 0x7a21a);
+    let serial = NonZeroUsize::new(1).expect("non-zero");
+    for variant in AttackVariant::ALL {
+        let cell = CampaignGrid::new(
+            vec![Scenario::micro_demo().with_variant(variant)],
+            params.clone(),
+            2,
+        )
+        .with_seed_count(0x7a21a, 1);
+        group.bench_function(&format!("micro_{}_1cell", variant.label()), |b| {
+            b.iter(|| black_box(cell.run(serial).expect("cell runs")))
+        });
+    }
+    group.finish();
+}
+
 /// Absolute path of the release `hyperhammer-sim` binary, building it
 /// if a bench run got here before anything else did.
 fn release_cli() -> std::path::PathBuf {
@@ -333,5 +375,11 @@ fn bench_server(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_memory, bench_scaling, bench_server);
+criterion_group!(
+    benches,
+    bench_memory,
+    bench_scaling,
+    bench_variants,
+    bench_server
+);
 criterion_main!(benches);

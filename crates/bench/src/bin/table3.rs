@@ -1,14 +1,18 @@
 //! Regenerates Table 3 (attack cost to first success) on S1 and S2.
 //!
 //! ```text
-//! table3 [--scenario NAME]... [--attempts N] [--seeds N]
+//! table3 [--scenario NAME]... [--variants] [--attempts N] [--seeds N]
 //!        [--base-seed S] [--jobs N] [--faults R] [--fault-seed S]
-//!        [--max-retries N] [--backoff MS]
+//!        [--max-retries N] [--backoff MS] [--json]
 //! ```
 //!
 //! `--scenario` (repeatable) narrows the run to the named scenarios
 //! (default: the paper's S1 and S2); `table3 --scenario tiny` is the CI
-//! smoke configuration. `--seeds N` widens each scenario to N
+//! smoke configuration. Scenario names accept an `@variant` suffix
+//! (e.g. `tiny@balloon`), and `--variants` fans every selected scenario
+//! out over all attack variants, appending a per-variant success-rate
+//! comparison after the table (`--json` also emits it as NDJSON).
+//! `--seeds N` widens each scenario to N
 //! experiment seeds split from `--base-seed` (default: each scenario's
 //! own paper seed, one cell per scenario). `--jobs` picks the worker
 //! count (default: available parallelism); results are identical for
@@ -32,6 +36,8 @@ fn main() {
     let mut fault_seed: u64 = 0;
     let mut retry = RetryPolicy::standard();
     let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut variants = false;
+    let mut json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -63,6 +69,8 @@ fn main() {
                 let name = it.next().expect("--scenario needs a value");
                 scenarios.push(Scenario::by_name(name).unwrap_or_else(|e| panic!("{e}")));
             }
+            "--variants" => variants = true,
+            "--json" => json = true,
             // Positional attempt budget, kept for earlier revisions'
             // `table3 600` invocation.
             n if n.parse::<usize>().is_ok() => max_attempts = n.parse().expect("checked above"),
@@ -70,9 +78,21 @@ fn main() {
         }
     }
 
-    let paper_set = scenarios.is_empty();
-    if paper_set {
+    let paper_set = scenarios.is_empty() && !variants;
+    if scenarios.is_empty() {
         scenarios = vec![Scenario::s1(), Scenario::s2()];
+    }
+    if variants {
+        // Fan every selected scenario out over the attack variants,
+        // variant-major so each scenario's variants print together.
+        scenarios = scenarios
+            .into_iter()
+            .flat_map(|sc| {
+                hyperhammer::machine::AttackVariant::ALL
+                    .iter()
+                    .map(move |v| sc.clone().with_variant(*v))
+            })
+            .collect();
     }
     let fault_config = FaultConfig::uniform(faults_rate).with_seed(fault_seed);
     if fault_config.is_active() {
@@ -99,6 +119,15 @@ fn main() {
         }
     };
     hh_bench::table3::print(&rows);
+    let summaries = hh_bench::table3::summarize_variants(&rows);
+    if summaries.len() > 1 {
+        println!();
+        hh_bench::table3::print_variant_summary(&summaries);
+        if json {
+            println!();
+            print!("{}", hh_bench::table3::variant_summary_json(&summaries));
+        }
+    }
     if paper_set {
         println!();
         println!("Paper reference: S1 4.0 min / 16.7 h / 250; S2 4.7 min / 33.8 h / 432");

@@ -18,15 +18,17 @@
 use std::num::NonZeroUsize;
 
 use hyperhammer::driver::DriverParams;
-use hyperhammer::machine::Scenario;
+use hyperhammer::machine::{AttackVariant, Scenario};
 use hyperhammer::parallel::{CampaignGrid, CellResult};
 use hyperhammer::steering::RetryPolicy;
 
 /// One row of Table 3.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
-    /// Scenario name.
+    /// Scenario name, `@variant`-qualified off the default variant.
     pub setting: String,
+    /// Attack variant the row's cell ran.
+    pub variant: AttackVariant,
     /// Experiment seed of this row's campaign cell.
     pub seed: u64,
     /// Mean simulated attempt duration, minutes.
@@ -44,8 +46,14 @@ pub struct Table3Row {
 
 impl From<&CellResult> for Table3Row {
     fn from(r: &CellResult) -> Self {
+        let setting = if r.variant == AttackVariant::default() {
+            r.scenario.to_string()
+        } else {
+            format!("{}@{}", r.scenario, r.variant.label())
+        };
         Self {
-            setting: r.scenario.to_string(),
+            setting,
+            variant: r.variant,
             seed: r.seed,
             avg_attempt_mins: r.stats.avg_attempt_mins(),
             time_to_success_hours: r.stats.time_to_first_success().map(|d| d.as_hours_f64()),
@@ -150,4 +158,98 @@ pub fn print(rows: &[Table3Row]) {
     for r in &cells {
         println!("{}", crate::row(r, &widths));
     }
+}
+
+/// Per-variant rollup of a cross-variant Table 3 run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantSummary {
+    /// The attack variant the cells ran.
+    pub variant: AttackVariant,
+    /// Cells (scenario × seed) executed with this variant.
+    pub cells: usize,
+    /// Cells that reached a success within the attempt budget.
+    pub succeeded: usize,
+    /// Attempts executed across those cells.
+    pub attempts: usize,
+}
+
+impl VariantSummary {
+    /// Successful cells over cells run.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        self.succeeded as f64 / self.cells as f64
+    }
+}
+
+/// Rolls Table 3 rows up per attack variant, in [`AttackVariant::ALL`]
+/// order; variants with no rows are omitted.
+#[must_use]
+pub fn summarize_variants(rows: &[Table3Row]) -> Vec<VariantSummary> {
+    AttackVariant::ALL
+        .iter()
+        .copied()
+        .filter_map(|variant| {
+            let mine: Vec<&Table3Row> = rows.iter().filter(|r| r.variant == variant).collect();
+            if mine.is_empty() {
+                return None;
+            }
+            Some(VariantSummary {
+                variant,
+                cells: mine.len(),
+                succeeded: mine
+                    .iter()
+                    .filter(|r| r.attempts_to_success.is_some())
+                    .count(),
+                attempts: mine.iter().map(|r| r.attempts_run).sum(),
+            })
+        })
+        .collect()
+}
+
+/// Prints the per-variant success-rate comparison (text form).
+pub fn print_variant_summary(summaries: &[VariantSummary]) {
+    println!("Per-variant success rate:");
+    let cells: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.variant.label().to_string(),
+                s.cells.to_string(),
+                s.succeeded.to_string(),
+                s.attempts.to_string(),
+                format!("{:.0}%", s.success_rate() * 100.0),
+            ]
+        })
+        .collect();
+    let widths = crate::fit_widths(&[10, 6, 10, 9, 8], &cells);
+    println!(
+        "{}",
+        crate::header(
+            &["Variant", "Cells", "Succeeded", "Attempts", "Rate"],
+            &widths,
+        )
+    );
+    for r in &cells {
+        println!("{}", crate::row(r, &widths));
+    }
+}
+
+/// One NDJSON line per variant summary — the machine-readable form of
+/// [`print_variant_summary`], field-compatible with the CLI campaign
+/// report's per-variant records.
+#[must_use]
+pub fn variant_summary_json(summaries: &[VariantSummary]) -> String {
+    let mut out = String::new();
+    for s in summaries {
+        out.push_str(&format!(
+            "{{\"variant\": \"{}\", \"cells\": {}, \"succeeded\": {}, \"attempts\": {}, \
+             \"success_rate\": {}}}\n",
+            s.variant.label(),
+            s.cells,
+            s.succeeded,
+            s.attempts,
+            s.success_rate(),
+        ));
+    }
+    out
 }

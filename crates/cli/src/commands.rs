@@ -13,7 +13,7 @@ use hh_sim::clock::SimDuration;
 use hh_sim::Gpa;
 use hh_trace::{Counter, Metrics, Stage, TraceMode};
 use hyperhammer::driver::{AttackDriver, AttemptOutcome, DriverParams};
-use hyperhammer::machine::Scenario;
+use hyperhammer::machine::{AttackVariant, Scenario};
 use hyperhammer::parallel::{
     resolve_jobs, CampaignGrid, CancelToken, CellConsumer, CellResult, StreamError,
 };
@@ -24,8 +24,8 @@ use hyperhammer::{JobSpec, MachineTemplate};
 
 use crate::opts::{ClientAction, Command, FaultOpts, Options};
 use crate::output::{
-    self, AttackOut, BenchDiffOut, CampaignCellOut, ProfileOut, ReconOut, ScenarioOut, SteerOut,
-    TraceCountersOut, TraceEventOut, TraceStageOut,
+    self, AttackOut, AttackVariantOut, BenchDiffOut, CampaignCellOut, ProfileOut, ReconOut,
+    ScenarioOut, SteerOut, TraceCountersOut, TraceEventOut, TraceStageOut, VariantSummaryOut,
 };
 
 /// Dispatches the parsed command.
@@ -398,6 +398,7 @@ fn campaign(
     report_peak_rss();
 
     let cells: Vec<CampaignCellOut> = results.iter().map(cell_out).collect();
+    let variant_rows = variant_rows_from_results(&results);
 
     if opts.json {
         // NDJSON: one record per cell, in grid order — the reference
@@ -405,6 +406,7 @@ fn campaign(
         for cell in &cells {
             println!("{}", output::to_json_line(cell));
         }
+        print_variant_report(&variant_rows, true);
         return Ok(());
     }
 
@@ -452,6 +454,7 @@ fn campaign(
     for row in &rows {
         print_row(row);
     }
+    print_variant_report(&variant_rows, false);
     Ok(())
 }
 
@@ -469,7 +472,10 @@ fn grid_spec(
     scenarios: &[Scenario],
 ) -> JobSpec {
     JobSpec {
-        scenarios: scenarios.iter().map(|s| s.name.to_lowercase()).collect(),
+        // lookup_name round-trips through Scenario::by_name including
+        // the @variant suffix, so checkpoints and server jobs rebuild
+        // the exact same grid.
+        scenarios: scenarios.iter().map(Scenario::lookup_name).collect(),
         seeds,
         base_seed,
         attempts,
@@ -483,10 +489,21 @@ fn grid_spec(
     }
 }
 
+/// The cell's display name: bare for the default virtio-mem variant
+/// (keeping single-variant output byte-identical to earlier revisions),
+/// `name@variant` otherwise.
+fn qualified_scenario(r: &CellResult) -> String {
+    if r.variant == AttackVariant::default() {
+        r.scenario.to_string()
+    } else {
+        format!("{}@{}", r.scenario, r.variant.label())
+    }
+}
+
 /// The per-cell campaign record — one NDJSON line of `--json` output.
 fn cell_out(r: &CellResult) -> CampaignCellOut {
     CampaignCellOut {
-        scenario: r.scenario.to_string(),
+        scenario: qualified_scenario(r),
         seed: r.seed,
         attempts: r.stats.attempts.len(),
         first_success: r.stats.first_success(),
@@ -515,6 +532,76 @@ fn fmt_trace_lines(result: &CellResult, out: &mut String) {
         };
         out.push_str(&output::to_json_line(&record));
         out.push('\n');
+    }
+}
+
+/// Per-variant success-rate rows for grids spanning several attack
+/// variants, in [`AttackVariant::ALL`] order; variants absent from the
+/// grid are omitted.
+fn variant_summary_rows(
+    cells: &[u64; AttackVariant::COUNT],
+    succeeded: &[u64; AttackVariant::COUNT],
+    attempts: &[u64; AttackVariant::COUNT],
+) -> Vec<VariantSummaryOut> {
+    AttackVariant::ALL
+        .iter()
+        .copied()
+        .filter(|v| cells[v.index()] > 0)
+        .map(|v| {
+            let i = v.index();
+            VariantSummaryOut {
+                variant: v.label().to_string(),
+                cells: cells[i],
+                succeeded: succeeded[i],
+                attempts: attempts[i],
+                success_rate: succeeded[i] as f64 / cells[i] as f64,
+            }
+        })
+        .collect()
+}
+
+/// Same rows built from in-memory results, counting exactly what
+/// [`CampaignAggregate::observe`] folds on the streamed path — both
+/// paths therefore emit identical report bytes.
+fn variant_rows_from_results(results: &[CellResult]) -> Vec<VariantSummaryOut> {
+    let mut cells = [0u64; AttackVariant::COUNT];
+    let mut succeeded = [0u64; AttackVariant::COUNT];
+    let mut attempts = [0u64; AttackVariant::COUNT];
+    for r in results {
+        let i = r.variant.index();
+        cells[i] += 1;
+        if r.stats.first_success().is_some() {
+            succeeded[i] += 1;
+        }
+        attempts[i] += r.stats.attempts.len() as u64;
+    }
+    variant_summary_rows(&cells, &succeeded, &attempts)
+}
+
+/// Prints the cross-variant comparison report. Single-variant grids
+/// (the common case, and everything pre-existing CI byte-compares)
+/// print nothing, so their output is unchanged.
+fn print_variant_report(rows: &[VariantSummaryOut], json: bool) {
+    if rows.len() < 2 {
+        return;
+    }
+    if json {
+        for row in rows {
+            println!("{}", output::to_json_line(row));
+        }
+        return;
+    }
+    println!();
+    println!("variant comparison:");
+    for row in rows {
+        println!(
+            "  {:>10}: {}/{} cells succeeded ({:.0}% over {} attempts)",
+            row.variant,
+            row.succeeded,
+            row.cells,
+            row.success_rate * 100.0,
+            row.attempts
+        );
     }
 }
 
@@ -572,12 +659,18 @@ fn campaign_streamed(
         merge_shards(trace_shards, grid.len(), &mut out)?;
     }
 
+    let variant_rows = variant_summary_rows(
+        &aggregate.variant_cells,
+        &aggregate.variant_succeeded,
+        &aggregate.variant_attempts,
+    );
     if opts.json {
         // Replay the merged file so stdout carries the same NDJSON
         // bytes the in-memory path prints.
         let mut file = File::open(&merged_path)?;
         let stdout = std::io::stdout();
         std::io::copy(&mut file, &mut stdout.lock())?;
+        print_variant_report(&variant_rows, true);
     } else {
         let mins = |nanos: f64| nanos / 60e9;
         println!(
@@ -619,6 +712,7 @@ fn campaign_streamed(
                 println!("trace: merged stream to {path}");
             }
         }
+        print_variant_report(&variant_rows, false);
         if !temp {
             println!("results: {}", merged_path.display());
         }
@@ -989,8 +1083,18 @@ fn scenarios_cmd(opts: &Options) {
             description: info.description.to_string(),
         })
         .collect();
+    let variants: Vec<AttackVariantOut> = AttackVariant::ALL
+        .iter()
+        .map(|v| AttackVariantOut {
+            variant: v.label().to_string(),
+            description: v.description().to_string(),
+        })
+        .collect();
     if opts.json {
         for row in &rows {
+            println!("{}", output::to_json_line(row));
+        }
+        for row in &variants {
             println!("{}", output::to_json_line(row));
         }
         return;
@@ -1003,6 +1107,12 @@ fn scenarios_cmd(opts: &Options) {
             "{:<name_w$}  {:<label_w$}  {}",
             row.name, row.label, row.description
         );
+    }
+    println!();
+    println!("attack variants (append to a scenario as name@variant; `all` sweeps them):");
+    let var_w = variants.iter().map(|v| v.variant.len()).max().unwrap_or(7);
+    for v in &variants {
+        println!("{:<var_w$}  {}", v.variant, v.description);
     }
 }
 

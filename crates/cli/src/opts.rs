@@ -4,7 +4,7 @@
 
 use hh_hv::FaultConfig;
 use hh_sim::clock::SimDuration;
-use hyperhammer::machine::Scenario;
+use hyperhammer::machine::{AttackVariant, Scenario};
 use hyperhammer::steering::RetryPolicy;
 use hyperhammer::JobSpec;
 
@@ -20,11 +20,16 @@ commands:
   campaign    sweep campaigns over a (scenario x seed) grid
               (--scenarios a,b,..., --seeds N, --base-seed S,
                --attempts N, --bits B, --jobs N); checkpointable with
-              --checkpoint PATH / --resume PATH
+              --checkpoint PATH / --resume PATH. Scenario names take an
+              attack-variant suffix (tiny@balloon, s1@xen, ...); `all`
+              expands to every scenario x variant and `name@all` to one
+              scenario x every variant; grids spanning several variants
+              print a per-variant comparison report
   trace       run a campaign grid with tracing on and print a per-stage
               time/activation breakdown (same grid flags as campaign)
   scenarios   list the registered scenario presets (lookup name, label,
-              description); these are the names job specs may use
+              description) and the attack variants their names may take
+              as an @suffix; these are the names job specs may use
   serve       run the persistent campaign server: HTTP/1.1 job API with
               a priority queue and warm per-scenario machine templates
               (--addr HOST:PORT; port 0 picks an ephemeral port and the
@@ -379,7 +384,10 @@ impl PartialEq for Command {
                 },
             ) => {
                 asc.len() == bsc.len()
-                    && asc.iter().zip(bsc).all(|(a, b)| a.name == b.name)
+                    && asc
+                        .iter()
+                        .zip(bsc)
+                        .all(|(a, b)| a.name == b.name && a.variant() == b.variant())
                     && ase == bse
                     && abs == bbs
                     && aat == bat
@@ -412,7 +420,10 @@ impl PartialEq for Command {
                 },
             ) => {
                 asc.len() == bsc.len()
-                    && asc.iter().zip(bsc).all(|(a, b)| a.name == b.name)
+                    && asc
+                        .iter()
+                        .zip(bsc)
+                        .all(|(a, b)| a.name == b.name && a.variant() == b.variant())
                     && ase == bse
                     && abs == bbs
                     && aat == bat
@@ -427,6 +438,54 @@ impl PartialEq for Command {
 
 fn scenario_by_name(name: &str) -> Result<Scenario, String> {
     Scenario::by_name(name)
+}
+
+/// Expands and validates a `--scenarios` list.
+///
+/// Entries are trimmed, empty entries (doubled/trailing commas) are
+/// rejected, and duplicates are dropped keeping first-occurrence order.
+/// Two expansion keywords cross into the attack-variant dimension:
+/// `all` is every registered scenario × every variant, and `name@all`
+/// is one scenario × every variant. Scenario-name validation stays with
+/// [`Scenario::by_name`] at grid construction, except `name@all`'s base
+/// which must be checked here to expand it.
+fn expand_scenario_names(raw: &str) -> Result<Vec<String>, String> {
+    fn push_unique(out: &mut Vec<String>, name: String) {
+        if !out.contains(&name) {
+            out.push(name);
+        }
+    }
+    fn qualified(base: &str, variant: AttackVariant) -> String {
+        if variant == AttackVariant::default() {
+            base.to_string()
+        } else {
+            format!("{base}@{}", variant.label())
+        }
+    }
+    let mut out = Vec::new();
+    for entry in raw.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err("--scenarios has an empty entry (doubled or trailing comma?)".to_string());
+        }
+        if entry == "all" {
+            for info in Scenario::registry() {
+                for variant in AttackVariant::ALL {
+                    push_unique(&mut out, qualified(info.name, variant));
+                }
+            }
+        } else if let Some(base) = entry.strip_suffix("@all") {
+            // Validate the base now, so `mars@all` fails with the
+            // scenario error rather than expanding into five bad names.
+            scenario_by_name(base)?;
+            for variant in AttackVariant::ALL {
+                push_unique(&mut out, qualified(base, variant));
+            }
+        } else {
+            push_unique(&mut out, entry.to_string());
+        }
+    }
+    Ok(out)
 }
 
 impl Options {
@@ -523,14 +582,7 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("bad --bits: {e}"))?
                 }
-                "--scenarios" => {
-                    scenarios = Some(
-                        value("--scenarios")?
-                            .split(',')
-                            .map(str::to_string)
-                            .collect(),
-                    )
-                }
+                "--scenarios" => scenarios = Some(expand_scenario_names(&value("--scenarios")?)?),
                 "--seeds" => {
                     grid_seeds = value("--seeds")?
                         .parse()
@@ -1245,6 +1297,73 @@ mod tests {
         assert!(parse(&["client", "submit", "--quarantine"]).is_err());
         // Priority must fit a u8.
         assert!(parse(&["client", "submit", "--priority", "300"]).is_err());
+    }
+
+    #[test]
+    fn scenario_lists_are_trimmed_and_deduped() {
+        // Whitespace around entries is insignificant.
+        let o = parse(&["campaign", "--scenarios", " tiny , s1 "]).unwrap();
+        match &o.command {
+            Command::Campaign { scenarios, .. } => assert_eq!(
+                scenarios.iter().map(|s| s.name).collect::<Vec<_>>(),
+                ["tiny", "S1"]
+            ),
+            other => panic!("expected campaign, got {other:?}"),
+        }
+        // Duplicates collapse, keeping first-occurrence order.
+        let o = parse(&["campaign", "--scenarios", "s1,tiny,s1,tiny"]).unwrap();
+        match &o.command {
+            Command::Campaign { scenarios, .. } => assert_eq!(
+                scenarios.iter().map(|s| s.name).collect::<Vec<_>>(),
+                ["S1", "tiny"]
+            ),
+            other => panic!("expected campaign, got {other:?}"),
+        }
+        // Empty entries are an error, not silently-dropped cells.
+        for bad in ["tiny,", ",tiny", "tiny,,s1", " , "] {
+            let err = parse(&["campaign", "--scenarios", bad]).unwrap_err();
+            assert!(err.contains("empty entry"), "for {bad:?} got: {err}");
+        }
+    }
+
+    #[test]
+    fn scenario_lists_expand_variants() {
+        // `name@all` crosses one scenario with every attack variant.
+        let o = parse(&["campaign", "--scenarios", "tiny@all"]).unwrap();
+        match &o.command {
+            Command::Campaign { scenarios, .. } => {
+                assert_eq!(scenarios.len(), AttackVariant::COUNT);
+                assert!(scenarios.iter().all(|s| s.name == "tiny"));
+                let variants: Vec<AttackVariant> = scenarios.iter().map(|s| s.variant()).collect();
+                assert_eq!(variants, AttackVariant::ALL);
+            }
+            other => panic!("expected campaign, got {other:?}"),
+        }
+        // `all` is the full registry × variant matrix, deduped.
+        let o = parse(&["campaign", "--scenarios", "all,tiny,s1@xen"]).unwrap();
+        match &o.command {
+            Command::Campaign { scenarios, .. } => {
+                assert_eq!(
+                    scenarios.len(),
+                    Scenario::registry().len() * AttackVariant::COUNT
+                );
+            }
+            other => panic!("expected campaign, got {other:?}"),
+        }
+        // Explicit variant suffixes parse; bad ones fail loudly.
+        let o = parse(&["campaign", "--scenarios", "tiny@balloon,tiny"]).unwrap();
+        match &o.command {
+            Command::Campaign { scenarios, .. } => {
+                assert_eq!(scenarios.len(), 2, "variants are distinct grid rows");
+                assert_eq!(scenarios[0].variant(), AttackVariant::Balloon);
+                assert_eq!(scenarios[1].variant(), AttackVariant::VirtioMem);
+            }
+            other => panic!("expected campaign, got {other:?}"),
+        }
+        let err = parse(&["campaign", "--scenarios", "tiny@warp"]).unwrap_err();
+        assert!(err.contains("unknown attack variant"), "got: {err}");
+        let err = parse(&["campaign", "--scenarios", "mars@all"]).unwrap_err();
+        assert!(err.contains("unknown scenario"), "got: {err}");
     }
 
     #[test]

@@ -74,6 +74,98 @@ fn analyse_prints() {
     run(&["analyse"]).unwrap();
 }
 
+/// Reads a checkpoint file into (cell index → NDJSON record) pairs,
+/// skipping the magic and job-spec header.
+fn checkpoint_records(path: &std::path::Path) -> Vec<(usize, String)> {
+    let text = std::fs::read_to_string(path).expect("checkpoint readable");
+    let mut records: Vec<(usize, String)> = text
+        .lines()
+        .skip(2)
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let (index, json) = l.split_once('\t').expect("index\\tjson record");
+            (index.parse().expect("numeric index"), json.to_string())
+        })
+        .collect();
+    records.sort();
+    records
+}
+
+/// Variant cells survive checkpoint/resume: an interrupted multi-variant
+/// sweep resumed to completion holds exactly the records of an
+/// uninterrupted run — including the `@variant` scenario names the grid
+/// is rebuilt from on resume.
+#[test]
+fn variant_campaign_survives_checkpoint_resume() {
+    let dir = std::env::temp_dir().join(format!("hh-cli-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let full = dir.join("full.ckpt");
+    let split = dir.join("split.ckpt");
+    let grid_args = |rest: &[&str]| {
+        let mut words = vec![
+            "campaign",
+            "--scenarios",
+            "micro@all",
+            "--seeds",
+            "1",
+            "--attempts",
+            "2",
+            "--bits",
+            "2",
+            "--jobs",
+            "2",
+        ];
+        words.extend_from_slice(rest);
+        words.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+
+    let full_path = full.to_str().expect("utf-8 temp path");
+    let split_path = split.to_str().expect("utf-8 temp path");
+    run(&grid_args(&["--checkpoint", full_path])
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>())
+    .expect("uninterrupted checkpointed run");
+    run(
+        &grid_args(&["--checkpoint", split_path, "--stop-after-cells", "2"])
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    )
+    .expect("interrupted run stops cleanly");
+    assert!(
+        checkpoint_records(&split).len() < checkpoint_records(&full).len(),
+        "the interrupted run must have left cells unfinished"
+    );
+    run(&["campaign", "--resume", split_path]).expect("resume finishes the sweep");
+
+    let reference = checkpoint_records(&full);
+    assert_eq!(
+        reference.len(),
+        5,
+        "micro@all is one cell per attack variant"
+    );
+    assert_eq!(
+        checkpoint_records(&split),
+        reference,
+        "resumed records must equal the uninterrupted run's"
+    );
+    for qualified in [
+        "micro@balloon",
+        "micro@xen",
+        "micro@pthammer",
+        "micro@gbhammer",
+    ] {
+        assert!(
+            reference
+                .iter()
+                .any(|(_, json)| json.contains(&format!("\"scenario\": \"{qualified}\""))),
+            "checkpoint must carry the {qualified} cell"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn seed_changes_results_deterministically() {
     // Two runs with the same seed must both succeed (determinism is

@@ -13,8 +13,9 @@ use hh_hv::{Host, HvError, Vm};
 use hh_sim::addr::{Gpa, Hpa, HUGE_PAGE_SIZE};
 use hh_sim::clock::SimDuration;
 
-use crate::exploit::{EscapeProof, ExploitFailure, ExploitParams, Exploiter};
-use crate::machine::Scenario;
+use crate::balloon_steering::BalloonSteering;
+use crate::exploit::{EscapeProof, ExploitFailure, ExploitParams, Exploiter, PteCorruption};
+use crate::machine::{AttackVariant, Scenario};
 use crate::profile::{FlipCatalog, ProfileParams, ProfileTables, Profiler};
 use crate::steering::{with_retries, PageSteering, RetryPolicy, SteeringParams};
 
@@ -46,6 +47,21 @@ impl RelocatedBit {
 pub enum AttemptOutcome {
     /// Full escape with proof.
     Success(EscapeProof),
+    /// GbHammer variant: a control-field bit of a live leaf EPTE
+    /// flipped — the permission-payload success, validated against host
+    /// memory rather than through a witness read.
+    PteCorrupted(PteCorruption),
+    /// Xen variant: one steering experiment's reuse statistics. Counts
+    /// as a success when at least one released frame was reused for a
+    /// p2m table page (the Xen analogue of a landed EPT placement).
+    Steered {
+        /// Frames the domain released.
+        released: u64,
+        /// p2m table pages in the system afterwards.
+        p2m_pages: u64,
+        /// Released frames now holding p2m tables.
+        reused: u64,
+    },
     /// Exploitation failed for the stated reason.
     Failed(ExploitFailure),
     /// No catalogued bit could be re-located into this VM instance.
@@ -57,9 +73,15 @@ pub enum AttemptOutcome {
 }
 
 impl AttemptOutcome {
-    /// `true` for [`AttemptOutcome::Success`].
+    /// `true` for the per-variant success outcomes:
+    /// [`AttemptOutcome::Success`], [`AttemptOutcome::PteCorrupted`],
+    /// and [`AttemptOutcome::Steered`] with a non-zero reuse count.
     pub fn is_success(&self) -> bool {
-        matches!(self, AttemptOutcome::Success(_))
+        match self {
+            AttemptOutcome::Success(_) | AttemptOutcome::PteCorrupted(_) => true,
+            AttemptOutcome::Steered { reused, .. } => *reused > 0,
+            _ => false,
+        }
     }
 }
 
@@ -170,10 +192,11 @@ pub struct AttackDriver {
     // hundreds of attempts and the stages themselves are stateless.
     steering: PageSteering,
     exploiter: Exploiter,
+    variant: AttackVariant,
 }
 
 impl AttackDriver {
-    /// Creates a driver.
+    /// Creates a driver on the paper's virtio-mem path.
     pub fn new(params: DriverParams) -> Self {
         let steering = PageSteering::new(params.steering.clone()).with_retry(params.retry);
         let exploiter = Exploiter::new(params.exploit.clone());
@@ -181,7 +204,23 @@ impl AttackDriver {
             params,
             steering,
             exploiter,
+            variant: AttackVariant::VirtioMem,
         }
+    }
+
+    /// Returns a copy driving `variant`: the profiler's exploitability
+    /// window, the steering stage, the hammer path, and the success
+    /// criterion all follow. Campaign cells configure this from their
+    /// scenario's variant.
+    pub fn with_variant(mut self, variant: AttackVariant) -> Self {
+        self.variant = variant;
+        self.exploiter = self.exploiter.with_variant(variant);
+        self
+    }
+
+    /// The attack variant this driver runs.
+    pub fn variant(&self) -> AttackVariant {
+        self.variant
     }
 
     /// Profiles the current VM and converts the result into a reusable
@@ -214,7 +253,7 @@ impl AttackDriver {
         profile: ProfileParams,
         tables: Option<&ProfileTables>,
     ) -> Result<FlipCatalog, HvError> {
-        let profiler = Profiler::new(profile);
+        let profiler = Profiler::new(profile).with_variant(self.variant);
         let report = profiler.run_with_tables(host, vm, tables)?;
         profiler.to_catalog(vm, &report)
     }
@@ -277,6 +316,26 @@ impl AttackDriver {
         out
     }
 
+    /// Candidate hugepages the balloon path executes to trigger multihit
+    /// splits: every virtio-mem hugepage except the ones holding a
+    /// victim cell or an aggressor pair, in region order. `steer` pops
+    /// from the end, so the spray walks backwards from the region top —
+    /// away from the low chunks where catalogued bits cluster.
+    fn balloon_pool(vm: &Vm, bits: &[RelocatedBit]) -> Vec<Gpa> {
+        let region = vm.virtio_mem();
+        let base = region.region_base();
+        let mut reserved: Vec<Gpa> = Vec::with_capacity(bits.len() * 2);
+        for bit in bits {
+            reserved.push(bit.hugepage_base());
+            reserved.push(bit.aggressors[0].align_down(HUGE_PAGE_SIZE));
+        }
+        (0..region.region_size())
+            .step_by(HUGE_PAGE_SIZE as usize)
+            .map(|off| base.add(off))
+            .filter(|hp| !reserved.contains(hp))
+            .collect()
+    }
+
     /// Runs one full attempt against an existing VM. The VM is consumed:
     /// hugepage splits are irreversible, so it is destroyed afterwards
     /// either way.
@@ -324,21 +383,66 @@ impl AttackDriver {
             });
         }
 
-        // Exhaust noise, stamp magic while chunks are still huge-mapped,
-        // release victims, spray EPT pages, then hammer and hunt.
-        let result: Result<(AttemptOutcome, usize), HvError> = (|| {
-            self.steering.exhaust_noise(host, &mut vm)?;
-            self.exploiter.stamp_magic(host, &mut vm)?;
-            let victims: Vec<Gpa> = bits.iter().map(|b| b.hugepage_base()).collect();
-            let released = self.steering.release_hugepages(host, &mut vm, &victims)?;
-            self.steering
-                .spray_ept(host, &mut vm, PageSteering::spray_budget(released.len()))?;
-            // Bits whose hugepage is gone are the live targets.
-            let outcome = match self.exploiter.run(host, &mut vm, &bits, target_hpa)? {
-                Ok(proof) => AttemptOutcome::Success(proof),
-                Err(failure) => AttemptOutcome::Failed(failure),
-            };
-            Ok((outcome, released.len()))
+        // Per-variant steering + exploitation pipeline. The virtio-mem
+        // and gbhammer paths share the paper's steering (exhaust, release,
+        // spray); balloon replaces it with per-page PCP placements; the
+        // hammer/validation differences live inside the exploiter.
+        let result: Result<(AttemptOutcome, usize), HvError> = (|| match self.variant {
+            AttackVariant::Balloon => {
+                // §6 balloon path: no exhaustion step — the freed frame
+                // rides the per-CPU pageset straight into the next EPT
+                // allocation. Stamp first, while chunks are huge-mapped.
+                self.exploiter.stamp_magic(host, &mut vm)?;
+                let mut pool = Self::balloon_pool(&vm, &bits);
+                host.tracer().stage_start(hh_trace::Stage::BalloonSteer);
+                let steered = BalloonSteering::new().steer(host, &mut vm, &bits, &mut pool);
+                host.tracer().stage_end(hh_trace::Stage::BalloonSteer);
+                let stats = steered?;
+                let outcome = match self.exploiter.run(host, &mut vm, &bits, target_hpa)? {
+                    Ok(proof) => AttemptOutcome::Success(proof),
+                    Err(failure) => AttemptOutcome::Failed(failure),
+                };
+                Ok((outcome, stats.pages_released as usize))
+            }
+            AttackVariant::GbHammer => {
+                // Paper steering, but no magic stamping: permission
+                // flips never change a translation, so detection reads
+                // the flip journal and host memory instead.
+                self.steering.exhaust_noise(host, &mut vm)?;
+                let victims: Vec<Gpa> = bits.iter().map(|b| b.hugepage_base()).collect();
+                let released = self.steering.release_hugepages(host, &mut vm, &victims)?;
+                self.steering.spray_ept(
+                    host,
+                    &mut vm,
+                    PageSteering::spray_budget(released.len()),
+                )?;
+                let outcome = match self.exploiter.run_gb(host, &mut vm, &bits)? {
+                    Ok(corruption) => AttemptOutcome::PteCorrupted(corruption),
+                    Err(failure) => AttemptOutcome::Failed(failure),
+                };
+                Ok((outcome, released.len()))
+            }
+            // VirtioMem and PtHammer: exhaust noise, stamp magic while
+            // chunks are still huge-mapped, release victims, spray EPT
+            // pages, then hammer and hunt (PtHammer only changes how the
+            // exploiter's hammer loop drives activations).
+            AttackVariant::VirtioMem | AttackVariant::PtHammer | AttackVariant::Xen => {
+                self.steering.exhaust_noise(host, &mut vm)?;
+                self.exploiter.stamp_magic(host, &mut vm)?;
+                let victims: Vec<Gpa> = bits.iter().map(|b| b.hugepage_base()).collect();
+                let released = self.steering.release_hugepages(host, &mut vm, &victims)?;
+                self.steering.spray_ept(
+                    host,
+                    &mut vm,
+                    PageSteering::spray_budget(released.len()),
+                )?;
+                // Bits whose hugepage is gone are the live targets.
+                let outcome = match self.exploiter.run(host, &mut vm, &bits, target_hpa)? {
+                    Ok(proof) => AttemptOutcome::Success(proof),
+                    Err(failure) => AttemptOutcome::Failed(failure),
+                };
+                Ok((outcome, released.len()))
+            }
         })();
 
         let (outcome, released) = match result {
@@ -394,6 +498,9 @@ impl AttackDriver {
         max_attempts: usize,
         mut progress: impl FnMut(usize, &AttemptRecord),
     ) -> Result<CampaignStats, HvError> {
+        if self.variant == AttackVariant::Xen {
+            return self.xen_campaign(scenario, host, max_attempts, &mut progress);
+        }
         // The hypervisor page with a magic value (§5.3.2). Allocation
         // jitter from the fault plan can trip this too, so it retries
         // like any choke-point operation.
@@ -465,6 +572,67 @@ impl AttackDriver {
                     "escape proof must read the planted witness"
                 );
             }
+            progress(i + 1, &record);
+            stats.attempts.push(record);
+            if success {
+                break;
+            }
+        }
+        stats.total_time = host.elapsed_since(campaign_start);
+        Ok(stats)
+    }
+
+    /// The Xen variant's campaign body: no KVM VM, witness, or flip
+    /// catalogue — each attempt creates a Xen domain of the scenario's
+    /// size and runs one p2m steering experiment, measuring how many
+    /// released frames the hypervisor reuses for p2m tables (the Xen
+    /// analogue of a landed EPT placement). One reused frame counts as
+    /// success, mirroring the other variants' first-success semantics.
+    fn xen_campaign(
+        &self,
+        scenario: &Scenario,
+        host: &mut Host,
+        max_attempts: usize,
+        progress: &mut impl FnMut(usize, &AttemptRecord),
+    ) -> Result<CampaignStats, HvError> {
+        let mem_bytes = scenario.vm_config().total_mem().bytes();
+        // Release one superpage block per targeted bit; demote an order
+        // of magnitude more so reuse is observable even when the stride
+        // scatters releases across the domain.
+        let blocks = self.params.bits_per_attempt as u64;
+        let demotions = blocks * 10;
+        let campaign_start = host.now();
+        let mut stats = CampaignStats::default();
+        for i in 0..max_attempts {
+            let attempt_start = host.now();
+            let attempt = with_retries(&self.params.retry, host, |h| {
+                let mut dom = hh_hv::xen::XenDomain::create(h, mem_bytes)?;
+                h.tracer().stage_start(hh_trace::Stage::XenSteer);
+                let reuse = hh_hv::xen::steering_experiment(h, &mut dom, blocks, demotions);
+                h.tracer().stage_end(hh_trace::Stage::XenSteer);
+                dom.destroy(h);
+                reuse
+            });
+            let record = match attempt {
+                Ok(reuse) => AttemptRecord {
+                    outcome: AttemptOutcome::Steered {
+                        released: reuse.released,
+                        p2m_pages: reuse.p2m_pages,
+                        reused: reuse.reused,
+                    },
+                    duration: host.elapsed_since(attempt_start),
+                    bits_targeted: blocks as usize,
+                    released: reuse.released as usize,
+                },
+                Err(e) if e.is_transient() => AttemptRecord {
+                    outcome: AttemptOutcome::Aborted(e),
+                    duration: host.elapsed_since(attempt_start),
+                    bits_targeted: 0,
+                    released: 0,
+                },
+                Err(e) => return Err(e),
+            };
+            let success = record.outcome.is_success();
             progress(i + 1, &record);
             stats.attempts.push(record);
             if success {

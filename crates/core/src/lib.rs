@@ -68,7 +68,7 @@ pub use balloon_steering::BalloonSteering;
 pub use driver::{AttackDriver, AttemptOutcome, CampaignStats};
 pub use exploit::{EscapeProof, Exploiter};
 pub use jobspec::JobSpec;
-pub use machine::Scenario;
+pub use machine::{AttackVariant, Scenario};
 pub use parallel::{CampaignGrid, CancelToken, CellResult};
 pub use profile::{FlipCatalog, ProfileReport, ProfileTables, Profiler};
 pub use snapshot::{Machine, SNAP_MAGIC, SNAP_VERSION};

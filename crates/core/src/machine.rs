@@ -26,6 +26,105 @@ pub struct ScenarioInfo {
     pub description: &'static str,
 }
 
+/// The attack path a campaign cell drives — the second axis of the
+/// scenario matrix (machine × variant).
+///
+/// Scenario lookup names carry the variant as an `@` suffix
+/// (`"tiny@balloon"`, `"s1@xen"`); a bare name means the paper's
+/// virtio-mem path, and [`AttackVariant::VirtioMem`] renders back to the
+/// bare name so single-variant output stays byte-identical to earlier
+/// revisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AttackVariant {
+    /// The paper's §4 path: vIOMMU exhaustion, virtio-mem release,
+    /// iTLB-Multihit EPT spray.
+    #[default]
+    VirtioMem,
+    /// §6 virtio-balloon steering: per-page releases landed via PCP LIFO.
+    Balloon,
+    /// §6 Xen comparison: `XENMEM_decrease_reservation` into an
+    /// undifferentiated domheap — reuse with no exhaustion step.
+    Xen,
+    /// PThammer-style implicit hammering: aggressor activations come
+    /// from EPT-walker fetches instead of explicit loads.
+    PtHammer,
+    /// GbHammer-style targeting: flip G/permission bits in sprayed
+    /// EPTEs rather than PFN bits.
+    GbHammer,
+}
+
+impl AttackVariant {
+    /// Every variant, in presentation order.
+    pub const ALL: [AttackVariant; 5] = [
+        AttackVariant::VirtioMem,
+        AttackVariant::Balloon,
+        AttackVariant::Xen,
+        AttackVariant::PtHammer,
+        AttackVariant::GbHammer,
+    ];
+
+    /// Number of variants (the length of [`AttackVariant::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Position in [`AttackVariant::ALL`] — the index for per-variant
+    /// accumulator arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            AttackVariant::VirtioMem => 0,
+            AttackVariant::Balloon => 1,
+            AttackVariant::Xen => 2,
+            AttackVariant::PtHammer => 3,
+            AttackVariant::GbHammer => 4,
+        }
+    }
+
+    /// Stable lookup/display name (the `@` suffix of scenario names).
+    pub const fn label(self) -> &'static str {
+        match self {
+            AttackVariant::VirtioMem => "virtio-mem",
+            AttackVariant::Balloon => "balloon",
+            AttackVariant::Xen => "xen",
+            AttackVariant::PtHammer => "pthammer",
+            AttackVariant::GbHammer => "gbhammer",
+        }
+    }
+
+    /// One-line description for the `scenarios` listing.
+    pub const fn description(self) -> &'static str {
+        match self {
+            AttackVariant::VirtioMem => {
+                "paper §4 path: vIOMMU exhaustion + virtio-mem release + EPT spray"
+            }
+            AttackVariant::Balloon => "§6 balloon steering: per-page release landed via PCP LIFO",
+            AttackVariant::Xen => {
+                "§6 Xen comparison: proactive release into one undifferentiated heap"
+            }
+            AttackVariant::PtHammer => {
+                "implicit hammering: activations charged via EPT-walker fetches"
+            }
+            AttackVariant::GbHammer => "G/permission-bit PTE flips validated against host memory",
+        }
+    }
+
+    /// Parses a variant label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown label plus the known labels.
+    pub fn parse(label: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|v| v.label() == label)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Self::ALL.iter().map(|v| v.label()).collect();
+                format!(
+                    "unknown attack variant {label} (known: {})",
+                    known.join(", ")
+                )
+            })
+    }
+}
+
 /// A complete experiment scenario: host, VM, and attack parameters.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -35,6 +134,7 @@ pub struct Scenario {
     vm: VmConfig,
     profile: ProfileParams,
     steering: SteeringParams,
+    variant: AttackVariant,
 }
 
 impl Scenario {
@@ -55,6 +155,7 @@ impl Scenario {
             vm: VmConfig::paper_attacker(),
             profile: ProfileParams::paper(),
             steering: SteeringParams::paper(),
+            variant: AttackVariant::VirtioMem,
         }
     }
 
@@ -73,6 +174,7 @@ impl Scenario {
             vm: VmConfig::paper_attacker(),
             profile: ProfileParams::paper(),
             steering: SteeringParams::paper(),
+            variant: AttackVariant::VirtioMem,
         }
     }
 
@@ -132,6 +234,7 @@ impl Scenario {
                 mapping_batch: 200,
                 batch_delay_secs: 0,
             },
+            variant: AttackVariant::VirtioMem,
         }
     }
 
@@ -177,6 +280,7 @@ impl Scenario {
                 mapping_batch: 50,
                 batch_delay_secs: 0,
             },
+            variant: AttackVariant::VirtioMem,
         }
     }
 
@@ -226,6 +330,7 @@ impl Scenario {
                 mapping_batch: 500,
                 batch_delay_secs: 0,
             },
+            variant: AttackVariant::VirtioMem,
         }
     }
 
@@ -273,24 +378,46 @@ impl Scenario {
     }
 
     /// Looks a scenario up by its CLI name (`s1`, `s2`, `s3`, `small`,
-    /// `tiny`, `micro`).
+    /// `tiny`, `micro`), optionally qualified with an attack variant as
+    /// `name@variant` (`tiny@balloon`, `s1@xen`). Bare names select the
+    /// paper's virtio-mem path.
     ///
     /// # Errors
     ///
     /// Returns the unknown name, plus the registered names so callers
-    /// surface a helpful message.
+    /// surface a helpful message; unknown variant suffixes list the
+    /// known variants.
     pub fn by_name(name: &str) -> Result<Self, String> {
-        match name {
-            "s1" => Ok(Self::s1()),
-            "s2" => Ok(Self::s2()),
-            "s3" => Ok(Self::s3()),
-            "small" => Ok(Self::small_attack()),
-            "tiny" => Ok(Self::tiny_demo()),
-            "micro" => Ok(Self::micro_demo()),
-            other => Err(format!(
-                "unknown scenario {other} (registered: {})",
-                Self::known_names()
-            )),
+        let (base, variant) = match name.split_once('@') {
+            Some((base, suffix)) => (base, AttackVariant::parse(suffix)?),
+            None => (name, AttackVariant::VirtioMem),
+        };
+        let scenario = match base {
+            "s1" => Self::s1(),
+            "s2" => Self::s2(),
+            "s3" => Self::s3(),
+            "small" => Self::small_attack(),
+            "tiny" => Self::tiny_demo(),
+            "micro" => Self::micro_demo(),
+            other => {
+                return Err(format!(
+                    "unknown scenario {other} (registered: {})",
+                    Self::known_names()
+                ))
+            }
+        };
+        Ok(scenario.with_variant(variant))
+    }
+
+    /// The canonical lookup name that round-trips through
+    /// [`Scenario::by_name`]: the lowercase base name, with an
+    /// `@variant` suffix for non-default variants. Job specs and
+    /// checkpoints store this form.
+    pub fn lookup_name(&self) -> String {
+        let base = self.name.to_lowercase();
+        match self.variant {
+            AttackVariant::VirtioMem => base,
+            v => format!("{base}@{}", v.label()),
         }
     }
 
@@ -320,6 +447,17 @@ impl Scenario {
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.host = self.host.with_faults(faults);
         self
+    }
+
+    /// Returns a copy driving a different attack variant.
+    pub fn with_variant(mut self, variant: AttackVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// The attack variant this scenario drives.
+    pub fn variant(&self) -> AttackVariant {
+        self.variant
     }
 
     /// Returns a copy with the virtio-mem quarantine countermeasure on.
@@ -411,5 +549,37 @@ mod tests {
     fn quarantine_variant() {
         let sc = Scenario::tiny_demo().with_quarantine();
         assert_eq!(sc.host_config().quarantine, QuarantinePolicy::QemuPatch);
+    }
+
+    #[test]
+    fn variant_suffix_parses_and_round_trips() {
+        for variant in AttackVariant::ALL {
+            let name = match variant {
+                AttackVariant::VirtioMem => "tiny".to_string(),
+                v => format!("tiny@{}", v.label()),
+            };
+            let sc = Scenario::by_name(&name).unwrap();
+            assert_eq!(sc.variant(), variant);
+            assert_eq!(sc.lookup_name(), name, "lookup name must round-trip");
+            assert_eq!(
+                Scenario::by_name(&sc.lookup_name()).unwrap().variant(),
+                variant
+            );
+        }
+        // Bare names are the virtio-mem path; the explicit suffix also
+        // resolves but canonicalizes back to the bare form.
+        let explicit = Scenario::by_name("tiny@virtio-mem").unwrap();
+        assert_eq!(explicit.variant(), AttackVariant::VirtioMem);
+        assert_eq!(explicit.lookup_name(), "tiny");
+    }
+
+    #[test]
+    fn bad_variant_suffixes_are_rejected() {
+        let err = Scenario::by_name("tiny@warp").unwrap_err();
+        assert!(err.contains("unknown attack variant warp"), "got: {err}");
+        assert!(err.contains("balloon"), "error must list variants: {err}");
+        // Unknown base with a valid suffix still names the base.
+        let err = Scenario::by_name("mars@balloon").unwrap_err();
+        assert!(err.contains("unknown scenario mars"), "got: {err}");
     }
 }

@@ -51,7 +51,8 @@ use hh_sim::rng::SimRng;
 use hh_trace::{TraceMode, TraceSink, Tracer};
 
 use crate::driver::{AttackDriver, CampaignStats, DriverParams};
-use crate::machine::Scenario;
+use crate::machine::{AttackVariant, Scenario};
+use crate::profile::FlipCatalog;
 use crate::steering::{with_retries, RetryPolicy};
 use crate::template::MachineTemplate;
 
@@ -404,6 +405,8 @@ pub struct CampaignCell {
 pub struct CellResult {
     /// Scenario name.
     pub scenario: &'static str,
+    /// The attack variant this cell ran.
+    pub variant: AttackVariant,
     /// The cell's experiment seed.
     pub seed: u64,
     /// Exploitable bits in the reused profiling catalogue.
@@ -583,7 +586,8 @@ impl CampaignGrid {
         events_hint: usize,
         recycled: Option<TraceSink>,
     ) -> Result<CellResult, HvError> {
-        let driver = AttackDriver::new(self.params.clone());
+        let variant = cell.scenario.variant();
+        let driver = AttackDriver::new(self.params.clone()).with_variant(variant);
         let mut host = template.instantiate(cell.seed);
         // Attach after boot: boot-time noise is outside the campaign.
         let tracer = Tracer::with_recycled(self.trace, events_hint, recycled);
@@ -593,20 +597,30 @@ impl CampaignGrid {
         // creation jitter, EPT splits under the profiler's hammering).
         // Retry the whole stage on a fresh VM: the faulted try destroys
         // its VM before the backoff, so nothing leaks between tries.
-        let catalog = with_retries(&self.params.retry, &mut host, |h| {
-            let mut vm = h.create_vm(cell.scenario.vm_config())?;
-            let result = driver.profile_and_catalog_with(
-                h,
-                &mut vm,
-                cell.scenario.profile_params(),
-                Some(template.tables()),
-            );
-            vm.destroy(h);
-            result
-        })?;
+        // The Xen variant steers p2m allocations instead of hammering
+        // catalogued bits, so its cells skip profiling outright.
+        let catalog = if variant == AttackVariant::Xen {
+            FlipCatalog {
+                entries: Vec::new(),
+                host_mem: cell.scenario.profile_params().host_mem,
+            }
+        } else {
+            with_retries(&self.params.retry, &mut host, |h| {
+                let mut vm = h.create_vm(cell.scenario.vm_config())?;
+                let result = driver.profile_and_catalog_with(
+                    h,
+                    &mut vm,
+                    cell.scenario.profile_params(),
+                    Some(template.tables()),
+                );
+                vm.destroy(h);
+                result
+            })?
+        };
         let stats = driver.campaign(&cell.scenario, &mut host, &catalog, self.max_attempts)?;
         Ok(CellResult {
             scenario: cell.scenario.name,
+            variant,
             seed: cell.seed,
             catalog_bits: catalog.entries.len(),
             stats,

@@ -31,6 +31,8 @@ use hh_sim::addr::{Gpa, HUGE_PAGE_SIZE};
 use hh_sim::clock::SimDuration;
 use hh_sim::{ByteSize, Hpa};
 
+use crate::machine::AttackVariant;
+
 /// Bits of a physical address preserved by 2 MiB mappings.
 const LOW21: u64 = (1 << 21) - 1;
 /// Bytes per DRAM row (bits 18–33 select the row on both machines).
@@ -109,9 +111,23 @@ impl ProfiledBit {
     /// while the aggressors stay (different hugepages, victim inside the
     /// virtio-mem region).
     pub fn is_exploitable(&self, host_mem: ByteSize, vm: &Vm) -> bool {
-        let hi = host_mem.log2_ceil();
+        self.is_exploitable_as(AttackVariant::VirtioMem, host_mem, vm)
+    }
+
+    /// [`ProfiledBit::is_exploitable`] for a specific attack variant.
+    /// The placement constraints (remote aggressors, releasable victim
+    /// hugepage) are variant-independent; the *word-bit window* is not:
+    /// PFN-targeting variants need bits 21–⌈log₂ host_mem⌉, while the
+    /// GbHammer variant targets the EPTE control field — permission
+    /// bits 0–2 through the Global bit at position 8, up to the
+    /// ignored/ept-memtype bits at 11.
+    pub fn is_exploitable_as(&self, variant: AttackVariant, host_mem: ByteSize, vm: &Vm) -> bool {
         let b = self.bit_in_word();
-        if !(21..=hi).contains(&b) {
+        let in_window = match variant {
+            AttackVariant::GbHammer => b <= 11,
+            _ => (21..=host_mem.log2_ceil()).contains(&b),
+        };
+        if !in_window {
             return false;
         }
         if self.hugepage_base() == self.aggressor_hugepage() {
@@ -296,12 +312,24 @@ impl ProfileTables {
 #[derive(Debug, Clone)]
 pub struct Profiler {
     params: ProfileParams,
+    variant: AttackVariant,
 }
 
 impl Profiler {
-    /// Creates a profiler with the given parameters.
+    /// Creates a profiler with the given parameters, targeting the
+    /// paper's virtio-mem PFN-bit window.
     pub fn new(params: ProfileParams) -> Self {
-        Self { params }
+        Self {
+            params,
+            variant: AttackVariant::VirtioMem,
+        }
+    }
+
+    /// Returns a copy whose exploitability window (and hence the
+    /// early-stop counter and catalogue filter) matches `variant`.
+    pub fn with_variant(mut self, variant: AttackVariant) -> Self {
+        self.variant = variant;
+        self
     }
 
     /// Runs the profiling campaign over the VM's virtio-mem region,
@@ -402,7 +430,7 @@ impl Profiler {
                         flip.direction,
                         pattern,
                     )?;
-                    let exploitable = bit.is_exploitable(self.params.host_mem, vm);
+                    let exploitable = bit.is_exploitable_as(self.variant, self.params.host_mem, vm);
                     found.insert(key, bit);
                     if exploitable {
                         exploitable_found += 1;
@@ -511,7 +539,7 @@ impl Profiler {
     pub fn to_catalog(&self, vm: &Vm, report: &ProfileReport) -> Result<FlipCatalog, HvError> {
         let mut entries = Vec::new();
         for bit in &report.bits {
-            if !bit.is_exploitable(self.params.host_mem, vm) {
+            if !bit.is_exploitable_as(self.variant, self.params.host_mem, vm) {
                 continue;
             }
             let cell_hpa = vm.hypercall_gpa_to_hpa(bit.gpa)?;
@@ -664,5 +692,15 @@ mod tests {
         // Boot RAM cell: not unpluggable.
         let boot = mk(Gpa::new(3), 0, base.add(HUGE_PAGE_SIZE));
         assert!(!boot.is_exploitable(ByteSize::mib(512), &vm));
+        // GbHammer inverts the window: the control-field bit 7 is in,
+        // the PFN bit 24 is out; placement constraints still apply.
+        let gb = AttackVariant::GbHammer;
+        assert!(low.is_exploitable_as(gb, ByteSize::mib(512), &vm));
+        assert!(!good.is_exploitable_as(gb, ByteSize::mib(512), &vm));
+        assert!(!mk(base.add(0), 7, base.add(0x40000)).is_exploitable_as(
+            gb,
+            ByteSize::mib(512),
+            &vm
+        ));
     }
 }

@@ -31,6 +31,7 @@ use std::path::{Path, PathBuf};
 use hh_trace::{Counter, Stage, TraceSink};
 
 use crate::driver::AttemptOutcome;
+use crate::machine::AttackVariant;
 use crate::parallel::{CellConsumer, CellResult};
 
 /// A deterministic, mergeable quantile sketch over `u64` samples.
@@ -143,16 +144,28 @@ pub struct CampaignAggregate {
     /// Per-cell simulated nanoseconds spent in each pipeline stage
     /// (traced runs only), indexed by [`Stage::index`] order.
     pub stage_nanos: [QuantileSketch; Stage::COUNT],
+    /// Cells observed per attack variant, indexed by
+    /// [`AttackVariant::index`] — the raw material of the per-variant
+    /// comparison report on the streamed path.
+    pub variant_cells: [u64; AttackVariant::COUNT],
+    /// Successful cells per attack variant, same indexing.
+    pub variant_succeeded: [u64; AttackVariant::COUNT],
+    /// Attempts per attack variant, same indexing.
+    pub variant_attempts: [u64; AttackVariant::COUNT],
 }
 
 impl CampaignAggregate {
     /// Folds one finished cell into the aggregate.
     pub fn observe(&mut self, result: &CellResult) {
         self.cells += 1;
+        let v = result.variant.index();
+        self.variant_cells[v] += 1;
         if result.stats.first_success().is_some() {
             self.succeeded += 1;
+            self.variant_succeeded[v] += 1;
         }
         self.attempts += result.stats.attempts.len() as u64;
+        self.variant_attempts[v] += result.stats.attempts.len() as u64;
         self.catalog_bits.record(result.catalog_bits as u64);
         for attempt in &result.stats.attempts {
             if matches!(attempt.outcome, AttemptOutcome::Aborted(_)) {
@@ -184,6 +197,11 @@ impl CampaignAggregate {
         self.flips.merge(&other.flips);
         for (mine, theirs) in self.stage_nanos.iter_mut().zip(other.stage_nanos.iter()) {
             mine.merge(theirs);
+        }
+        for i in 0..AttackVariant::COUNT {
+            self.variant_cells[i] += other.variant_cells[i];
+            self.variant_succeeded[i] += other.variant_succeeded[i];
+            self.variant_attempts[i] += other.variant_attempts[i];
         }
     }
 

@@ -534,6 +534,12 @@ impl Vm {
         Ok(())
     }
 
+    /// Explicit-load rounds per walker-driven activation in
+    /// [`Vm::walk_hammer_gpa`]: the flush-TLB + flush-cache + touch
+    /// cycle that forces each EPT-walker fetch costs about four times
+    /// an explicit aggressor load.
+    pub const WALK_FETCH_DIVISOR: u64 = 4;
+
     /// Hammers DRAM using aggressor addresses expressed as GPAs; the
     /// pattern is whatever those addresses' *current* translations are.
     /// Returns the number of activations issued. Flips are only
@@ -559,6 +565,41 @@ impl Vm {
         let pattern = hh_dram::HammerPattern::new(hpas);
         let result = host.dram_mut().hammer(&pattern, rounds);
         host.charge_hammer(result.activations);
+        Ok(result.activations)
+    }
+
+    /// PThammer-style implicit hammering: instead of loading the
+    /// aggressor cells directly, the guest forces the EPT walker to
+    /// fetch the aggressor addresses' page-table cachelines (TLB- and
+    /// cache-flushing between accesses). Each guest access yields one
+    /// walker fetch per flush cycle, and the flush overhead means only
+    /// one activation lands per [`Vm::WALK_FETCH_DIVISOR`] explicit-load
+    /// rounds — fewer activations per refresh window, hence a lower
+    /// flip yield than [`Vm::hammer_gpa`] for the same round budget.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Unmapped`] if an aggressor is unmapped.
+    pub fn walk_hammer_gpa(
+        &self,
+        host: &mut Host,
+        aggressors: &[Gpa],
+        rounds: u64,
+    ) -> Result<u64, HvError> {
+        let mut hpas = Vec::with_capacity(aggressors.len());
+        for &gpa in aggressors {
+            let t = self.ept.translate(host, gpa)?;
+            if !host.dram().geometry().contains(t.hpa) {
+                return Err(HvError::Unmapped(gpa));
+            }
+            hpas.push(t.hpa);
+        }
+        let pattern = hh_dram::HammerPattern::new(hpas);
+        let walk_rounds = rounds / Self::WALK_FETCH_DIVISOR;
+        let result = host.dram_mut().hammer(&pattern, walk_rounds);
+        // The guest still burns the full round budget's wall time: the
+        // flush-and-walk cycle is what eats the missing activations.
+        host.charge_hammer(result.activations * Self::WALK_FETCH_DIVISOR);
         Ok(result.activations)
     }
 

@@ -256,9 +256,12 @@ struct Registry {
 
 /// Cache key for warm [`MachineTemplate`]s. The template is built from
 /// the *faulted* scenario (`Scenario::host_config` embeds the fault
-/// plan), so the key must carry the fault parameters — two jobs that
-/// differ only in `fault_rate` must not share a template.
-type TemplateKey = (&'static str, u64, u64);
+/// plan), so the key must carry everything the resolved scenario does:
+/// the base name, the attack variant (same-named jobs targeting
+/// different variants must not share a template), and the fault
+/// parameters. The fault rate is normalized before `to_bits` so `-0.0`
+/// and `0.0` — equal rates — cannot split into two cache entries.
+type TemplateKey = (&'static str, &'static str, u64, u64);
 
 #[derive(Debug)]
 struct Shared {
@@ -715,7 +718,17 @@ fn warm_template(
     spec: &JobSpec,
     scenario: &hyperhammer::Scenario,
 ) -> Arc<MachineTemplate> {
-    let key: TemplateKey = (scenario.name, spec.fault_rate.to_bits(), spec.fault_seed);
+    let rate = if spec.fault_rate == 0.0 {
+        0.0_f64 // collapse -0.0 into +0.0: equal rates, one entry
+    } else {
+        spec.fault_rate
+    };
+    let key: TemplateKey = (
+        scenario.name,
+        scenario.variant().label(),
+        rate.to_bits(),
+        spec.fault_seed,
+    );
     let mut cache = shared.templates.lock().expect("templates poisoned");
     if let Some(template) = cache.get(&key) {
         shared.bump(Counter::ServerTemplateHits, 1);
@@ -1145,6 +1158,52 @@ mod tests {
         let third = manager.submit(faulted).unwrap();
         manager.wait(third).unwrap();
         assert_eq!(manager.counter(Counter::ServerTemplateMisses), 2);
+    }
+
+    #[test]
+    fn warm_templates_never_shared_across_variants() {
+        let manager = JobManager::new(fmt);
+        let base = manager.submit(tiny_spec()).unwrap();
+        manager.wait(base).unwrap();
+        assert_eq!(manager.counter(Counter::ServerTemplateMisses), 1);
+
+        // Same base scenario name, different attack variant: the key
+        // must differ even though `Scenario::name` is identical.
+        let mut balloon = tiny_spec();
+        balloon.scenarios = vec!["tiny@balloon".to_string()];
+        let job = manager.submit(balloon).unwrap();
+        manager.wait(job).unwrap();
+        assert_eq!(
+            manager.counter(Counter::ServerTemplateMisses),
+            2,
+            "tiny and tiny@balloon must not share a warm template"
+        );
+        assert_eq!(manager.counter(Counter::ServerTemplateHits), 0);
+
+        // Re-submitting the variant job hits its own cached template.
+        let mut again = tiny_spec();
+        again.scenarios = vec!["tiny@balloon".to_string()];
+        let job = manager.submit(again).unwrap();
+        manager.wait(job).unwrap();
+        assert_eq!(manager.counter(Counter::ServerTemplateMisses), 2);
+        assert_eq!(manager.counter(Counter::ServerTemplateHits), 1);
+    }
+
+    #[test]
+    fn warm_template_key_collapses_negative_zero_rate() {
+        let manager = JobManager::new(fmt);
+        let first = manager.submit(tiny_spec()).unwrap();
+        manager.wait(first).unwrap();
+        assert_eq!(manager.counter(Counter::ServerTemplateMisses), 1);
+
+        // -0.0 == 0.0: the same (absent) fault plan must reuse the
+        // template instead of splitting the cache on the sign bit.
+        let mut negzero = tiny_spec();
+        negzero.fault_rate = -0.0;
+        let job = manager.submit(negzero).unwrap();
+        manager.wait(job).unwrap();
+        assert_eq!(manager.counter(Counter::ServerTemplateMisses), 1);
+        assert_eq!(manager.counter(Counter::ServerTemplateHits), 1);
     }
 
     #[test]

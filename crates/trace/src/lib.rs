@@ -55,13 +55,19 @@ pub enum Stage {
     ReleaseHugepages,
     /// §4.2.3 EPT-page spray via iTLB-Multihit splits.
     SprayEpt,
+    /// §6 balloon-variant steering: per-page releases landed via PCP
+    /// LIFO (replaces ReleaseHugepages + SprayEpt in balloon cells).
+    BalloonSteer,
+    /// §6 Xen-variant steering: `decrease_reservation` releases plus
+    /// p2m superpage demotions.
+    XenSteer,
     /// §4.3 hammer, detect mapping changes, validate, escape.
     Exploit,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -70,6 +76,8 @@ impl Stage {
         Stage::StampMagic,
         Stage::ReleaseHugepages,
         Stage::SprayEpt,
+        Stage::BalloonSteer,
+        Stage::XenSteer,
         Stage::Exploit,
     ];
 
@@ -81,6 +89,8 @@ impl Stage {
             Stage::StampMagic => "stamp_magic",
             Stage::ReleaseHugepages => "release_hugepages",
             Stage::SprayEpt => "spray_ept",
+            Stage::BalloonSteer => "balloon_steer",
+            Stage::XenSteer => "xen_steer",
             Stage::Exploit => "exploit",
         }
     }
@@ -94,7 +104,9 @@ impl Stage {
             Stage::StampMagic => 2,
             Stage::ReleaseHugepages => 3,
             Stage::SprayEpt => 4,
-            Stage::Exploit => 5,
+            Stage::BalloonSteer => 5,
+            Stage::XenSteer => 6,
+            Stage::Exploit => 7,
         }
     }
 }

@@ -9,7 +9,7 @@
 #   With no arguments every stage runs in order; otherwise only the
 #   named stages run. Stages: build test fmt clippy bench-smoke
 #   determinism chaos scaling-sanity memory-cap server-smoke
-#   snapshot-roundtrip bench-diff.
+#   snapshot-roundtrip variant-matrix bench-diff.
 #
 # All binary-driving stages share ONE --locked release build
 # (build_release below): the first stage that needs target/release pays
@@ -380,12 +380,49 @@ stage_snapshot_roundtrip() {
         --test snapshot_compat
 }
 
+stage_variant_matrix() {
+    stage variant-matrix
+    # The attack-variant sweep: a scenario x variant grid (virtio-mem,
+    # balloon, xen, pthammer, gbhammer cells side by side) must emit
+    # byte-identical NDJSON — cell records plus the per-variant
+    # comparison report — at every worker count, in memory and streamed.
+    local tmpdir jobs
+    tmpdir="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand tmpdir now, not at trap time
+    trap "rm -rf '$tmpdir'" RETURN
+    build_release
+    for jobs in 1 2 8; do
+        echo "==> campaign --scenarios tiny@all,micro@all --jobs $jobs"
+        "$SIM" campaign --scenarios tiny@all,micro@all \
+            --seeds 2 --attempts 2 --bits 4 --jobs "$jobs" --json \
+            >"$tmpdir/variants_${jobs}.ndjson" 2>/dev/null
+    done
+    run cmp "$tmpdir/variants_1.ndjson" "$tmpdir/variants_2.ndjson"
+    run cmp "$tmpdir/variants_1.ndjson" "$tmpdir/variants_8.ndjson"
+    echo "==> streamed sweep at --jobs 4"
+    "$SIM" campaign --scenarios tiny@all,micro@all \
+        --seeds 2 --attempts 2 --bits 4 --jobs 4 --json \
+        --stream-out "$tmpdir/stream" \
+        >"$tmpdir/variants_streamed.ndjson" 2>/dev/null
+    run cmp "$tmpdir/variants_1.ndjson" "$tmpdir/variants_streamed.ndjson"
+    # The sweep must actually span the matrix: every variant's cells and
+    # its row in the comparison report.
+    local variant
+    for variant in balloon xen pthammer gbhammer; do
+        run grep -q "\"scenario\": \"tiny@${variant}\"" "$tmpdir/variants_1.ndjson"
+        run grep -q "\"variant\": \"${variant}\"" "$tmpdir/variants_1.ndjson"
+    done
+    run grep -q '"variant": "virtio-mem"' "$tmpdir/variants_1.ndjson"
+    echo "variant-matrix: scenario x variant sweep byte-identical across" \
+        "--jobs 1/2/8 and the streamed path, all five variants present"
+}
+
 stage_bench_diff() {
     stage bench-diff
     run scripts/bench_diff.sh
 }
 
-ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity memory-cap server-smoke snapshot-roundtrip bench-diff)
+ALL_STAGES=(build test fmt clippy bench-smoke determinism chaos scaling-sanity memory-cap server-smoke snapshot-roundtrip variant-matrix bench-diff)
 if [ "$#" -gt 0 ]; then
     STAGES=("$@")
 else
@@ -407,6 +444,7 @@ for name in "${STAGES[@]}"; do
         memory-cap) stage_memory_cap ;;
         server-smoke) stage_server_smoke ;;
         snapshot-roundtrip) stage_snapshot_roundtrip ;;
+        variant-matrix) stage_variant_matrix ;;
         bench-diff) stage_bench_diff ;;
         *)
             CURRENT_STAGE="$name"

@@ -44,6 +44,13 @@ fn full_pipeline_runs_and_accounts_consistently() {
             AttemptOutcome::Aborted(e) => {
                 panic!("faults are off in this scenario, yet an attempt aborted: {e}");
             }
+            AttemptOutcome::PteCorrupted(_) | AttemptOutcome::Steered { .. } => {
+                panic!(
+                    "default-variant campaigns never produce variant-specific \
+                     outcomes: {:?}",
+                    attempt.outcome
+                );
+            }
         }
         assert!(attempt.duration.as_nanos() > 0);
     }

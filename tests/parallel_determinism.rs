@@ -56,6 +56,30 @@ fn repeated_runs_are_reproducible() {
     assert_eq!(first, second);
 }
 
+/// Variant cells obey the same guarantee: a grid spanning every attack
+/// variant — five distinct pipelines, including the VM-less Xen path —
+/// is bit-identical across worker counts.
+#[test]
+fn variant_grid_matches_serial() {
+    use hyperhammer::machine::AttackVariant;
+    let scenarios: Vec<Scenario> = AttackVariant::ALL
+        .iter()
+        .map(|v| Scenario::tiny_demo().with_variant(*v))
+        .collect();
+    let params = DriverParams {
+        bits_per_attempt: 4,
+        stable_bits_only: true,
+        ..DriverParams::paper()
+    };
+    let grid = CampaignGrid::new(scenarios, params, 2).with_seed_count(0xd15c1, 1);
+    let serial = grid.run_serial().expect("serial grid runs");
+    assert_eq!(serial.len(), AttackVariant::COUNT);
+    for n in [2, 8] {
+        let run = grid.run(jobs(n)).expect("grid runs");
+        assert_eq!(serial, run, "{n} workers must not change variant cells");
+    }
+}
+
 /// `parallel_map` keeps input order under worker counts both below and
 /// above the item count, with work-stealing in between.
 #[test]

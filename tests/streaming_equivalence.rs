@@ -180,6 +180,38 @@ fn single_cell_and_more_workers_than_cells_match() {
     assert_equivalent(&micro_grid(3, TraceMode::Full), true, "starved-workers");
 }
 
+/// A grid spanning every attack variant streams byte-identically too —
+/// variant cells spill, merge and aggregate like any other, and the
+/// aggregate's per-variant counters tile the totals exactly.
+#[test]
+fn variant_grid_streams_byte_identically() {
+    use hyperhammer::machine::AttackVariant;
+    let params = DriverParams {
+        bits_per_attempt: 4,
+        stable_bits_only: true,
+        ..DriverParams::paper()
+    };
+    let scenarios: Vec<Scenario> = AttackVariant::ALL
+        .iter()
+        .map(|v| Scenario::tiny_demo().with_variant(*v))
+        .collect();
+    let grid = CampaignGrid::new(scenarios, params, 2)
+        .with_seed_count(0x7a57e, 1)
+        .with_trace(TraceMode::Full);
+    assert_equivalent(&grid, true, "variants");
+
+    let reference = in_memory(&grid).expect("reference grid runs");
+    let agg = &reference.aggregate;
+    assert_eq!(agg.variant_cells.iter().sum::<u64>(), agg.cells);
+    assert_eq!(agg.variant_attempts.iter().sum::<u64>(), agg.attempts);
+    assert_eq!(agg.variant_succeeded.iter().sum::<u64>(), agg.succeeded);
+    assert_eq!(
+        agg.variant_cells,
+        [1; AttackVariant::COUNT],
+        "one cell per variant lands in its own counter slot"
+    );
+}
+
 /// Faulted campaigns stream identically too — aborted attempts and
 /// their trace events are per-cell state, so scheduling cannot move
 /// them between cells.

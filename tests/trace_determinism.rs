@@ -100,9 +100,14 @@ fn tiny_campaign_populates_acceptance_counters() {
             counter.name()
         );
     }
-    // Every attempt walks the full pipeline, so each stage was entered
-    // and simulated time accumulated somewhere.
+    // Every attempt walks the full default pipeline, so each of its
+    // stages was entered and simulated time accumulated somewhere. The
+    // balloon/Xen steering stages belong to other attack variants'
+    // pipelines and are covered by variant cells below.
     for stage in Stage::ALL {
+        if matches!(stage, Stage::BalloonSteer | Stage::XenSteer) {
+            continue;
+        }
         assert!(
             merged.stage_entries(stage) > 0,
             "stage {} was never entered",
@@ -111,6 +116,32 @@ fn tiny_campaign_populates_acceptance_counters() {
     }
     assert!(merged.stage_nanos(Stage::Profile) > 0);
     assert!(merged.stage_activations(Stage::Profile) > 0);
+
+    // One balloon and one Xen cell light up the variant-specific stages.
+    use hyperhammer::machine::AttackVariant;
+    let params = DriverParams {
+        bits_per_attempt: 4,
+        stable_bits_only: true,
+        ..DriverParams::paper()
+    };
+    let variant_grid = CampaignGrid::new(
+        vec![
+            Scenario::tiny_demo().with_variant(AttackVariant::Balloon),
+            Scenario::tiny_demo().with_variant(AttackVariant::Xen),
+        ],
+        params,
+        2,
+    )
+    .with_seed_count(0x7ace, 1)
+    .with_trace(TraceMode::Metrics);
+    let merged = merged_metrics(&variant_grid.run(jobs(2)).expect("variant grid runs"));
+    for stage in [Stage::BalloonSteer, Stage::XenSteer] {
+        assert!(
+            merged.stage_entries(stage) > 0,
+            "variant stage {} was never entered",
+            stage.name()
+        );
+    }
 }
 
 /// Turning event recording off (metrics-only mode) leaves the aggregate
